@@ -1,0 +1,157 @@
+// Ablation — the three key-filtering mechanisms of Section 3.1.
+//
+// The paper argues that size, proximity and redundancy filtering together
+// keep the key vocabulary manageable (it would otherwise grow with
+// 2^|T|). This bench quantifies each mechanism on the same collection:
+//
+//   * redundancy filtering: candidate pairs when expansion is restricted
+//     to non-discriminative terms (the paper's rule) vs expansion over
+//     ALL non-VF term pairs (what a naive term-set index would store);
+//   * proximity filtering: level-2 key count as a function of the window
+//     size w;
+//   * size filtering: keys per level s = 1..smax and the cost of raising
+//     smax;
+//   * DFmax trade-off: key counts and stored postings for a DFmax sweep.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+#include <utility>
+
+#include "bench_common.h"
+#include "corpus/stats.h"
+#include "hdk/candidate_builder.h"
+#include "hdk/indexer.h"
+
+namespace hh = ::hdk::hdk;
+
+namespace {
+
+using namespace hdk;
+
+// Oracle that lets EVERY term expand and treats every key as
+// non-discriminative: generates the unfiltered term-set universe.
+class PermissiveOracle : public hh::NdkOracle {
+ public:
+  explicit PermissiveOracle(std::unordered_set<TermId> excluded)
+      : excluded_(std::move(excluded)) {}
+  bool IsExpandableTerm(TermId t) const override {
+    return excluded_.count(t) == 0;
+  }
+  bool IsNdk(const hh::TermKey&) const override { return true; }
+
+ private:
+  std::unordered_set<TermId> excluded_;
+};
+
+}  // namespace
+
+int main() {
+  auto setup = bench::SelectSetup();
+  bench::Banner("Ablation: size / proximity / redundancy filtering",
+                "Section 3.1 — the filters keep the key vocabulary "
+                "scalable");
+  bench::PrintSetup(setup);
+
+  engine::ExperimentContext ctx(setup);
+  // A mid-sweep collection keeps the unfiltered variants tractable.
+  const uint64_t docs = setup.docs_per_peer * setup.initial_peers * 2;
+  const corpus::DocumentStore& store = ctx.GrowTo(docs);
+  const corpus::CollectionStats& stats = ctx.StatsFor(docs);
+  HdkParams params = setup.MakeParams(setup.DfMaxLow());
+
+  std::unordered_set<TermId> vf;
+  for (TermId t : stats.VeryFrequentTerms(params.very_frequent_threshold)) {
+    vf.insert(t);
+  }
+
+  // --- redundancy filtering -------------------------------------------
+  {
+    hh::CentralizedHdkIndexer indexer(params);
+    hh::BuildReport report;
+    auto contents = indexer.Build(store, stats, &report);
+    if (!contents.ok()) return 1;
+    const uint64_t filtered_pairs =
+        report.levels.size() > 1 ? report.levels[1].candidates : 0;
+
+    PermissiveOracle permissive(vf);
+    hh::CandidateBuilder builder(params);
+    auto all_pairs = builder.BuildLevel(
+        2, store, 0, static_cast<DocId>(store.size()), permissive,
+        nullptr);
+
+    std::printf("redundancy filtering (level-2 candidate keys, w=%u):\n",
+                params.window);
+    std::printf("  %-44s %12llu\n",
+                "all co-occurring non-VF term pairs (no filter)",
+                static_cast<unsigned long long>(all_pairs.size()));
+    std::printf("  %-44s %12llu\n",
+                "pairs of non-discriminative terms (paper rule)",
+                static_cast<unsigned long long>(filtered_pairs));
+    std::printf("  %-44s %11.1fx\n", "reduction",
+                filtered_pairs > 0
+                    ? static_cast<double>(all_pairs.size()) /
+                          static_cast<double>(filtered_pairs)
+                    : 0.0);
+  }
+
+  // --- proximity filtering (window sweep) ------------------------------
+  std::printf("\nproximity filtering (level-2 keys vs window w, "
+              "paper uses w=20):\n");
+  std::printf("  %8s %14s %16s\n", "w", "level-2 keys",
+              "~binom(w-1,1) law");
+  for (uint32_t w : {5u, 10u, 20u, 40u}) {
+    HdkParams p = params;
+    p.window = w;
+    hh::CentralizedHdkIndexer indexer(p);
+    hh::BuildReport report;
+    auto contents = indexer.Build(store, stats, &report);
+    if (!contents.ok()) return 1;
+    std::printf("  %8u %14llu %16u\n", w,
+                static_cast<unsigned long long>(
+                    report.levels.size() > 1 ? report.levels[1].candidates
+                                             : 0),
+                w - 1);
+  }
+
+  // --- size filtering (per-level growth) -------------------------------
+  std::printf("\nsize filtering (keys and stored postings per level, "
+              "smax=%u):\n", params.s_max);
+  {
+    hh::CentralizedHdkIndexer indexer(params);
+    hh::BuildReport report;
+    auto contents = indexer.Build(store, stats, &report);
+    if (!contents.ok()) return 1;
+    std::printf("  %6s %12s %12s %12s %16s\n", "s", "candidates", "HDKs",
+                "NDKs", "stored postings");
+    for (const auto& level : report.levels) {
+      std::printf("  %6u %12llu %12llu %12llu %16llu\n", level.level,
+                  static_cast<unsigned long long>(level.candidates),
+                  static_cast<unsigned long long>(level.hdks),
+                  static_cast<unsigned long long>(level.ndks),
+                  static_cast<unsigned long long>(level.stored_postings));
+    }
+  }
+
+  // --- DFmax sweep ------------------------------------------------------
+  std::printf("\nDFmax trade-off (key vocabulary vs truncation):\n");
+  std::printf("  %8s %12s %16s %14s\n", "DFmax", "total keys",
+              "stored postings", "multi-term keys");
+  for (Freq df : {setup.DfMaxLow() / 2, setup.DfMaxLow(),
+                  setup.DfMaxHigh(), setup.DfMaxHigh() * 2}) {
+    HdkParams p = params;
+    p.df_max = std::max<Freq>(2, df);
+    p.rare_threshold = p.df_max;
+    hh::CentralizedHdkIndexer indexer(p);
+    auto contents = indexer.Build(store, stats);
+    if (!contents.ok()) return 1;
+    std::printf("  %8llu %12llu %16llu %14llu\n",
+                static_cast<unsigned long long>(p.df_max),
+                static_cast<unsigned long long>(contents->NumKeys()),
+                static_cast<unsigned long long>(
+                    contents->StoredPostings()),
+                static_cast<unsigned long long>(contents->NumKeys(2) +
+                                                contents->NumKeys(3)));
+  }
+  std::printf("\n");
+  return 0;
+}

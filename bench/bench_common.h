@@ -1,0 +1,52 @@
+// Shared helpers for the paper-reproduction bench harnesses.
+#ifndef HDKP2P_BENCH_BENCH_COMMON_H_
+#define HDKP2P_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "engine/experiment.h"
+
+namespace hdk::bench {
+
+/// Selects the experiment scale: HDKP2P_BENCH_SCALE=tiny for smoke runs,
+/// anything else (or unset) for the scaled-default reproduction.
+inline engine::ExperimentSetup SelectSetup() {
+  SetLogLevel(LogLevel::kWarning);
+  const char* scale = std::getenv("HDKP2P_BENCH_SCALE");
+  if (scale != nullptr && std::strcmp(scale, "tiny") == 0) {
+    return engine::ExperimentSetup::Tiny();
+  }
+  return engine::ExperimentSetup::ScaledDefault();
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const char* experiment, const char* paper_summary) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper: %s\n", paper_summary);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+/// Prints the scaled-setup footprint so readers can relate the numbers to
+/// the paper's absolute scale.
+inline void PrintSetup(const engine::ExperimentSetup& setup) {
+  std::printf("setup: peers %u..%u (step %u), docs/peer %u, "
+              "DFmax {%llu, %llu}, Ff %llu, w 20, smax 3\n",
+              setup.initial_peers, setup.max_peers, setup.peer_step,
+              setup.docs_per_peer,
+              static_cast<unsigned long long>(setup.DfMaxLow()),
+              static_cast<unsigned long long>(setup.DfMaxHigh()),
+              static_cast<unsigned long long>(setup.DeriveFf()));
+  std::printf("(paper: peers 4..28, 5000 docs/peer, DFmax {400,500}, "
+              "Ff 100000 — thresholds scaled per DESIGN.md)\n\n");
+}
+
+}  // namespace hdk::bench
+
+#endif  // HDKP2P_BENCH_BENCH_COMMON_H_

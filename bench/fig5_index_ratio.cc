@@ -1,0 +1,97 @@
+// Figure 5 — ratio between inserted index size IS_s and sample size D for
+// key sizes s = 1, 2, 3, plus the Theorem 3 upper-bound estimates.
+//
+// Paper: IS1/D <= 1 always; IS2/D and IS3/D grow with the collection
+// toward constants; the Theorem 3 estimates (12.16 for IS2/D with
+// P_f,1 = 0.8; 11.35 for IS3/D with P_f,2 = 0.257) are deliberate large
+// overestimates because they bound the POSITIONAL index.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "corpus/stats.h"
+#include "p2p/indexing_protocol.h"
+#include "zipf/model.h"
+
+int main() {
+  using namespace hdk;
+  auto setup = bench::SelectSetup();
+  bench::Banner("Figure 5: ratio between inserted IS and D",
+                "IS1/D <= 1; IS2/D, IS3/D grow toward constants; "
+                "Theorem-3 estimates bound them");
+  bench::PrintSetup(setup);
+
+  engine::ExperimentContext ctx(setup);
+  std::printf("%10s %12s %9s %9s %9s %9s\n", "#peers", "#docs", "IS1/D",
+              "IS2/D", "IS3/D", "IS/D");
+
+  double last_pf1 = 0, last_pf2 = 0;
+  uint64_t last_tokens = 0;
+  for (uint32_t peers : setup.PeerSweep()) {
+    auto point = engine::BuildEnginesAtPoint(ctx, peers);
+    if (!point.ok()) {
+      std::fprintf(stderr, "point failed: %s\n",
+                   point.status().ToString().c_str());
+      return 1;
+    }
+    const auto& report = point->hdk_low->indexing_report();
+    const double d = static_cast<double>(
+        point->hdk_low->collection_stats().total_tokens());
+    double per_level[4] = {0, 0, 0, 0};
+    for (const auto& level : report.levels) {
+      if (level.level <= 3) {
+        per_level[level.level] =
+            static_cast<double>(level.postings_inserted) / d;
+      }
+    }
+    std::printf("%10u %12llu %9.3f %9.3f %9.3f %9.3f\n", peers,
+                static_cast<unsigned long long>(point->num_docs),
+                per_level[1], per_level[2], per_level[3],
+                per_level[1] + per_level[2] + per_level[3]);
+
+    // Keep the last point's empirical P_f estimates for the Theorem-3
+    // comparison below: the fraction of token occurrences carried by
+    // expandable (frequent, non-VF) terms approximates P_f,1; the level-2
+    // NDK share of formations approximates P_f,2's role.
+    last_tokens = static_cast<uint64_t>(d);
+    const auto& stats = point->hdk_low->collection_stats();
+    const HdkParams params = setup.MakeParams(setup.DfMaxLow());
+    uint64_t frequent_tokens = 0;
+    for (TermId t = 0; t < stats.cf().size(); ++t) {
+      Freq cf = stats.CollectionFrequency(t);
+      if (cf == 0 || cf > params.very_frequent_threshold) continue;
+      if (stats.DocumentFrequency(t) > params.df_max) {
+        frequent_tokens += cf;
+      }
+    }
+    last_pf1 = static_cast<double>(frequent_tokens) / d;
+    // Empirical P_f,2: probability that a 2-key OCCURRENCE belongs to a
+    // frequent (non-discriminative) 2-key — the occurrence-mass share of
+    // NDK 2-keys (the paper's P_f,s is occurrence-based, not key-count
+    // based).
+    {
+      auto contents = point->hdk_low->global_index().ExportContents();
+      double ndk_mass = 0, total_mass = 0;
+      for (const auto& [key, entry] : contents.entries()) {
+        if (key.size() != 2) continue;
+        total_mass += static_cast<double>(entry.global_df);
+        if (!entry.is_hdk) ndk_mass += static_cast<double>(entry.global_df);
+      }
+      if (total_mass > 0) last_pf2 = ndk_mass / total_mass;
+    }
+  }
+
+  const HdkParams params = setup.MakeParams(setup.DfMaxLow());
+  const double est2 =
+      zipf::IndexSizeEstimate(last_tokens, last_pf1, params.window, 2) /
+      static_cast<double>(last_tokens);
+  const double est3 =
+      zipf::IndexSizeEstimate(last_tokens, last_pf2, params.window, 3) /
+      static_cast<double>(last_tokens);
+  std::printf("\nTheorem-3 upper bounds at the largest point: "
+              "IS2/D <= %.2f (P_f,1=%.3f), IS3/D <= %.2f (P_f,2~%.3f)\n",
+              est2, last_pf1, est3, last_pf2);
+  std::printf("(paper: estimates 12.16 and 11.35 vs measured 6.26 and "
+              "2.82 — estimates deliberately overestimate)\n\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Microbenchmarks: overlay routing (P-Grid vs Chord) — the ablation of
+// the substrate choice (posting traffic is overlay-independent; hop counts
+// and lookup cost differ).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "dht/chord.h"
+#include "dht/pgrid.h"
+
+namespace {
+
+using namespace hdk;
+
+template <typename OverlayT>
+void BM_Lookup(benchmark::State& state) {
+  OverlayT overlay(static_cast<size_t>(state.range(0)), 42);
+  Rng rng(1);
+  uint64_t total_hops = 0;
+  uint64_t lookups = 0;
+  for (auto _ : state) {
+    RingId key = rng.Next();
+    PeerId src =
+        static_cast<PeerId>(rng.NextBounded(overlay.num_peers()));
+    size_t hops = overlay.Route(src, key);
+    total_hops += hops;
+    ++lookups;
+    benchmark::DoNotOptimize(hops);
+  }
+  state.counters["avg_hops"] =
+      benchmark::Counter(static_cast<double>(total_hops) /
+                         static_cast<double>(lookups));
+}
+
+void BM_PGridLookup(benchmark::State& state) {
+  BM_Lookup<dht::PGridOverlay>(state);
+}
+void BM_ChordLookup(benchmark::State& state) {
+  BM_Lookup<dht::ChordOverlay>(state);
+}
+BENCHMARK(BM_PGridLookup)->Arg(28)->Arg(256)->Arg(1024);
+BENCHMARK(BM_ChordLookup)->Arg(28)->Arg(256)->Arg(1024);
+
+void BM_PGridResponsible(benchmark::State& state) {
+  dht::PGridOverlay overlay(static_cast<size_t>(state.range(0)), 42);
+  Rng rng(2);
+  for (auto _ : state) {
+    PeerId p = overlay.Responsible(rng.Next());
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PGridResponsible)->Arg(1024);
+
+void BM_ChordResponsible(benchmark::State& state) {
+  dht::ChordOverlay overlay(static_cast<size_t>(state.range(0)), 42);
+  Rng rng(2);
+  for (auto _ : state) {
+    PeerId p = overlay.Responsible(rng.Next());
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_ChordResponsible)->Arg(1024);
+
+void BM_PGridJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    dht::PGridOverlay overlay(4, 42);
+    for (int i = 0; i < 60; ++i) {
+      benchmark::DoNotOptimize(overlay.AddPeer().ok());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 60);
+}
+BENCHMARK(BM_PGridJoin);
+
+void BM_ChordJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    dht::ChordOverlay overlay(4, 42);
+    for (int i = 0; i < 60; ++i) {
+      benchmark::DoNotOptimize(overlay.AddPeer().ok());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 60);
+}
+BENCHMARK(BM_ChordJoin);
+
+}  // namespace

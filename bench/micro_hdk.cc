@@ -1,0 +1,136 @@
+// Microbenchmarks: HDK machinery — key operations, level-wise candidate
+// generation and full index construction.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "corpus/stats.h"
+#include "corpus/synthetic.h"
+#include "hdk/candidate_builder.h"
+#include "hdk/indexer.h"
+#include "hdk/query_lattice.h"
+
+namespace hh = ::hdk::hdk;
+
+namespace {
+
+using namespace hdk;
+
+void BM_TermKeyOps(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    hh::TermKey k{static_cast<TermId>(rng.NextBounded(1000)),
+                   static_cast<TermId>(1000 + rng.NextBounded(1000)),
+                   static_cast<TermId>(2000 + rng.NextBounded(1000))};
+    uint64_t h = k.Hash64();
+    hh::TermKey sub = k.DropTerm(1);
+    benchmark::DoNotOptimize(h);
+    benchmark::DoNotOptimize(sub);
+  }
+}
+BENCHMARK(BM_TermKeyOps);
+
+struct HdkFixtureState {
+  corpus::DocumentStore store;
+  std::unique_ptr<corpus::CollectionStats> stats;
+  HdkParams params;
+
+  HdkFixtureState() {
+    corpus::SyntheticConfig cfg;
+    cfg.seed = 29;
+    cfg.vocabulary_size = 20000;
+    cfg.num_topics = 60;
+    cfg.topic_width = 100;
+    cfg.mean_doc_length = 100.0;
+    corpus::SyntheticCorpus corpus(cfg);
+    corpus.FillStore(800, &store);
+    stats = std::make_unique<corpus::CollectionStats>(store);
+    params.df_max = 16;
+    params.very_frequent_threshold = 2000;
+    params.window = 20;
+    params.s_max = 3;
+  }
+};
+
+HdkFixtureState& Fixture() {
+  static HdkFixtureState* state = new HdkFixtureState();
+  return *state;
+}
+
+void BM_Level1Generation(benchmark::State& state) {
+  auto& fx = Fixture();
+  hh::CandidateBuilder builder(fx.params);
+  for (auto _ : state) {
+    auto candidates = builder.BuildLevel1(
+        fx.store, 0, static_cast<DocId>(fx.store.size()), {}, nullptr);
+    benchmark::DoNotOptimize(candidates);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(fx.store.TotalTokens()));
+}
+BENCHMARK(BM_Level1Generation);
+
+void BM_Level2Generation(benchmark::State& state) {
+  auto& fx = Fixture();
+  hh::CandidateBuilder builder(fx.params);
+  // Build the level-1 oracle once.
+  hh::SetNdkOracle oracle;
+  auto level1 = builder.BuildLevel1(
+      fx.store, 0, static_cast<DocId>(fx.store.size()), {}, nullptr);
+  for (const auto& [key, pl] : level1) {
+    if (pl.size() > fx.params.df_max) {
+      oracle.AddExpandableTerm(key.term(0));
+    }
+  }
+  for (auto _ : state) {
+    auto candidates =
+        builder.BuildLevel(2, fx.store, 0,
+                           static_cast<DocId>(fx.store.size()), oracle,
+                           nullptr);
+    benchmark::DoNotOptimize(candidates);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(fx.store.TotalTokens()));
+}
+BENCHMARK(BM_Level2Generation);
+
+void BM_FullIndexBuild(benchmark::State& state) {
+  auto& fx = Fixture();
+  hh::CentralizedHdkIndexer indexer(fx.params);
+  for (auto _ : state) {
+    auto contents = indexer.Build(fx.store, *fx.stats);
+    benchmark::DoNotOptimize(contents);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(fx.store.TotalTokens()));
+}
+BENCHMARK(BM_FullIndexBuild);
+
+void BM_QueryLatticePlanning(benchmark::State& state) {
+  auto& fx = Fixture();
+  hh::CentralizedHdkIndexer indexer(fx.params);
+  auto contents = indexer.Build(fx.store, *fx.stats);
+  if (!contents.ok()) return;
+  Rng rng(31);
+  for (auto _ : state) {
+    DocId d = static_cast<DocId>(rng.NextBounded(fx.store.size()));
+    auto tokens = fx.store.Tokens(d);
+    std::vector<TermId> q{tokens[0], tokens[1], tokens[2]};
+    auto plan = hh::PlanRetrieval(
+        q, fx.params.s_max,
+        [&](const hh::TermKey& key)
+            -> std::optional<hh::ProbeOutcome> {
+          const hh::KeyEntry* e = contents->Find(key);
+          if (e == nullptr) return std::nullopt;
+          return hh::ProbeOutcome{e->is_hdk};
+        });
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_QueryLatticePlanning);
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Microbenchmarks: posting lists, inverted index and BM25 top-k.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "corpus/synthetic.h"
+#include "index/inverted_index.h"
+#include "index/posting.h"
+#include "index/searcher.h"
+
+namespace {
+
+using namespace hdk;
+
+index::PostingList MakeList(size_t n, uint64_t seed, uint32_t stride = 2) {
+  Rng rng(seed);
+  std::vector<index::Posting> postings;
+  DocId doc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    doc += 1 + static_cast<DocId>(rng.NextBounded(stride));
+    postings.push_back(
+        {doc, static_cast<uint32_t>(1 + rng.NextBounded(5)), 225});
+  }
+  return index::PostingList(std::move(postings));
+}
+
+void BM_PostingListMerge(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  index::PostingList a = MakeList(n, 1);
+  index::PostingList b = MakeList(n, 2);
+  for (auto _ : state) {
+    index::PostingList merged = a;
+    merged.Merge(b);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * n));
+}
+BENCHMARK(BM_PostingListMerge)->Arg(1000)->Arg(100000);
+
+void BM_PostingListTruncate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  index::PostingList big = MakeList(n, 3);
+  for (auto _ : state) {
+    index::PostingList copy = big;
+    copy.TruncateTopBy(400, [](const index::Posting& p) {
+      return static_cast<double>(p.tf) / (p.tf + 1.2);
+    });
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PostingListTruncate)->Arg(10000)->Arg(100000);
+
+class IndexFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (store.size() > 0) return;
+    corpus::SyntheticConfig cfg;
+    cfg.seed = 17;
+    cfg.vocabulary_size = 50000;
+    corpus::SyntheticCorpus corpus(cfg);
+    corpus.FillStore(2000, &store);
+    (void)index.AddRange(store, 0, 2000);
+  }
+
+  corpus::DocumentStore store;
+  index::InvertedIndex index;
+};
+
+BENCHMARK_F(IndexFixture, BM_IndexDocument)(benchmark::State& state) {
+  for (auto _ : state) {
+    index::InvertedIndex idx;
+    for (DocId d = 0; d < 200; ++d) {
+      benchmark::DoNotOptimize(idx.AddDocument(d, store.Tokens(d)).ok());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200);
+}
+
+BENCHMARK_F(IndexFixture, BM_Bm25Search)(benchmark::State& state) {
+  index::Bm25Searcher searcher(index);
+  Rng rng(23);
+  for (auto _ : state) {
+    // Query terms drawn from a random document: realistic df profile.
+    DocId d = static_cast<DocId>(rng.NextBounded(store.size()));
+    auto tokens = store.Tokens(d);
+    std::vector<TermId> q{tokens[0], tokens[tokens.size() / 2],
+                          tokens[tokens.size() - 1]};
+    auto results = searcher.Search(q, 20);
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Microbenchmarks: text analysis pipeline throughput.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/synthetic.h"
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+#include "text/window.h"
+
+namespace {
+
+using namespace hdk;
+
+std::string MakeText(size_t words, uint64_t seed) {
+  Rng rng(seed);
+  std::string text;
+  for (size_t i = 0; i < words; ++i) {
+    text += corpus::SyntheticCorpus::TermString(
+        static_cast<TermId>(rng.NextBounded(50000)));
+    text += (i % 12 == 11) ? ". " : " ";
+  }
+  return text;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  text::Tokenizer tokenizer;
+  std::string text = MakeText(static_cast<size_t>(state.range(0)), 1);
+  std::vector<std::string> out;
+  for (auto _ : state) {
+    out.clear();
+    tokenizer.Tokenize(text, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_Tokenize)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PorterStem(benchmark::State& state) {
+  text::PorterStemmer stemmer;
+  std::vector<std::string> words;
+  Rng rng(7);
+  const char* samples[] = {"relational",  "conditional", "generalizations",
+                           "connectivity", "hopefulness", "indexing",
+                           "retrieval",    "discriminative"};
+  for (int i = 0; i < 512; ++i) {
+    words.push_back(samples[rng.NextBounded(8)]);
+  }
+  for (auto _ : state) {
+    for (const auto& w : words) {
+      std::string s = stemmer.Stem(w);
+      benchmark::DoNotOptimize(s);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_AnalyzerPipeline(benchmark::State& state) {
+  text::Analyzer analyzer;
+  std::string text = MakeText(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    text::Vocabulary vocab;
+    auto ids = analyzer.Analyze(text, &vocab);
+    benchmark::DoNotOptimize(ids);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AnalyzerPipeline)->Arg(225)->Arg(2250);
+
+void BM_WindowTailScan(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<TermId> tokens(static_cast<size_t>(state.range(0)));
+  for (auto& t : tokens) {
+    t = static_cast<TermId>(rng.NextBounded(2000));
+  }
+  for (auto _ : state) {
+    text::WindowTail tail(20);
+    uint64_t sum = 0;
+    for (TermId t : tokens) {
+      sum += tail.distinct().size();
+      tail.Push(t);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_WindowTailScan)->Arg(1000)->Arg(100000);
+
+void BM_WindowCoOccurs(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<TermId> tokens(10000);
+  for (auto& t : tokens) {
+    t = static_cast<TermId>(rng.NextBounded(500));
+  }
+  std::vector<TermId> key{17, 42, 99};
+  for (auto _ : state) {
+    bool hit = text::WindowCoOccurs(tokens, 20, key);
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_WindowCoOccurs);
+
+}  // namespace

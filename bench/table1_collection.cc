@@ -1,0 +1,46 @@
+// Table 1 — collection statistics.
+//
+// Paper (Wikipedia subset): M = 653,546 documents, D = 3 million words
+// [per-peer samples of 1,123,000 words], average document size 225 words.
+// Here: the synthetic Wikipedia-like collection at the largest sweep
+// point, plus the distributional properties the substitution preserves.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "corpus/stats.h"
+#include "zipf/model.h"
+
+int main() {
+  using namespace hdk;
+  auto setup = bench::SelectSetup();
+  bench::Banner("Table 1: collection statistics",
+                "M=653,546 docs, avg 225 words/doc, Zipf skew a1~1.5");
+  bench::PrintSetup(setup);
+
+  engine::ExperimentContext ctx(setup);
+  const uint64_t docs = setup.MaxDocuments();
+  const corpus::CollectionStats& stats = ctx.StatsFor(docs);
+
+  std::printf("%-42s %15s\n", "statistic", "value");
+  std::printf("%-42s %15llu\n", "total number of documents M",
+              static_cast<unsigned long long>(stats.num_documents()));
+  std::printf("%-42s %15llu\n", "size in words D (token occurrences)",
+              static_cast<unsigned long long>(stats.total_tokens()));
+  std::printf("%-42s %15.1f\n", "average document size (words)",
+              stats.average_document_length());
+  std::printf("%-42s %15llu\n", "distinct terms |T|",
+              static_cast<unsigned long long>(stats.vocabulary_size()));
+  std::printf("%-42s %15llu\n", "hapax legomena (cf = 1)",
+              static_cast<unsigned long long>(stats.NumHapax()));
+  std::printf("%-42s %15zu\n", "very frequent terms (cf > Ff)",
+              stats.VeryFrequentTerms(setup.DeriveFf()).size());
+
+  auto fit = zipf::FitZipf(stats.RankFrequencies());
+  if (fit.ok()) {
+    std::printf("%-42s %15.3f\n", "fitted Zipf skew a1 (paper: ~1.5)",
+                fit->skew);
+    std::printf("%-42s %15.3f\n", "log-log fit R^2", fit->r_squared);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "common/hash.h"
+
+namespace hdk {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+uint64_t HashTermIds(const uint32_t* ids, size_t count) {
+  uint64_t h = 0x9ae16a3b2f90404fULL ^ (count * 0xc3a5c85c97cb3127ULL);
+  for (size_t i = 0; i < count; ++i) {
+    h = HashCombine(h, static_cast<uint64_t>(ids[i]) + 1);
+  }
+  return Mix64(h);
+}
+
+}  // namespace hdk

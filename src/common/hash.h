@@ -1,0 +1,37 @@
+// Deterministic 64-bit hashing used for DHT key placement and hash maps.
+//
+// All hashes here are seed-stable across platforms and runs: the DHT mapping
+// of keys to peers must be reproducible for the experiments to be
+// deterministic.
+#ifndef HDKP2P_COMMON_HASH_H_
+#define HDKP2P_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hdk {
+
+/// FNV-1a 64-bit hash of a byte string.
+uint64_t Fnv1a64(std::string_view data);
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit bit mixer.
+uint64_t Mix64(uint64_t x);
+
+/// Combines two 64-bit hashes (order-dependent, boost::hash_combine style).
+uint64_t HashCombine(uint64_t seed, uint64_t v);
+
+/// Hash of a 64-bit integer (mixes; suitable for ring placement).
+inline uint64_t HashU64(uint64_t x) { return Mix64(x); }
+
+/// Hash of a string (suitable for ring placement).
+inline uint64_t HashString(std::string_view s) { return Mix64(Fnv1a64(s)); }
+
+/// Hashes an array of uint32 term ids into a single 64-bit key identity.
+/// Terms must be passed in canonical (sorted) order so that the same term
+/// set always produces the same hash.
+uint64_t HashTermIds(const uint32_t* ids, size_t count);
+
+}  // namespace hdk
+
+#endif  // HDKP2P_COMMON_HASH_H_

@@ -1,0 +1,56 @@
+// Minimal leveled logging to stderr.
+//
+// Experiments print their results to stdout; diagnostics go through here so
+// they can be silenced globally (benchmarks set the level to kWarning).
+#ifndef HDKP2P_COMMON_LOGGING_H_
+#define HDKP2P_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hdk {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style one-shot log line; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define HDK_LOG(level)                                                   \
+  if (static_cast<int>(::hdk::LogLevel::k##level) <                      \
+      static_cast<int>(::hdk::GetLogLevel())) {                          \
+  } else                                                                 \
+    ::hdk::internal::LogMessage(::hdk::LogLevel::k##level, __FILE__,     \
+                                __LINE__)                                \
+        .stream()
+
+}  // namespace hdk
+
+#endif  // HDKP2P_COMMON_LOGGING_H_

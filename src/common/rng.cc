@@ -1,0 +1,172 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace hdk {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 expansion of the seed into the 4-word state; guarantees a
+  // non-zero state for every seed.
+  uint64_t sm = seed;
+  for (auto& word : s_) {
+    sm += 0x9e3779b97f4a7c15ULL;
+    word = Mix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = (0ULL - bound) % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  // Guard u1 = 0.
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+// ---------------------------------------------------------------------------
+// ZipfSampler: Hörmann rejection-inversion ("Rejection-inversion to generate
+// variates from monotone discrete distributions", W. Hörmann, G. Derflinger).
+// ---------------------------------------------------------------------------
+
+ZipfSampler::ZipfSampler(uint64_t n, double skew) : n_(n), skew_(skew) {
+  assert(n >= 1);
+  assert(skew > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - Hinv(H(2.5) - std::pow(2.0, -skew));
+}
+
+double ZipfSampler::H(double x) const {
+  // H(x) = integral of x^-skew; handles skew == 1 (log) separately.
+  if (std::abs(skew_ - 1.0) < 1e-12) return std::log(x);
+  return std::pow(x, 1.0 - skew_) / (1.0 - skew_);
+}
+
+double ZipfSampler::Hinv(double x) const {
+  if (std::abs(skew_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow((1.0 - skew_) * x, 1.0 / (1.0 - skew_));
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    double x = Hinv(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -skew_)) {
+      return k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AliasTable (Walker / Vose).
+// ---------------------------------------------------------------------------
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  assert(n > 0);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers: both queues drain to probability 1 entries.
+  while (!large.empty()) {
+    prob_[large.back()] = 1.0;
+    large.pop_back();
+  }
+  while (!small.empty()) {
+    prob_[small.back()] = 1.0;
+    small.pop_back();
+  }
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  size_t i = rng.NextBounded(prob_.size());
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace hdk

@@ -1,0 +1,103 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Provides a Xoshiro256** engine seeded via SplitMix64, plus samplers used by
+// the synthetic workload generators: Zipf (rejection-inversion), alias-table
+// discrete sampling, and common scalar distributions.
+#ifndef HDKP2P_COMMON_RNG_H_
+#define HDKP2P_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hdk {
+
+/// Xoshiro256** PRNG. Deterministic for a given seed, fast, 2^256-1 period.
+///
+/// Satisfies UniformRandomBitGenerator so it can also back <random>
+/// distributions where convenient.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four-word state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased
+  /// (Lemire's nearly-divisionless method).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller (no state caching; 2 uniforms/draw).
+  double NextGaussian();
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p);
+
+  /// Creates an independent child generator (for per-peer/per-doc streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples ranks from a (finite) Zipf distribution:
+///   P(rank = r) proportional to r^(-skew),  r in [1, n].
+///
+/// Uses Hörmann's rejection-inversion method: O(1) per sample independently
+/// of n, which matters because the corpus vocabulary can be large.
+class ZipfSampler {
+ public:
+  /// \param n     number of ranks (vocabulary size), n >= 1.
+  /// \param skew  Zipf exponent a > 0 (paper fits a ~= 1.5 on Wikipedia).
+  ZipfSampler(uint64_t n, double skew);
+
+  /// Draws a rank in [1, n].
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+ private:
+  double H(double x) const;
+  double Hinv(double x) const;
+
+  uint64_t n_;
+  double skew_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+/// O(1) sampling from an arbitrary discrete distribution (Walker's alias
+/// method). Used for topic mixtures in the corpus generator.
+class AliasTable {
+ public:
+  /// \param weights non-negative, at least one strictly positive.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace hdk
+
+#endif  // HDKP2P_COMMON_RNG_H_

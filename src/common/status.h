@@ -1,0 +1,159 @@
+// Status / Result<T> error model (Arrow/RocksDB idiom): no exceptions on the
+// library's hot paths; fallible operations return Status or Result<T>.
+#ifndef HDKP2P_COMMON_STATUS_H_
+#define HDKP2P_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hdk {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+  kIOError = 9,
+};
+
+/// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// The OK status carries no allocation; error statuses carry a message.
+/// Use the factory functions (`Status::InvalidArgument(...)`) to construct
+/// errors and `HDK_RETURN_NOT_OK` to propagate them.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never both.
+///
+/// Mirrors arrow::Result. Accessors assert on misuse in debug builds;
+/// callers must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ has a value.
+};
+
+/// Propagates a non-OK Status to the caller.
+#define HDK_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::hdk::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define HDK_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  HDK_ASSIGN_OR_RETURN_IMPL(               \
+      HDK_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define HDK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define HDK_CONCAT_(a, b) HDK_CONCAT_IMPL_(a, b)
+#define HDK_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace hdk
+
+#endif  // HDKP2P_COMMON_STATUS_H_

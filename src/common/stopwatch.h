@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for coarse experiment timing.
+#ifndef HDKP2P_COMMON_STOPWATCH_H_
+#define HDKP2P_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace hdk {
+
+/// Measures elapsed wall time; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hdk
+
+#endif  // HDKP2P_COMMON_STOPWATCH_H_

@@ -1,0 +1,37 @@
+// Core scalar types shared by every hdkp2p module.
+#ifndef HDKP2P_COMMON_TYPES_H_
+#define HDKP2P_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace hdk {
+
+/// Identifier of a term in the collection vocabulary (dense, 0-based).
+using TermId = uint32_t;
+
+/// Identifier of a document in the global collection (dense, 0-based).
+using DocId = uint32_t;
+
+/// Identifier of a peer in the P2P network (dense, 0-based).
+using PeerId = uint32_t;
+
+/// Position of a token inside a document (0-based token offset).
+using TokenPos = uint32_t;
+
+/// Collection frequency / document frequency counters.
+using Freq = uint64_t;
+
+/// A point on the 64-bit DHT identifier ring.
+using RingId = uint64_t;
+
+/// Sentinel for "no term".
+inline constexpr TermId kInvalidTerm = std::numeric_limits<TermId>::max();
+/// Sentinel for "no document".
+inline constexpr DocId kInvalidDoc = std::numeric_limits<DocId>::max();
+/// Sentinel for "no peer".
+inline constexpr PeerId kInvalidPeer = std::numeric_limits<PeerId>::max();
+
+}  // namespace hdk
+
+#endif  // HDKP2P_COMMON_TYPES_H_

@@ -1,0 +1,12 @@
+#include "corpus/document.h"
+
+namespace hdk::corpus {
+
+DocId DocumentStore::Add(std::vector<TermId> tokens) {
+  DocId id = static_cast<DocId>(docs_.size());
+  total_tokens_ += tokens.size();
+  docs_.push_back(Document{id, std::move(tokens)});
+  return id;
+}
+
+}  // namespace hdk::corpus

@@ -1,0 +1,93 @@
+#include "corpus/query_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace hdk::corpus {
+
+Status QueryGenConfig::Validate() const {
+  if (min_terms == 0 || min_terms > max_terms) {
+    return Status::InvalidArgument("need 0 < min_terms <= max_terms");
+  }
+  if (length_p <= 0 || length_p > 1) {
+    return Status::InvalidArgument("length_p must be in (0,1]");
+  }
+  if (sample_window < max_terms) {
+    return Status::InvalidArgument("sample_window must cover max_terms");
+  }
+  return Status::OK();
+}
+
+QueryGenerator::QueryGenerator(QueryGenConfig config,
+                               const DocumentStore& store,
+                               const CollectionStats& stats)
+    : config_(config), store_(store), stats_(stats) {
+  assert(config_.Validate().ok());
+}
+
+bool QueryGenerator::TryGenerateOne(Rng& rng, Query* out) const {
+  if (store_.empty()) return false;
+  DocId doc = static_cast<DocId>(rng.NextBounded(store_.size()));
+  std::span<const TermId> tokens = store_.Tokens(doc);
+  if (tokens.empty()) return false;
+
+  // Sample a window position and collect its distinct eligible terms.
+  size_t start = rng.NextBounded(tokens.size());
+  size_t end = std::min(tokens.size(), start + config_.sample_window);
+  std::vector<TermId> pool(tokens.begin() + start, tokens.begin() + end);
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  pool.erase(std::remove_if(pool.begin(), pool.end(),
+                            [&](TermId t) {
+                              return stats_.DocumentFrequency(t) <
+                                     config_.min_term_df;
+                            }),
+             pool.end());
+  if (pool.size() < config_.min_terms) return false;
+
+  // Truncated geometric query length.
+  uint32_t len = config_.min_terms;
+  while (len < config_.max_terms && !rng.NextBool(config_.length_p)) {
+    ++len;
+  }
+  len = std::min<uint32_t>(len, static_cast<uint32_t>(pool.size()));
+
+  // Fisher-Yates partial shuffle to pick `len` distinct terms.
+  for (uint32_t i = 0; i < len; ++i) {
+    size_t j = i + rng.NextBounded(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  out->terms.assign(pool.begin(), pool.begin() + len);
+  std::sort(out->terms.begin(), out->terms.end());
+  out->source_doc = doc;
+  return true;
+}
+
+std::vector<Query> QueryGenerator::Generate(size_t n) const {
+  Rng rng(Mix64(config_.seed ^ 0x717565727933ULL));  // "query3"
+  std::vector<Query> queries;
+  queries.reserve(n);
+  // Rejection loop with a liberal budget; documents whose windows cannot
+  // supply enough eligible terms are simply skipped.
+  size_t attempts = 0;
+  const size_t max_attempts = 200 * (n + 10);
+  while (queries.size() < n && attempts < max_attempts) {
+    ++attempts;
+    Query q;
+    if (TryGenerateOne(rng, &q)) {
+      queries.push_back(std::move(q));
+    }
+  }
+  return queries;
+}
+
+double QueryGenerator::AverageSize(std::span<const Query> queries) {
+  if (queries.empty()) return 0.0;
+  double total = 0;
+  for (const auto& q : queries) total += static_cast<double>(q.size());
+  return total / static_cast<double>(queries.size());
+}
+
+}  // namespace hdk::corpus

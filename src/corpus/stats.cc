@@ -1,0 +1,58 @@
+#include "corpus/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hdk::corpus {
+
+CollectionStats::CollectionStats(const DocumentStore& store) {
+  num_documents_ = store.size();
+  total_tokens_ = store.TotalTokens();
+
+  TermId max_id = 0;
+  for (const auto& doc : store.docs()) {
+    for (TermId t : doc.tokens) {
+      max_id = std::max(max_id, t);
+    }
+  }
+  if (num_documents_ == 0) return;
+
+  cf_.assign(static_cast<size_t>(max_id) + 1, 0);
+  df_.assign(static_cast<size_t>(max_id) + 1, 0);
+
+  std::vector<TermId> seen;  // distinct terms of the current document
+  for (const auto& doc : store.docs()) {
+    seen.clear();
+    for (TermId t : doc.tokens) {
+      if (cf_[t]++ == 0) ++vocabulary_size_;
+      seen.push_back(t);
+    }
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    for (TermId t : seen) ++df_[t];
+  }
+
+  rank_freq_.reserve(vocabulary_size_);
+  for (Freq f : cf_) {
+    if (f > 0) rank_freq_.push_back(f);
+  }
+  std::sort(rank_freq_.begin(), rank_freq_.end(), std::greater<Freq>());
+}
+
+std::vector<TermId> CollectionStats::VeryFrequentTerms(Freq ff) const {
+  std::vector<TermId> out;
+  for (TermId t = 0; t < cf_.size(); ++t) {
+    if (cf_[t] > ff) out.push_back(t);
+  }
+  return out;
+}
+
+uint64_t CollectionStats::NumHapax() const {
+  uint64_t n = 0;
+  for (Freq f : cf_) {
+    if (f == 1) ++n;
+  }
+  return n;
+}
+
+}  // namespace hdk::corpus

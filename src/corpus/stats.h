@@ -1,0 +1,74 @@
+// Collection-level term statistics (paper Table 1 and the inputs to the
+// Zipf analysis of Section 4).
+#ifndef HDKP2P_CORPUS_STATS_H_
+#define HDKP2P_CORPUS_STATS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "corpus/document.h"
+
+namespace hdk::corpus {
+
+/// Term frequency statistics of a document collection.
+class CollectionStats {
+ public:
+  /// Computes statistics over all documents of `store`.
+  explicit CollectionStats(const DocumentStore& store);
+
+  /// Number of documents M.
+  uint64_t num_documents() const { return num_documents_; }
+
+  /// Total number of token occurrences (sample size D).
+  uint64_t total_tokens() const { return total_tokens_; }
+
+  /// Average document length in tokens.
+  double average_document_length() const {
+    return num_documents_ == 0
+               ? 0.0
+               : static_cast<double>(total_tokens_) /
+                     static_cast<double>(num_documents_);
+  }
+
+  /// Number of distinct terms observed (|T|).
+  uint64_t vocabulary_size() const { return vocabulary_size_; }
+
+  /// Collection frequency f_D(t) of a term (0 for unseen ids).
+  Freq CollectionFrequency(TermId t) const {
+    return t < cf_.size() ? cf_[t] : 0;
+  }
+
+  /// Document frequency df_D(t) of a term (0 for unseen ids).
+  Freq DocumentFrequency(TermId t) const {
+    return t < df_.size() ? df_[t] : 0;
+  }
+
+  /// Raw frequency arrays (indexed by TermId; may contain zeros).
+  std::span<const Freq> cf() const { return cf_; }
+  std::span<const Freq> df() const { return df_; }
+
+  /// Collection frequencies sorted descending: entry r-1 is the frequency
+  /// of the rank-r term (the empirical Zipf curve; zeros excluded).
+  const std::vector<Freq>& RankFrequencies() const { return rank_freq_; }
+
+  /// Term ids whose collection frequency exceeds `ff` (the paper's very
+  /// frequent terms removed from the key vocabulary, threshold Ff).
+  std::vector<TermId> VeryFrequentTerms(Freq ff) const;
+
+  /// Number of hapax legomena (cf == 1).
+  uint64_t NumHapax() const;
+
+ private:
+  uint64_t num_documents_ = 0;
+  uint64_t total_tokens_ = 0;
+  uint64_t vocabulary_size_ = 0;
+  std::vector<Freq> cf_;
+  std::vector<Freq> df_;
+  std::vector<Freq> rank_freq_;
+};
+
+}  // namespace hdk::corpus
+
+#endif  // HDKP2P_CORPUS_STATS_H_

@@ -1,0 +1,158 @@
+#include "corpus/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace hdk::corpus {
+
+Status SyntheticConfig::Validate() const {
+  if (vocabulary_size < 1000) {
+    return Status::InvalidArgument("vocabulary_size must be >= 1000");
+  }
+  if (zipf_skew <= 0 || topic_skew <= 0) {
+    return Status::InvalidArgument("zipf skews must be positive");
+  }
+  if (topic_share < 0 || topic_share > 1) {
+    return Status::InvalidArgument("topic_share must be in [0,1]");
+  }
+  if (burstiness < 0 || burstiness > 0.9) {
+    return Status::InvalidArgument("burstiness must be in [0,0.9]");
+  }
+  if (mean_doc_length <= min_doc_length) {
+    return Status::InvalidArgument("mean_doc_length must exceed min length");
+  }
+  if (num_topics == 0 || topic_width == 0) {
+    return Status::InvalidArgument("topics must be non-empty");
+  }
+  if (max_topics_per_doc == 0) {
+    return Status::InvalidArgument("max_topics_per_doc must be positive");
+  }
+  return Status::OK();
+}
+
+SyntheticCorpus::SyntheticCorpus(SyntheticConfig config)
+    : config_(config), background_(config.vocabulary_size, config.zipf_skew) {
+  assert(config_.Validate().ok());
+
+  // Topic members come from the mid-frequency band of the id space:
+  // frequent enough to recur across documents (that is what creates
+  // non-discriminative multi-term keys), rare enough to be informative.
+  const TermId band_lo = 64;
+  const TermId band_hi =
+      std::max<TermId>(band_lo + 1000,
+                       static_cast<TermId>(config_.vocabulary_size / 8));
+
+  Rng topic_rng(Mix64(config_.seed ^ 0x746f706963ULL));  // "topic"
+  topics_.resize(config_.num_topics);
+  for (uint32_t t = 0; t < config_.num_topics; ++t) {
+    Topic& topic = topics_[t];
+    topic.members.reserve(config_.topic_width);
+    // Popularity-weighted member selection: lower ids more likely, via a
+    // squared-uniform skew toward the low end of the band.
+    for (uint32_t m = 0; m < config_.topic_width; ++m) {
+      double u = topic_rng.NextDouble();
+      double pos = u * u;  // bias toward band_lo
+      TermId id = band_lo + static_cast<TermId>(
+          pos * static_cast<double>(band_hi - band_lo));
+      topic.members.push_back(id);
+    }
+    std::sort(topic.members.begin(), topic.members.end());
+    topic.members.erase(
+        std::unique(topic.members.begin(), topic.members.end()),
+        topic.members.end());
+
+    // Within-topic Zipf weights over the (deduplicated) members.
+    std::vector<double> weights(topic.members.size());
+    for (size_t i = 0; i < weights.size(); ++i) {
+      weights[i] = std::pow(static_cast<double>(i + 1), -config_.topic_skew);
+    }
+    topic.dist = std::make_unique<AliasTable>(weights);
+  }
+
+  // Topic popularity itself is Zipfian (few hot topics, long tail).
+  std::vector<double> pop(config_.num_topics);
+  for (size_t i = 0; i < pop.size(); ++i) {
+    pop[i] = std::pow(static_cast<double>(i + 1),
+                      -config_.topic_popularity_skew);
+  }
+  topic_popularity_ = std::make_unique<AliasTable>(pop);
+}
+
+std::vector<TermId> SyntheticCorpus::GenerateTokens(uint64_t doc_index) const {
+  // Independent stream per document: prefix stability under growth.
+  Rng rng(Mix64(config_.seed) ^ Mix64(doc_index * 0x9e3779b97f4a7c15ULL + 1));
+
+  // Erlang-2 document length around the configured mean.
+  const double excess_mean =
+      config_.mean_doc_length - static_cast<double>(config_.min_doc_length);
+  double u1 = std::max(rng.NextDouble(), 1e-12);
+  double u2 = std::max(rng.NextDouble(), 1e-12);
+  uint64_t length =
+      config_.min_doc_length +
+      static_cast<uint64_t>(-std::log(u1 * u2) * excess_mean / 2.0);
+
+  // Topic mixture of this document.
+  uint32_t k = 1 + static_cast<uint32_t>(
+      rng.NextBounded(config_.max_topics_per_doc));
+  std::vector<const Topic*> doc_topics;
+  std::vector<double> mix;
+  doc_topics.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    doc_topics.push_back(&topics_[topic_popularity_->Sample(rng)]);
+    mix.push_back(0.25 + rng.NextDouble());
+  }
+  AliasTable mix_dist(mix);
+
+  std::vector<TermId> tokens;
+  tokens.reserve(length);
+  for (uint64_t i = 0; i < length; ++i) {
+    if (!tokens.empty() && rng.NextBool(config_.burstiness)) {
+      // Burstiness: repeat an earlier token of this document.
+      tokens.push_back(tokens[rng.NextBounded(tokens.size())]);
+      continue;
+    }
+    if (rng.NextBool(config_.topic_share)) {
+      const Topic* topic = doc_topics[mix_dist.Sample(rng)];
+      tokens.push_back(topic->members[topic->dist->Sample(rng)]);
+    } else {
+      // Background Zipf rank r in [1, V] maps to term id r-1. The top
+      // head ranks model already-removed stop words: resample past them
+      // (bounded retry; fall through on pathological configs).
+      uint64_t rank = background_.Sample(rng);
+      for (int retry = 0;
+           rank <= config_.stopword_head_ranks && retry < 64; ++retry) {
+        rank = background_.Sample(rng);
+      }
+      tokens.push_back(static_cast<TermId>(rank - 1));
+    }
+  }
+  return tokens;
+}
+
+void SyntheticCorpus::FillStore(uint64_t n, DocumentStore* store) const {
+  for (uint64_t i = store->size(); i < n; ++i) {
+    store->Add(GenerateTokens(i));
+  }
+}
+
+std::string SyntheticCorpus::TermString(TermId id) {
+  // Deterministic pronounceable pseudo-word: base-105 syllables
+  // (21 consonants x 5 vowels), low digit first.
+  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwxyz";
+  static constexpr char kVowels[] = "aeiou";
+  const uint32_t kBase = 21 * 5;
+  std::string out;
+  uint64_t v = id;
+  do {
+    uint32_t digit = static_cast<uint32_t>(v % kBase);
+    v /= kBase;
+    out.push_back(kConsonants[digit / 5]);
+    out.push_back(kVowels[digit % 5]);
+  } while (v != 0);
+  return out;
+}
+
+}  // namespace hdk::corpus

@@ -1,0 +1,96 @@
+#include "dht/chord.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace hdk::dht {
+
+ChordOverlay::ChordOverlay(size_t initial_peers, uint64_t seed)
+    : seed_(seed) {
+  assert(initial_peers >= 1);
+  node_ids_.reserve(initial_peers);
+  for (size_t i = 0; i < initial_peers; ++i) {
+    node_ids_.push_back(Mix64(seed_ ^ (0xC0DE + i * 0x9E3779B97F4A7C15ULL)));
+  }
+  Rebuild();
+}
+
+bool ChordOverlay::InInterval(RingId x, RingId a, RingId b) {
+  // Half-open (a, b] on the wrapping ring; empty when a == b is treated as
+  // the FULL ring (standard Chord convention for single-node intervals).
+  if (a == b) return true;
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;
+}
+
+PeerId ChordOverlay::Responsible(RingId key) const {
+  // Successor: first ring node with id >= key, wrapping to the first node.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const std::pair<RingId, PeerId>& e, RingId k) { return e.first < k; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+PeerId ChordOverlay::NextHop(PeerId from, RingId key) const {
+  assert(from < node_ids_.size());
+  if (Responsible(key) == from) return from;
+
+  const RingId n = node_ids_[from];
+  const PeerId succ = successor_[from];
+  // Key directly between this node and its successor: deliver.
+  if (InInterval(key, n, node_ids_[succ])) return succ;
+
+  // Closest preceding finger: scan fingers from farthest to nearest.
+  const auto& ft = fingers_[from];
+  for (int k = 63; k >= 0; --k) {
+    PeerId f = ft[k];
+    if (f == from) continue;
+    if (InInterval(node_ids_[f], n, key) && node_ids_[f] != key) {
+      return f;
+    }
+  }
+  return succ;  // guaranteed progress
+}
+
+Status ChordOverlay::AddPeer() {
+  PeerId id = static_cast<PeerId>(node_ids_.size());
+  node_ids_.push_back(
+      Mix64(seed_ ^ (0xC0DE + static_cast<uint64_t>(id) *
+                                  0x9E3779B97F4A7C15ULL)));
+  Rebuild();
+  return Status::OK();
+}
+
+void ChordOverlay::Rebuild() {
+  const size_t n = node_ids_.size();
+  ring_.clear();
+  ring_.reserve(n);
+  for (PeerId p = 0; p < n; ++p) {
+    ring_.emplace_back(node_ids_[p], p);
+  }
+  std::sort(ring_.begin(), ring_.end());
+  // Distinct placements are guaranteed for any sane seed; duplicate ring
+  // ids would make responsibility ambiguous.
+  for (size_t i = 1; i < ring_.size(); ++i) {
+    assert(ring_[i].first != ring_[i - 1].first);
+  }
+
+  successor_.assign(n, 0);
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    successor_[ring_[i].second] = ring_[(i + 1) % ring_.size()].second;
+  }
+
+  fingers_.assign(n, {});
+  for (PeerId p = 0; p < n; ++p) {
+    for (int k = 0; k < 64; ++k) {
+      RingId target = node_ids_[p] + (k == 63 ? (1ULL << 63)
+                                              : (1ULL << k));
+      fingers_[p][k] = Responsible(target);
+    }
+  }
+}
+
+}  // namespace hdk::dht

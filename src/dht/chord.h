@@ -1,0 +1,47 @@
+// Chord-style ring overlay: 64-bit identifier ring, successor
+// responsibility, finger-table greedy routing (Stoica et al., 2001).
+#ifndef HDKP2P_DHT_CHORD_H_
+#define HDKP2P_DHT_CHORD_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dht/overlay.h"
+
+namespace hdk::dht {
+
+/// Chord ring with full finger tables, rebuilt on joins (the simulation is
+/// interested in routing behaviour, not stabilization dynamics).
+class ChordOverlay : public Overlay {
+ public:
+  /// \param initial_peers number of peers to start with (>= 1).
+  /// \param seed          determines node placement on the ring.
+  ChordOverlay(size_t initial_peers, uint64_t seed);
+
+  PeerId Responsible(RingId key) const override;
+  PeerId NextHop(PeerId from, RingId key) const override;
+  Status AddPeer() override;
+  size_t num_peers() const override { return node_ids_.size(); }
+
+  /// Ring position of a peer.
+  RingId NodeId(PeerId p) const { return node_ids_[p]; }
+
+ private:
+  void Rebuild();
+
+  /// True iff x is in the half-open ring interval (a, b] (wrapping).
+  static bool InInterval(RingId x, RingId a, RingId b);
+
+  uint64_t seed_;
+  std::vector<RingId> node_ids_;                  // peer -> ring id
+  std::vector<std::pair<RingId, PeerId>> ring_;   // sorted by ring id
+  std::vector<PeerId> successor_;                 // peer -> next peer on ring
+  std::vector<std::array<PeerId, 64>> fingers_;   // peer -> finger table
+};
+
+}  // namespace hdk::dht
+
+#endif  // HDKP2P_DHT_CHORD_H_

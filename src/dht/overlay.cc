@@ -1,0 +1,30 @@
+#include "dht/overlay.h"
+
+#include <cassert>
+
+namespace hdk::dht {
+
+size_t Overlay::Route(PeerId from, RingId key,
+                      std::vector<PeerId>* path) const {
+  assert(from < num_peers());
+  size_t hops = 0;
+  PeerId current = from;
+  // A correct structured overlay converges in O(log N); allowing a full
+  // ring traversal on top catches routing-loop bugs without tripping on
+  // degenerate fallback chains.
+  const size_t kMaxHops = num_peers() + 4 * 64 + 8;
+  while (hops < kMaxHops) {
+    PeerId next = NextHop(current, key);
+    if (next == current) {
+      if (path != nullptr) path->push_back(current);
+      return hops;
+    }
+    if (path != nullptr) path->push_back(current);
+    current = next;
+    ++hops;
+  }
+  assert(false && "routing did not converge");
+  return hops;
+}
+
+}  // namespace hdk::dht

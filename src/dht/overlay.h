@@ -1,0 +1,47 @@
+// Structured-overlay interface.
+//
+// The paper's prototype runs on P-Grid [18]; the HDK model itself only
+// requires SOME structured overlay ("structured P2P network") mapping keys
+// to responsible peers with O(log N) routing. We provide two
+// implementations behind this interface — a P-Grid-style binary trie (the
+// paper's substrate) and a Chord-style ring — so that the overlay choice
+// can be ablated (posting traffic is overlay-independent; hop counts and
+// key-space balance differ).
+#ifndef HDKP2P_DHT_OVERLAY_H_
+#define HDKP2P_DHT_OVERLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hdk::dht {
+
+/// A structured key-based routing overlay over peers 0..num_peers()-1.
+class Overlay {
+ public:
+  virtual ~Overlay() = default;
+
+  /// The peer responsible for storing `key`.
+  virtual PeerId Responsible(RingId key) const = 0;
+
+  /// One greedy routing step: the peer `from` forwards a lookup for `key`
+  /// to the returned peer. Returns `from` itself iff `from` is responsible.
+  virtual PeerId NextHop(PeerId from, RingId key) const = 0;
+
+  /// Adds one peer to the overlay (network growth experiments).
+  virtual Status AddPeer() = 0;
+
+  virtual size_t num_peers() const = 0;
+
+  /// Routes a lookup from `from` to the responsible peer; returns the hop
+  /// count (0 when `from` is already responsible). If `path` is non-null
+  /// it receives the visited peers including the destination.
+  size_t Route(PeerId from, RingId key,
+               std::vector<PeerId>* path = nullptr) const;
+};
+
+}  // namespace hdk::dht
+
+#endif  // HDKP2P_DHT_OVERLAY_H_

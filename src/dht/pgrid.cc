@@ -1,0 +1,106 @@
+#include "dht/pgrid.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace hdk::dht {
+
+std::string TriePath::ToString() const {
+  std::string out;
+  out.reserve(length);
+  for (uint8_t i = 0; i < length; ++i) {
+    out.push_back(Bit(i) ? '1' : '0');
+  }
+  return out;
+}
+
+PGridOverlay::PGridOverlay(size_t initial_peers, uint64_t seed)
+    : seed_(seed) {
+  assert(initial_peers >= 1);
+  paths_.push_back(TriePath{});  // single peer covers everything
+  while (paths_.size() < initial_peers) {
+    Status st = AddPeer();
+    assert(st.ok());
+    (void)st;
+  }
+  RebuildIntervals();
+}
+
+Status PGridOverlay::AddPeer() {
+  // Split the leftmost shallowest leaf: old peer appends 0, the new peer
+  // takes the 1-branch. Keeps the trie balanced, mirroring what P-Grid's
+  // exchange protocol converges to under uniform load.
+  size_t best = 0;
+  for (size_t i = 1; i < paths_.size(); ++i) {
+    if (paths_[i].length < paths_[best].length) best = i;
+  }
+  TriePath& old_path = paths_[best];
+  if (old_path.length >= 63) {
+    return Status::ResourceExhausted("P-Grid trie depth limit reached");
+  }
+  TriePath one = old_path;
+  ++one.length;
+  one.bits |= (1ULL << (63 - old_path.length));
+  ++old_path.length;  // old peer becomes the 0-branch
+  paths_.push_back(one);
+  RebuildIntervals();
+  return Status::OK();
+}
+
+void PGridOverlay::RebuildIntervals() {
+  intervals_.clear();
+  intervals_.reserve(paths_.size());
+  for (PeerId p = 0; p < paths_.size(); ++p) {
+    intervals_.emplace_back(paths_[p].RangeLow(), p);
+  }
+  std::sort(intervals_.begin(), intervals_.end());
+}
+
+PeerId PGridOverlay::Responsible(RingId key) const {
+  // The covering leaf is the one with the greatest range_low <= key
+  // (paths are prefix-free, so ranges partition the key space).
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), key,
+      [](RingId k, const std::pair<RingId, PeerId>& e) { return k < e.first; });
+  assert(it != intervals_.begin());
+  --it;
+  PeerId p = it->second;
+  assert(paths_[p].IsPrefixOf(key));
+  return p;
+}
+
+PeerId PGridOverlay::NextHop(PeerId from, RingId key) const {
+  assert(from < paths_.size());
+  const TriePath& path = paths_[from];
+  if (path.IsPrefixOf(key)) return from;  // responsible
+
+  // First bit position where the key leaves this peer's path.
+  uint8_t j = 0;
+  while (j < path.length &&
+         path.Bit(j) == (((key >> (63 - j)) & 1) != 0)) {
+    ++j;
+  }
+  assert(j < path.length);
+
+  // Route to a peer in the complementary subtree: prefix = key's first j+1
+  // bits; the tail is a deterministic pseudo-random pick among that
+  // subtree's leaves (P-Grid keeps randomized references per level; a
+  // hash-derived choice is its reproducible analogue).
+  const uint64_t prefix_mask = ~0ULL << (63 - j);
+  const uint64_t prefix = key & prefix_mask;
+  const uint64_t tail =
+      Mix64(seed_ ^ (static_cast<uint64_t>(from) << 8) ^ j) & ~prefix_mask;
+  PeerId ref = Responsible(prefix | tail);
+  assert(ref != from);
+  return ref;
+}
+
+uint8_t PGridOverlay::MaxDepth() const {
+  uint8_t depth = 0;
+  for (const auto& p : paths_) depth = std::max(depth, p.length);
+  return depth;
+}
+
+}  // namespace hdk::dht

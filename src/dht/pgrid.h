@@ -1,0 +1,76 @@
+// P-Grid-style binary-trie overlay (Aberer et al.) — the structured
+// overlay the paper's prototype is built on [18].
+//
+// Every peer is responsible for a binary key prefix ("path"); the set of
+// paths forms a complete, prefix-free cover of the key space. Routing
+// resolves at least one additional prefix bit per hop, so lookups take
+// O(log N) hops in a balanced trie. Peer joins split the shallowest
+// existing leaf (the simulation's stand-in for P-Grid's randomized
+// pairwise exchange protocol, which converges to the same structure).
+#ifndef HDKP2P_DHT_PGRID_H_
+#define HDKP2P_DHT_PGRID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dht/overlay.h"
+
+namespace hdk::dht {
+
+/// A binary path: the first `length` bits of `bits`, MSB-aligned
+/// (bit i of the path is bit 63-i of `bits`).
+struct TriePath {
+  uint64_t bits = 0;
+  uint8_t length = 0;
+
+  /// Lowest / highest ring id covered by this path.
+  RingId RangeLow() const { return bits; }
+  RingId RangeHigh() const {
+    return length == 0 ? ~0ULL : bits | (~0ULL >> length);
+  }
+
+  /// True if this path is a prefix of `key`'s bit string.
+  bool IsPrefixOf(RingId key) const {
+    return length == 0 || ((key ^ bits) >> (64 - length)) == 0;
+  }
+
+  /// Bit i (0-based from the most significant end). Requires i < length.
+  bool Bit(uint8_t i) const { return (bits >> (63 - i)) & 1; }
+
+  /// "01101" rendering for diagnostics.
+  std::string ToString() const;
+};
+
+/// P-Grid trie overlay.
+class PGridOverlay : public Overlay {
+ public:
+  /// \param initial_peers number of peers (>= 1).
+  /// \param seed          seeds the deterministic lazy routing references.
+  PGridOverlay(size_t initial_peers, uint64_t seed);
+
+  PeerId Responsible(RingId key) const override;
+  PeerId NextHop(PeerId from, RingId key) const override;
+  Status AddPeer() override;
+  size_t num_peers() const override { return paths_.size(); }
+
+  /// The key-space path of a peer.
+  const TriePath& Path(PeerId p) const { return paths_[p]; }
+
+  /// Maximum trie depth (balanced: ceil(log2 N)).
+  uint8_t MaxDepth() const;
+
+ private:
+  void RebuildIntervals();
+
+  uint64_t seed_;
+  std::vector<TriePath> paths_;  // peer -> trie leaf
+  // (range_low, peer) sorted: interval lookup for Responsible().
+  std::vector<std::pair<RingId, PeerId>> intervals_;
+};
+
+}  // namespace hdk::dht
+
+#endif  // HDKP2P_DHT_PGRID_H_

@@ -1,0 +1,27 @@
+#include "engine/centralized.h"
+
+namespace hdk::engine {
+
+Result<std::unique_ptr<CentralizedBm25Engine>> CentralizedBm25Engine::Build(
+    const corpus::DocumentStore& store, index::Bm25Params params) {
+  auto engine = std::unique_ptr<CentralizedBm25Engine>(
+      new CentralizedBm25Engine());
+  engine->params_ = params;
+  HDK_RETURN_NOT_OK(engine->index_.AddRange(
+      store, 0, static_cast<DocId>(store.size())));
+  return engine;
+}
+
+std::vector<index::ScoredDoc> CentralizedBm25Engine::Search(
+    std::span<const TermId> query, size_t k) const {
+  index::Bm25Searcher searcher(index_, params_);
+  return searcher.Search(query, k);
+}
+
+uint64_t CentralizedBm25Engine::RetrievalPostings(
+    std::span<const TermId> query) const {
+  index::Bm25Searcher searcher(index_, params_);
+  return searcher.RetrievalPostings(query);
+}
+
+}  // namespace hdk::engine

@@ -1,0 +1,44 @@
+// CentralizedBm25Engine — the centralized single-term reference engine
+// with BM25 ranking (the paper's Terrier stand-in for Figure 7).
+#ifndef HDKP2P_ENGINE_CENTRALIZED_H_
+#define HDKP2P_ENGINE_CENTRALIZED_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/document.h"
+#include "index/inverted_index.h"
+#include "index/searcher.h"
+
+namespace hdk::engine {
+
+/// A classic centralized IR engine over the full collection.
+class CentralizedBm25Engine {
+ public:
+  /// Indexes all documents of `store`.
+  static Result<std::unique_ptr<CentralizedBm25Engine>> Build(
+      const corpus::DocumentStore& store,
+      index::Bm25Params params = {});
+
+  /// Top-k BM25 retrieval (disjunctive).
+  std::vector<index::ScoredDoc> Search(std::span<const TermId> query,
+                                       size_t k) const;
+
+  /// Posting volume a *distributed* single-term engine would transfer for
+  /// this query (Σ posting-list lengths of the query terms).
+  uint64_t RetrievalPostings(std::span<const TermId> query) const;
+
+  const index::InvertedIndex& index() const { return index_; }
+
+ private:
+  CentralizedBm25Engine() = default;
+
+  index::InvertedIndex index_;
+  index::Bm25Params params_;
+};
+
+}  // namespace hdk::engine
+
+#endif  // HDKP2P_ENGINE_CENTRALIZED_H_

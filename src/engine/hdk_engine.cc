@@ -1,0 +1,70 @@
+#include "engine/hdk_engine.h"
+
+namespace hdk::engine {
+
+std::vector<std::pair<DocId, DocId>> SplitEvenly(uint64_t num_docs,
+                                                 uint32_t num_peers) {
+  std::vector<std::pair<DocId, DocId>> ranges;
+  ranges.reserve(num_peers);
+  uint64_t base = num_peers == 0 ? 0 : num_docs / num_peers;
+  uint64_t extra = num_peers == 0 ? 0 : num_docs % num_peers;
+  uint64_t start = 0;
+  for (uint32_t p = 0; p < num_peers; ++p) {
+    uint64_t len = base + (p < extra ? 1 : 0);
+    ranges.emplace_back(static_cast<DocId>(start),
+                        static_cast<DocId>(start + len));
+    start += len;
+  }
+  return ranges;
+}
+
+Result<std::unique_ptr<HdkSearchEngine>> HdkSearchEngine::Build(
+    const HdkEngineConfig& config, const corpus::DocumentStore& store,
+    std::vector<std::pair<DocId, DocId>> peer_ranges) {
+  HDK_RETURN_NOT_OK(config.hdk.Validate());
+  if (peer_ranges.empty()) {
+    return Status::InvalidArgument("HdkSearchEngine: need >= 1 peer");
+  }
+
+  auto engine = std::unique_ptr<HdkSearchEngine>(new HdkSearchEngine());
+  engine->config_ = config;
+  engine->store_ = &store;
+  engine->stats_ = std::make_unique<corpus::CollectionStats>(store);
+  engine->overlay_ =
+      MakeOverlay(config.overlay, peer_ranges.size(), config.overlay_seed);
+  engine->traffic_ = std::make_unique<net::TrafficRecorder>();
+
+  p2p::HdkIndexingProtocol protocol(config.hdk, store, *engine->stats_,
+                                    engine->overlay_.get(),
+                                    engine->traffic_.get());
+  HDK_ASSIGN_OR_RETURN(engine->global_,
+                       protocol.Run(peer_ranges, &engine->report_));
+
+  engine->retriever_ = std::make_unique<p2p::HdkRetriever>(
+      engine->global_.get(), config.hdk, engine->stats_->num_documents(),
+      engine->stats_->average_document_length(), engine->traffic_.get());
+  return engine;
+}
+
+p2p::QueryExecution HdkSearchEngine::Search(std::span<const TermId> query,
+                                            size_t k, PeerId origin) {
+  if (origin == kInvalidPeer) {
+    origin = next_origin_;
+    next_origin_ = static_cast<PeerId>((next_origin_ + 1) % num_peers());
+  }
+  return retriever_->Search(origin, query, k);
+}
+
+double HdkSearchEngine::StoredPostingsPerPeer() const {
+  return static_cast<double>(global_->TotalStoredPostings()) /
+         static_cast<double>(num_peers());
+}
+
+double HdkSearchEngine::InsertedPostingsPerPeer() const {
+  uint64_t total = 0;
+  for (uint64_t v : report_.inserted_postings_per_peer) total += v;
+  return static_cast<double>(total) /
+         static_cast<double>(report_.inserted_postings_per_peer.size());
+}
+
+}  // namespace hdk::engine

@@ -1,0 +1,98 @@
+// HdkSearchEngine — the paper's system, assembled behind one public API:
+// a structured P2P network whose peers collaboratively build a global
+// highly-discriminative-key index and answer multi-term queries with
+// bounded retrieval traffic.
+//
+// Quickstart:
+//   corpus::DocumentStore store = ...;              // analyzed documents
+//   engine::HdkEngineConfig config;                 // DFmax, w, smax, ...
+//   auto built = engine::HdkSearchEngine::Build(
+//       config, store, engine::SplitEvenly(store.size(), num_peers));
+//   auto result = built->Search(query_terms, 20);
+#ifndef HDKP2P_ENGINE_HDK_ENGINE_H_
+#define HDKP2P_ENGINE_HDK_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/params.h"
+#include "common/status.h"
+#include "corpus/document.h"
+#include "corpus/stats.h"
+#include "engine/overlay_factory.h"
+#include "net/traffic.h"
+#include "p2p/global_index.h"
+#include "p2p/indexing_protocol.h"
+#include "p2p/retrieval.h"
+
+namespace hdk::engine {
+
+/// Configuration of an HDK search engine instance.
+struct HdkEngineConfig {
+  HdkParams hdk;
+  OverlayKind overlay = OverlayKind::kPGrid;
+  uint64_t overlay_seed = 42;
+};
+
+/// Splits `num_docs` documents into `num_peers` contiguous, near-equal
+/// [first, last) ranges (peer i gets the i-th range).
+std::vector<std::pair<DocId, DocId>> SplitEvenly(uint64_t num_docs,
+                                                 uint32_t num_peers);
+
+/// The assembled HDK P2P retrieval engine.
+class HdkSearchEngine {
+ public:
+  /// Builds the network, runs the distributed indexing protocol over the
+  /// given peer document ranges, and returns a ready-to-query engine.
+  /// `store` must outlive the engine.
+  static Result<std::unique_ptr<HdkSearchEngine>> Build(
+      const HdkEngineConfig& config, const corpus::DocumentStore& store,
+      std::vector<std::pair<DocId, DocId>> peer_ranges);
+
+  /// Executes a query from `origin` (default: rotates across peers) and
+  /// returns the ranked top-k with cost accounting.
+  p2p::QueryExecution Search(std::span<const TermId> query, size_t k,
+                             PeerId origin = kInvalidPeer);
+
+  // -- observability ---------------------------------------------------
+
+  size_t num_peers() const { return overlay_->num_peers(); }
+  uint64_t num_documents() const { return stats_->num_documents(); }
+
+  /// The indexing run's statistics (per-level candidates/HDKs/NDKs,
+  /// per-peer inserted postings).
+  const p2p::IndexingReport& indexing_report() const { return report_; }
+
+  /// Average postings stored per peer (Figure 3 metric).
+  double StoredPostingsPerPeer() const;
+
+  /// Average postings inserted per peer during indexing (Figure 4 metric).
+  double InsertedPostingsPerPeer() const;
+
+  /// All traffic recorded so far (indexing + queries).
+  const net::TrafficRecorder& traffic() const { return *traffic_; }
+  net::TrafficRecorder& mutable_traffic() { return *traffic_; }
+
+  const p2p::DistributedGlobalIndex& global_index() const { return *global_; }
+  const corpus::CollectionStats& collection_stats() const { return *stats_; }
+  const HdkEngineConfig& config() const { return config_; }
+
+ private:
+  HdkSearchEngine() = default;
+
+  HdkEngineConfig config_;
+  const corpus::DocumentStore* store_ = nullptr;
+  std::unique_ptr<corpus::CollectionStats> stats_;
+  std::unique_ptr<dht::Overlay> overlay_;
+  std::unique_ptr<net::TrafficRecorder> traffic_;
+  std::unique_ptr<p2p::DistributedGlobalIndex> global_;
+  std::unique_ptr<p2p::HdkRetriever> retriever_;
+  p2p::IndexingReport report_;
+  PeerId next_origin_ = 0;
+};
+
+}  // namespace hdk::engine
+
+#endif  // HDKP2P_ENGINE_HDK_ENGINE_H_

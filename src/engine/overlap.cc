@@ -1,0 +1,36 @@
+#include "engine/overlap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hdk::engine {
+
+double TopKOverlap(std::span<const index::ScoredDoc> a,
+                   std::span<const index::ScoredDoc> b, size_t k) {
+  if (k == 0) return 0.0;
+  std::vector<DocId> da, db;
+  da.reserve(std::min(a.size(), k));
+  db.reserve(std::min(b.size(), k));
+  for (size_t i = 0; i < a.size() && i < k; ++i) da.push_back(a[i].doc);
+  for (size_t i = 0; i < b.size() && i < k; ++i) db.push_back(b[i].doc);
+  std::sort(da.begin(), da.end());
+  std::sort(db.begin(), db.end());
+  std::vector<DocId> inter;
+  std::set_intersection(da.begin(), da.end(), db.begin(), db.end(),
+                        std::back_inserter(inter));
+  return static_cast<double>(inter.size()) / static_cast<double>(k);
+}
+
+double MeanTopKOverlap(
+    const std::vector<std::vector<index::ScoredDoc>>& a,
+    const std::vector<std::vector<index::ScoredDoc>>& b, size_t k) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total += TopKOverlap(a[i], b[i], k);
+  }
+  return total / static_cast<double>(a.size());
+}
+
+}  // namespace hdk::engine

@@ -1,0 +1,26 @@
+// Result-list overlap metric (paper Figure 7: overlap of the HDK engine's
+// top-20 with the centralized BM25 engine's top-20).
+#ifndef HDKP2P_ENGINE_OVERLAP_H_
+#define HDKP2P_ENGINE_OVERLAP_H_
+
+#include <span>
+#include <vector>
+
+#include "index/topk.h"
+
+namespace hdk::engine {
+
+/// |A ∩ B| / k where A and B are the doc-id sets of the two ranked lists
+/// truncated to k. Lists shorter than k are used as-is (the denominator
+/// stays k, matching the paper's percentage-of-top-20 reading).
+double TopKOverlap(std::span<const index::ScoredDoc> a,
+                   std::span<const index::ScoredDoc> b, size_t k);
+
+/// Average TopKOverlap over query batches (a[i] vs b[i]).
+double MeanTopKOverlap(
+    const std::vector<std::vector<index::ScoredDoc>>& a,
+    const std::vector<std::vector<index::ScoredDoc>>& b, size_t k);
+
+}  // namespace hdk::engine
+
+#endif  // HDKP2P_ENGINE_OVERLAP_H_

@@ -1,0 +1,19 @@
+#include "engine/overlay_factory.h"
+
+#include "dht/chord.h"
+#include "dht/pgrid.h"
+
+namespace hdk::engine {
+
+std::unique_ptr<dht::Overlay> MakeOverlay(OverlayKind kind, size_t num_peers,
+                                          uint64_t seed) {
+  switch (kind) {
+    case OverlayKind::kPGrid:
+      return std::make_unique<dht::PGridOverlay>(num_peers, seed);
+    case OverlayKind::kChord:
+      return std::make_unique<dht::ChordOverlay>(num_peers, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace hdk::engine

@@ -1,0 +1,23 @@
+// Overlay construction helper.
+#ifndef HDKP2P_ENGINE_OVERLAY_FACTORY_H_
+#define HDKP2P_ENGINE_OVERLAY_FACTORY_H_
+
+#include <memory>
+
+#include "dht/overlay.h"
+
+namespace hdk::engine {
+
+/// Which structured overlay backs the DHT.
+enum class OverlayKind {
+  kPGrid,  // the paper's substrate (P-Grid trie)
+  kChord,  // ring + finger tables
+};
+
+/// Creates an overlay with `num_peers` peers.
+std::unique_ptr<dht::Overlay> MakeOverlay(OverlayKind kind, size_t num_peers,
+                                          uint64_t seed);
+
+}  // namespace hdk::engine
+
+#endif  // HDKP2P_ENGINE_OVERLAY_FACTORY_H_

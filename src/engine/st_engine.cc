@@ -1,0 +1,46 @@
+#include "engine/st_engine.h"
+
+namespace hdk::engine {
+
+Result<std::unique_ptr<SingleTermEngine>> SingleTermEngine::Build(
+    const StEngineConfig& config, const corpus::DocumentStore& store,
+    std::vector<std::pair<DocId, DocId>> peer_ranges) {
+  if (peer_ranges.empty()) {
+    return Status::InvalidArgument("SingleTermEngine: need >= 1 peer");
+  }
+  auto engine = std::unique_ptr<SingleTermEngine>(new SingleTermEngine());
+  engine->overlay_ =
+      MakeOverlay(config.overlay, peer_ranges.size(), config.overlay_seed);
+  engine->traffic_ = std::make_unique<net::TrafficRecorder>();
+  engine->engine_ = std::make_unique<p2p::SingleTermP2PEngine>(
+      engine->overlay_.get(), engine->traffic_.get());
+  for (PeerId p = 0; p < peer_ranges.size(); ++p) {
+    HDK_RETURN_NOT_OK(engine->engine_->IndexPeer(
+        p, store, peer_ranges[p].first, peer_ranges[p].second));
+  }
+  return engine;
+}
+
+p2p::SingleTermP2PEngine::QueryExecution SingleTermEngine::Search(
+    std::span<const TermId> query, size_t k, PeerId origin) {
+  if (origin == kInvalidPeer) {
+    origin = next_origin_;
+    next_origin_ = static_cast<PeerId>((next_origin_ + 1) % num_peers());
+  }
+  return engine_->Search(origin, query, k);
+}
+
+double SingleTermEngine::StoredPostingsPerPeer() const {
+  return static_cast<double>(engine_->TotalStoredPostings()) /
+         static_cast<double>(num_peers());
+}
+
+double SingleTermEngine::InsertedPostingsPerPeer() const {
+  uint64_t total = 0;
+  for (PeerId p = 0; p < num_peers(); ++p) {
+    total += engine_->InsertedPostingsBy(p);
+  }
+  return static_cast<double>(total) / static_cast<double>(num_peers());
+}
+
+}  // namespace hdk::engine

@@ -1,0 +1,56 @@
+// SingleTermEngine — the naive distributed single-term baseline behind the
+// same facade shape as HdkSearchEngine.
+#ifndef HDKP2P_ENGINE_ST_ENGINE_H_
+#define HDKP2P_ENGINE_ST_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "corpus/document.h"
+#include "engine/overlay_factory.h"
+#include "net/traffic.h"
+#include "p2p/single_term.h"
+
+namespace hdk::engine {
+
+/// Configuration of the baseline engine.
+struct StEngineConfig {
+  OverlayKind overlay = OverlayKind::kPGrid;
+  uint64_t overlay_seed = 42;
+};
+
+/// Distributed single-term indexing + BM25 retrieval baseline.
+class SingleTermEngine {
+ public:
+  static Result<std::unique_ptr<SingleTermEngine>> Build(
+      const StEngineConfig& config, const corpus::DocumentStore& store,
+      std::vector<std::pair<DocId, DocId>> peer_ranges);
+
+  p2p::SingleTermP2PEngine::QueryExecution Search(
+      std::span<const TermId> query, size_t k, PeerId origin = kInvalidPeer);
+
+  size_t num_peers() const { return overlay_->num_peers(); }
+
+  /// Figure 3 / Figure 4 baseline metrics (equal: nothing is truncated).
+  double StoredPostingsPerPeer() const;
+  double InsertedPostingsPerPeer() const;
+
+  const net::TrafficRecorder& traffic() const { return *traffic_; }
+  const p2p::SingleTermP2PEngine& p2p_engine() const { return *engine_; }
+
+ private:
+  SingleTermEngine() = default;
+
+  std::unique_ptr<dht::Overlay> overlay_;
+  std::unique_ptr<net::TrafficRecorder> traffic_;
+  std::unique_ptr<p2p::SingleTermP2PEngine> engine_;
+  PeerId next_origin_ = 0;
+};
+
+}  // namespace hdk::engine
+
+#endif  // HDKP2P_ENGINE_ST_ENGINE_H_

@@ -1,0 +1,206 @@
+#include "hdk/candidate_builder.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <span>
+
+#include "text/window.h"
+
+namespace hdk::hdk {
+
+namespace {
+
+// Incremental posting-list accumulator: documents are scanned in ascending
+// DocId order, so postings can be appended and flushed per document.
+struct Accum {
+  // Candidate validity under the all-sub-keys-NDK check; computed once on
+  // first formation.
+  bool valid = true;
+  DocId current_doc = kInvalidDoc;
+  uint32_t current_tf = 0;
+  uint32_t current_len = 0;
+  std::vector<index::Posting> postings;
+
+  void Touch(DocId doc, uint32_t doc_len) {
+    if (current_doc != doc) {
+      FlushDoc();
+      current_doc = doc;
+      current_len = doc_len;
+      current_tf = 0;
+    }
+    ++current_tf;
+  }
+
+  void FlushDoc() {
+    if (current_doc != kInvalidDoc && current_tf > 0) {
+      postings.push_back(
+          index::Posting{current_doc, current_tf, current_len});
+    }
+    current_tf = 0;
+  }
+};
+
+// Validates the intrinsic-discriminativeness precondition for a candidate:
+// every (s-1)-sub-key must be a known NDK. By df anti-monotonicity this
+// implies that ALL proper sub-keys are non-discriminative.
+bool AllSubKeysNdk(const TermKey& candidate, const NdkOracle& oracle) {
+  if (candidate.size() == 1) return true;
+  for (uint32_t i = 0; i < candidate.size(); ++i) {
+    TermKey sub = candidate.DropTerm(i);
+    if (sub.size() == 1) {
+      if (!oracle.IsExpandableTerm(sub.term(0))) return false;
+    } else if (!oracle.IsNdk(sub)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Enumerates all (s-1)-element subsets S of `pool` (distinct eligible tail
+// terms) such that S itself is a known NDK, and calls visit(candidate) for
+// candidate = S + {new_term}. Pool terms are guaranteed != new_term.
+template <typename Visit>
+void EnumerateCandidates(const std::vector<TermId>& pool, TermId new_term,
+                         uint32_t subset_size, const NdkOracle& oracle,
+                         Visit visit) {
+  if (pool.size() < subset_size) return;
+  // subset_size is s-1 in [1, kMaxTerms-1]; canonical index-combination walk
+  // over strictly increasing index tuples ix[0] < ... < ix[k-1].
+  const uint32_t k = subset_size;
+  const uint32_t n = static_cast<uint32_t>(pool.size());
+  std::vector<uint32_t> ix(k);
+  for (uint32_t i = 0; i < k; ++i) ix[i] = i;
+  while (true) {
+    // Build the sub-key S and check it is a known NDK.
+    std::array<TermId, TermKey::kMaxTerms> buf;
+    for (uint32_t i = 0; i < k; ++i) buf[i] = pool[ix[i]];
+    TermKey sub(std::span<const TermId>(buf.data(), k));
+    const bool sub_ok = (k == 1) ? oracle.IsExpandableTerm(sub.term(0))
+                                 : oracle.IsNdk(sub);
+    if (sub_ok) {
+      visit(sub.Extend(new_term));
+    }
+    // Advance to the next combination.
+    int i = static_cast<int>(k) - 1;
+    while (i >= 0 && ix[i] == static_cast<uint32_t>(i) + n - k) --i;
+    if (i < 0) return;
+    ++ix[i];
+    for (uint32_t j = static_cast<uint32_t>(i) + 1; j < k; ++j) {
+      ix[j] = ix[j - 1] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+CandidateBuilder::CandidateBuilder(const HdkParams& params)
+    : params_(params) {
+  assert(params_.Validate().ok());
+  assert(params_.s_max <= TermKey::kMaxTerms);
+}
+
+KeyMap<index::PostingList> CandidateBuilder::BuildLevel1(
+    const corpus::DocumentStore& store, DocId first, DocId last,
+    const std::unordered_set<TermId>& excluded,
+    CandidateBuildStats* stats) const {
+  KeyMap<Accum> accums;
+  std::unordered_map<TermId, uint32_t> tf;
+  for (DocId d = first; d < last; ++d) {
+    std::span<const TermId> tokens = store.Tokens(d);
+    if (stats != nullptr) {
+      ++stats->documents_scanned;
+      stats->positions_scanned += tokens.size();
+    }
+    tf.clear();
+    for (TermId t : tokens) {
+      if (excluded.count(t) > 0) continue;
+      ++tf[t];
+    }
+    const uint32_t len = static_cast<uint32_t>(tokens.size());
+    for (const auto& [term, count] : tf) {
+      Accum& a = accums[TermKey(term)];
+      a.current_doc = d;
+      a.current_tf = count;
+      a.current_len = len;
+      a.FlushDoc();
+      a.current_doc = kInvalidDoc;
+      if (stats != nullptr) ++stats->formations;
+    }
+  }
+
+  KeyMap<index::PostingList> out;
+  out.reserve(accums.size());
+  for (auto& [key, accum] : accums) {
+    out.emplace(key, index::PostingList(std::move(accum.postings)));
+  }
+  return out;
+}
+
+KeyMap<index::PostingList> CandidateBuilder::BuildLevel(
+    uint32_t s, const corpus::DocumentStore& store, DocId first, DocId last,
+    const NdkOracle& oracle, CandidateBuildStats* stats) const {
+  assert(s >= 2);
+  assert(s <= params_.s_max);
+
+  KeyMap<Accum> accums;
+  text::WindowTail tail(params_.window);
+  std::vector<TermId> pool;  // eligible tail terms compatible with new term
+
+  for (DocId d = first; d < last; ++d) {
+    std::span<const TermId> tokens = store.Tokens(d);
+    const uint32_t len = static_cast<uint32_t>(tokens.size());
+    tail.Reset();
+    if (stats != nullptr) {
+      ++stats->documents_scanned;
+      stats->positions_scanned += tokens.size();
+    }
+
+    for (TermId t : tokens) {
+      const bool eligible = oracle.IsExpandableTerm(t);
+      if (eligible && !tail.distinct().empty()) {
+        // Pool = distinct tail terms x such that {x, t} can appear together
+        // in a non-discriminative context: for s == 2 the pair {x, t} IS
+        // the candidate; for s >= 3, {x, t} being discriminative (or never
+        // co-occurring globally) would make any superset redundant, so x
+        // must satisfy IsNdk({x, t}).
+        pool.clear();
+        for (TermId x : tail.distinct()) {
+          if (x == t) continue;
+          if (s == 2 || oracle.IsNdk(TermKey{x, t})) {
+            pool.push_back(x);
+          }
+        }
+        // Deterministic enumeration order regardless of hash-map internals.
+        std::sort(pool.begin(), pool.end());
+
+        EnumerateCandidates(
+            pool, t, s - 1, oracle, [&](const TermKey& candidate) {
+              auto [it, inserted] = accums.try_emplace(candidate);
+              Accum& a = it->second;
+              if (inserted) {
+                a.valid = AllSubKeysNdk(candidate, oracle);
+                if (!a.valid && stats != nullptr) {
+                  ++stats->pruned_candidates;
+                }
+              }
+              if (!a.valid) return;
+              a.Touch(d, len);
+              if (stats != nullptr) ++stats->formations;
+            });
+      }
+      tail.Push(eligible ? t : kInvalidTerm);
+    }
+  }
+
+  KeyMap<index::PostingList> out;
+  for (auto& [key, accum] : accums) {
+    if (!accum.valid) continue;
+    accum.FlushDoc();
+    if (accum.postings.empty()) continue;
+    out.emplace(key, index::PostingList(std::move(accum.postings)));
+  }
+  return out;
+}
+
+}  // namespace hdk::hdk

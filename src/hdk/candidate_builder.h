@@ -1,0 +1,115 @@
+// Level-wise candidate key generation (paper Section 3.1, "Computing the
+// global index").
+//
+// At level s, a candidate key is a size-s term set that
+//   (1) co-occurs within a window of w consecutive positions in at least one
+//       local document (proximity filtering), and
+//   (2) has ONLY non-discriminative proper sub-keys (the Apriori-style
+//       precondition for being intrinsically discriminative, enabled by the
+//       df anti-monotonicity / subsumption property).
+//
+// Whether a candidate is an HDK (df <= DFmax) or an NDK (df > DFmax) is
+// decided by whoever aggregates document frequencies — the centralized
+// indexer for the oracle implementation, the P2P global index for the
+// distributed engine. The builder only generates candidates and their
+// LOCAL posting lists.
+#ifndef HDKP2P_HDK_CANDIDATE_BUILDER_H_
+#define HDKP2P_HDK_CANDIDATE_BUILDER_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/params.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "corpus/document.h"
+#include "hdk/key.h"
+#include "index/posting.h"
+
+namespace hdk::hdk {
+
+/// Hash set / map keyed by TermKey.
+using KeySet = std::unordered_set<TermKey, TermKey::Hasher>;
+template <typename V>
+using KeyMap = std::unordered_map<TermKey, V, TermKey::Hasher>;
+
+/// Global knowledge needed to generate level-s candidates: which terms may
+/// participate in key building and which keys of smaller sizes are
+/// (globally) non-discriminative.
+class NdkOracle {
+ public:
+  virtual ~NdkOracle() = default;
+
+  /// True if `t` is an expandable term: a single-term NDK that is not a
+  /// very frequent term. Only such terms appear in keys of size >= 2
+  /// (terms that are themselves discriminative make every superset
+  /// redundant; very frequent terms are excluded from the key vocabulary).
+  virtual bool IsExpandableTerm(TermId t) const = 0;
+
+  /// True if `k` is a known (globally) non-discriminative key.
+  virtual bool IsNdk(const TermKey& k) const = 0;
+};
+
+/// Set-backed oracle used by the centralized indexer and by tests.
+class SetNdkOracle : public NdkOracle {
+ public:
+  SetNdkOracle() = default;
+
+  void AddExpandableTerm(TermId t) { terms_.insert(t); }
+  void AddNdk(const TermKey& k) { ndks_.insert(k); }
+
+  bool IsExpandableTerm(TermId t) const override {
+    return terms_.count(t) > 0;
+  }
+  bool IsNdk(const TermKey& k) const override { return ndks_.count(k) > 0; }
+
+  size_t num_expandable_terms() const { return terms_.size(); }
+  size_t num_ndks() const { return ndks_.size(); }
+
+ private:
+  std::unordered_set<TermId> terms_;
+  KeySet ndks_;
+};
+
+/// Counters describing one candidate-generation pass.
+struct CandidateBuildStats {
+  uint64_t documents_scanned = 0;
+  uint64_t positions_scanned = 0;
+  /// Candidate occurrence events (each window-completion of a candidate).
+  uint64_t formations = 0;
+  /// Candidates rejected by the all-sub-keys-non-discriminative check.
+  uint64_t pruned_candidates = 0;
+};
+
+/// Generates candidate keys and local posting lists for one level.
+class CandidateBuilder {
+ public:
+  explicit CandidateBuilder(const HdkParams& params);
+
+  /// Level 1: every term occurring in documents [first, last) of `store`,
+  /// except the `excluded` (very frequent) terms, keyed as single-term
+  /// keys with plain term posting lists.
+  KeyMap<index::PostingList> BuildLevel1(
+      const corpus::DocumentStore& store, DocId first, DocId last,
+      const std::unordered_set<TermId>& excluded,
+      CandidateBuildStats* stats) const;
+
+  /// Level s >= 2: size-s candidates over documents [first, last).
+  /// The returned posting lists carry, per document, the number of window
+  /// co-occurrence events as tf.
+  KeyMap<index::PostingList> BuildLevel(uint32_t s,
+                                        const corpus::DocumentStore& store,
+                                        DocId first, DocId last,
+                                        const NdkOracle& oracle,
+                                        CandidateBuildStats* stats) const;
+
+  const HdkParams& params() const { return params_; }
+
+ private:
+  HdkParams params_;
+};
+
+}  // namespace hdk::hdk
+
+#endif  // HDKP2P_HDK_CANDIDATE_BUILDER_H_

@@ -1,0 +1,161 @@
+#include "hdk/indexer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hdk::hdk {
+
+double TruncationScore(const index::Posting& p, double avg_doc_length) {
+  const double k1 = 1.2;
+  const double b = 0.75;
+  const double tf = static_cast<double>(p.tf);
+  const double norm =
+      k1 * (1.0 - b + b * static_cast<double>(p.doc_length) /
+                          std::max(avg_doc_length, 1.0));
+  return tf * (k1 + 1.0) / (tf + norm);
+}
+
+void HdkIndexContents::Put(const TermKey& key, KeyEntry entry) {
+  entries_[key] = std::move(entry);
+}
+
+const KeyEntry* HdkIndexContents::Find(const TermKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+uint64_t HdkIndexContents::NumKeys(uint32_t s) const {
+  if (s == 0) return entries_.size();
+  uint64_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (key.size() == s) ++n;
+  }
+  return n;
+}
+
+uint64_t HdkIndexContents::NumHdks(uint32_t s) const {
+  uint64_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.is_hdk && (s == 0 || key.size() == s)) ++n;
+  }
+  return n;
+}
+
+uint64_t HdkIndexContents::NumNdks(uint32_t s) const {
+  uint64_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.is_hdk && (s == 0 || key.size() == s)) ++n;
+  }
+  return n;
+}
+
+uint64_t HdkIndexContents::StoredPostings(uint32_t s) const {
+  uint64_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (s == 0 || key.size() == s) n += entry.postings.size();
+  }
+  return n;
+}
+
+std::vector<TermKey> HdkIndexContents::SortedKeys() const {
+  std::vector<TermKey> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+uint64_t BuildReport::TotalGeneratedPostings() const {
+  uint64_t n = 0;
+  for (const auto& l : levels) n += l.generated_postings;
+  return n;
+}
+
+uint64_t BuildReport::TotalStoredPostings() const {
+  uint64_t n = 0;
+  for (const auto& l : levels) n += l.stored_postings;
+  return n;
+}
+
+CentralizedHdkIndexer::CentralizedHdkIndexer(HdkParams params)
+    : params_(params) {}
+
+Result<HdkIndexContents> CentralizedHdkIndexer::Build(
+    const corpus::DocumentStore& store, const corpus::CollectionStats& stats,
+    BuildReport* report) const {
+  HDK_RETURN_NOT_OK(params_.Validate());
+  if (stats.num_documents() != store.size()) {
+    return Status::InvalidArgument(
+        "CentralizedHdkIndexer: stats do not match the store");
+  }
+
+  const double avgdl = stats.average_document_length();
+  const Freq trunc_limit = params_.EffectiveNdkTruncation();
+  const DocId num_docs = static_cast<DocId>(store.size());
+
+  CandidateBuilder builder(params_);
+  HdkIndexContents out;
+  SetNdkOracle oracle;
+
+  // Very frequent terms (cf > Ff) are excluded from the key vocabulary.
+  std::unordered_set<TermId> excluded;
+  for (TermId t : stats.VeryFrequentTerms(params_.very_frequent_threshold)) {
+    excluded.insert(t);
+  }
+  if (report != nullptr) {
+    report->excluded_very_frequent_terms = excluded.size();
+  }
+
+  for (uint32_t s = 1; s <= params_.s_max; ++s) {
+    LevelBuildStats level_stats;
+    level_stats.level = s;
+
+    KeyMap<index::PostingList> candidates;
+    if (s == 1) {
+      candidates = builder.BuildLevel1(store, 0, num_docs, excluded,
+                                       &level_stats.generation);
+    } else {
+      candidates = builder.BuildLevel(s, store, 0, num_docs, oracle,
+                                      &level_stats.generation);
+    }
+
+    level_stats.candidates = candidates.size();
+    for (auto& [key, pl] : candidates) {
+      const Freq df = pl.size();
+      level_stats.generated_postings += df;
+
+      KeyEntry entry;
+      entry.global_df = df;
+      entry.is_hdk = df <= params_.df_max;
+      if (entry.is_hdk) {
+        ++level_stats.hdks;
+        entry.postings = std::move(pl);
+      } else {
+        ++level_stats.ndks;
+        entry.postings = std::move(pl);
+        entry.postings.TruncateTopBy(
+            trunc_limit, [avgdl](const index::Posting& p) {
+              return TruncationScore(p, avgdl);
+            });
+        // Non-discriminative keys are the expansion material of level s+1.
+        if (s == 1) {
+          oracle.AddExpandableTerm(key.term(0));
+        } else if (s < params_.s_max) {
+          oracle.AddNdk(key);
+        }
+      }
+      level_stats.stored_postings += entry.postings.size();
+      out.Put(key, std::move(entry));
+    }
+
+    if (report != nullptr) {
+      report->levels.push_back(level_stats);
+    }
+  }
+  if (report != nullptr) {
+    report->expandable_terms = oracle.num_expandable_terms();
+  }
+  return out;
+}
+
+}  // namespace hdk::hdk

@@ -1,0 +1,116 @@
+// Centralized (single-process) construction of the logical global HDK
+// index: the reference implementation of the paper's indexing algorithm.
+//
+// The distributed P2P engine (src/p2p) must produce byte-identical logical
+// contents; the integration tests assert exactly that. The centralized
+// indexer is also what the "oracle" experiments and several benches use,
+// because it is cheaper than simulating message exchange.
+#ifndef HDKP2P_HDK_INDEXER_H_
+#define HDKP2P_HDK_INDEXER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/params.h"
+#include "common/status.h"
+#include "corpus/document.h"
+#include "corpus/stats.h"
+#include "hdk/candidate_builder.h"
+#include "hdk/key.h"
+#include "index/posting.h"
+
+namespace hdk::hdk {
+
+/// One entry of the global key -> documents index.
+struct KeyEntry {
+  /// True global document frequency of the key (before truncation).
+  Freq global_df = 0;
+  /// HDK (intrinsically discriminative, full postings) vs NDK (truncated).
+  bool is_hdk = false;
+  /// Full posting list for HDKs; top-DFmax postings for NDKs.
+  index::PostingList postings;
+};
+
+/// Relevance proxy used to pick the "top-DFmax best" postings of an NDK
+/// (paper Section 3.1). BM25's tf saturation without the constant idf
+/// factor: tf*(k1+1) / (tf + k1*(1-b+b*len/avgdl)).
+double TruncationScore(const index::Posting& p, double avg_doc_length);
+
+/// The logical global index: every globally non-discriminative key plus
+/// every globally highly-discriminative key, with posting lists.
+class HdkIndexContents {
+ public:
+  HdkIndexContents() = default;
+
+  /// Inserts or replaces an entry.
+  void Put(const TermKey& key, KeyEntry entry);
+
+  /// Looks up a key; nullptr if absent.
+  const KeyEntry* Find(const TermKey& key) const;
+
+  size_t size() const { return entries_.size(); }
+
+  /// Number of keys of size `s` (0 = all sizes).
+  uint64_t NumKeys(uint32_t s = 0) const;
+  uint64_t NumHdks(uint32_t s = 0) const;
+  uint64_t NumNdks(uint32_t s = 0) const;
+
+  /// Total stored postings, optionally restricted to keys of size `s` —
+  /// the paper's index-size metric (Figure 3 aggregates this per peer).
+  uint64_t StoredPostings(uint32_t s = 0) const;
+
+  const KeyMap<KeyEntry>& entries() const { return entries_; }
+
+  /// Deterministically ordered list of keys (for tests and dumps).
+  std::vector<TermKey> SortedKeys() const;
+
+ private:
+  KeyMap<KeyEntry> entries_;
+};
+
+/// Per-level construction statistics.
+struct LevelBuildStats {
+  uint32_t level = 0;
+  uint64_t candidates = 0;
+  uint64_t hdks = 0;
+  uint64_t ndks = 0;
+  /// Sum of candidate posting-list lengths BEFORE truncation: with
+  /// single-peer indexing this equals the number of postings that peers
+  /// would insert into the global index for this level.
+  uint64_t generated_postings = 0;
+  /// Postings actually retained (HDK full + NDK truncated).
+  uint64_t stored_postings = 0;
+  CandidateBuildStats generation;
+};
+
+/// Whole-build report.
+struct BuildReport {
+  std::vector<LevelBuildStats> levels;
+  uint64_t excluded_very_frequent_terms = 0;
+  uint64_t expandable_terms = 0;
+
+  uint64_t TotalGeneratedPostings() const;
+  uint64_t TotalStoredPostings() const;
+};
+
+/// Runs the level-wise indexing algorithm on a full collection.
+class CentralizedHdkIndexer {
+ public:
+  explicit CentralizedHdkIndexer(HdkParams params);
+
+  /// Builds the logical global index over all documents of `store`.
+  /// `stats` must describe the same collection (used for the very-frequent
+  /// term cutoff Ff and the truncation score normalization).
+  Result<HdkIndexContents> Build(const corpus::DocumentStore& store,
+                                 const corpus::CollectionStats& stats,
+                                 BuildReport* report = nullptr) const;
+
+  const HdkParams& params() const { return params_; }
+
+ private:
+  HdkParams params_;
+};
+
+}  // namespace hdk::hdk
+
+#endif  // HDKP2P_HDK_INDEXER_H_

@@ -1,0 +1,87 @@
+#include "hdk/key.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace hdk::hdk {
+
+TermKey::TermKey(TermId t) : size_(1) { terms_[0] = t; }
+
+TermKey::TermKey(std::initializer_list<TermId> terms)
+    : TermKey(std::span<const TermId>(terms.begin(), terms.size())) {}
+
+TermKey::TermKey(std::span<const TermId> terms) {
+  assert(terms.size() <= kMaxTerms);
+  size_ = 0;
+  for (TermId t : terms) {
+    terms_[size_++] = t;
+  }
+  std::sort(terms_.begin(), terms_.begin() + size_);
+  // Deduplicate.
+  uint32_t out = 0;
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (out == 0 || terms_[out - 1] != terms_[i]) {
+      terms_[out++] = terms_[i];
+    }
+  }
+  size_ = out;
+}
+
+bool TermKey::Contains(TermId t) const {
+  const auto begin = terms_.begin();
+  const auto end = terms_.begin() + size_;
+  return std::binary_search(begin, end, t);
+}
+
+bool TermKey::ContainsAll(const TermKey& other) const {
+  for (TermId t : other.terms()) {
+    if (!Contains(t)) return false;
+  }
+  return true;
+}
+
+TermKey TermKey::Extend(TermId t) const {
+  assert(size_ < kMaxTerms);
+  assert(!Contains(t));
+  TermKey out = *this;
+  // Insert keeping sorted order.
+  uint32_t pos = out.size_;
+  while (pos > 0 && out.terms_[pos - 1] > t) {
+    out.terms_[pos] = out.terms_[pos - 1];
+    --pos;
+  }
+  out.terms_[pos] = t;
+  ++out.size_;
+  return out;
+}
+
+TermKey TermKey::DropTerm(uint32_t i) const {
+  assert(i < size_);
+  TermKey out;
+  for (uint32_t j = 0; j < size_; ++j) {
+    if (j != i) out.terms_[out.size_++] = terms_[j];
+  }
+  return out;
+}
+
+std::string TermKey::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (i > 0) os << ",";
+    os << terms_[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+bool TermKey::operator<(const TermKey& other) const {
+  if (size_ != other.size_) return size_ < other.size_;
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (terms_[i] != other.terms_[i]) return terms_[i] < other.terms_[i];
+  }
+  return false;
+}
+
+}  // namespace hdk::hdk

@@ -1,0 +1,78 @@
+#include "index/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace hdk::index {
+
+BloomFilter::BloomFilter(size_t num_bits, uint32_t num_hashes)
+    : num_hashes_(std::max(1u, num_hashes)) {
+  size_t words = (std::max<size_t>(num_bits, 64) + 63) / 64;
+  bits_.assign(words, 0);
+}
+
+BloomFilter BloomFilter::ForItems(size_t expected_items,
+                                  double target_fp_rate) {
+  expected_items = std::max<size_t>(expected_items, 1);
+  target_fp_rate = std::clamp(target_fp_rate, 1e-9, 0.5);
+  const double ln2 = 0.6931471805599453;
+  double m = -static_cast<double>(expected_items) *
+             std::log(target_fp_rate) / (ln2 * ln2);
+  double k = m / static_cast<double>(expected_items) * ln2;
+  return BloomFilter(static_cast<size_t>(std::ceil(m)),
+                     static_cast<uint32_t>(std::lround(std::max(1.0, k))));
+}
+
+std::pair<uint64_t, uint64_t> BloomFilter::Seeds(DocId doc) const {
+  uint64_t h1 = Mix64(static_cast<uint64_t>(doc) + 0x9E3779B97F4A7C15ULL);
+  uint64_t h2 = Mix64(h1 ^ 0xC6A4A7935BD1E995ULL);
+  return {h1, h2 | 1};  // h2 odd => probes cover the whole range
+}
+
+void BloomFilter::Insert(DocId doc) {
+  auto [h1, h2] = Seeds(doc);
+  const uint64_t m = num_bits();
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % m;
+    bits_[bit / 64] |= (1ULL << (bit % 64));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::MayContain(DocId doc) const {
+  auto [h1, h2] = Seeds(doc);
+  const uint64_t m = num_bits();
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % m;
+    if ((bits_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::InsertAll(const PostingList& postings) {
+  for (const Posting& p : postings.postings()) {
+    Insert(p.doc);
+  }
+}
+
+std::vector<DocId> BloomFilter::Intersect(
+    std::span<const DocId> candidates) const {
+  std::vector<DocId> kept;
+  kept.reserve(candidates.size());
+  for (DocId d : candidates) {
+    if (MayContain(d)) kept.push_back(d);
+  }
+  return kept;
+}
+
+double BloomFilter::EstimatedFpRate() const {
+  const double m = static_cast<double>(num_bits());
+  const double kn = static_cast<double>(num_hashes_) *
+                    static_cast<double>(inserted_);
+  double per_bit = 1.0 - std::exp(-kn / m);
+  return std::pow(per_bit, num_hashes_);
+}
+
+}  // namespace hdk::index

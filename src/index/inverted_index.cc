@@ -1,0 +1,73 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace hdk::index {
+
+namespace {
+const PostingList& EmptyList() {
+  static const PostingList* empty = new PostingList();
+  return *empty;
+}
+}  // namespace
+
+Status InvertedIndex::AddDocument(DocId id, std::span<const TermId> tokens) {
+  // Per-document tf accumulation.
+  std::unordered_map<TermId, uint32_t> tf;
+  tf.reserve(tokens.size());
+  for (TermId t : tokens) ++tf[t];
+
+  const uint32_t doc_length = static_cast<uint32_t>(tokens.size());
+  for (const auto& [term, count] : tf) {
+    PostingList& pl = postings_[term];
+    if (pl.Contains(id)) {
+      return Status::AlreadyExists("document already indexed for term");
+    }
+    pl.Upsert(Posting{id, count, doc_length});
+    cf_[term] += count;
+  }
+  ++num_documents_;
+  total_tokens_ += tokens.size();
+  return Status::OK();
+}
+
+Status InvertedIndex::AddRange(const corpus::DocumentStore& store,
+                               DocId first, DocId last) {
+  if (first > last || last > store.size()) {
+    return Status::OutOfRange("AddRange: invalid document range");
+  }
+  for (DocId d = first; d < last; ++d) {
+    HDK_RETURN_NOT_OK(AddDocument(d, store.Tokens(d)));
+  }
+  return Status::OK();
+}
+
+const PostingList& InvertedIndex::Postings(TermId term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? EmptyList() : it->second;
+}
+
+Freq InvertedIndex::DocumentFrequency(TermId term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+Freq InvertedIndex::CollectionFrequency(TermId term) const {
+  auto it = cf_.find(term);
+  return it == cf_.end() ? 0 : it->second;
+}
+
+uint64_t InvertedIndex::TotalPostings() const {
+  uint64_t total = 0;
+  for (const auto& [term, pl] : postings_) total += pl.size();
+  return total;
+}
+
+std::vector<TermId> InvertedIndex::Terms() const {
+  std::vector<TermId> out;
+  out.reserve(postings_.size());
+  for (const auto& [term, pl] : postings_) out.push_back(term);
+  return out;
+}
+
+}  // namespace hdk::index

@@ -1,0 +1,80 @@
+// Single-term inverted index: the classic IR structure the paper's naive
+// baseline distributes, and the core of the centralized BM25 reference
+// engine (the paper compares against Terrier).
+#ifndef HDKP2P_INDEX_INVERTED_INDEX_H_
+#define HDKP2P_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "corpus/document.h"
+#include "index/posting.h"
+
+namespace hdk::index {
+
+/// Term -> posting list index over a (sub)collection.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Indexes one document (tokens after analysis). DocIds must be unique
+  /// but need not be dense: a peer indexes only its own range of the
+  /// global collection.
+  Status AddDocument(DocId id, std::span<const TermId> tokens);
+
+  /// Indexes documents [first, last) of `store`.
+  Status AddRange(const corpus::DocumentStore& store, DocId first,
+                  DocId last);
+
+  /// Posting list of a term; empty list for unknown terms.
+  const PostingList& Postings(TermId term) const;
+
+  /// Document frequency of `term` within this index.
+  Freq DocumentFrequency(TermId term) const;
+
+  /// Collection frequency of `term` within this index.
+  Freq CollectionFrequency(TermId term) const;
+
+  /// Number of indexed documents.
+  uint64_t num_documents() const { return num_documents_; }
+
+  /// Total token occurrences indexed.
+  uint64_t total_tokens() const { return total_tokens_; }
+
+  /// Average document length.
+  double average_document_length() const {
+    return num_documents_ == 0
+               ? 0.0
+               : static_cast<double>(total_tokens_) /
+                     static_cast<double>(num_documents_);
+  }
+
+  /// Number of distinct terms.
+  size_t vocabulary_size() const { return postings_.size(); }
+
+  /// Total number of postings stored (sum of posting-list lengths) —
+  /// the paper's index-size metric.
+  uint64_t TotalPostings() const;
+
+  /// All indexed terms (unordered).
+  std::vector<TermId> Terms() const;
+
+  /// Iteration over (term, posting list).
+  const std::unordered_map<TermId, PostingList>& entries() const {
+    return postings_;
+  }
+
+ private:
+  std::unordered_map<TermId, PostingList> postings_;
+  std::unordered_map<TermId, Freq> cf_;
+  uint64_t num_documents_ = 0;
+  uint64_t total_tokens_ = 0;
+};
+
+}  // namespace hdk::index
+
+#endif  // HDKP2P_INDEX_INVERTED_INDEX_H_

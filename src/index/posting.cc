@@ -1,0 +1,75 @@
+#include "index/posting.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hdk::index {
+
+PostingList::PostingList(std::vector<Posting> postings)
+    : postings_(std::move(postings)) {
+  std::sort(postings_.begin(), postings_.end(),
+            [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
+  // Collapse duplicates by accumulating tf.
+  size_t out = 0;
+  for (size_t i = 0; i < postings_.size(); ++i) {
+    if (out > 0 && postings_[out - 1].doc == postings_[i].doc) {
+      postings_[out - 1].tf += postings_[i].tf;
+    } else {
+      postings_[out++] = postings_[i];
+    }
+  }
+  postings_.resize(out);
+}
+
+void PostingList::Upsert(const Posting& p) {
+  auto it = std::lower_bound(
+      postings_.begin(), postings_.end(), p.doc,
+      [](const Posting& a, DocId d) { return a.doc < d; });
+  if (it != postings_.end() && it->doc == p.doc) {
+    it->tf += p.tf;
+    it->doc_length = p.doc_length;
+  } else {
+    postings_.insert(it, p);
+  }
+}
+
+void PostingList::Merge(const PostingList& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    postings_ = other.postings_;
+    return;
+  }
+  std::vector<Posting> merged;
+  merged.reserve(postings_.size() + other.postings_.size());
+  size_t i = 0, j = 0;
+  while (i < postings_.size() && j < other.postings_.size()) {
+    if (postings_[i].doc < other.postings_[j].doc) {
+      merged.push_back(postings_[i++]);
+    } else if (postings_[i].doc > other.postings_[j].doc) {
+      merged.push_back(other.postings_[j++]);
+    } else {
+      Posting p = postings_[i++];
+      p.tf += other.postings_[j++].tf;
+      merged.push_back(p);
+    }
+  }
+  while (i < postings_.size()) merged.push_back(postings_[i++]);
+  while (j < other.postings_.size()) merged.push_back(other.postings_[j++]);
+  postings_ = std::move(merged);
+}
+
+bool PostingList::Contains(DocId doc) const {
+  auto it = std::lower_bound(
+      postings_.begin(), postings_.end(), doc,
+      [](const Posting& a, DocId d) { return a.doc < d; });
+  return it != postings_.end() && it->doc == doc;
+}
+
+std::vector<DocId> PostingList::Documents() const {
+  std::vector<DocId> out;
+  out.reserve(postings_.size());
+  for (const auto& p : postings_) out.push_back(p.doc);
+  return out;
+}
+
+}  // namespace hdk::index

@@ -1,0 +1,98 @@
+// Postings and posting lists.
+//
+// A posting associates a document with the within-document statistics the
+// ranking needs. Posting lists are kept sorted by document id; the P2P
+// global index additionally supports score-based truncation to the
+// top-DFmax entries for non-discriminative keys.
+#ifndef HDKP2P_INDEX_POSTING_H_
+#define HDKP2P_INDEX_POSTING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hdk::index {
+
+/// One document entry of a posting list.
+struct Posting {
+  DocId doc = kInvalidDoc;
+  /// Term (or key co-occurrence) frequency inside the document.
+  uint32_t tf = 0;
+  /// Length of the document in tokens (carried so that remote peers can
+  /// compute length-normalized relevance scores without fetching the
+  /// document — the basis of the distributed ranking).
+  uint32_t doc_length = 0;
+
+  bool operator==(const Posting&) const = default;
+};
+
+/// A posting list sorted by ascending document id, without duplicates.
+class PostingList {
+ public:
+  PostingList() = default;
+  explicit PostingList(std::vector<Posting> postings);
+
+  /// Inserts or merges a posting (tf accumulates if the doc is present).
+  void Upsert(const Posting& p);
+
+  /// Merges another posting list into this one (set union; tf accumulates
+  /// on duplicate documents).
+  void Merge(const PostingList& other);
+
+  /// Keeps only the `limit` postings with the highest `score(posting)`,
+  /// then restores doc-id order. Used for top-DFmax NDK truncation.
+  template <typename ScoreFn>
+  void TruncateTopBy(size_t limit, ScoreFn score);
+
+  /// Number of postings (document frequency of the associated key).
+  size_t size() const { return postings_.size(); }
+  bool empty() const { return postings_.empty(); }
+
+  /// True if `doc` is present.
+  bool Contains(DocId doc) const;
+
+  std::span<const Posting> postings() const { return postings_; }
+  const Posting& operator[](size_t i) const { return postings_[i]; }
+
+  /// The document ids of this list, in ascending order.
+  std::vector<DocId> Documents() const;
+
+  bool operator==(const PostingList&) const = default;
+
+ private:
+  std::vector<Posting> postings_;
+};
+
+// --- implementation of the template member ---------------------------------
+
+template <typename ScoreFn>
+void PostingList::TruncateTopBy(size_t limit, ScoreFn score) {
+  if (postings_.size() <= limit) return;
+  std::vector<std::pair<double, size_t>> ranked;
+  ranked.reserve(postings_.size());
+  for (size_t i = 0; i < postings_.size(); ++i) {
+    ranked.emplace_back(score(postings_[i]), i);
+  }
+  // Highest score first; stable tie-break on document id for determinism.
+  std::partial_sort(ranked.begin(), ranked.begin() + limit, ranked.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<Posting> kept;
+  kept.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    kept.push_back(postings_[ranked[i].second]);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
+  postings_ = std::move(kept);
+}
+
+}  // namespace hdk::index
+
+#endif  // HDKP2P_INDEX_POSTING_H_

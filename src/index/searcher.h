@@ -1,0 +1,42 @@
+// Centralized BM25 retrieval over an InvertedIndex — the reference engine
+// of the paper's Figure 7 comparison (stand-in for Terrier with BM25).
+#ifndef HDKP2P_INDEX_SEARCHER_H_
+#define HDKP2P_INDEX_SEARCHER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "index/bm25.h"
+#include "index/inverted_index.h"
+#include "index/topk.h"
+
+namespace hdk::index {
+
+/// Disjunctive (OR-semantics) BM25 top-k search.
+class Bm25Searcher {
+ public:
+  /// The searcher keeps a reference to `idx`; the index must outlive it.
+  explicit Bm25Searcher(const InvertedIndex& idx, Bm25Params params = {});
+
+  /// Returns the top `k` documents for the query terms, best first.
+  /// Duplicate query terms contribute once (web queries are term sets).
+  std::vector<ScoredDoc> Search(std::span<const TermId> query,
+                                size_t k) const;
+
+  /// Number of postings a distributed single-term engine would have to
+  /// transfer for this query: the sum of the full posting-list lengths of
+  /// all query terms (the paper's naive-baseline retrieval cost metric).
+  uint64_t RetrievalPostings(std::span<const TermId> query) const;
+
+  const InvertedIndex& index() const { return idx_; }
+
+ private:
+  const InvertedIndex& idx_;
+  Bm25Params params_;
+};
+
+}  // namespace hdk::index
+
+#endif  // HDKP2P_INDEX_SEARCHER_H_

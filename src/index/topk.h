@@ -1,0 +1,67 @@
+// Top-k accumulation of scored documents with deterministic tie-breaking.
+#ifndef HDKP2P_INDEX_TOPK_H_
+#define HDKP2P_INDEX_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hdk::index {
+
+/// A document with its relevance score.
+struct ScoredDoc {
+  DocId doc = kInvalidDoc;
+  double score = 0.0;
+
+  bool operator==(const ScoredDoc&) const = default;
+};
+
+/// Result-list ordering: higher score first; lower doc id breaks ties.
+/// Deterministic tie-breaking matters for the top-20 overlap experiment.
+inline bool BetterResult(const ScoredDoc& a, const ScoredDoc& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+/// Collects the k best ScoredDocs from a stream of candidates.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) {}
+
+  /// Offers a candidate.
+  void Offer(const ScoredDoc& cand) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back(cand);
+      std::push_heap(heap_.begin(), heap_.end(), BetterResult);
+      return;
+    }
+    // With comparator BetterResult, the heap front is the WORST retained
+    // candidate (std::push_heap builds a max-heap and "max" under
+    // "is-better" is the element no other is worse than).
+    if (BetterResult(cand, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), BetterResult);
+      heap_.back() = cand;
+      std::push_heap(heap_.begin(), heap_.end(), BetterResult);
+    }
+  }
+
+  /// Returns the collected documents, best first. Consumes the state.
+  std::vector<ScoredDoc> Take() {
+    std::sort(heap_.begin(), heap_.end(), BetterResult);
+    return std::move(heap_);
+  }
+
+  size_t size() const { return heap_.size(); }
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+  std::vector<ScoredDoc> heap_;
+};
+
+}  // namespace hdk::index
+
+#endif  // HDKP2P_INDEX_TOPK_H_

@@ -1,0 +1,67 @@
+#include "net/traffic.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hdk::net {
+
+std::string_view MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kInsertPostings: return "InsertPostings";
+    case MessageKind::kNdkNotification: return "NdkNotification";
+    case MessageKind::kKeyProbe: return "KeyProbe";
+    case MessageKind::kPostingsResponse: return "PostingsResponse";
+    case MessageKind::kStatsQuery: return "StatsQuery";
+    case MessageKind::kStatsResponse: return "StatsResponse";
+    case MessageKind::kMaintenance: return "Maintenance";
+    case MessageKind::kBloomFilter: return "BloomFilter";
+  }
+  return "Unknown";
+}
+
+TrafficRecorder::TrafficRecorder(CostModel model) : model_(model) {}
+
+void TrafficRecorder::EnsurePeers(size_t n) {
+  if (sent_.size() < n) {
+    sent_.resize(n);
+    received_.resize(n);
+  }
+}
+
+void TrafficRecorder::Record(PeerId src, PeerId dst, MessageKind kind,
+                             uint64_t postings, uint64_t hops) {
+  EnsurePeers(static_cast<size_t>(std::max(src, dst)) + 1);
+  TrafficCounters delta;
+  delta.messages = 1;
+  delta.postings = postings;
+  delta.hops = hops;
+  delta.bytes = model_.header_bytes + postings * model_.posting_bytes +
+                hops * model_.per_hop_overhead;
+  total_.Add(delta);
+  by_kind_[static_cast<size_t>(kind)].Add(delta);
+  sent_[src].Add(delta);
+  received_[dst].Add(delta);
+}
+
+const TrafficCounters& TrafficRecorder::ByKind(MessageKind kind) const {
+  return by_kind_[static_cast<size_t>(kind)];
+}
+
+const TrafficCounters& TrafficRecorder::SentBy(PeerId peer) const {
+  assert(peer < sent_.size());
+  return sent_[peer];
+}
+
+const TrafficCounters& TrafficRecorder::ReceivedBy(PeerId peer) const {
+  assert(peer < received_.size());
+  return received_[peer];
+}
+
+void TrafficRecorder::Reset() {
+  total_ = TrafficCounters{};
+  by_kind_.fill(TrafficCounters{});
+  for (auto& c : sent_) c = TrafficCounters{};
+  for (auto& c : received_) c = TrafficCounters{};
+}
+
+}  // namespace hdk::net

@@ -1,0 +1,105 @@
+// Message-level traffic accounting.
+//
+// The paper's scalability metric is the number of POSTINGS transmitted
+// through the network during indexing and retrieval (Section 4: "we ...
+// merely analyze the number of postings the network needs to absorb and
+// transmit"). The simulator therefore records, for every message, the
+// posting payload alongside message and hop counts and an approximate
+// byte volume.
+#ifndef HDKP2P_NET_TRAFFIC_H_
+#define HDKP2P_NET_TRAFFIC_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hdk::net {
+
+/// Protocol message categories.
+enum class MessageKind : uint8_t {
+  kInsertPostings = 0,   // peer -> responsible peer: key + local postings
+  kNdkNotification = 1,  // responsible peer -> contributor: expand this key
+  kKeyProbe = 2,         // query peer -> responsible peer: lattice probe
+  kPostingsResponse = 3, // responsible peer -> query peer: postings payload
+  kStatsQuery = 4,       // global statistics request
+  kStatsResponse = 5,
+  kMaintenance = 6,      // overlay join/repair traffic
+  kBloomFilter = 7,      // Bloom-filter payload (ST conjunctive chain)
+};
+inline constexpr size_t kNumMessageKinds = 8;
+
+/// Human-readable kind name.
+std::string_view MessageKindName(MessageKind kind);
+
+/// Aggregated counters.
+struct TrafficCounters {
+  uint64_t messages = 0;
+  uint64_t postings = 0;
+  uint64_t hops = 0;
+  uint64_t bytes = 0;
+
+  void Add(const TrafficCounters& other) {
+    messages += other.messages;
+    postings += other.postings;
+    hops += other.hops;
+    bytes += other.bytes;
+  }
+  bool operator==(const TrafficCounters&) const = default;
+};
+
+/// Byte-cost model for the approximate byte accounting.
+struct CostModel {
+  uint64_t header_bytes = 48;    // addressing + key + kind
+  uint64_t posting_bytes = 12;   // docid + tf + doc length
+  uint64_t per_hop_overhead = 0; // set >0 to bill every routed hop
+};
+
+/// Records protocol messages between peers.
+///
+/// Per-peer counters distinguish sent and received volume so that the
+/// "per peer" figures of the paper (Figures 3, 4) can be reproduced.
+class TrafficRecorder {
+ public:
+  explicit TrafficRecorder(CostModel model = {});
+
+  /// Ensures per-peer counters exist for ids < n.
+  void EnsurePeers(size_t n);
+
+  /// Records one message of `kind` from `src` to `dst` carrying `postings`
+  /// postings and routed over `hops` overlay hops.
+  void Record(PeerId src, PeerId dst, MessageKind kind, uint64_t postings,
+              uint64_t hops);
+
+  /// Totals across all peers and kinds.
+  const TrafficCounters& total() const { return total_; }
+
+  /// Totals for one message kind.
+  const TrafficCounters& ByKind(MessageKind kind) const;
+
+  /// Volume sent by / received by one peer.
+  const TrafficCounters& SentBy(PeerId peer) const;
+  const TrafficCounters& ReceivedBy(PeerId peer) const;
+
+  /// Number of peers tracked.
+  size_t num_peers() const { return sent_.size(); }
+
+  /// Resets every counter (peers stay registered).
+  void Reset();
+
+  /// Snapshot of the current totals (for differential measurements).
+  TrafficCounters Snapshot() const { return total_; }
+
+ private:
+  CostModel model_;
+  TrafficCounters total_;
+  std::array<TrafficCounters, kNumMessageKinds> by_kind_;
+  std::vector<TrafficCounters> sent_;
+  std::vector<TrafficCounters> received_;
+};
+
+}  // namespace hdk::net
+
+#endif  // HDKP2P_NET_TRAFFIC_H_

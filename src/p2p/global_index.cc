@@ -1,0 +1,155 @@
+#include "p2p/global_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hdk::p2p {
+
+DistributedGlobalIndex::DistributedGlobalIndex(const dht::Overlay* overlay,
+                                               net::TrafficRecorder* traffic)
+    : overlay_(overlay), traffic_(traffic) {
+  assert(overlay_ != nullptr);
+  assert(traffic_ != nullptr);
+  EnsureFragments();
+}
+
+void DistributedGlobalIndex::EnsureFragments() {
+  if (fragments_.size() < overlay_->num_peers()) {
+    fragments_.resize(overlay_->num_peers());
+    traffic_->EnsurePeers(overlay_->num_peers());
+  }
+}
+
+PeerId DistributedGlobalIndex::ResponsiblePeer(const hdk::TermKey& key) const {
+  return overlay_->Responsible(key.Hash64());
+}
+
+void DistributedGlobalIndex::InsertPostings(PeerId src,
+                                            const hdk::TermKey& key,
+                                            Freq local_df,
+                                            index::PostingList postings) {
+  EnsureFragments();
+  const RingId ring_key = key.Hash64();
+  const PeerId dst = overlay_->Responsible(ring_key);
+  const size_t hops = overlay_->Route(src, ring_key);
+  traffic_->Record(src, dst, net::MessageKind::kInsertPostings,
+                   postings.size(), hops);
+
+  PendingEntry& entry = pending_[key];
+  entry.global_df += local_df;
+  entry.merged.Merge(postings);
+  entry.contributors.push_back(src);
+}
+
+LevelOutcome DistributedGlobalIndex::EndLevel(const HdkParams& params,
+                                              double avg_doc_length,
+                                              bool notify_contributors) {
+  EnsureFragments();
+  LevelOutcome outcome;
+  const Freq trunc_limit = params.EffectiveNdkTruncation();
+
+  for (auto& [key, pending] : pending_) {
+    const PeerId owner = ResponsiblePeer(key);
+    hdk::KeyEntry entry;
+    entry.global_df = pending.global_df;
+    entry.is_hdk = pending.global_df <= params.df_max;
+    entry.postings = std::move(pending.merged);
+
+    if (entry.is_hdk) {
+      ++outcome.hdks;
+    } else {
+      ++outcome.ndks;
+      entry.postings.TruncateTopBy(
+          trunc_limit, [avg_doc_length](const index::Posting& p) {
+            return hdk::TruncationScore(p, avg_doc_length);
+          });
+      // Deduplicate contributors (a peer inserts a key once per level, but
+      // be robust) and notify each that the key must be expanded.
+      std::sort(pending.contributors.begin(), pending.contributors.end());
+      pending.contributors.erase(
+          std::unique(pending.contributors.begin(),
+                      pending.contributors.end()),
+          pending.contributors.end());
+      if (notify_contributors) {
+        for (PeerId contributor : pending.contributors) {
+          // Notifications carry the key only, no postings. The owner knows
+          // the contributor directly (source address of the insertion), so
+          // this is a single overlay-external message: 1 hop.
+          traffic_->Record(owner, contributor,
+                           net::MessageKind::kNdkNotification,
+                           /*postings=*/0, /*hops=*/1);
+          ++outcome.notification_messages;
+        }
+        outcome.notifications.emplace_back(key, pending.contributors);
+      }
+    }
+    fragments_[owner][key] = std::move(entry);
+  }
+  pending_.clear();
+  return outcome;
+}
+
+const hdk::KeyEntry* DistributedGlobalIndex::FetchFrom(
+    PeerId src, const hdk::TermKey& key) const {
+  const RingId ring_key = key.Hash64();
+  const PeerId dst = overlay_->Responsible(ring_key);
+  const size_t hops = overlay_->Route(src, ring_key);
+  traffic_->Record(src, dst, net::MessageKind::kKeyProbe, /*postings=*/0,
+                   hops);
+
+  const hdk::KeyEntry* entry = Peek(key);
+  // The response travels back directly (the probe carried the requester's
+  // address): 1 hop, carrying the posting payload if the key exists.
+  traffic_->Record(dst, src, net::MessageKind::kPostingsResponse,
+                   entry != nullptr ? entry->postings.size() : 0,
+                   /*hops=*/1);
+  return entry;
+}
+
+const hdk::KeyEntry* DistributedGlobalIndex::Peek(
+    const hdk::TermKey& key) const {
+  const PeerId owner = ResponsiblePeer(key);
+  if (owner >= fragments_.size()) return nullptr;
+  const auto& fragment = fragments_[owner];
+  auto it = fragment.find(key);
+  return it == fragment.end() ? nullptr : &it->second;
+}
+
+uint64_t DistributedGlobalIndex::StoredPostingsAt(PeerId peer) const {
+  if (peer >= fragments_.size()) return 0;
+  uint64_t total = 0;
+  for (const auto& [key, entry] : fragments_[peer]) {
+    total += entry.postings.size();
+  }
+  return total;
+}
+
+uint64_t DistributedGlobalIndex::TotalStoredPostings() const {
+  uint64_t total = 0;
+  for (PeerId p = 0; p < fragments_.size(); ++p) {
+    total += StoredPostingsAt(p);
+  }
+  return total;
+}
+
+uint64_t DistributedGlobalIndex::KeysAt(PeerId peer) const {
+  return peer < fragments_.size() ? fragments_[peer].size() : 0;
+}
+
+uint64_t DistributedGlobalIndex::TotalKeys() const {
+  uint64_t total = 0;
+  for (const auto& fragment : fragments_) total += fragment.size();
+  return total;
+}
+
+hdk::HdkIndexContents DistributedGlobalIndex::ExportContents() const {
+  hdk::HdkIndexContents out;
+  for (const auto& fragment : fragments_) {
+    for (const auto& [key, entry] : fragment) {
+      out.Put(key, entry);
+    }
+  }
+  return out;
+}
+
+}  // namespace hdk::p2p

@@ -1,0 +1,115 @@
+// The distributed global key -> postings index maintained in the DHT
+// (paper Section 3: each peer maintains the (k, PL(k)) pairs the DHT
+// allocates to it, which are generally NOT the keys extracted from its own
+// local documents).
+//
+// Responsibilities:
+//   * placement: key -> responsible peer via the overlay (hash of the key),
+//   * aggregation: merging per-peer local posting lists and local document
+//     frequencies into global ones,
+//   * classification: HDK (global df <= DFmax, full postings) vs NDK
+//     (global df > DFmax, postings truncated to the top-DFmax best),
+//   * expansion notifications to the peers that contributed an NDK,
+//   * traffic accounting for every message.
+#ifndef HDKP2P_P2P_GLOBAL_INDEX_H_
+#define HDKP2P_P2P_GLOBAL_INDEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/params.h"
+#include "common/types.h"
+#include "dht/overlay.h"
+#include "hdk/candidate_builder.h"
+#include "hdk/indexer.h"
+#include "hdk/key.h"
+#include "index/posting.h"
+#include "net/traffic.h"
+
+namespace hdk::p2p {
+
+/// Outcome of finishing one indexing level.
+struct LevelOutcome {
+  /// Keys classified non-discriminative this level, with the contributors
+  /// that were notified.
+  std::vector<std::pair<hdk::TermKey, std::vector<PeerId>>> notifications;
+  uint64_t hdks = 0;
+  uint64_t ndks = 0;
+  /// Notification messages sent.
+  uint64_t notification_messages = 0;
+};
+
+/// The DHT-distributed global index.
+class DistributedGlobalIndex {
+ public:
+  /// \param overlay  peer placement/routing; must outlive the index.
+  /// \param traffic  message accounting sink; must outlive the index.
+  DistributedGlobalIndex(const dht::Overlay* overlay,
+                         net::TrafficRecorder* traffic);
+
+  /// The peer responsible for a key.
+  PeerId ResponsiblePeer(const hdk::TermKey& key) const;
+
+  /// Indexing-time insertion from peer `src`: the key, the peer's true
+  /// local document frequency, and the (possibly locally truncated)
+  /// posting list payload. Records an InsertPostings message routed
+  /// through the overlay.
+  void InsertPostings(PeerId src, const hdk::TermKey& key, Freq local_df,
+                      index::PostingList postings);
+
+  /// Classifies all keys inserted since the last EndLevel call, truncates
+  /// NDK posting lists to the top `params.EffectiveNdkTruncation()` best
+  /// postings (score normalized with `avg_doc_length`), moves the entries
+  /// into the per-peer fragments, and — when `notify_contributors` is set —
+  /// sends one NdkNotification message to every contributor of every NDK.
+  /// Notifications are pointless at the last level (size filtering stops
+  /// expansion), so the protocol disables them there.
+  LevelOutcome EndLevel(const HdkParams& params, double avg_doc_length,
+                        bool notify_contributors = true);
+
+  /// Retrieval probe from peer `src`: routes a KeyProbe message to the
+  /// responsible peer; when the key exists, a PostingsResponse carrying
+  /// the posting-list payload is recorded and the entry returned.
+  /// Returns nullptr (response with zero postings) when the key is absent.
+  const hdk::KeyEntry* FetchFrom(PeerId src, const hdk::TermKey& key) const;
+
+  /// Traffic-free lookup (tests, diagnostics).
+  const hdk::KeyEntry* Peek(const hdk::TermKey& key) const;
+
+  /// Stored postings on one peer's fragment / across all fragments
+  /// (the paper's Figure 3 metric).
+  uint64_t StoredPostingsAt(PeerId peer) const;
+  uint64_t TotalStoredPostings() const;
+
+  /// Number of keys stored on one peer / overall.
+  uint64_t KeysAt(PeerId peer) const;
+  uint64_t TotalKeys() const;
+
+  /// Flattens the fragments into logical contents (identical, by
+  /// construction, to what the centralized indexer produces — asserted by
+  /// the integration tests).
+  hdk::HdkIndexContents ExportContents() const;
+
+  const dht::Overlay& overlay() const { return *overlay_; }
+
+ private:
+  struct PendingEntry {
+    Freq global_df = 0;
+    index::PostingList merged;
+    std::vector<PeerId> contributors;
+  };
+
+  void EnsureFragments();
+
+  const dht::Overlay* overlay_;
+  net::TrafficRecorder* traffic_;
+  /// Aggregation buffer for the level currently being inserted.
+  hdk::KeyMap<PendingEntry> pending_;
+  /// peer -> finalized fragment of the global index.
+  std::vector<hdk::KeyMap<hdk::KeyEntry>> fragments_;
+};
+
+}  // namespace hdk::p2p
+
+#endif  // HDKP2P_P2P_GLOBAL_INDEX_H_

@@ -1,0 +1,123 @@
+#include "p2p/indexing_protocol.h"
+
+#include <unordered_set>
+
+#include "hdk/indexer.h"
+
+namespace hdk::p2p {
+
+uint64_t IndexingReport::TotalInsertedPostings() const {
+  uint64_t total = 0;
+  for (const auto& level : levels) total += level.postings_inserted;
+  return total;
+}
+
+HdkIndexingProtocol::HdkIndexingProtocol(const HdkParams& params,
+                                         const corpus::DocumentStore& store,
+                                         const corpus::CollectionStats& stats,
+                                         const dht::Overlay* overlay,
+                                         net::TrafficRecorder* traffic)
+    : params_(params),
+      store_(store),
+      stats_(stats),
+      overlay_(overlay),
+      traffic_(traffic) {}
+
+Result<std::unique_ptr<DistributedGlobalIndex>> HdkIndexingProtocol::Run(
+    const std::vector<std::pair<DocId, DocId>>& peer_ranges,
+    IndexingReport* report) {
+  HDK_RETURN_NOT_OK(params_.Validate());
+  if (peer_ranges.empty()) {
+    return Status::InvalidArgument("need at least one peer");
+  }
+  if (peer_ranges.size() != overlay_->num_peers()) {
+    return Status::InvalidArgument(
+        "peer_ranges must match the overlay's peer count");
+  }
+  for (const auto& [first, last] : peer_ranges) {
+    if (first > last || last > store_.size()) {
+      return Status::OutOfRange("invalid peer document range");
+    }
+  }
+
+  const double avgdl = stats_.average_document_length();
+
+  // The very-frequent cutoff uses global collection statistics. The real
+  // deployment aggregates these while peers join (cheap term-count
+  // gossip); the paper applies it as global preprocessing, and so do we —
+  // this traffic is not part of the paper's accounting.
+  std::unordered_set<TermId> very_frequent;
+  for (TermId t :
+       stats_.VeryFrequentTerms(params_.very_frequent_threshold)) {
+    very_frequent.insert(t);
+  }
+  if (report != nullptr) {
+    report->excluded_very_frequent_terms = very_frequent.size();
+    report->inserted_postings_per_peer.assign(peer_ranges.size(), 0);
+  }
+
+  std::vector<Peer> peers;
+  peers.reserve(peer_ranges.size());
+  for (PeerId p = 0; p < peer_ranges.size(); ++p) {
+    peers.emplace_back(p, peer_ranges[p].first, peer_ranges[p].second,
+                       params_);
+  }
+
+  auto global = std::make_unique<DistributedGlobalIndex>(overlay_, traffic_);
+  const Freq local_trunc = params_.EffectiveNdkTruncation();
+
+  for (uint32_t s = 1; s <= params_.s_max; ++s) {
+    ProtocolLevelStats level_stats;
+    level_stats.level = s;
+
+    for (Peer& peer : peers) {
+      hdk::KeyMap<index::PostingList> candidates =
+          s == 1 ? peer.BuildLevel1(store_, very_frequent,
+                                    &level_stats.generation)
+                 : peer.BuildLevel(s, store_, &level_stats.generation);
+
+      for (auto& [key, pl] : candidates) {
+        const Freq local_df = pl.size();
+        // A locally non-discriminative key is certainly globally
+        // non-discriminative (paper Section 3: local NDK => global NDK),
+        // so the peer only publishes its local top-DFmax postings for it.
+        if (local_df > params_.df_max) {
+          pl.TruncateTopBy(local_trunc, [avgdl](const index::Posting& p) {
+            return hdk::TruncationScore(p, avgdl);
+          });
+        }
+        const uint64_t payload = pl.size();
+        global->InsertPostings(peer.id(), key, local_df, std::move(pl));
+        ++level_stats.keys_inserted;
+        level_stats.postings_inserted += payload;
+        if (report != nullptr) {
+          report->inserted_postings_per_peer[peer.id()] += payload;
+        }
+      }
+    }
+
+    LevelOutcome outcome = global->EndLevel(
+        params_, avgdl, /*notify_contributors=*/s < params_.s_max);
+    level_stats.hdks = outcome.hdks;
+    level_stats.ndks = outcome.ndks;
+    level_stats.notifications = outcome.notification_messages;
+
+    // Deliver the notifications: contributors learn which of their keys
+    // are globally non-discriminative and expand them at the next level.
+    if (s < params_.s_max) {
+      for (const auto& [key, contributors] : outcome.notifications) {
+        for (PeerId contributor : contributors) {
+          peers[contributor].OnNdkNotification(key);
+        }
+      }
+    }
+
+    if (report != nullptr) {
+      report->levels.push_back(level_stats);
+    }
+  }
+
+  return global;
+}
+
+}  // namespace hdk::p2p

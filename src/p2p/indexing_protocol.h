@@ -1,0 +1,88 @@
+// The collaborative level-wise indexing protocol (paper Section 3.1):
+//
+//   for s = 1 .. s_max:
+//     every peer computes its local size-s candidates (using the global
+//     classifications it has been notified about), truncates posting lists
+//     of locally non-discriminative keys to the local top-DFmax, and
+//     inserts (key, local df, postings) into the global P2P index;
+//     the responsible peers aggregate global document frequencies, keep
+//     full postings for globally discriminative keys and top-DFmax
+//     postings for NDKs, and notify every contributor of an NDK so that it
+//     expands the key at level s+1.
+//
+// All insertions, responses and notifications are routed through the
+// overlay and recorded by the TrafficRecorder.
+#ifndef HDKP2P_P2P_INDEXING_PROTOCOL_H_
+#define HDKP2P_P2P_INDEXING_PROTOCOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/params.h"
+#include "common/status.h"
+#include "corpus/document.h"
+#include "corpus/stats.h"
+#include "dht/overlay.h"
+#include "hdk/candidate_builder.h"
+#include "net/traffic.h"
+#include "p2p/global_index.h"
+#include "p2p/peer.h"
+
+namespace hdk::p2p {
+
+/// Per-level protocol statistics.
+struct ProtocolLevelStats {
+  uint32_t level = 0;
+  uint64_t keys_inserted = 0;       // insertion messages (= candidate keys
+                                    // summed over peers)
+  uint64_t postings_inserted = 0;   // postings carried by insertions
+  uint64_t hdks = 0;
+  uint64_t ndks = 0;
+  uint64_t notifications = 0;
+  hdk::CandidateBuildStats generation;
+};
+
+/// Whole-run report.
+struct IndexingReport {
+  std::vector<ProtocolLevelStats> levels;
+  uint64_t excluded_very_frequent_terms = 0;
+  /// Postings inserted by each peer (paper Figure 4, per-peer indexing
+  /// cost).
+  std::vector<uint64_t> inserted_postings_per_peer;
+
+  uint64_t TotalInsertedPostings() const;
+};
+
+/// Runs the indexing protocol over a set of peers.
+class HdkIndexingProtocol {
+ public:
+  /// \param params  HDK model parameters.
+  /// \param store   the global collection (peers reference ranges of it).
+  /// \param stats   collection statistics (very-frequent cutoff, avgdl).
+  /// \param overlay DHT overlay (outlives the protocol).
+  /// \param traffic traffic sink (outlives the protocol).
+  HdkIndexingProtocol(const HdkParams& params,
+                      const corpus::DocumentStore& store,
+                      const corpus::CollectionStats& stats,
+                      const dht::Overlay* overlay,
+                      net::TrafficRecorder* traffic);
+
+  /// Executes the protocol for peers holding the given [first, last) doc
+  /// ranges (one entry per peer; peer ids are positional). Returns the
+  /// populated distributed index.
+  Result<std::unique_ptr<DistributedGlobalIndex>> Run(
+      const std::vector<std::pair<DocId, DocId>>& peer_ranges,
+      IndexingReport* report = nullptr);
+
+ private:
+  const HdkParams& params_;
+  const corpus::DocumentStore& store_;
+  const corpus::CollectionStats& stats_;
+  const dht::Overlay* overlay_;
+  net::TrafficRecorder* traffic_;
+};
+
+}  // namespace hdk::p2p
+
+#endif  // HDKP2P_P2P_INDEXING_PROTOCOL_H_

@@ -1,0 +1,30 @@
+#include "p2p/peer.h"
+
+namespace hdk::p2p {
+
+Peer::Peer(PeerId id, DocId first, DocId last, const HdkParams& params)
+    : id_(id), first_(first), last_(last), params_(params),
+      builder_(params) {}
+
+hdk::KeyMap<index::PostingList> Peer::BuildLevel1(
+    const corpus::DocumentStore& store,
+    const std::unordered_set<TermId>& very_frequent,
+    hdk::CandidateBuildStats* stats) const {
+  return builder_.BuildLevel1(store, first_, last_, very_frequent, stats);
+}
+
+hdk::KeyMap<index::PostingList> Peer::BuildLevel(
+    uint32_t s, const corpus::DocumentStore& store,
+    hdk::CandidateBuildStats* stats) const {
+  return builder_.BuildLevel(s, store, first_, last_, oracle_, stats);
+}
+
+void Peer::OnNdkNotification(const hdk::TermKey& key) {
+  if (key.size() == 1) {
+    oracle_.AddExpandableTerm(key.term(0));
+  } else {
+    oracle_.AddNdk(key);
+  }
+}
+
+}  // namespace hdk::p2p

@@ -1,0 +1,68 @@
+// A peer of the HDK P2P retrieval network (paper Section 3).
+//
+// Each peer stores a fraction D(P_i) of the global collection (a contiguous
+// DocId range here; the synthetic collection is i.i.d., so this is
+// equivalent to the paper's random distribution), computes local candidate
+// keys level by level, and maintains a local view of which of ITS submitted
+// keys turned out to be globally non-discriminative — exactly the knowledge
+// the paper says level-s computation needs ("the global document
+// frequencies of the local size 1 and size (s-1) NDKs").
+#ifndef HDKP2P_P2P_PEER_H_
+#define HDKP2P_P2P_PEER_H_
+
+#include <unordered_set>
+
+#include "common/params.h"
+#include "common/types.h"
+#include "corpus/document.h"
+#include "hdk/candidate_builder.h"
+#include "hdk/key.h"
+
+namespace hdk::p2p {
+
+/// One peer: local documents + local key computation state.
+class Peer {
+ public:
+  /// \param id     dense peer id (also the overlay id).
+  /// \param first  first DocId of the peer's local fraction (inclusive).
+  /// \param last   one past the last local DocId.
+  Peer(PeerId id, DocId first, DocId last, const HdkParams& params);
+
+  PeerId id() const { return id_; }
+  DocId first_doc() const { return first_; }
+  DocId last_doc() const { return last_; }
+  uint64_t num_documents() const { return last_ - first_; }
+
+  /// Local level-1 candidates: every non-very-frequent term of the local
+  /// documents with its local posting list.
+  hdk::KeyMap<index::PostingList> BuildLevel1(
+      const corpus::DocumentStore& store,
+      const std::unordered_set<TermId>& very_frequent,
+      hdk::CandidateBuildStats* stats = nullptr) const;
+
+  /// Local level-s candidates (s >= 2) under the peer's current global
+  /// knowledge (NDK notifications received so far).
+  hdk::KeyMap<index::PostingList> BuildLevel(
+      uint32_t s, const corpus::DocumentStore& store,
+      hdk::CandidateBuildStats* stats = nullptr) const;
+
+  /// Handles an NDK notification from the global index: the key this peer
+  /// submitted is globally non-discriminative and becomes expansion
+  /// material for the next level.
+  void OnNdkNotification(const hdk::TermKey& key);
+
+  /// The peer's accumulated global knowledge.
+  const hdk::SetNdkOracle& oracle() const { return oracle_; }
+
+ private:
+  PeerId id_;
+  DocId first_;
+  DocId last_;
+  HdkParams params_;
+  hdk::CandidateBuilder builder_;
+  hdk::SetNdkOracle oracle_;
+};
+
+}  // namespace hdk::p2p
+
+#endif  // HDKP2P_P2P_PEER_H_

@@ -1,0 +1,45 @@
+#include "p2p/retrieval.h"
+
+namespace hdk::p2p {
+
+HdkRetriever::HdkRetriever(const DistributedGlobalIndex* global,
+                           const HdkParams& params, uint64_t collection_size,
+                           double avg_doc_length,
+                           net::TrafficRecorder* traffic)
+    : global_(global),
+      params_(params),
+      collection_size_(collection_size),
+      avg_doc_length_(avg_doc_length),
+      traffic_(traffic) {}
+
+QueryExecution HdkRetriever::Search(PeerId origin,
+                                    std::span<const TermId> query,
+                                    size_t k) const {
+  QueryExecution exec;
+  const net::TrafficCounters before = traffic_->Snapshot();
+
+  std::vector<hdk::FetchedKey> fetched;
+  hdk::RetrievalPlan plan = hdk::PlanRetrieval(
+      query, params_.s_max, [&](const hdk::TermKey& key)
+          -> std::optional<hdk::ProbeOutcome> {
+        const hdk::KeyEntry* entry = global_->FetchFrom(origin, key);
+        if (entry == nullptr) return std::nullopt;
+        fetched.push_back(hdk::FetchedKey{key, entry->global_df,
+                                          entry->is_hdk, &entry->postings});
+        exec.postings_fetched += entry->postings.size();
+        return hdk::ProbeOutcome{entry->is_hdk};
+      });
+
+  exec.keys_fetched = plan.fetched.size();
+  exec.probes = plan.probes;
+  exec.pruned = plan.pruned;
+  exec.results = hdk::RankFetchedKeys(fetched, collection_size_,
+                                      avg_doc_length_, k);
+
+  const net::TrafficCounters after = traffic_->Snapshot();
+  exec.messages = after.messages - before.messages;
+  exec.hops = after.hops - before.hops;
+  return exec;
+}
+
+}  // namespace hdk::p2p

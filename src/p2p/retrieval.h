@@ -1,0 +1,63 @@
+// HDK retrieval protocol (paper Section 3.2): map the query onto its term
+// subset lattice, probe/fetch matching keys from the distributed global
+// index, merge the posting lists (set union) and rank with the distributed
+// content-based ranking.
+#ifndef HDKP2P_P2P_RETRIEVAL_H_
+#define HDKP2P_P2P_RETRIEVAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/params.h"
+#include "common/types.h"
+#include "hdk/query_lattice.h"
+#include "index/topk.h"
+#include "net/traffic.h"
+#include "p2p/global_index.h"
+
+namespace hdk::p2p {
+
+/// Result of one query execution, with cost accounting.
+struct QueryExecution {
+  /// Ranked results, best first.
+  std::vector<index::ScoredDoc> results;
+  /// Keys fetched from the global index.
+  uint64_t keys_fetched = 0;
+  /// Postings transferred to the querying peer (paper Figure 6 metric).
+  uint64_t postings_fetched = 0;
+  /// Probe messages issued / lattice nodes pruned without probing.
+  uint64_t probes = 0;
+  uint64_t pruned = 0;
+  /// Total messages (probes + responses) and overlay hops.
+  uint64_t messages = 0;
+  uint64_t hops = 0;
+};
+
+/// Executes queries against a DistributedGlobalIndex.
+class HdkRetriever {
+ public:
+  /// \param global          populated distributed index.
+  /// \param params          the HDK parameters used at indexing time.
+  /// \param collection_size number of documents in the global collection.
+  /// \param avg_doc_length  global average document length.
+  HdkRetriever(const DistributedGlobalIndex* global, const HdkParams& params,
+               uint64_t collection_size, double avg_doc_length,
+               net::TrafficRecorder* traffic);
+
+  /// Runs the retrieval protocol for `query` from peer `origin` and
+  /// returns the top `k` documents plus cost counters.
+  QueryExecution Search(PeerId origin, std::span<const TermId> query,
+                        size_t k) const;
+
+ private:
+  const DistributedGlobalIndex* global_;
+  HdkParams params_;
+  uint64_t collection_size_;
+  double avg_doc_length_;
+  net::TrafficRecorder* traffic_;
+};
+
+}  // namespace hdk::p2p
+
+#endif  // HDKP2P_P2P_RETRIEVAL_H_

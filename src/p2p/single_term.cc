@@ -1,0 +1,264 @@
+#include "p2p/single_term.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "index/bloom.h"
+
+namespace hdk::p2p {
+
+SingleTermP2PEngine::SingleTermP2PEngine(const dht::Overlay* overlay,
+                                         net::TrafficRecorder* traffic)
+    : overlay_(overlay), traffic_(traffic) {
+  fragments_.resize(overlay_->num_peers());
+  inserted_by_peer_.resize(overlay_->num_peers(), 0);
+  traffic_->EnsurePeers(overlay_->num_peers());
+}
+
+Status SingleTermP2PEngine::IndexPeer(PeerId src,
+                                      const corpus::DocumentStore& store,
+                                      DocId first, DocId last) {
+  if (first > last || last > store.size()) {
+    return Status::OutOfRange("IndexPeer: invalid document range");
+  }
+  if (fragments_.size() < overlay_->num_peers()) {
+    fragments_.resize(overlay_->num_peers());
+    inserted_by_peer_.resize(overlay_->num_peers(), 0);
+    traffic_->EnsurePeers(overlay_->num_peers());
+  }
+
+  // Build the peer's local single-term posting lists.
+  std::unordered_map<TermId, std::vector<index::Posting>> local;
+  std::unordered_map<TermId, uint32_t> tf;
+  for (DocId d = first; d < last; ++d) {
+    std::span<const TermId> tokens = store.Tokens(d);
+    tf.clear();
+    for (TermId t : tokens) ++tf[t];
+    const uint32_t len = static_cast<uint32_t>(tokens.size());
+    for (const auto& [term, count] : tf) {
+      local[term].push_back(index::Posting{d, count, len});
+    }
+    ++num_documents_;
+    total_tokens_ += tokens.size();
+  }
+
+  // Insert each term's local list into the DHT.
+  for (auto& [term, postings] : local) {
+    const RingId ring_key = HashU64(term);
+    const PeerId dst = overlay_->Responsible(ring_key);
+    const size_t hops = overlay_->Route(src, ring_key);
+    index::PostingList pl(std::move(postings));
+    traffic_->Record(src, dst, net::MessageKind::kInsertPostings, pl.size(),
+                     hops);
+    inserted_by_peer_[src] += pl.size();
+    fragments_[dst][term].Merge(pl);
+  }
+  return Status::OK();
+}
+
+uint64_t SingleTermP2PEngine::StoredPostingsAt(PeerId peer) const {
+  if (peer >= fragments_.size()) return 0;
+  uint64_t total = 0;
+  for (const auto& [term, pl] : fragments_[peer]) total += pl.size();
+  return total;
+}
+
+uint64_t SingleTermP2PEngine::TotalStoredPostings() const {
+  uint64_t total = 0;
+  for (PeerId p = 0; p < fragments_.size(); ++p) {
+    total += StoredPostingsAt(p);
+  }
+  return total;
+}
+
+uint64_t SingleTermP2PEngine::InsertedPostingsBy(PeerId peer) const {
+  return peer < inserted_by_peer_.size() ? inserted_by_peer_[peer] : 0;
+}
+
+SingleTermP2PEngine::QueryExecution SingleTermP2PEngine::Search(
+    PeerId origin, std::span<const TermId> query, size_t k) const {
+  QueryExecution exec;
+  const net::TrafficCounters before = traffic_->Snapshot();
+
+  std::vector<TermId> terms(query.begin(), query.end());
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  index::Bm25Scorer scorer(num_documents_, average_document_length());
+  std::unordered_map<DocId, double> scores;
+
+  for (TermId term : terms) {
+    const RingId ring_key = HashU64(term);
+    const PeerId dst = overlay_->Responsible(ring_key);
+    const size_t hops = overlay_->Route(origin, ring_key);
+    traffic_->Record(origin, dst, net::MessageKind::kKeyProbe, 0, hops);
+
+    const auto& fragment = fragments_[dst];
+    auto it = fragment.find(term);
+    const index::PostingList* pl =
+        it == fragment.end() ? nullptr : &it->second;
+    const uint64_t payload = pl != nullptr ? pl->size() : 0;
+    traffic_->Record(dst, origin, net::MessageKind::kPostingsResponse,
+                     payload, /*hops=*/1);
+    exec.postings_fetched += payload;
+
+    if (pl != nullptr) {
+      const Freq df = pl->size();
+      for (const index::Posting& p : pl->postings()) {
+        scores[p.doc] += scorer.Score(p.tf, df, p.doc_length);
+      }
+    }
+  }
+
+  index::TopK topk(k);
+  for (const auto& [doc, score] : scores) {
+    topk.Offer(index::ScoredDoc{doc, score});
+  }
+  exec.results = topk.Take();
+
+  const net::TrafficCounters after = traffic_->Snapshot();
+  exec.messages = after.messages - before.messages;
+  exec.hops = after.hops - before.hops;
+  return exec;
+}
+
+SingleTermP2PEngine::ConjunctiveExecution
+SingleTermP2PEngine::SearchConjunctive(PeerId origin,
+                                       std::span<const TermId> query,
+                                       size_t k, bool use_bloom,
+                                       double bloom_fp_rate) const {
+  ConjunctiveExecution exec;
+  const net::TrafficCounters before = traffic_->Snapshot();
+
+  // Resolve each distinct term to (owner, posting list), ascending df.
+  std::vector<TermId> terms(query.begin(), query.end());
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  if (terms.empty()) return exec;
+
+  struct TermLoc {
+    TermId term;
+    PeerId owner;
+    const index::PostingList* postings;  // nullptr when absent
+  };
+  std::vector<TermLoc> locs;
+  for (TermId t : terms) {
+    const PeerId owner = overlay_->Responsible(HashU64(t));
+    const auto& fragment = fragments_[owner];
+    auto it = fragment.find(t);
+    locs.push_back(
+        {t, owner, it == fragment.end() ? nullptr : &it->second});
+    if (locs.back().postings == nullptr) {
+      // A missing term empties the conjunction; one probe settles it.
+      const size_t hops = overlay_->Route(origin, HashU64(t));
+      traffic_->Record(origin, owner, net::MessageKind::kKeyProbe, 0,
+                       hops);
+      traffic_->Record(owner, origin, net::MessageKind::kPostingsResponse,
+                       0, 1);
+      const net::TrafficCounters after = traffic_->Snapshot();
+      exec.messages = after.messages - before.messages;
+      exec.hops = after.hops - before.hops;
+      return exec;
+    }
+  }
+  std::sort(locs.begin(), locs.end(),
+            [](const TermLoc& a, const TermLoc& b) {
+              return a.postings->size() < b.postings->size();
+            });
+
+  // Candidate computation.
+  std::vector<DocId> candidates = locs.front().postings->Documents();
+  if (!use_bloom || locs.size() == 1) {
+    // Naive: every full list travels to the origin.
+    for (const TermLoc& loc : locs) {
+      const size_t hops = overlay_->Route(origin, HashU64(loc.term));
+      traffic_->Record(origin, loc.owner, net::MessageKind::kKeyProbe, 0,
+                       hops);
+      traffic_->Record(loc.owner, origin,
+                       net::MessageKind::kPostingsResponse,
+                       loc.postings->size(), 1);
+      exec.postings_transferred += loc.postings->size();
+    }
+    for (size_t i = 1; i < locs.size(); ++i) {
+      std::vector<DocId> next;
+      for (DocId d : candidates) {
+        if (locs[i].postings->Contains(d)) next.push_back(d);
+      }
+      candidates = std::move(next);
+    }
+  } else {
+    // Bloom chain: owner_0 -> owner_1 -> ... -> owner_last, then the
+    // surviving postings + per-term verification postings to the origin.
+    // Posting-equivalents for the byte accounting of Bloom payloads use
+    // the default cost model (12 bytes/posting).
+    constexpr uint64_t kPostingBytes = 12;
+    for (size_t i = 0; i + 1 < locs.size(); ++i) {
+      index::BloomFilter bloom =
+          index::BloomFilter::ForItems(candidates.size(), bloom_fp_rate);
+      for (DocId d : candidates) bloom.Insert(d);
+      exec.bloom_bytes += bloom.SizeBytes();
+      const PeerId next_owner = locs[i + 1].owner;
+      const size_t hops =
+          overlay_->Route(locs[i].owner, HashU64(locs[i + 1].term));
+      traffic_->Record(
+          locs[i].owner, next_owner, net::MessageKind::kBloomFilter,
+          (bloom.SizeBytes() + kPostingBytes - 1) / kPostingBytes, hops);
+      // The next owner intersects its list against the filter (keeping
+      // Bloom false positives).
+      std::vector<DocId> next;
+      for (const index::Posting& p : locs[i + 1].postings->postings()) {
+        if (bloom.MayContain(p.doc)) next.push_back(p.doc);
+      }
+      candidates = std::move(next);
+    }
+    // Last owner ships the surviving candidates to the origin.
+    traffic_->Record(locs.back().owner, origin,
+                     net::MessageKind::kPostingsResponse,
+                     candidates.size(), 1);
+    exec.postings_transferred += candidates.size();
+    // Verification/scoring: every other owner ships its postings
+    // restricted to the candidate set (also prunes false positives).
+    for (size_t i = 0; i + 1 < locs.size(); ++i) {
+      uint64_t shipped = 0;
+      std::vector<DocId> verified;
+      for (DocId d : candidates) {
+        if (locs[i].postings->Contains(d)) {
+          ++shipped;
+          verified.push_back(d);
+        }
+      }
+      traffic_->Record(locs[i].owner, origin,
+                       net::MessageKind::kPostingsResponse, shipped, 1);
+      exec.postings_transferred += shipped;
+      candidates = std::move(verified);
+    }
+  }
+
+  // Exact BM25 scoring of the verified conjunctive candidates.
+  index::Bm25Scorer scorer(num_documents_, average_document_length());
+  index::TopK topk(k);
+  for (DocId d : candidates) {
+    double score = 0;
+    for (const TermLoc& loc : locs) {
+      const auto& pl = *loc.postings;
+      auto docs = pl.postings();
+      auto it = std::lower_bound(
+          docs.begin(), docs.end(), d,
+          [](const index::Posting& p, DocId doc) { return p.doc < doc; });
+      if (it != docs.end() && it->doc == d) {
+        score += scorer.Score(it->tf, pl.size(), it->doc_length);
+      }
+    }
+    topk.Offer(index::ScoredDoc{d, score});
+  }
+  exec.results = topk.Take();
+
+  const net::TrafficCounters after = traffic_->Snapshot();
+  exec.messages = after.messages - before.messages;
+  exec.hops = after.hops - before.hops;
+  return exec;
+}
+
+}  // namespace hdk::p2p

@@ -1,0 +1,106 @@
+// The naive distributed single-term baseline (paper Section 1/5, the "ST"
+// curves of Figures 3, 4 and 6): the classic global inverted index over a
+// structured P2P network. Each peer inserts, for every distinct term of
+// its local documents, its full local posting list; queries fetch the full
+// global posting list of every query term.
+//
+// Unbounded posting lists are exactly what makes this baseline unscalable:
+// per-query retrieval traffic grows linearly with the collection.
+#ifndef HDKP2P_P2P_SINGLE_TERM_H_
+#define HDKP2P_P2P_SINGLE_TERM_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/params.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "corpus/document.h"
+#include "dht/overlay.h"
+#include "index/bm25.h"
+#include "index/posting.h"
+#include "index/topk.h"
+#include "net/traffic.h"
+
+namespace hdk::p2p {
+
+/// Distributed single-term index + BM25 retrieval.
+class SingleTermP2PEngine {
+ public:
+  SingleTermP2PEngine(const dht::Overlay* overlay,
+                      net::TrafficRecorder* traffic);
+
+  /// Indexes documents [first, last) of `store` as peer `src`'s local
+  /// collection: one insertion message per distinct local term, carrying
+  /// the full local posting list.
+  Status IndexPeer(PeerId src, const corpus::DocumentStore& store,
+                   DocId first, DocId last);
+
+  /// Postings stored on a peer's fragment / in total (Figure 3 ST curve).
+  uint64_t StoredPostingsAt(PeerId peer) const;
+  uint64_t TotalStoredPostings() const;
+
+  /// Postings inserted by one peer during indexing (Figure 4 ST curve;
+  /// equals the stored amount — nothing is truncated).
+  uint64_t InsertedPostingsBy(PeerId peer) const;
+
+  /// Query execution: fetches the full posting list of every distinct
+  /// query term from the DHT (recording traffic) and ranks with BM25.
+  struct QueryExecution {
+    std::vector<index::ScoredDoc> results;
+    uint64_t postings_fetched = 0;
+    uint64_t messages = 0;
+    uint64_t hops = 0;
+  };
+  QueryExecution Search(PeerId origin, std::span<const TermId> query,
+                        size_t k) const;
+
+  /// Conjunctive (AND-semantics) retrieval: only documents containing ALL
+  /// query terms, BM25-ranked. Two protocol variants (related work [15],
+  /// [17], [20] of the paper):
+  ///   * naive (`use_bloom = false`): the origin fetches every term's full
+  ///     posting list and intersects locally — traffic = sum of dfs;
+  ///   * Bloom chain (`use_bloom = true`): the owner of the SMALLEST list
+  ///     forwards a Bloom filter of the running intersection from owner to
+  ///     owner (ascending df); the last owner ships the surviving
+  ///     candidate postings; remaining owners then ship their postings
+  ///     restricted to the candidates so that the origin can compute
+  ///     exact BM25 scores (Bloom false positives are pruned there —
+  ///     results are identical to the naive variant).
+  struct ConjunctiveExecution {
+    std::vector<index::ScoredDoc> results;
+    /// Posting entries transferred (the paper's cost metric).
+    uint64_t postings_transferred = 0;
+    /// Bloom payload shipped between owners.
+    uint64_t bloom_bytes = 0;
+    uint64_t messages = 0;
+    uint64_t hops = 0;
+  };
+  ConjunctiveExecution SearchConjunctive(PeerId origin,
+                                         std::span<const TermId> query,
+                                         size_t k, bool use_bloom,
+                                         double bloom_fp_rate = 0.01) const;
+
+  uint64_t num_documents() const { return num_documents_; }
+  double average_document_length() const {
+    return num_documents_ == 0
+               ? 0.0
+               : static_cast<double>(total_tokens_) /
+                     static_cast<double>(num_documents_);
+  }
+
+ private:
+  const dht::Overlay* overlay_;
+  net::TrafficRecorder* traffic_;
+  /// peer -> (term -> global posting list fragment).
+  std::vector<std::unordered_map<TermId, index::PostingList>> fragments_;
+  std::vector<uint64_t> inserted_by_peer_;
+  uint64_t num_documents_ = 0;
+  uint64_t total_tokens_ = 0;
+};
+
+}  // namespace hdk::p2p
+
+#endif  // HDKP2P_P2P_SINGLE_TERM_H_

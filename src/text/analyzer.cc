@@ -1,0 +1,61 @@
+#include "text/analyzer.h"
+
+#include <algorithm>
+
+namespace hdk::text {
+
+Analyzer::Analyzer(AnalyzerOptions options)
+    : options_(options), tokenizer_(options.tokenizer) {}
+
+void Analyzer::ProcessTokens(std::vector<std::string>* tokens) const {
+  if (options_.remove_stopwords) {
+    auto& sw = DefaultStopwords();
+    tokens->erase(std::remove_if(tokens->begin(), tokens->end(),
+                                 [&](const std::string& t) {
+                                   return sw.Contains(t);
+                                 }),
+                  tokens->end());
+  }
+  if (options_.stem) {
+    for (auto& t : *tokens) stemmer_.StemInPlace(&t);
+  }
+}
+
+void Analyzer::Analyze(std::string_view body, Vocabulary* vocab,
+                       std::vector<TermId>* out) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(body);
+  ProcessTokens(&tokens);
+  out->reserve(out->size() + tokens.size());
+  for (const auto& t : tokens) {
+    out->push_back(vocab->Intern(t));
+  }
+}
+
+std::vector<TermId> Analyzer::Analyze(std::string_view body,
+                                      Vocabulary* vocab) const {
+  std::vector<TermId> out;
+  Analyze(body, vocab, &out);
+  return out;
+}
+
+std::vector<std::string> Analyzer::AnalyzeToStrings(
+    std::string_view body) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(body);
+  ProcessTokens(&tokens);
+  return tokens;
+}
+
+std::vector<TermId> Analyzer::AnalyzeQuery(std::string_view query,
+                                           const Vocabulary& vocab) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(query);
+  ProcessTokens(&tokens);
+  std::vector<TermId> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    TermId id = vocab.Lookup(t);
+    if (id != kInvalidTerm) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace hdk::text

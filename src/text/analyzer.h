@@ -1,0 +1,68 @@
+// Analyzer pipeline: tokenize -> stop-word removal -> Porter stemming ->
+// term-id sequence. Mirrors the paper's preprocessing (Section 5): "First we
+// remove 250 common English stop words and apply the Porter stemmer".
+//
+// The additional collection-dependent removal of very frequent terms
+// (Ff threshold) is NOT done here: it depends on global collection
+// statistics and is applied by the HDK key-vocabulary construction.
+#ifndef HDKP2P_TEXT_ANALYZER_H_
+#define HDKP2P_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace hdk::text {
+
+/// Analyzer configuration.
+struct AnalyzerOptions {
+  bool remove_stopwords = true;
+  bool stem = true;
+  TokenizerOptions tokenizer;
+};
+
+/// Converts raw text into a sequence of TermIds against a shared Vocabulary.
+///
+/// The analyzer owns no vocabulary: callers pass one in so that documents
+/// and queries are interned consistently.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  /// Analyzes `body` and appends resulting term ids to `out`.
+  /// Token positions in `out` are contiguous (stop words removed), which is
+  /// the token-offset model the window co-occurrence scanner operates on.
+  void Analyze(std::string_view body, Vocabulary* vocab,
+               std::vector<TermId>* out) const;
+
+  /// Convenience overload returning the id sequence.
+  std::vector<TermId> Analyze(std::string_view body, Vocabulary* vocab) const;
+
+  /// Analyzes and returns the processed token strings (for tests/tools).
+  std::vector<std::string> AnalyzeToStrings(std::string_view body) const;
+
+  /// Analyzes a free-text query: like Analyze but never interns unknown
+  /// terms (a query term absent from the vocabulary cannot match anything).
+  /// Unknown terms are dropped.
+  std::vector<TermId> AnalyzeQuery(std::string_view query,
+                                   const Vocabulary& vocab) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  void ProcessTokens(std::vector<std::string>* tokens) const;
+
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+  PorterStemmer stemmer_;
+};
+
+}  // namespace hdk::text
+
+#endif  // HDKP2P_TEXT_ANALYZER_H_

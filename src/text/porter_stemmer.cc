@@ -1,0 +1,303 @@
+#include "text/porter_stemmer.h"
+
+#include <cstring>
+
+namespace hdk::text {
+
+namespace {
+
+// Working buffer view over the word being stemmed. `end` is the index one
+// past the last character of the current stem candidate; `j` marks the end
+// of the stem when a suffix has been tentatively matched (Porter's k and j).
+struct Ctx {
+  char* b;     // buffer (mutable)
+  int k;       // index of last character of the word
+  int j;       // index of last character of the stem (set by Ends)
+};
+
+// True if b[i] is a consonant (Porter's definition: y is a consonant when
+// at the start of the word or preceded by a vowel).
+bool Cons(const Ctx& z, int i) {
+  switch (z.b[i]) {
+    case 'a': case 'e': case 'i': case 'o': case 'u':
+      return false;
+    case 'y':
+      return (i == 0) ? true : !Cons(z, i - 1);
+    default:
+      return true;
+  }
+}
+
+// Porter's m(): the number of consonant-vowel sequences in the stem
+// b[0..j]: [C](VC)^m[V].
+int Measure(const Ctx& z) {
+  int n = 0;
+  int i = 0;
+  while (true) {
+    if (i > z.j) return n;
+    if (!Cons(z, i)) break;
+    ++i;
+  }
+  ++i;
+  while (true) {
+    while (true) {
+      if (i > z.j) return n;
+      if (Cons(z, i)) break;
+      ++i;
+    }
+    ++i;
+    ++n;
+    while (true) {
+      if (i > z.j) return n;
+      if (!Cons(z, i)) break;
+      ++i;
+    }
+    ++i;
+  }
+}
+
+// *v*: stem b[0..j] contains a vowel.
+bool VowelInStem(const Ctx& z) {
+  for (int i = 0; i <= z.j; ++i) {
+    if (!Cons(z, i)) return true;
+  }
+  return false;
+}
+
+// *d: b[i-1..i] is a double consonant.
+bool DoubleC(const Ctx& z, int i) {
+  if (i < 1) return false;
+  if (z.b[i] != z.b[i - 1]) return false;
+  return Cons(z, i);
+}
+
+// *o: b[i-2..i] is consonant-vowel-consonant and the final consonant is not
+// w, x or y (used to detect e.g. hop -> hopping, -e restoration).
+bool Cvc(const Ctx& z, int i) {
+  if (i < 2 || !Cons(z, i) || Cons(z, i - 1) || !Cons(z, i - 2)) return false;
+  char ch = z.b[i];
+  return ch != 'w' && ch != 'x' && ch != 'y';
+}
+
+// True if the word b[0..k] ends with suffix s; sets j to the stem end.
+bool Ends(Ctx& z, const char* s) {
+  int length = static_cast<int>(std::strlen(s));
+  if (length > z.k + 1) return false;
+  if (std::memcmp(z.b + z.k - length + 1, s, length) != 0) return false;
+  z.j = z.k - length;
+  return true;
+}
+
+// Replaces the matched suffix (b[j+1..k]) with s; adjusts k.
+void SetTo(Ctx& z, const char* s) {
+  int length = static_cast<int>(std::strlen(s));
+  std::memcpy(z.b + z.j + 1, s, length);
+  z.k = z.j + length;
+}
+
+// SetTo guarded by m() > 0.
+void R(Ctx& z, const char* s) {
+  if (Measure(z) > 0) SetTo(z, s);
+}
+
+// Step 1a: plurals.  caresses -> caress, ponies -> poni, cats -> cat.
+void Step1a(Ctx& z) {
+  if (z.b[z.k] == 's') {
+    if (Ends(z, "sses")) {
+      z.k -= 2;
+    } else if (Ends(z, "ies")) {
+      SetTo(z, "i");
+    } else if (z.b[z.k - 1] != 's') {
+      --z.k;
+    }
+  }
+}
+
+// Step 1b: -ed and -ing.  agreed -> agree, motoring -> motor, hopping -> hop.
+void Step1b(Ctx& z) {
+  if (Ends(z, "eed")) {
+    if (Measure(z) > 0) --z.k;
+    return;
+  }
+  if ((Ends(z, "ed") || Ends(z, "ing")) && VowelInStem(z)) {
+    z.k = z.j;
+    if (Ends(z, "at")) {
+      SetTo(z, "ate");
+    } else if (Ends(z, "bl")) {
+      SetTo(z, "ble");
+    } else if (Ends(z, "iz")) {
+      SetTo(z, "ize");
+    } else if (DoubleC(z, z.k)) {
+      char ch = z.b[z.k];
+      if (ch != 'l' && ch != 's' && ch != 'z') --z.k;
+    } else if (Measure(z) == 1 && Cvc(z, z.k)) {
+      z.j = z.k;  // SetTo appends after j.
+      SetTo(z, "e");
+    }
+  }
+}
+
+// Step 1c: y -> i when there is another vowel in the stem.  happy -> happi.
+void Step1c(Ctx& z) {
+  if (Ends(z, "y") && VowelInStem(z)) z.b[z.k] = 'i';
+}
+
+// Step 2: double suffixes mapped to single ones when m() > 0.
+void Step2(Ctx& z) {
+  switch (z.b[z.k - 1]) {
+    case 'a':
+      if (Ends(z, "ational")) { R(z, "ate"); break; }
+      if (Ends(z, "tional")) { R(z, "tion"); break; }
+      break;
+    case 'c':
+      if (Ends(z, "enci")) { R(z, "ence"); break; }
+      if (Ends(z, "anci")) { R(z, "ance"); break; }
+      break;
+    case 'e':
+      if (Ends(z, "izer")) { R(z, "ize"); break; }
+      break;
+    case 'l':
+      if (Ends(z, "abli")) { R(z, "able"); break; }
+      if (Ends(z, "alli")) { R(z, "al"); break; }
+      if (Ends(z, "entli")) { R(z, "ent"); break; }
+      if (Ends(z, "eli")) { R(z, "e"); break; }
+      if (Ends(z, "ousli")) { R(z, "ous"); break; }
+      break;
+    case 'o':
+      if (Ends(z, "ization")) { R(z, "ize"); break; }
+      if (Ends(z, "ation")) { R(z, "ate"); break; }
+      if (Ends(z, "ator")) { R(z, "ate"); break; }
+      break;
+    case 's':
+      if (Ends(z, "alism")) { R(z, "al"); break; }
+      if (Ends(z, "iveness")) { R(z, "ive"); break; }
+      if (Ends(z, "fulness")) { R(z, "ful"); break; }
+      if (Ends(z, "ousness")) { R(z, "ous"); break; }
+      break;
+    case 't':
+      if (Ends(z, "aliti")) { R(z, "al"); break; }
+      if (Ends(z, "iviti")) { R(z, "ive"); break; }
+      if (Ends(z, "biliti")) { R(z, "ble"); break; }
+      break;
+    default:
+      break;
+  }
+}
+
+// Step 3: -ic-, -full, -ness etc. when m() > 0.
+void Step3(Ctx& z) {
+  switch (z.b[z.k]) {
+    case 'e':
+      if (Ends(z, "icate")) { R(z, "ic"); break; }
+      if (Ends(z, "ative")) { R(z, ""); break; }
+      if (Ends(z, "alize")) { R(z, "al"); break; }
+      break;
+    case 'i':
+      if (Ends(z, "iciti")) { R(z, "ic"); break; }
+      break;
+    case 'l':
+      if (Ends(z, "ical")) { R(z, "ic"); break; }
+      if (Ends(z, "ful")) { R(z, ""); break; }
+      break;
+    case 's':
+      if (Ends(z, "ness")) { R(z, ""); break; }
+      break;
+    default:
+      break;
+  }
+}
+
+// Step 4: drop -ant, -ence etc. when m() > 1.
+void Step4(Ctx& z) {
+  switch (z.b[z.k - 1]) {
+    case 'a':
+      if (Ends(z, "al")) break;
+      return;
+    case 'c':
+      if (Ends(z, "ance")) break;
+      if (Ends(z, "ence")) break;
+      return;
+    case 'e':
+      if (Ends(z, "er")) break;
+      return;
+    case 'i':
+      if (Ends(z, "ic")) break;
+      return;
+    case 'l':
+      if (Ends(z, "able")) break;
+      if (Ends(z, "ible")) break;
+      return;
+    case 'n':
+      if (Ends(z, "ant")) break;
+      if (Ends(z, "ement")) break;
+      if (Ends(z, "ment")) break;
+      if (Ends(z, "ent")) break;
+      return;
+    case 'o':
+      if (Ends(z, "ion") && z.j >= 0 &&
+          (z.b[z.j] == 's' || z.b[z.j] == 't')) {
+        break;
+      }
+      if (Ends(z, "ou")) break;  // takes care of -ous
+      return;
+    case 's':
+      if (Ends(z, "ism")) break;
+      return;
+    case 't':
+      if (Ends(z, "ate")) break;
+      if (Ends(z, "iti")) break;
+      return;
+    case 'u':
+      if (Ends(z, "ous")) break;
+      return;
+    case 'v':
+      if (Ends(z, "ive")) break;
+      return;
+    case 'z':
+      if (Ends(z, "ize")) break;
+      return;
+    default:
+      return;
+  }
+  if (Measure(z) > 1) z.k = z.j;
+}
+
+// Step 5a: remove a final -e when m() > 1 (and m() == 1 unless *o).
+void Step5a(Ctx& z) {
+  z.j = z.k;
+  if (z.b[z.k] == 'e') {
+    int m = Measure(z);
+    if (m > 1 || (m == 1 && !Cvc(z, z.k - 1))) --z.k;
+  }
+}
+
+// Step 5b: -ll -> -l when m() > 1.  controll -> control.
+void Step5b(Ctx& z) {
+  if (z.b[z.k] == 'l' && DoubleC(z, z.k) && Measure(z) > 1) --z.k;
+}
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  std::string s(word);
+  StemInPlace(&s);
+  return s;
+}
+
+void PorterStemmer::StemInPlace(std::string* word) const {
+  if (word->size() < 3) return;
+  Ctx z{word->data(), static_cast<int>(word->size()) - 1, 0};
+  Step1a(z);
+  if (z.k > 0) Step1b(z);
+  if (z.k > 0) Step1c(z);
+  if (z.k > 0) Step2(z);
+  if (z.k > 0) Step3(z);
+  if (z.k > 0) Step4(z);
+  if (z.k > 0) {
+    Step5a(z);
+    Step5b(z);
+  }
+  word->resize(static_cast<size_t>(z.k) + 1);
+}
+
+}  // namespace hdk::text

@@ -1,0 +1,30 @@
+// The Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980) — the stemmer the paper applies after
+// stop-word removal.
+//
+// This is a complete, faithful implementation of the original 1980
+// algorithm (steps 1a, 1b, 1c, 2, 3, 4, 5a, 5b) operating on lowercase
+// ASCII words.
+#ifndef HDKP2P_TEXT_PORTER_STEMMER_H_
+#define HDKP2P_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace hdk::text {
+
+/// Stateless Porter stemmer.
+class PorterStemmer {
+ public:
+  /// Returns the stem of `word`. `word` must be lowercase ASCII letters;
+  /// words shorter than 3 characters are returned unchanged (standard
+  /// Porter behaviour).
+  std::string Stem(std::string_view word) const;
+
+  /// In-place variant.
+  void StemInPlace(std::string* word) const;
+};
+
+}  // namespace hdk::text
+
+#endif  // HDKP2P_TEXT_PORTER_STEMMER_H_

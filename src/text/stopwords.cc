@@ -1,0 +1,70 @@
+#include "text/stopwords.h"
+
+#include <string>
+
+namespace hdk::text {
+
+namespace {
+
+// 250 common English stop words (classic van Rijsbergen-style list).
+constexpr std::string_view kDefaultStopwords[] = {
+    "a", "about", "above", "across", "after", "afterwards", "again",
+    "against", "all", "almost", "alone", "along", "already", "also",
+    "although", "always", "am", "among", "amongst", "an", "and", "another",
+    "any", "anyhow", "anyone", "anything", "anywhere", "are", "around",
+    "as", "at", "be", "became", "because", "become", "becomes", "becoming",
+    "been", "before", "beforehand", "behind", "being", "below", "beside",
+    "besides", "between", "beyond", "both", "but", "by", "can", "cannot",
+    "could", "did", "do", "does", "down", "during", "each",
+    "either", "else", "elsewhere", "enough", "etc", "even", "ever", "every",
+    "everyone", "everything", "everywhere", "except", "few", "first", "for",
+    "former", "formerly", "from", "further", "had", "has", "have", "having",
+    "he", "hence", "her", "here", "hereafter", "hereby", "herein",
+    "hereupon", "hers", "herself", "him", "himself", "his", "how", "however",
+    "i", "ie", "if", "in", "indeed", "instead", "into", "is", "it", "its",
+    "itself", "last", "latter", "least", "less", "like", "made",
+    "many", "may", "me", "meanwhile", "might", "more", "moreover", "most",
+    "mostly", "much", "must", "my", "myself", "namely", "neither", "never",
+    "nevertheless", "next", "no", "nobody", "none", "nor", "not",
+    "nothing", "now", "nowhere", "of", "off", "often", "on", "once", "one",
+    "only", "onto", "or", "other", "others", "otherwise", "our", "ours",
+    "ourselves", "out", "over", "own", "per", "perhaps", "rather", "same",
+    "seem", "seemed", "seeming", "seems", "several", "she", "should",
+    "since", "so", "some", "somehow", "someone", "something", "sometime",
+    "sometimes", "somewhere", "still", "such", "than", "that", "the",
+    "their", "theirs", "them", "themselves", "then", "thence", "there",
+    "thereafter", "thereby", "therefore", "therein", "thereupon", "these",
+    "they", "this", "those", "though", "through", "throughout", "thus", "to", "together", "too", "toward", "towards", "under", "until",
+    "up", "upon", "us", "very", "via", "was", "we", "well", "were", "what",
+    "whatever", "when", "whence", "whenever", "where", "whereas", "whereby", "wherein", "wherever", "whether",
+    "which", "while", "whither", "who", "whoever", "whole", "whom", "whose",
+    "why", "will", "with", "within", "without", "would", "yet", "you",
+    "your", "yours", "yourself", "yourselves",
+};
+
+}  // namespace
+
+StopwordSet::StopwordSet() {
+  words_.reserve(std::size(kDefaultStopwords));
+  for (std::string_view w : kDefaultStopwords) {
+    words_.emplace(w);
+  }
+}
+
+StopwordSet::StopwordSet(std::initializer_list<std::string_view> words) {
+  words_.reserve(words.size());
+  for (std::string_view w : words) {
+    words_.emplace(w);
+  }
+}
+
+bool StopwordSet::Contains(std::string_view token) const {
+  return words_.find(std::string(token)) != words_.end();
+}
+
+const StopwordSet& DefaultStopwords() {
+  static const StopwordSet* instance = new StopwordSet();
+  return *instance;
+}
+
+}  // namespace hdk::text

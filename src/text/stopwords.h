@@ -1,0 +1,37 @@
+// The 250-word English stop list used by the paper's preprocessing
+// ("First we remove 250 common English stop words", Section 5).
+#ifndef HDKP2P_TEXT_STOPWORDS_H_
+#define HDKP2P_TEXT_STOPWORDS_H_
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace hdk::text {
+
+/// Set of common English stop words.
+class StopwordSet {
+ public:
+  /// Builds the default 250-word English list (van Rijsbergen-style).
+  StopwordSet();
+
+  /// Builds a custom list.
+  explicit StopwordSet(std::initializer_list<std::string_view> words);
+
+  /// True if `token` (already lowercased) is a stop word.
+  bool Contains(std::string_view token) const;
+
+  /// Number of words in the list.
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+/// The default shared instance (thread-safe after first call).
+const StopwordSet& DefaultStopwords();
+
+}  // namespace hdk::text
+
+#endif  // HDKP2P_TEXT_STOPWORDS_H_

@@ -1,0 +1,60 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace hdk::text {
+
+namespace {
+
+inline bool IsWordChar(unsigned char c, bool keep_digits) {
+  if (std::isalpha(c)) return true;
+  if (keep_digits && std::isdigit(c)) return true;
+  return false;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+void Tokenizer::Tokenize(std::string_view text,
+                         std::vector<std::string>* out) const {
+  std::string current;
+  current.reserve(16);
+
+  auto flush = [&]() {
+    // Strip possessive suffix artifacts left by apostrophe splitting is not
+    // needed here because apostrophes never enter `current`; just apply the
+    // length policy.
+    if (current.size() >= options_.min_token_length) {
+      if (current.size() > options_.max_token_length) {
+        current.resize(options_.max_token_length);
+      }
+      out->push_back(current);
+    }
+    current.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    if (IsWordChar(c, options_.keep_digits)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (c == '\'' && !current.empty() && i + 1 < text.size() &&
+               std::isalpha(static_cast<unsigned char>(text[i + 1]))) {
+      // "don't" -> "dont"; "peer's" -> "peers". Keeping the letters joined
+      // mirrors common web-IR tokenizers; the possessive 's' is later
+      // stripped by the stemmer where relevant.
+      continue;
+    } else if (!current.empty()) {
+      flush();
+    }
+  }
+  if (!current.empty()) flush();
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  Tokenize(text, &out);
+  return out;
+}
+
+}  // namespace hdk::text

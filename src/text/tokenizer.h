@@ -1,0 +1,44 @@
+// Word tokenizer for English-like text.
+//
+// Splits on non-alphanumeric characters, lowercases, and strips possessive
+// apostrophes. This matches the preprocessing the paper applies before
+// stop-word removal and Porter stemming.
+#ifndef HDKP2P_TEXT_TOKENIZER_H_
+#define HDKP2P_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdk::text {
+
+/// Tokenizer options.
+struct TokenizerOptions {
+  /// Tokens shorter than this are dropped (default 1 keeps everything).
+  size_t min_token_length = 1;
+  /// Tokens longer than this are truncated (guards pathological inputs).
+  size_t max_token_length = 64;
+  /// Whether digits may appear inside tokens ("ipv6", "2007").
+  bool keep_digits = true;
+};
+
+/// Splits text into lowercase word tokens.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Appends the tokens of `text` to `out`.
+  void Tokenize(std::string_view text, std::vector<std::string>* out) const;
+
+  /// Convenience: returns the tokens of `text`.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace hdk::text
+
+#endif  // HDKP2P_TEXT_TOKENIZER_H_

@@ -1,0 +1,19 @@
+#include "text/vocabulary.h"
+
+namespace hdk::text {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  return it == ids_.end() ? kInvalidTerm : it->second;
+}
+
+}  // namespace hdk::text

@@ -1,0 +1,44 @@
+// Term interning: bidirectional mapping between term strings and dense
+// TermIds, shared by the analyzer, indexes and the HDK machinery.
+#ifndef HDKP2P_TEXT_VOCABULARY_H_
+#define HDKP2P_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hdk::text {
+
+/// Append-only term dictionary.
+///
+/// TermIds are dense and allocated in first-seen order, which makes them
+/// usable as vector indices everywhere downstream.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `term`, interning it if unseen.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidTerm if unknown.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the term string for `id`. Requires id < size().
+  const std::string& TermOf(TermId id) const { return terms_[id]; }
+
+  /// Number of distinct terms.
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace hdk::text
+
+#endif  // HDKP2P_TEXT_VOCABULARY_H_

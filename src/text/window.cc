@@ -1,0 +1,131 @@
+#include "text/window.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hdk::text {
+
+WindowTail::WindowTail(uint32_t window) : window_(window) {
+  assert(window >= 2);
+  ring_.assign(window_ - 1, kInvalidTerm);
+}
+
+void WindowTail::Reset() {
+  std::fill(ring_.begin(), ring_.end(), kInvalidTerm);
+  ring_pos_ = 0;
+  filled_ = 0;
+  counts_.clear();
+  distinct_ix_.clear();
+  distinct_.clear();
+}
+
+void WindowTail::Evict(TermId t) {
+  if (t == kInvalidTerm) return;
+  auto it = counts_.find(t);
+  assert(it != counts_.end());
+  if (--it->second == 0) {
+    counts_.erase(it);
+    // Remove from distinct_ by swap-with-last.
+    auto ix_it = distinct_ix_.find(t);
+    assert(ix_it != distinct_ix_.end());
+    uint32_t ix = ix_it->second;
+    TermId last = distinct_.back();
+    distinct_[ix] = last;
+    distinct_.pop_back();
+    if (last != t) distinct_ix_[last] = ix;
+    distinct_ix_.erase(ix_it);
+  }
+}
+
+void WindowTail::Push(TermId t) {
+  // Evict the term that falls out of the w-1 tail.
+  if (filled_ == ring_.size()) {
+    Evict(ring_[ring_pos_]);
+  } else {
+    ++filled_;
+  }
+  ring_[ring_pos_] = t;
+  ring_pos_ = (ring_pos_ + 1) % ring_.size();
+
+  if (t != kInvalidTerm) {
+    uint32_t& cnt = counts_[t];
+    if (cnt++ == 0) {
+      distinct_ix_[t] = static_cast<uint32_t>(distinct_.size());
+      distinct_.push_back(t);
+    }
+  }
+}
+
+namespace {
+
+// Sliding-count scaffolding shared by the two co-occurrence queries.
+// Calls `on_full(start)` for every window start position where all key
+// terms are present; returns early if on_full returns false.
+template <typename OnFull>
+void ScanKeyWindows(std::span<const TermId> tokens, uint32_t window,
+                    std::span<const TermId> key, OnFull on_full) {
+  if (key.empty() || tokens.empty()) return;
+
+  // Dedup the key terms (small: |key| <= s_max).
+  std::vector<TermId> terms(key.begin(), key.end());
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  const size_t need = terms.size();
+  std::vector<uint32_t> counts(need, 0);
+  size_t have = 0;
+
+  auto index_of = [&](TermId t) -> int {
+    auto it = std::lower_bound(terms.begin(), terms.end(), t);
+    if (it == terms.end() || *it != t) return -1;
+    return static_cast<int>(it - terms.begin());
+  };
+
+  const size_t n = tokens.size();
+  const size_t w = window;
+  for (size_t end = 0; end < n; ++end) {
+    int ix = index_of(tokens[end]);
+    if (ix >= 0 && counts[ix]++ == 0) ++have;
+    if (end >= w) {
+      int out_ix = index_of(tokens[end - w]);
+      if (out_ix >= 0 && --counts[out_ix] == 0) --have;
+    }
+    // Window covering positions [end-w+1, end] is complete once end+1 >= w,
+    // but for short documents a partial prefix window also counts (all
+    // terms within < w positions certainly fit a w-window).
+    if (have == need) {
+      size_t start = (end + 1 >= w) ? end + 1 - w : 0;
+      if (!on_full(start)) return;
+    }
+  }
+}
+
+}  // namespace
+
+bool WindowCoOccurs(std::span<const TermId> tokens, uint32_t window,
+                    std::span<const TermId> key) {
+  if (key.empty()) return true;
+  bool found = false;
+  ScanKeyWindows(tokens, window, key, [&](size_t) {
+    found = true;
+    return false;  // stop at first hit
+  });
+  return found;
+}
+
+uint64_t CountCoOccurrenceWindows(std::span<const TermId> tokens,
+                                  uint32_t window,
+                                  std::span<const TermId> key) {
+  if (key.empty()) return 0;
+  // One window per end position: the window ending at token `end` covers
+  // positions [max(0, end-w+1), end]. The count is the number of end
+  // positions whose window contains every key term.
+  uint64_t count = 0;
+  ScanKeyWindows(tokens, window, key, [&](size_t) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+}  // namespace hdk::text

@@ -1,0 +1,79 @@
+// Sliding-window machinery for proximity filtering (paper Def. 2).
+//
+// A key passes proximity filtering iff all its terms occur together within
+// at least one window of `w` consecutive token positions of a document.
+// Token positions are counted after stop-word removal, matching the
+// analyzer's output model.
+#ifndef HDKP2P_TEXT_WINDOW_H_
+#define HDKP2P_TEXT_WINDOW_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hdk::text {
+
+/// Maintains the distinct terms among the last (w-1) token positions while
+/// scanning a document left to right.
+///
+/// Usage: call Push(t) for every position i in order. After the call for
+/// position i, distinct() holds the distinct non-hole terms at positions
+/// [i-w+1, i-1] — i.e. the "tail" a new term at position i can combine with
+/// to form keys co-occurring in a window of size w (cf. the sliding-window
+/// argument in the proof of Theorem 3).
+///
+/// Pass kInvalidTerm for positions whose term must not participate in key
+/// building (stop terms, very frequent terms, non-expandable terms): the
+/// position still advances, preserving window geometry.
+class WindowTail {
+ public:
+  /// \param window  w >= 2; the tail keeps w-1 positions.
+  explicit WindowTail(uint32_t window);
+
+  /// Advances the scan by one position carrying term `t`
+  /// (kInvalidTerm for a hole). The pushed term itself becomes part of the
+  /// tail for the NEXT position.
+  void Push(TermId t);
+
+  /// Distinct non-hole terms currently in the tail (unordered, no dups).
+  const std::vector<TermId>& distinct() const { return distinct_; }
+
+  /// True if `t` occurs in the tail.
+  bool Contains(TermId t) const { return counts_.count(t) > 0; }
+
+  /// Clears all state for reuse on the next document.
+  void Reset();
+
+  uint32_t window() const { return window_; }
+
+ private:
+  void Evict(TermId t);
+
+  uint32_t window_;                 // w
+  std::vector<TermId> ring_;        // last w-1 pushed terms (ring buffer)
+  size_t ring_pos_ = 0;             // next slot to overwrite
+  size_t filled_ = 0;               // number of valid slots
+  std::unordered_map<TermId, uint32_t> counts_;      // term -> multiplicity
+  std::unordered_map<TermId, uint32_t> distinct_ix_; // term -> index
+  std::vector<TermId> distinct_;
+};
+
+/// True if all terms of `key` co-occur within some window of `w` consecutive
+/// positions of `tokens`. Duplicated terms in `key` are treated as a set.
+/// An empty key trivially co-occurs; a 1-term key co-occurs iff present.
+bool WindowCoOccurs(std::span<const TermId> tokens, uint32_t window,
+                    std::span<const TermId> key);
+
+/// Number of token end-positions whose trailing window of size w contains
+/// all terms of `key`. Useful as a proximity-weighted term-set frequency
+/// for ranking and as a test oracle.
+uint64_t CountCoOccurrenceWindows(std::span<const TermId> tokens,
+                                  uint32_t window,
+                                  std::span<const TermId> key);
+
+}  // namespace hdk::text
+
+#endif  // HDKP2P_TEXT_WINDOW_H_

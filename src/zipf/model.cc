@@ -1,0 +1,137 @@
+#include "zipf/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdk::zipf {
+
+double ZipfFit::Frequency(double rank) const {
+  return scale * std::pow(rank, -skew);
+}
+
+double ZipfFit::RankOf(double freq) const {
+  if (freq <= 0 || scale <= 0 || skew <= 0) return 0.0;
+  return std::pow(scale / freq, 1.0 / skew);
+}
+
+Result<ZipfFit> FitZipf(std::span<const Freq> rank_frequencies,
+                        ZipfFitOptions options) {
+  // Collect (log r, log f) points above the frequency floor.
+  std::vector<double> xs, ys;
+  size_t limit = rank_frequencies.size();
+  if (options.max_ranks > 0) {
+    limit = std::min(limit, options.max_ranks);
+  }
+  xs.reserve(limit);
+  ys.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    Freq f = rank_frequencies[i];
+    if (f < options.min_frequency) break;  // sorted descending
+    xs.push_back(std::log(static_cast<double>(i + 1)));
+    ys.push_back(std::log(static_cast<double>(f)));
+  }
+  if (xs.size() < 3) {
+    return Status::InvalidArgument(
+        "FitZipf: need at least 3 rank points above the frequency floor");
+  }
+
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom <= 0) {
+    return Status::InvalidArgument("FitZipf: degenerate rank points");
+  }
+  const double slope = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / n;
+
+  ZipfFit fit;
+  fit.skew = -slope;
+  fit.scale = std::exp(intercept);
+  fit.points_used = xs.size();
+
+  // R^2 of the regression.
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double pred = intercept + slope * xs[i];
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+Result<double> VeryFrequentProbability(double skew, double scale, double ff) {
+  if (skew <= 1.0) {
+    return Status::InvalidArgument(
+        "VeryFrequentProbability: closed form requires skew > 1");
+  }
+  if (scale <= 1.0 || ff <= 0) {
+    return Status::InvalidArgument(
+        "VeryFrequentProbability: need scale > 1 and ff > 0");
+  }
+  const double e = (skew - 1.0) / skew;
+  const double num = 1.0 - std::pow(ff / scale, e);
+  const double den = 1.0 - std::pow(1.0 / scale, e);
+  if (den <= 0) {
+    return Status::InvalidArgument("VeryFrequentProbability: degenerate");
+  }
+  // When Ff >= C the fitted curve has no very frequent terms.
+  return std::max(0.0, num / den);
+}
+
+Result<double> FrequentProbability(double skew, double fr, double ff) {
+  if (skew <= 1.0) {
+    return Status::InvalidArgument(
+        "FrequentProbability: closed form requires skew > 1");
+  }
+  if (fr <= 0 || ff < fr || ff <= 1.0) {
+    return Status::InvalidArgument(
+        "FrequentProbability: need 0 < Fr <= Ff, Ff > 1");
+  }
+  const double e = (skew - 1.0) / skew;
+  const double num = 1.0 - std::pow(fr / ff, e);
+  const double den = 1.0 - std::pow(1.0 / ff, e);
+  if (den <= 0) {
+    return Status::InvalidArgument("FrequentProbability: degenerate");
+  }
+  return num / den;
+}
+
+double Binomial(uint32_t n, uint32_t k) {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (uint32_t i = 1; i <= k; ++i) {
+    result = result * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+double IndexSizeEstimate(uint64_t d_tokens, double pf_prev, uint32_t window,
+                         uint32_t key_size) {
+  if (key_size == 0 || window == 0) return 0.0;
+  if (key_size == 1) {
+    // IS_1 <= D (every occurrence contributes at most one posting).
+    return static_cast<double>(d_tokens);
+  }
+  return static_cast<double>(d_tokens) * pf_prev * pf_prev *
+         Binomial(window - 1, key_size - 1);
+}
+
+std::vector<double> EvaluateZipfCurve(double skew, double scale, size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t r = 1; r <= n; ++r) {
+    out.push_back(scale * std::pow(static_cast<double>(r), -skew));
+  }
+  return out;
+}
+
+}  // namespace hdk::zipf

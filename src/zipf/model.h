@@ -1,0 +1,83 @@
+// Zipf modelling of term frequency distributions and the paper's
+// theoretical scalability analysis (Section 4, Theorems 1-3).
+//
+// Conventions follow the paper: for a term of zipf rank r in a collection
+// sample of size l (token count), the collection frequency is approximated
+// by z(r, l) = C(l) * r^(-a); the skew a is collection-characteristic and
+// independent of l, the scale C(l) grows with l.
+#ifndef HDKP2P_ZIPF_MODEL_H_
+#define HDKP2P_ZIPF_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hdk::zipf {
+
+/// A fitted Zipf law z(r) = C * r^(-a).
+struct ZipfFit {
+  /// Skew a (the paper fits a_1 ~ 1.5 for single terms on Wikipedia,
+  /// a_2 ~ 0.9 for 2-term keys).
+  double skew = 0.0;
+  /// Scale C (frequency of the rank-1 item under the fit).
+  double scale = 0.0;
+  /// Number of rank points actually used by the fit.
+  size_t points_used = 0;
+  /// Coefficient of determination of the log-log regression.
+  double r_squared = 0.0;
+
+  /// Fitted frequency of rank r (r >= 1).
+  double Frequency(double rank) const;
+
+  /// Inverse: the rank whose fitted frequency equals `freq`
+  /// (z^-1(y) = (C/y)^(1/a), Appendix of the paper).
+  double RankOf(double freq) const;
+};
+
+/// Options for FitZipf.
+struct ZipfFitOptions {
+  /// Ranks with empirical frequency below this are excluded (the hapax tail
+  /// flattens and would bias the regression; the paper's analysis likewise
+  /// disregards hapax legomena).
+  Freq min_frequency = 2;
+  /// Use at most this many top ranks (0 = all).
+  size_t max_ranks = 0;
+};
+
+/// Least-squares log-log fit of a Zipf law to an empirical rank-frequency
+/// curve. `rank_frequencies` must be sorted descending; entry i is the
+/// frequency of rank i+1.
+Result<ZipfFit> FitZipf(std::span<const Freq> rank_frequencies,
+                        ZipfFitOptions options = {});
+
+/// Theorem 1: probability that a token occurrence belongs to a very
+/// frequent term (collection frequency > ff) for scale C(l):
+///   P_vf(l) = (1 - (Ff/C)^((a-1)/a)) / (1 - (1/C)^((a-1)/a)).
+/// Requires skew > 1 for the closed form to be meaningful; scale > ff.
+Result<double> VeryFrequentProbability(double skew, double scale, double ff);
+
+/// Theorem 2: probability that a token occurrence belongs to a frequent
+/// term (Fr < cf <= Ff) — independent of sample size:
+///   P_f = (1 - (Fr/Ff)^((a-1)/a)) / (1 - (1/Ff)^((a-1)/a)).
+Result<double> FrequentProbability(double skew, double fr, double ff);
+
+/// Theorem 3: upper-bound estimate of the positional index size for keys of
+/// size s over a collection of sample size d_tokens:
+///   IS_s(D) = D * P_f,(s-1)^2 * binom(w-1, s-1).
+/// `pf_prev` is the frequent-key occurrence probability at size s-1.
+double IndexSizeEstimate(uint64_t d_tokens, double pf_prev, uint32_t window,
+                         uint32_t key_size);
+
+/// binom(n, k) as double (exact for the small arguments used here).
+double Binomial(uint32_t n, uint32_t k);
+
+/// Evaluates z(r) = scale * r^(-skew) over ranks 1..n (for Figure 2 style
+/// curves); returns n values.
+std::vector<double> EvaluateZipfCurve(double skew, double scale, size_t n);
+
+}  // namespace hdk::zipf
+
+#endif  // HDKP2P_ZIPF_MODEL_H_

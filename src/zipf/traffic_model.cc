@@ -1,0 +1,46 @@
+#include "zipf/traffic_model.h"
+
+namespace hdk::zipf {
+
+Status TrafficModelParams::Validate() const {
+  if (st_postings_per_doc <= 0 || hdk_postings_per_doc <= 0) {
+    return Status::InvalidArgument("indexing postings must be positive");
+  }
+  if (st_query_postings_per_doc < 0 || hdk_query_postings < 0) {
+    return Status::InvalidArgument("query postings must be non-negative");
+  }
+  if (queries_per_period < 0) {
+    return Status::InvalidArgument("queries_per_period must be >= 0");
+  }
+  return Status::OK();
+}
+
+TrafficEstimate EstimateTraffic(const TrafficModelParams& params,
+                                uint64_t num_documents) {
+  TrafficEstimate e;
+  e.num_documents = num_documents;
+  const double m = static_cast<double>(num_documents);
+  const double st_indexing = params.st_postings_per_doc * m;
+  const double hdk_indexing = params.hdk_postings_per_doc * m;
+  const double st_retrieval =
+      params.queries_per_period * params.st_query_postings_per_doc * m;
+  const double hdk_retrieval =
+      params.queries_per_period * params.hdk_query_postings;
+  e.st_total = st_indexing + st_retrieval;
+  e.hdk_total = hdk_indexing + hdk_retrieval;
+  e.ratio = e.hdk_total > 0 ? e.st_total / e.hdk_total : 0.0;
+  return e;
+}
+
+std::vector<TrafficEstimate> EstimateTrafficSweep(
+    const TrafficModelParams& params,
+    const std::vector<uint64_t>& num_documents) {
+  std::vector<TrafficEstimate> out;
+  out.reserve(num_documents.size());
+  for (uint64_t m : num_documents) {
+    out.push_back(EstimateTraffic(params, m));
+  }
+  return out;
+}
+
+}  // namespace hdk::zipf

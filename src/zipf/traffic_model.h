@@ -1,0 +1,68 @@
+// Figure 8 traffic projection: estimated total (indexing + retrieval)
+// traffic in postings per month for the naive distributed single-term
+// approach vs the HDK approach, as a function of collection size.
+//
+// The model follows the paper's calculation: indexing is performed monthly
+// (every document's postings are inserted into the global index once per
+// month) and the monthly query load is 1.5e6 queries. Single-term retrieval
+// traffic grows linearly with the collection (posting lists are unbounded),
+// HDK retrieval traffic is bounded by nk * DFmax per query.
+#ifndef HDKP2P_ZIPF_TRAFFIC_MODEL_H_
+#define HDKP2P_ZIPF_TRAFFIC_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hdk::zipf {
+
+/// Calibration constants of the traffic projection. Defaults are the
+/// paper's measured Wikipedia values; the Figure 8 bench re-calibrates them
+/// from measured runs on the synthetic collection.
+struct TrafficModelParams {
+  /// Postings inserted into the global index per document, single-term
+  /// indexing (paper: ~130 per Wikipedia document).
+  double st_postings_per_doc = 130.0;
+
+  /// Postings inserted per document with HDK indexing at large D
+  /// (paper: ~5290, i.e. up to 40.7x single-term).
+  double hdk_postings_per_doc = 5290.0;
+
+  /// Single-term retrieval: postings transferred per query per indexed
+  /// document (slope of the linear growth in Figure 6). The paper's plot
+  /// shows ~2.0e4 postings/query at 140k documents => ~0.143.
+  double st_query_postings_per_doc = 0.143;
+
+  /// HDK retrieval: postings transferred per query (bounded; paper Fig. 6
+  /// shows a near-constant ~1.5e3..2.5e3 depending on DFmax).
+  double hdk_query_postings = 2000.0;
+
+  /// Queries per indexing period (paper: 1.5e6 per month).
+  double queries_per_period = 1.5e6;
+
+  Status Validate() const;
+};
+
+/// Traffic estimate for one collection size.
+struct TrafficEstimate {
+  uint64_t num_documents = 0;
+  double st_total = 0.0;   // postings / period, single-term
+  double hdk_total = 0.0;  // postings / period, HDK
+  /// st_total / hdk_total (the paper reports ~20x at 653,546 docs and
+  /// ~42x at 1e9 docs).
+  double ratio = 0.0;
+};
+
+/// Evaluates the model at a single collection size.
+TrafficEstimate EstimateTraffic(const TrafficModelParams& params,
+                                uint64_t num_documents);
+
+/// Evaluates the model over a sweep of collection sizes.
+std::vector<TrafficEstimate> EstimateTrafficSweep(
+    const TrafficModelParams& params,
+    const std::vector<uint64_t>& num_documents);
+
+}  // namespace hdk::zipf
+
+#endif  // HDKP2P_ZIPF_TRAFFIC_MODEL_H_

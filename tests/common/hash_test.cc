@@ -1,0 +1,93 @@
+#include "common/hash.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hdk {
+namespace {
+
+TEST(HashTest, Fnv1aKnownValues) {
+  // FNV-1a 64 reference values.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, Fnv1aIsDeterministic) {
+  EXPECT_EQ(Fnv1a64("hdk"), Fnv1a64("hdk"));
+  EXPECT_NE(Fnv1a64("hdk"), Fnv1a64("hdl"));
+}
+
+TEST(HashTest, Mix64ChangesValueAndIsBijectiveish) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    outputs.insert(Mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 1000u);  // no collisions on a small range
+}
+
+TEST(HashTest, Mix64AvalanchesLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  const int trials = 64;
+  for (int bit = 0; bit < trials; ++bit) {
+    uint64_t a = Mix64(0x1234567890abcdefULL);
+    uint64_t b = Mix64(0x1234567890abcdefULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  double avg = static_cast<double>(total_flips) / trials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  uint64_t ab = HashCombine(HashCombine(0, 1), 2);
+  uint64_t ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashTest, HashStringDiffersFromRawFnv) {
+  EXPECT_NE(HashString("abc"), Fnv1a64("abc"));
+}
+
+TEST(HashTermIdsTest, DependsOnCount) {
+  uint32_t ids1[] = {5};
+  uint32_t ids2[] = {5, 5};
+  EXPECT_NE(HashTermIds(ids1, 1), HashTermIds(ids2, 2));
+}
+
+TEST(HashTermIdsTest, DeterministicAndDistinct) {
+  uint32_t a[] = {1, 2, 3};
+  uint32_t b[] = {1, 2, 4};
+  uint32_t c[] = {1, 2, 3};
+  EXPECT_EQ(HashTermIds(a, 3), HashTermIds(c, 3));
+  EXPECT_NE(HashTermIds(a, 3), HashTermIds(b, 3));
+}
+
+TEST(HashTermIdsTest, OrderSensitiveByDesign) {
+  // Keys are canonicalized (sorted) before hashing; the raw function is
+  // order sensitive, which TermKey's canonical form makes irrelevant.
+  uint32_t a[] = {1, 2};
+  uint32_t b[] = {2, 1};
+  EXPECT_NE(HashTermIds(a, 2), HashTermIds(b, 2));
+}
+
+TEST(HashTermIdsTest, SpreadsOverRing) {
+  // Single-term keys should spread near-uniformly over the 64-bit ring.
+  std::vector<uint64_t> hashes;
+  for (uint32_t t = 0; t < 4096; ++t) {
+    hashes.push_back(HashTermIds(&t, 1));
+  }
+  // Count how many fall in the lower half of the ring; expect ~50%.
+  size_t low = 0;
+  for (uint64_t h : hashes) {
+    if (h < (1ULL << 63)) ++low;
+  }
+  EXPECT_GT(low, 4096 / 2 - 300);
+  EXPECT_LT(low, 4096 / 2 + 300);
+}
+
+}  // namespace
+}  // namespace hdk

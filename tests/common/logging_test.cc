@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressedLevelsDoNotEvaluateStream) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  HDK_LOG(Debug) << count();
+  HDK_LOG(Info) << count();
+  HDK_LOG(Warning) << count();
+  EXPECT_EQ(evaluations, 0);
+  HDK_LOG(Error) << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  HDK_LOG(Error) << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace hdk

@@ -1,0 +1,194 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hdk {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, NextBoundedStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(99);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.NextBounded(bound)];
+  }
+  for (uint64_t v = 0; v < bound; ++v) {
+    EXPECT_GT(counts[v], n / 10 - 600);
+    EXPECT_LT(counts[v], n / 10 + 600);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(17);
+  const int n = 50000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.015);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.Fork();
+  // Child and parent should not produce identical streams.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == child.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(ZipfSamplerTest, SingleRank) {
+  Rng rng(3);
+  ZipfSampler z(1, 1.5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(z.Sample(rng), 1u);
+  }
+}
+
+TEST(ZipfSamplerTest, RanksInRange) {
+  Rng rng(31);
+  ZipfSampler z(1000, 1.2);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t r = z.Sample(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 1000u);
+  }
+}
+
+TEST(ZipfSamplerTest, FrequencyRatioMatchesSkew) {
+  // P(1)/P(2) should approximate 2^skew.
+  Rng rng(37);
+  const double skew = 1.5;
+  ZipfSampler z(100000, skew);
+  const int n = 400000;
+  uint64_t c1 = 0, c2 = 0;
+  for (int i = 0; i < n; ++i) {
+    uint64_t r = z.Sample(rng);
+    if (r == 1) ++c1;
+    if (r == 2) ++c2;
+  }
+  ASSERT_GT(c2, 0u);
+  double ratio = static_cast<double>(c1) / static_cast<double>(c2);
+  EXPECT_NEAR(ratio, std::pow(2.0, skew), 0.25);
+}
+
+TEST(ZipfSamplerTest, SkewOneSpecialCase) {
+  Rng rng(41);
+  ZipfSampler z(1000, 1.0);
+  uint64_t c1 = 0, c4 = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t r = z.Sample(rng);
+    if (r == 1) ++c1;
+    if (r == 4) ++c4;
+  }
+  ASSERT_GT(c4, 0u);
+  // P(1)/P(4) = 4 for skew 1.
+  EXPECT_NEAR(static_cast<double>(c1) / c4, 4.0, 0.6);
+}
+
+TEST(AliasTableTest, SingleEntry) {
+  Rng rng(43);
+  AliasTable t({5.0});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(t.Sample(rng), 0u);
+  }
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Rng rng(47);
+  AliasTable t({1.0, 2.0, 3.0, 4.0});
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[t.Sample(rng)];
+  }
+  for (int i = 0; i < 4; ++i) {
+    double expected = (i + 1) / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, expected, 0.01);
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  Rng rng(53);
+  AliasTable t({0.0, 1.0, 0.0, 1.0});
+  for (int i = 0; i < 20000; ++i) {
+    size_t s = t.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+}  // namespace
+}  // namespace hdk

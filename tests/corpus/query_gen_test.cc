@@ -1,0 +1,134 @@
+#include "corpus/query_gen.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "corpus/synthetic.h"
+#include "text/window.h"
+
+namespace hdk::corpus {
+namespace {
+
+class QueryGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig cfg;
+    cfg.seed = 7;
+    cfg.vocabulary_size = 20000;
+    cfg.num_topics = 40;
+    cfg.topic_width = 60;
+    cfg.mean_doc_length = 80.0;
+    SyntheticCorpus corpus(cfg);
+    corpus.FillStore(400, &store_);
+    stats_ = std::make_unique<CollectionStats>(store_);
+  }
+
+  DocumentStore store_;
+  std::unique_ptr<CollectionStats> stats_;
+};
+
+TEST_F(QueryGenTest, ConfigValidation) {
+  QueryGenConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.min_terms = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = QueryGenConfig{};
+  cfg.min_terms = 5;
+  cfg.max_terms = 3;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = QueryGenConfig{};
+  cfg.length_p = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = QueryGenConfig{};
+  cfg.sample_window = 4;
+  cfg.max_terms = 8;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST_F(QueryGenTest, GeneratesRequestedCount) {
+  QueryGenConfig cfg;
+  cfg.min_term_df = 3;
+  QueryGenerator gen(cfg, store_, *stats_);
+  auto queries = gen.Generate(100);
+  EXPECT_EQ(queries.size(), 100u);
+}
+
+TEST_F(QueryGenTest, LengthsWithinPaperBounds) {
+  QueryGenConfig cfg;
+  cfg.min_term_df = 3;
+  QueryGenerator gen(cfg, store_, *stats_);
+  auto queries = gen.Generate(300);
+  for (const auto& q : queries) {
+    EXPECT_GE(q.size(), 2u);
+    EXPECT_LE(q.size(), 8u);
+  }
+  // Paper: average query size ~3 (3.02 in the retrieval experiments).
+  double avg = QueryGenerator::AverageSize(queries);
+  EXPECT_GT(avg, 2.2);
+  EXPECT_LT(avg, 4.0);
+}
+
+TEST_F(QueryGenTest, TermsAreDistinctAndSorted) {
+  QueryGenConfig cfg;
+  cfg.min_term_df = 3;
+  QueryGenerator gen(cfg, store_, *stats_);
+  for (const auto& q : gen.Generate(100)) {
+    EXPECT_TRUE(std::is_sorted(q.terms.begin(), q.terms.end()));
+    EXPECT_TRUE(std::adjacent_find(q.terms.begin(), q.terms.end()) ==
+                q.terms.end());
+  }
+}
+
+TEST_F(QueryGenTest, TermsComeFromSourceDocWindow) {
+  QueryGenConfig cfg;
+  cfg.min_term_df = 3;
+  QueryGenerator gen(cfg, store_, *stats_);
+  for (const auto& q : gen.Generate(50)) {
+    ASSERT_NE(q.source_doc, kInvalidDoc);
+    // All query terms co-occur in the source document within the sampling
+    // window (queries are topically coherent by construction).
+    EXPECT_TRUE(text::WindowCoOccurs(store_.Tokens(q.source_doc),
+                                     cfg.sample_window, q.terms));
+  }
+}
+
+TEST_F(QueryGenTest, RespectsDfFloor) {
+  QueryGenConfig cfg;
+  cfg.min_term_df = 5;
+  QueryGenerator gen(cfg, store_, *stats_);
+  for (const auto& q : gen.Generate(100)) {
+    for (TermId t : q.terms) {
+      EXPECT_GE(stats_->DocumentFrequency(t), 5u);
+    }
+  }
+}
+
+TEST_F(QueryGenTest, DeterministicForSeed) {
+  QueryGenConfig cfg;
+  cfg.min_term_df = 3;
+  QueryGenerator g1(cfg, store_, *stats_);
+  QueryGenerator g2(cfg, store_, *stats_);
+  auto a = g1.Generate(40);
+  auto b = g2.Generate(40);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].terms, b[i].terms);
+    EXPECT_EQ(a[i].source_doc, b[i].source_doc);
+  }
+}
+
+TEST_F(QueryGenTest, EmptyStoreYieldsNoQueries) {
+  DocumentStore empty;
+  CollectionStats stats(empty);
+  QueryGenConfig cfg;
+  QueryGenerator gen(cfg, empty, stats);
+  EXPECT_TRUE(gen.Generate(10).empty());
+}
+
+TEST(QueryTest, AverageSizeOfEmptyBatch) {
+  EXPECT_EQ(QueryGenerator::AverageSize({}), 0.0);
+}
+
+}  // namespace
+}  // namespace hdk::corpus

@@ -1,0 +1,81 @@
+#include "corpus/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk::corpus {
+namespace {
+
+DocumentStore TinyStore() {
+  DocumentStore store;
+  store.Add({0, 1, 0});     // doc 0: term0 x2, term1
+  store.Add({1, 2});        // doc 1: term1, term2
+  store.Add({0});           // doc 2: term0
+  return store;
+}
+
+TEST(CollectionStatsTest, CountsDocumentsAndTokens) {
+  DocumentStore store = TinyStore();
+  CollectionStats stats(store);
+  EXPECT_EQ(stats.num_documents(), 3u);
+  EXPECT_EQ(stats.total_tokens(), 6u);
+  EXPECT_NEAR(stats.average_document_length(), 2.0, 1e-9);
+  EXPECT_EQ(stats.vocabulary_size(), 3u);
+}
+
+TEST(CollectionStatsTest, CollectionFrequencies) {
+  CollectionStats stats{TinyStore()};
+  EXPECT_EQ(stats.CollectionFrequency(0), 3u);
+  EXPECT_EQ(stats.CollectionFrequency(1), 2u);
+  EXPECT_EQ(stats.CollectionFrequency(2), 1u);
+  EXPECT_EQ(stats.CollectionFrequency(99), 0u);
+}
+
+TEST(CollectionStatsTest, DocumentFrequencies) {
+  CollectionStats stats{TinyStore()};
+  EXPECT_EQ(stats.DocumentFrequency(0), 2u);
+  EXPECT_EQ(stats.DocumentFrequency(1), 2u);
+  EXPECT_EQ(stats.DocumentFrequency(2), 1u);
+  EXPECT_EQ(stats.DocumentFrequency(99), 0u);
+}
+
+TEST(CollectionStatsTest, RankFrequenciesSortedDescending) {
+  CollectionStats stats{TinyStore()};
+  const auto& rf = stats.RankFrequencies();
+  ASSERT_EQ(rf.size(), 3u);
+  EXPECT_EQ(rf[0], 3u);
+  EXPECT_EQ(rf[1], 2u);
+  EXPECT_EQ(rf[2], 1u);
+}
+
+TEST(CollectionStatsTest, VeryFrequentTerms) {
+  CollectionStats stats{TinyStore()};
+  EXPECT_EQ(stats.VeryFrequentTerms(2), (std::vector<TermId>{0}));
+  EXPECT_EQ(stats.VeryFrequentTerms(1), (std::vector<TermId>{0, 1}));
+  EXPECT_TRUE(stats.VeryFrequentTerms(10).empty());
+}
+
+TEST(CollectionStatsTest, Hapax) {
+  CollectionStats stats{TinyStore()};
+  EXPECT_EQ(stats.NumHapax(), 1u);  // term 2
+}
+
+TEST(CollectionStatsTest, EmptyStore) {
+  DocumentStore store;
+  CollectionStats stats(store);
+  EXPECT_EQ(stats.num_documents(), 0u);
+  EXPECT_EQ(stats.vocabulary_size(), 0u);
+  EXPECT_EQ(stats.average_document_length(), 0.0);
+}
+
+TEST(DocumentStoreTest, AddAssignsDenseIds) {
+  DocumentStore store;
+  EXPECT_EQ(store.Add({1, 2}), 0u);
+  EXPECT_EQ(store.Add({3}), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.TotalTokens(), 3u);
+  EXPECT_EQ(store.Get(1).tokens, (std::vector<TermId>{3}));
+  EXPECT_EQ(store.Tokens(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace hdk::corpus

@@ -1,0 +1,155 @@
+#include "corpus/synthetic.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "corpus/stats.h"
+#include "zipf/model.h"
+
+namespace hdk::corpus {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig cfg;
+  cfg.seed = 99;
+  cfg.vocabulary_size = 20000;
+  cfg.num_topics = 50;
+  cfg.topic_width = 80;
+  cfg.mean_doc_length = 80.0;
+  return cfg;
+}
+
+TEST(SyntheticConfigTest, DefaultValid) {
+  EXPECT_TRUE(SyntheticConfig{}.Validate().ok());
+}
+
+TEST(SyntheticConfigTest, RejectsBadValues) {
+  SyntheticConfig cfg;
+  cfg.vocabulary_size = 10;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = SyntheticConfig{};
+  cfg.topic_share = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = SyntheticConfig{};
+  cfg.burstiness = 0.95;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = SyntheticConfig{};
+  cfg.mean_doc_length = 4.0;
+  cfg.min_doc_length = 16;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(SyntheticCorpusTest, DeterministicPerDocument) {
+  SyntheticCorpus a(SmallConfig());
+  SyntheticCorpus b(SmallConfig());
+  for (uint64_t d : {0ULL, 1ULL, 17ULL, 999ULL}) {
+    EXPECT_EQ(a.GenerateTokens(d), b.GenerateTokens(d)) << d;
+  }
+}
+
+TEST(SyntheticCorpusTest, DifferentSeedsDiffer) {
+  SyntheticConfig c1 = SmallConfig();
+  SyntheticConfig c2 = SmallConfig();
+  c2.seed = 100;
+  SyntheticCorpus a(c1), b(c2);
+  EXPECT_NE(a.GenerateTokens(0), b.GenerateTokens(0));
+}
+
+TEST(SyntheticCorpusTest, PrefixStabilityUnderGrowth) {
+  // Growing the collection must not change earlier documents (the paper's
+  // incremental peers-join experiments rely on this).
+  SyntheticCorpus corpus(SmallConfig());
+  DocumentStore small, large;
+  corpus.FillStore(50, &small);
+  corpus.FillStore(200, &large);
+  for (DocId d = 0; d < 50; ++d) {
+    EXPECT_EQ(small.Get(d).tokens, large.Get(d).tokens) << d;
+  }
+}
+
+TEST(SyntheticCorpusTest, FillStoreIsIdempotent) {
+  SyntheticCorpus corpus(SmallConfig());
+  DocumentStore store;
+  corpus.FillStore(30, &store);
+  corpus.FillStore(30, &store);
+  EXPECT_EQ(store.size(), 30u);
+}
+
+TEST(SyntheticCorpusTest, RespectsLengthBounds) {
+  SyntheticConfig cfg = SmallConfig();
+  SyntheticCorpus corpus(cfg);
+  double total = 0;
+  const int n = 400;
+  for (int d = 0; d < n; ++d) {
+    auto tokens = corpus.GenerateTokens(d);
+    EXPECT_GE(tokens.size(), cfg.min_doc_length);
+    total += static_cast<double>(tokens.size());
+  }
+  // Erlang-2 mean should land near the configured mean.
+  EXPECT_NEAR(total / n, cfg.mean_doc_length, cfg.mean_doc_length * 0.15);
+}
+
+TEST(SyntheticCorpusTest, UnigramDistributionIsZipfian) {
+  SyntheticConfig cfg = SmallConfig();
+  SyntheticCorpus corpus(cfg);
+  DocumentStore store;
+  corpus.FillStore(800, &store);
+  CollectionStats stats(store);
+  auto fit = zipf::FitZipf(stats.RankFrequencies());
+  ASSERT_TRUE(fit.ok());
+  // Mixture of background Zipf + topics: still clearly heavy-tailed.
+  EXPECT_GT(fit->skew, 0.5);
+  EXPECT_LT(fit->skew, 2.5);
+  EXPECT_GT(fit->r_squared, 0.8);
+}
+
+TEST(SyntheticCorpusTest, ProducesRecurringCoOccurrence) {
+  // Topic structure must make some term PAIR recur across many documents —
+  // the precondition for non-trivial multi-term keys.
+  SyntheticConfig cfg = SmallConfig();
+  SyntheticCorpus corpus(cfg);
+  DocumentStore store;
+  corpus.FillStore(300, &store);
+
+  // Count document frequency of adjacent pairs.
+  std::map<std::pair<TermId, TermId>, int> pair_df;
+  for (const auto& doc : store.docs()) {
+    std::set<std::pair<TermId, TermId>> seen;
+    for (size_t i = 0; i + 1 < doc.tokens.size(); ++i) {
+      TermId a = doc.tokens[i], b = doc.tokens[i + 1];
+      if (a == b) continue;
+      seen.insert({std::min(a, b), std::max(a, b)});
+    }
+    for (const auto& p : seen) ++pair_df[p];
+  }
+  int max_df = 0;
+  for (const auto& [p, df] : pair_df) max_df = std::max(max_df, df);
+  // At least one pair should co-occur in >= 3% of documents.
+  EXPECT_GE(max_df, 9);
+}
+
+TEST(SyntheticCorpusTest, TermStringsAreDeterministicAndDistinct) {
+  EXPECT_EQ(SyntheticCorpus::TermString(0), SyntheticCorpus::TermString(0));
+  std::set<std::string> words;
+  for (TermId t = 0; t < 5000; ++t) {
+    words.insert(SyntheticCorpus::TermString(t));
+  }
+  EXPECT_EQ(words.size(), 5000u);
+}
+
+TEST(SyntheticCorpusTest, TermStringsAreLowercaseAlpha) {
+  for (TermId t : {0u, 1u, 104u, 105u, 99999u}) {
+    for (char c : SyntheticCorpus::TermString(t)) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z');
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdk::corpus

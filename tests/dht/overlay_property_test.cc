@@ -1,0 +1,110 @@
+// Property tests run against BOTH overlay implementations: any structured
+// overlay must satisfy these regardless of topology.
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/overlay_factory.h"
+
+namespace hdk::dht {
+namespace {
+
+using engine::MakeOverlay;
+using engine::OverlayKind;
+
+class OverlayPropertyTest
+    : public ::testing::TestWithParam<std::tuple<OverlayKind, size_t>> {
+ protected:
+  std::unique_ptr<Overlay> Make() const {
+    return MakeOverlay(std::get<0>(GetParam()), std::get<1>(GetParam()),
+                       0xBEEF);
+  }
+};
+
+TEST_P(OverlayPropertyTest, EveryKeyHasExactlyOneOwner) {
+  auto overlay = Make();
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    RingId key = rng.Next();
+    PeerId owner = overlay->Responsible(key);
+    EXPECT_LT(owner, overlay->num_peers());
+    // Stability: asking twice gives the same answer.
+    EXPECT_EQ(overlay->Responsible(key), owner);
+  }
+}
+
+TEST_P(OverlayPropertyTest, RoutingFromEveryPeerConverges) {
+  auto overlay = Make();
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    RingId key = rng.Next();
+    PeerId owner = overlay->Responsible(key);
+    for (PeerId src = 0; src < overlay->num_peers(); ++src) {
+      std::vector<PeerId> path;
+      overlay->Route(src, key, &path);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.back(), owner);
+    }
+  }
+}
+
+TEST_P(OverlayPropertyTest, OwnerRoutesToItselfInZeroHops) {
+  auto overlay = Make();
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    RingId key = rng.Next();
+    PeerId owner = overlay->Responsible(key);
+    EXPECT_EQ(overlay->Route(owner, key), 0u);
+  }
+}
+
+TEST_P(OverlayPropertyTest, HopsAreLogarithmicOnAverage) {
+  auto overlay = Make();
+  if (overlay->num_peers() < 4) GTEST_SKIP();
+  Rng rng(4);
+  double total = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    RingId key = rng.Next();
+    PeerId src = static_cast<PeerId>(rng.NextBounded(overlay->num_peers()));
+    total += static_cast<double>(overlay->Route(src, key));
+  }
+  const double log_n =
+      std::log2(static_cast<double>(overlay->num_peers()));
+  EXPECT_LT(total / n, 2.0 * log_n + 2.0);
+}
+
+TEST_P(OverlayPropertyTest, GrowthPreservesTotalCoverage) {
+  auto overlay = Make();
+  Rng rng(5);
+  for (int joins = 0; joins < 4; ++joins) {
+    ASSERT_TRUE(overlay->AddPeer().ok());
+    for (int i = 0; i < 100; ++i) {
+      RingId key = rng.Next();
+      PeerId owner = overlay->Responsible(key);
+      EXPECT_LT(owner, overlay->num_peers());
+      std::vector<PeerId> path;
+      overlay->Route(0, key, &path);
+      EXPECT_EQ(path.back(), owner);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothOverlays, OverlayPropertyTest,
+    ::testing::Combine(::testing::Values(OverlayKind::kPGrid,
+                                         OverlayKind::kChord),
+                       ::testing::Values(1u, 2u, 4u, 13u, 28u, 64u)),
+    [](const auto& info) {
+      std::string kind = std::get<0>(info.param) == OverlayKind::kPGrid
+                             ? "PGrid"
+                             : "Chord";
+      return kind + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace hdk::dht

@@ -1,0 +1,152 @@
+#include "dht/pgrid.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hdk::dht {
+namespace {
+
+TEST(TriePathTest, BitsAndRendering) {
+  TriePath p;
+  p.bits = 0b101ULL << 61;  // path "101"
+  p.length = 3;
+  EXPECT_TRUE(p.Bit(0));
+  EXPECT_FALSE(p.Bit(1));
+  EXPECT_TRUE(p.Bit(2));
+  EXPECT_EQ(p.ToString(), "101");
+}
+
+TEST(TriePathTest, EmptyPathCoversEverything) {
+  TriePath p;
+  EXPECT_EQ(p.RangeLow(), 0u);
+  EXPECT_EQ(p.RangeHigh(), ~0ULL);
+  EXPECT_TRUE(p.IsPrefixOf(0));
+  EXPECT_TRUE(p.IsPrefixOf(~0ULL));
+}
+
+TEST(TriePathTest, PrefixCheck) {
+  TriePath p;
+  p.bits = 1ULL << 63;  // path "1"
+  p.length = 1;
+  EXPECT_TRUE(p.IsPrefixOf(~0ULL));
+  EXPECT_TRUE(p.IsPrefixOf(1ULL << 63));
+  EXPECT_FALSE(p.IsPrefixOf(0));
+  EXPECT_FALSE(p.IsPrefixOf((1ULL << 63) - 1));
+}
+
+TEST(TriePathTest, RangeMatchesPrefix) {
+  TriePath p;
+  p.bits = 0b01ULL << 62;  // path "01"
+  p.length = 2;
+  EXPECT_EQ(p.RangeLow(), 0b01ULL << 62);
+  EXPECT_EQ(p.RangeHigh(), (0b10ULL << 62) - 1);
+}
+
+TEST(PGridTest, SinglePeer) {
+  PGridOverlay grid(1, 42);
+  EXPECT_EQ(grid.num_peers(), 1u);
+  EXPECT_EQ(grid.Path(0).length, 0u);
+  EXPECT_EQ(grid.Responsible(12345), 0u);
+}
+
+TEST(PGridTest, PathsFormCompletePrefixFreeCover) {
+  for (size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 28u, 64u, 100u}) {
+    PGridOverlay grid(n, 7);
+    ASSERT_EQ(grid.num_peers(), n);
+    // Completeness: sum over leaves of 2^-depth == 1.
+    double cover = 0;
+    for (PeerId p = 0; p < n; ++p) {
+      cover += std::pow(2.0, -static_cast<double>(grid.Path(p).length));
+    }
+    EXPECT_NEAR(cover, 1.0, 1e-12) << "n=" << n;
+    // Prefix-freeness: no path is a prefix of another.
+    for (PeerId a = 0; a < n; ++a) {
+      for (PeerId b = 0; b < n; ++b) {
+        if (a == b) continue;
+        const TriePath& pa = grid.Path(a);
+        const TriePath& pb = grid.Path(b);
+        if (pa.length <= pb.length) {
+          EXPECT_FALSE(pa.IsPrefixOf(pb.bits))
+              << pa.ToString() << " prefixes " << pb.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(PGridTest, BalancedDepth) {
+  PGridOverlay grid(28, 7);
+  // Balanced splitting: depth within ceil(log2(28)) = 5.
+  EXPECT_LE(grid.MaxDepth(), 5u);
+}
+
+TEST(PGridTest, ResponsiblePeerPathPrefixesKey) {
+  PGridOverlay grid(28, 9);
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    RingId key = rng.Next();
+    PeerId p = grid.Responsible(key);
+    EXPECT_TRUE(grid.Path(p).IsPrefixOf(key));
+  }
+}
+
+TEST(PGridTest, RoutingReachesResponsiblePeer) {
+  PGridOverlay grid(28, 9);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    RingId key = rng.Next();
+    PeerId expect = grid.Responsible(key);
+    for (PeerId src = 0; src < 28; src += 9) {
+      std::vector<PeerId> path;
+      size_t hops = grid.Route(src, key, &path);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.back(), expect);
+      // Each hop resolves >= 1 bit: hops <= max trie depth.
+      EXPECT_LE(hops, grid.MaxDepth());
+    }
+  }
+}
+
+TEST(PGridTest, AddPeerKeepsInvariants) {
+  PGridOverlay grid(4, 3);
+  for (int joins = 0; joins < 20; ++joins) {
+    ASSERT_TRUE(grid.AddPeer().ok());
+    double cover = 0;
+    for (PeerId p = 0; p < grid.num_peers(); ++p) {
+      cover += std::pow(2.0, -static_cast<double>(grid.Path(p).length));
+    }
+    ASSERT_NEAR(cover, 1.0, 1e-12);
+  }
+  EXPECT_EQ(grid.num_peers(), 24u);
+}
+
+TEST(PGridTest, LoadSpreadIsBalanced) {
+  PGridOverlay grid(16, 11);  // power of two: perfectly balanced trie
+  std::map<PeerId, int> hits;
+  Rng rng(6);
+  const int n = 32000;
+  for (int i = 0; i < n; ++i) {
+    ++hits[grid.Responsible(rng.Next())];
+  }
+  ASSERT_EQ(hits.size(), 16u);
+  for (const auto& [peer, count] : hits) {
+    EXPECT_NEAR(static_cast<double>(count), n / 16.0, n / 16.0 * 0.25);
+  }
+}
+
+TEST(PGridTest, DeterministicForSeed) {
+  PGridOverlay a(12, 99), b(12, 99);
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    RingId key = rng.Next();
+    EXPECT_EQ(a.Responsible(key), b.Responsible(key));
+    EXPECT_EQ(a.NextHop(0, key), b.NextHop(0, key));
+  }
+}
+
+}  // namespace
+}  // namespace hdk::dht

@@ -1,0 +1,70 @@
+#include "engine/overlap.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk::engine {
+namespace {
+
+using index::ScoredDoc;
+
+std::vector<ScoredDoc> Docs(std::initializer_list<DocId> ids) {
+  std::vector<ScoredDoc> out;
+  double score = 100.0;
+  for (DocId d : ids) {
+    out.push_back({d, score});
+    score -= 1.0;
+  }
+  return out;
+}
+
+TEST(OverlapTest, IdenticalLists) {
+  auto a = Docs({1, 2, 3, 4});
+  EXPECT_EQ(TopKOverlap(a, a, 4), 1.0);
+}
+
+TEST(OverlapTest, DisjointLists) {
+  EXPECT_EQ(TopKOverlap(Docs({1, 2}), Docs({3, 4}), 2), 0.0);
+}
+
+TEST(OverlapTest, OrderDoesNotMatterWithinTopK) {
+  EXPECT_EQ(TopKOverlap(Docs({1, 2, 3}), Docs({3, 2, 1}), 3), 1.0);
+}
+
+TEST(OverlapTest, PartialOverlap) {
+  EXPECT_NEAR(TopKOverlap(Docs({1, 2, 3, 4}), Docs({3, 4, 5, 6}), 4), 0.5,
+              1e-12);
+}
+
+TEST(OverlapTest, OnlyTopKConsidered) {
+  auto a = Docs({1, 2, 9, 9});
+  auto b = Docs({3, 4, 1, 2});
+  // Top-2 of a = {1,2}; top-2 of b = {3,4}: no overlap.
+  EXPECT_EQ(TopKOverlap(a, b, 2), 0.0);
+}
+
+TEST(OverlapTest, ShortListsKeepDenominatorK) {
+  // One result matching out of k=20 requested: 5%.
+  EXPECT_NEAR(TopKOverlap(Docs({1}), Docs({1}), 20), 0.05, 1e-12);
+}
+
+TEST(OverlapTest, EmptyLists) {
+  EXPECT_EQ(TopKOverlap({}, Docs({1}), 10), 0.0);
+  EXPECT_EQ(TopKOverlap({}, {}, 10), 0.0);
+}
+
+TEST(OverlapTest, ZeroK) {
+  EXPECT_EQ(TopKOverlap(Docs({1}), Docs({1}), 0), 0.0);
+}
+
+TEST(OverlapTest, MeanOverBatches) {
+  std::vector<std::vector<ScoredDoc>> a{Docs({1, 2}), Docs({3, 4})};
+  std::vector<std::vector<ScoredDoc>> b{Docs({1, 2}), Docs({5, 6})};
+  EXPECT_NEAR(MeanTopKOverlap(a, b, 2), 0.5, 1e-12);
+}
+
+TEST(OverlapTest, MeanOfEmptyBatchIsZero) {
+  EXPECT_EQ(MeanTopKOverlap({}, {}, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace hdk::engine

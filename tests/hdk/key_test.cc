@@ -1,0 +1,129 @@
+#include "hdk/key.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace hdk::hdk {
+namespace {
+
+TEST(TermKeyTest, SingleTerm) {
+  TermKey k(42u);
+  EXPECT_EQ(k.size(), 1u);
+  EXPECT_EQ(k.term(0), 42u);
+  EXPECT_TRUE(k.Contains(42));
+  EXPECT_FALSE(k.Contains(41));
+}
+
+TEST(TermKeyTest, CanonicalizesOrder) {
+  TermKey a{3, 1, 2};
+  TermKey b{1, 2, 3};
+  TermKey c{2, 3, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(a.term(0), 1u);
+  EXPECT_EQ(a.term(1), 2u);
+  EXPECT_EQ(a.term(2), 3u);
+}
+
+TEST(TermKeyTest, Deduplicates) {
+  TermKey k{5, 5, 7, 5};
+  EXPECT_EQ(k.size(), 2u);
+  EXPECT_EQ(k.term(0), 5u);
+  EXPECT_EQ(k.term(1), 7u);
+}
+
+TEST(TermKeyTest, EmptyKey) {
+  TermKey k;
+  EXPECT_TRUE(k.empty());
+  EXPECT_EQ(k.size(), 0u);
+}
+
+TEST(TermKeyTest, HashConsistentWithEquality) {
+  TermKey a{3, 1};
+  TermKey b{1, 3};
+  EXPECT_EQ(a.Hash64(), b.Hash64());
+  TermKey c{1, 4};
+  EXPECT_NE(a.Hash64(), c.Hash64());
+}
+
+TEST(TermKeyTest, HashDistinguishesSizes) {
+  TermKey a{1};
+  TermKey b{1, 2};
+  EXPECT_NE(a.Hash64(), b.Hash64());
+}
+
+TEST(TermKeyTest, ContainsAll) {
+  TermKey big{1, 2, 3};
+  EXPECT_TRUE(big.ContainsAll(TermKey{1}));
+  EXPECT_TRUE(big.ContainsAll(TermKey{1, 3}));
+  EXPECT_TRUE(big.ContainsAll(big));
+  EXPECT_FALSE(big.ContainsAll(TermKey{1, 4}));
+  EXPECT_FALSE((TermKey{1}).ContainsAll(big));
+}
+
+TEST(TermKeyTest, ExtendKeepsSortedOrder) {
+  TermKey k{10, 30};
+  TermKey e = k.Extend(20);
+  EXPECT_EQ(e.size(), 3u);
+  EXPECT_EQ(e.term(0), 10u);
+  EXPECT_EQ(e.term(1), 20u);
+  EXPECT_EQ(e.term(2), 30u);
+  // Original unchanged.
+  EXPECT_EQ(k.size(), 2u);
+}
+
+TEST(TermKeyTest, ExtendAtEnds) {
+  TermKey k{10, 20};
+  EXPECT_EQ(k.Extend(5).term(0), 5u);
+  EXPECT_EQ(k.Extend(25).term(2), 25u);
+}
+
+TEST(TermKeyTest, DropTerm) {
+  TermKey k{1, 2, 3};
+  EXPECT_EQ(k.DropTerm(0), (TermKey{2, 3}));
+  EXPECT_EQ(k.DropTerm(1), (TermKey{1, 3}));
+  EXPECT_EQ(k.DropTerm(2), (TermKey{1, 2}));
+}
+
+TEST(TermKeyTest, DropThenExtendRoundTrips) {
+  TermKey k{4, 8, 15};
+  for (uint32_t i = 0; i < k.size(); ++i) {
+    TermKey sub = k.DropTerm(i);
+    EXPECT_EQ(sub.Extend(k.term(i)), k);
+  }
+}
+
+TEST(TermKeyTest, OrderingBySizeThenTerms) {
+  std::set<TermKey> keys{TermKey{5}, TermKey{1, 2}, TermKey{1},
+                         TermKey{1, 3}};
+  std::vector<TermKey> sorted(keys.begin(), keys.end());
+  EXPECT_EQ(sorted[0], TermKey{1});
+  EXPECT_EQ(sorted[1], TermKey{5});
+  EXPECT_EQ(sorted[2], (TermKey{1, 2}));
+  EXPECT_EQ(sorted[3], (TermKey{1, 3}));
+}
+
+TEST(TermKeyTest, WorksInUnorderedContainers) {
+  std::unordered_set<TermKey, TermKey::Hasher> set;
+  set.insert(TermKey{1, 2});
+  set.insert(TermKey{2, 1});  // same key
+  set.insert(TermKey{3});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(TermKey{1, 2}) > 0);
+}
+
+TEST(TermKeyTest, ToStringRendersSorted) {
+  EXPECT_EQ((TermKey{3, 1}).ToString(), "{1,3}");
+  EXPECT_EQ(TermKey(7u).ToString(), "{7}");
+}
+
+TEST(TermKeyTest, SpanConstructor) {
+  std::vector<TermId> terms{9, 4, 4};
+  TermKey k{std::span<const TermId>(terms)};
+  EXPECT_EQ(k, (TermKey{4, 9}));
+}
+
+}  // namespace
+}  // namespace hdk::hdk

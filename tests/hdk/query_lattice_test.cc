@@ -1,0 +1,179 @@
+#include "hdk/query_lattice.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "hdk/candidate_builder.h"
+
+namespace hdk::hdk {
+namespace {
+
+TEST(NumQueryKeysTest, MatchesPaperFormula) {
+  // |q| <= s_max: nk = 2^q - 1.
+  EXPECT_EQ(NumQueryKeys(1, 3), 1u);
+  EXPECT_EQ(NumQueryKeys(2, 3), 3u);
+  EXPECT_EQ(NumQueryKeys(3, 3), 7u);
+  // |q| > s_max: nk = C(q,1) + ... + C(q,s_max).
+  EXPECT_EQ(NumQueryKeys(4, 3), 4u + 6u + 4u);
+  EXPECT_EQ(NumQueryKeys(8, 3), 8u + 28u + 56u);
+  EXPECT_EQ(NumQueryKeys(5, 2), 5u + 10u);
+}
+
+TEST(NumQueryKeysTest, PaperAverageExample) {
+  // Paper Section 4.2: "the average size of a query is 2.3 in the
+  // Wikipedia query log, and nk ~ 3.92" — interpolating between
+  // nk(2) = 3 and nk(3) = 7 at 2.3 gives ~4.
+  double nk = 0.7 * static_cast<double>(NumQueryKeys(2, 3)) +
+              0.3 * static_cast<double>(NumQueryKeys(3, 3));
+  EXPECT_NEAR(nk, 4.2, 0.5);
+}
+
+TEST(EnumerateQuerySubsetsTest, AllSubsetsUpToSmax) {
+  std::vector<TermId> q{1, 2, 3};
+  auto subsets = EnumerateQuerySubsets(q, 3);
+  ASSERT_EQ(subsets.size(), 7u);
+  // Ordered by size.
+  EXPECT_EQ(subsets[0].size(), 1u);
+  EXPECT_EQ(subsets[3].size(), 2u);
+  EXPECT_EQ(subsets[6].size(), 3u);
+  EXPECT_EQ(subsets[6], (TermKey{1, 2, 3}));
+}
+
+TEST(EnumerateQuerySubsetsTest, SmaxLimitsSubsetSize) {
+  std::vector<TermId> q{1, 2, 3, 4};
+  auto subsets = EnumerateQuerySubsets(q, 2);
+  EXPECT_EQ(subsets.size(), 4u + 6u);
+  for (const auto& s : subsets) {
+    EXPECT_LE(s.size(), 2u);
+  }
+}
+
+TEST(EnumerateQuerySubsetsTest, DeduplicatesQueryTerms) {
+  std::vector<TermId> q{2, 1, 2, 1};
+  auto subsets = EnumerateQuerySubsets(q, 3);
+  ASSERT_EQ(subsets.size(), 3u);  // {1}, {2}, {1,2}
+}
+
+TEST(EnumerateQuerySubsetsTest, CountMatchesFormula) {
+  for (uint32_t qsize = 1; qsize <= 6; ++qsize) {
+    std::vector<TermId> q;
+    for (TermId t = 0; t < qsize; ++t) q.push_back(t * 10);
+    for (uint32_t smax = 1; smax <= 4; ++smax) {
+      EXPECT_EQ(EnumerateQuerySubsets(q, smax).size(),
+                NumQueryKeys(qsize, smax))
+          << "q=" << qsize << " smax=" << smax;
+    }
+  }
+}
+
+// Scripted index for PlanRetrieval: a map from key to classification.
+class ScriptedIndex {
+ public:
+  void AddHdk(TermKey k) { entries_[std::move(k)] = true; }
+  void AddNdk(TermKey k) { entries_[std::move(k)] = false; }
+
+  ProbeFn AsProbe() {
+    return [this](const TermKey& k) -> std::optional<ProbeOutcome> {
+      ++probes_;
+      auto it = entries_.find(k);
+      if (it == entries_.end()) return std::nullopt;
+      return ProbeOutcome{it->second};
+    };
+  }
+
+  uint64_t probes() const { return probes_; }
+
+ private:
+  KeyMap<bool> entries_;
+  uint64_t probes_ = 0;
+};
+
+TEST(PlanRetrievalTest, FetchesMatchingKeys) {
+  ScriptedIndex index;
+  index.AddNdk(TermKey{1});
+  index.AddNdk(TermKey{2});
+  index.AddHdk(TermKey{1, 2});
+  std::vector<TermId> q{1, 2};
+  auto plan = PlanRetrieval(q, 3, index.AsProbe());
+  EXPECT_EQ(plan.fetched.size(), 3u);
+  EXPECT_EQ(plan.probes, 3u);
+  EXPECT_EQ(plan.pruned, 0u);
+}
+
+TEST(PlanRetrievalTest, PrunesSupersetsOfMatchedHdks) {
+  // {1} is an HDK: {1,2}, {1,3}, {1,2,3} are redundant and never probed.
+  ScriptedIndex index;
+  index.AddHdk(TermKey{1});
+  index.AddNdk(TermKey{2});
+  index.AddNdk(TermKey{3});
+  index.AddNdk(TermKey{2, 3});
+  std::vector<TermId> q{1, 2, 3};
+  auto plan = PlanRetrieval(q, 3, index.AsProbe());
+  EXPECT_EQ(plan.fetched.size(), 4u);  // {1},{2},{3},{2,3}
+  EXPECT_EQ(plan.pruned, 3u);          // {1,2},{1,3},{1,2,3}
+  EXPECT_EQ(plan.probes, 4u);
+  EXPECT_EQ(index.probes(), 4u);
+}
+
+TEST(PlanRetrievalTest, PrunesSupersetsOfAbsentKeys) {
+  // Term 9 is unknown: all subsets containing it are skipped after the
+  // first miss.
+  ScriptedIndex index;
+  index.AddNdk(TermKey{1});
+  index.AddNdk(TermKey{2});
+  index.AddNdk(TermKey{1, 2});
+  std::vector<TermId> q{1, 2, 9};
+  auto plan = PlanRetrieval(q, 3, index.AsProbe());
+  EXPECT_EQ(plan.fetched.size(), 3u);
+  // {9} probed (miss); {1,9},{2,9},{1,2,9} pruned.
+  EXPECT_EQ(plan.probes, 4u);
+  EXPECT_EQ(plan.pruned, 3u);
+}
+
+TEST(PlanRetrievalTest, EmptyQueryFetchesNothing) {
+  ScriptedIndex index;
+  std::vector<TermId> q;
+  auto plan = PlanRetrieval(q, 3, index.AsProbe());
+  EXPECT_TRUE(plan.fetched.empty());
+  EXPECT_EQ(plan.probes, 0u);
+}
+
+TEST(RankFetchedKeysTest, MergesAndRanks) {
+  index::PostingList pl1({{0, 3, 100}, {1, 1, 100}});
+  index::PostingList pl2({{1, 2, 100}, {2, 2, 100}});
+  std::vector<FetchedKey> fetched{
+      {TermKey{1}, 2, false, &pl1},
+      {TermKey{2}, 2, false, &pl2},
+  };
+  auto results = RankFetchedKeys(fetched, 100, 100.0, 10);
+  ASSERT_EQ(results.size(), 3u);
+  // Doc 1 matches both keys: should rank first.
+  EXPECT_EQ(results[0].doc, 1u);
+}
+
+TEST(RankFetchedKeysTest, RarerKeysWeighMore) {
+  index::PostingList common({{0, 1, 100}});
+  index::PostingList rare({{1, 1, 100}});
+  std::vector<FetchedKey> fetched{
+      {TermKey{1}, 90, false, &common},  // df 90 of 100 docs
+      {TermKey{2}, 2, true, &rare},      // df 2
+  };
+  auto results = RankFetchedKeys(fetched, 100, 100.0, 10);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].doc, 1u);  // matched the rare key
+}
+
+TEST(RankFetchedKeysTest, NullPostingsSkipped) {
+  std::vector<FetchedKey> fetched{{TermKey{1}, 5, false, nullptr}};
+  EXPECT_TRUE(RankFetchedKeys(fetched, 10, 10.0, 5).empty());
+}
+
+TEST(RankFetchedKeysTest, KLimitsOutput) {
+  index::PostingList pl({{0, 1, 10}, {1, 2, 10}, {2, 3, 10}});
+  std::vector<FetchedKey> fetched{{TermKey{1}, 3, true, &pl}};
+  EXPECT_EQ(RankFetchedKeys(fetched, 10, 10.0, 2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace hdk::hdk

@@ -1,0 +1,179 @@
+// Randomized property tests of the paper's Section-3 model invariants,
+// swept across DFmax, window size and corpus seeds (TEST_P).
+#include <algorithm>
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "corpus/stats.h"
+#include "corpus/synthetic.h"
+#include "hdk/indexer.h"
+#include "hdk/query_lattice.h"
+#include "text/window.h"
+
+namespace hdk::hdk {
+namespace {
+
+// (df_max, window, corpus seed)
+using Params = std::tuple<Freq, uint32_t, uint64_t>;
+
+class ModelPropertyTest : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    corpus::SyntheticConfig cfg;
+    cfg.seed = std::get<2>(GetParam());
+    cfg.vocabulary_size = 2500;
+    cfg.num_topics = 10;
+    cfg.topic_width = 30;
+    cfg.mean_doc_length = 45.0;
+    cfg.topic_share = 0.7;
+    corpus::SyntheticCorpus corpus(cfg);
+    corpus.FillStore(150, &store_);
+    stats_ = std::make_unique<corpus::CollectionStats>(store_);
+
+    params_.df_max = std::get<0>(GetParam());
+    params_.window = std::get<1>(GetParam());
+    params_.s_max = 3;
+    params_.very_frequent_threshold = 400;
+
+    CentralizedHdkIndexer indexer(params_);
+    auto built = indexer.Build(store_, *stats_);
+    ASSERT_TRUE(built.ok());
+    contents_ = std::make_unique<HdkIndexContents>(std::move(built).value());
+  }
+
+  corpus::DocumentStore store_;
+  std::unique_ptr<corpus::CollectionStats> stats_;
+  HdkParams params_;
+  std::unique_ptr<HdkIndexContents> contents_;
+};
+
+TEST_P(ModelPropertyTest, ClassificationMatchesDfMax) {
+  for (const auto& [key, entry] : contents_->entries()) {
+    if (entry.is_hdk) {
+      EXPECT_LE(entry.global_df, params_.df_max);
+    } else {
+      EXPECT_GT(entry.global_df, params_.df_max);
+      EXPECT_LE(entry.postings.size(), params_.EffectiveNdkTruncation());
+    }
+  }
+}
+
+TEST_P(ModelPropertyTest, SubsumptionAntiMonotonicity) {
+  // Paper: "Any key containing a DK of smaller size is also a DK. Any key
+  // contained in an NDK of bigger size is also an NDK." Verified via df
+  // ordering between every indexed key and its indexed sub-keys.
+  for (const auto& [key, entry] : contents_->entries()) {
+    if (key.size() < 2) continue;
+    for (uint32_t i = 0; i < key.size(); ++i) {
+      const KeyEntry* sub = contents_->Find(key.DropTerm(i));
+      if (sub == nullptr) continue;
+      EXPECT_LE(entry.global_df, sub->global_df)
+          << key.ToString() << " vs " << key.DropTerm(i).ToString();
+    }
+  }
+}
+
+TEST_P(ModelPropertyTest, IntrinsicDiscriminativeness) {
+  for (const auto& [key, entry] : contents_->entries()) {
+    if (!entry.is_hdk || key.size() < 2) continue;
+    for (uint32_t i = 0; i < key.size(); ++i) {
+      const KeyEntry* sub = contents_->Find(key.DropTerm(i));
+      ASSERT_NE(sub, nullptr) << key.ToString();
+      EXPECT_FALSE(sub->is_hdk) << key.ToString();
+    }
+  }
+}
+
+TEST_P(ModelPropertyTest, ProximityHoldsForEveryStoredPosting) {
+  // Every posting of every multi-term key refers to a document where the
+  // key's terms co-occur within a window of w (sampled for speed).
+  size_t checked = 0;
+  for (const auto& [key, entry] : contents_->entries()) {
+    if (key.size() < 2) continue;
+    if (++checked > 40) break;
+    for (const auto& posting : entry.postings.postings()) {
+      EXPECT_TRUE(text::WindowCoOccurs(store_.Tokens(posting.doc),
+                                       params_.window, key.terms()))
+          << key.ToString() << " doc " << posting.doc;
+    }
+  }
+}
+
+TEST_P(ModelPropertyTest, IndexingExhaustiveness) {
+  // Redundancy filtering preserves exhaustiveness: for a sampled document
+  // and a sampled co-occurring term pair from it, either the pair (or a
+  // sub-key of it) is in the index, or a member term is very frequent.
+  std::unordered_set<TermId> vf;
+  for (TermId t :
+       stats_->VeryFrequentTerms(params_.very_frequent_threshold)) {
+    vf.insert(t);
+  }
+  for (DocId d = 0; d < store_.size(); d += 17) {
+    auto tokens = store_.Tokens(d);
+    if (tokens.size() < 2) continue;
+    for (size_t i = 0; i + 1 < std::min<size_t>(tokens.size(), 20); i += 5) {
+      TermId a = tokens[i], b = tokens[i + 1];
+      if (a == b || vf.count(a) > 0 || vf.count(b) > 0) continue;
+      // Adjacent terms co-occur within any window >= 2. The answer for
+      // query {a,b} must be coverable: {a,b} indexed, or one of the
+      // singletons is discriminative (HDK) so PL({a}) covers it.
+      const KeyEntry* pair_entry = contents_->Find(TermKey{a, b});
+      const KeyEntry* ea = contents_->Find(TermKey{a});
+      const KeyEntry* eb = contents_->Find(TermKey{b});
+      ASSERT_NE(ea, nullptr);
+      ASSERT_NE(eb, nullptr);
+      bool covered = pair_entry != nullptr || ea->is_hdk || eb->is_hdk;
+      EXPECT_TRUE(covered)
+          << "pair {" << a << "," << b << "} in doc " << d
+          << " not representable";
+      // And when the singleton is the cover, the document is inside its
+      // full posting list.
+      if (pair_entry == nullptr) {
+        const KeyEntry* cover = ea->is_hdk ? ea : eb;
+        EXPECT_TRUE(cover->postings.Contains(d));
+      }
+    }
+  }
+}
+
+TEST_P(ModelPropertyTest, RetrievalCoverageThroughLattice) {
+  // End-to-end exhaustiveness at the retrieval layer: for sampled docs
+  // and 2-term window queries, the lattice plan's fetched keys include
+  // the source document unless every matched key is a truncated NDK.
+  for (DocId d = 0; d < store_.size(); d += 29) {
+    auto tokens = store_.Tokens(d);
+    if (tokens.size() < 2) continue;
+    std::vector<TermId> q{tokens[0], tokens[1]};
+    if (q[0] == q[1]) continue;
+    bool doc_seen = false;
+    bool all_truncated = true;
+    RetrievalPlan plan = PlanRetrieval(
+        q, params_.s_max,
+        [&](const TermKey& key) -> std::optional<ProbeOutcome> {
+          const KeyEntry* e = contents_->Find(key);
+          if (e == nullptr) return std::nullopt;
+          if (e->postings.Contains(d)) doc_seen = true;
+          if (e->is_hdk) all_truncated = false;
+          return ProbeOutcome{e->is_hdk};
+        });
+    if (!plan.fetched.empty() && !all_truncated) {
+      EXPECT_TRUE(doc_seen) << "doc " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelPropertyTest,
+    ::testing::Combine(::testing::Values<Freq>(3, 8, 20),
+                       ::testing::Values(4u, 8u, 16u),
+                       ::testing::Values<uint64_t>(11, 97)),
+    [](const auto& info) {
+      return "df" + std::to_string(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param)) + "_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace hdk::hdk

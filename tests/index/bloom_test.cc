@@ -1,0 +1,108 @@
+#include "index/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hdk::index {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(4096, 4);
+  for (DocId d = 0; d < 200; ++d) {
+    bloom.Insert(d * 3);
+  }
+  for (DocId d = 0; d < 200; ++d) {
+    EXPECT_TRUE(bloom.MayContain(d * 3)) << d;
+  }
+}
+
+TEST(BloomFilterTest, MostlyRejectsAbsentDocs) {
+  BloomFilter bloom = BloomFilter::ForItems(500, 0.01);
+  for (DocId d = 0; d < 500; ++d) {
+    bloom.Insert(d);
+  }
+  int false_positives = 0;
+  for (DocId d = 10000; d < 20000; ++d) {
+    if (bloom.MayContain(d)) ++false_positives;
+  }
+  // Target 1%; allow generous slack.
+  EXPECT_LT(false_positives, 400);
+}
+
+TEST(BloomFilterTest, ForItemsSizesReasonably) {
+  BloomFilter small = BloomFilter::ForItems(100, 0.01);
+  BloomFilter large = BloomFilter::ForItems(10000, 0.01);
+  EXPECT_GT(large.num_bits(), small.num_bits());
+  // ~9.6 bits per item at 1% FP.
+  EXPECT_NEAR(static_cast<double>(large.num_bits()) / 10000.0, 9.6, 2.0);
+  EXPECT_GE(small.num_hashes(), 3u);
+}
+
+TEST(BloomFilterTest, SizeBytesMatchesBits) {
+  BloomFilter bloom(1024, 3);
+  EXPECT_EQ(bloom.SizeBytes(), 1024u / 8u);
+  EXPECT_EQ(bloom.num_bits(), 1024u);
+}
+
+TEST(BloomFilterTest, RoundsUpTinyFilters) {
+  BloomFilter bloom(1, 1);
+  EXPECT_GE(bloom.num_bits(), 64u);
+  bloom.Insert(7);
+  EXPECT_TRUE(bloom.MayContain(7));
+}
+
+TEST(BloomFilterTest, InsertAllFromPostingList) {
+  PostingList pl({{10, 1, 5}, {20, 1, 5}, {30, 1, 5}});
+  BloomFilter bloom(2048, 4);
+  bloom.InsertAll(pl);
+  EXPECT_EQ(bloom.inserted(), 3u);
+  EXPECT_TRUE(bloom.MayContain(10));
+  EXPECT_TRUE(bloom.MayContain(20));
+  EXPECT_TRUE(bloom.MayContain(30));
+}
+
+TEST(BloomFilterTest, IntersectKeepsMembers) {
+  BloomFilter bloom(8192, 5);
+  for (DocId d = 0; d < 100; ++d) {
+    bloom.Insert(d * 2);  // even docs
+  }
+  std::vector<DocId> candidates;
+  for (DocId d = 0; d < 200; ++d) candidates.push_back(d);
+  auto kept = bloom.Intersect(candidates);
+  // All 100 even members survive; some odd false positives may slip in.
+  size_t members = 0;
+  for (DocId d : kept) {
+    if (d % 2 == 0 && d < 200) ++members;
+  }
+  EXPECT_EQ(members, 100u);
+  EXPECT_LT(kept.size(), 140u);
+}
+
+TEST(BloomFilterTest, FpRateEstimateTracksFill) {
+  BloomFilter bloom(1024, 4);
+  EXPECT_NEAR(bloom.EstimatedFpRate(), 0.0, 1e-9);
+  for (DocId d = 0; d < 2000; ++d) {
+    bloom.Insert(d);
+  }
+  // Grossly overfilled: estimate approaches 1.
+  EXPECT_GT(bloom.EstimatedFpRate(), 0.5);
+}
+
+TEST(BloomFilterTest, DeterministicAcrossInstances) {
+  BloomFilter a(2048, 4), b(2048, 4);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    DocId d = static_cast<DocId>(rng.NextBounded(1 << 20));
+    a.Insert(d);
+    b.Insert(d);
+  }
+  Rng probe(4);
+  for (int i = 0; i < 1000; ++i) {
+    DocId d = static_cast<DocId>(probe.NextBounded(1 << 20));
+    EXPECT_EQ(a.MayContain(d), b.MayContain(d));
+  }
+}
+
+}  // namespace
+}  // namespace hdk::index

@@ -1,0 +1,98 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace hdk::index {
+namespace {
+
+TEST(InvertedIndexTest, IndexesSingleDocument) {
+  InvertedIndex idx;
+  std::vector<TermId> tokens{1, 2, 1, 3};
+  ASSERT_TRUE(idx.AddDocument(0, tokens).ok());
+  EXPECT_EQ(idx.num_documents(), 1u);
+  EXPECT_EQ(idx.total_tokens(), 4u);
+  EXPECT_EQ(idx.DocumentFrequency(1), 1u);
+  EXPECT_EQ(idx.CollectionFrequency(1), 2u);
+  EXPECT_EQ(idx.Postings(1)[0].tf, 2u);
+  EXPECT_EQ(idx.Postings(1)[0].doc_length, 4u);
+}
+
+TEST(InvertedIndexTest, UnknownTermHasEmptyList) {
+  InvertedIndex idx;
+  EXPECT_TRUE(idx.Postings(42).empty());
+  EXPECT_EQ(idx.DocumentFrequency(42), 0u);
+  EXPECT_EQ(idx.CollectionFrequency(42), 0u);
+}
+
+TEST(InvertedIndexTest, RejectsDuplicateDocumentForTerm) {
+  InvertedIndex idx;
+  std::vector<TermId> tokens{7};
+  ASSERT_TRUE(idx.AddDocument(3, tokens).ok());
+  EXPECT_EQ(idx.AddDocument(3, tokens).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(InvertedIndexTest, AddRangeIndexesStore) {
+  corpus::DocumentStore store;
+  store.Add({1, 2});
+  store.Add({2, 3});
+  store.Add({3, 4});
+  InvertedIndex idx;
+  ASSERT_TRUE(idx.AddRange(store, 0, 3).ok());
+  EXPECT_EQ(idx.num_documents(), 3u);
+  EXPECT_EQ(idx.DocumentFrequency(2), 2u);
+  EXPECT_EQ(idx.DocumentFrequency(3), 2u);
+  EXPECT_EQ(idx.vocabulary_size(), 4u);
+}
+
+TEST(InvertedIndexTest, AddRangeSubset) {
+  corpus::DocumentStore store;
+  store.Add({1});
+  store.Add({2});
+  store.Add({3});
+  InvertedIndex idx;
+  ASSERT_TRUE(idx.AddRange(store, 1, 2).ok());
+  EXPECT_EQ(idx.num_documents(), 1u);
+  EXPECT_EQ(idx.DocumentFrequency(1), 0u);
+  EXPECT_EQ(idx.DocumentFrequency(2), 1u);
+}
+
+TEST(InvertedIndexTest, AddRangeValidatesBounds) {
+  corpus::DocumentStore store;
+  store.Add({1});
+  InvertedIndex idx;
+  EXPECT_FALSE(idx.AddRange(store, 0, 5).ok());
+  EXPECT_FALSE(idx.AddRange(store, 1, 0).ok());
+}
+
+TEST(InvertedIndexTest, TotalPostingsSumsListLengths) {
+  corpus::DocumentStore store;
+  store.Add({1, 2});
+  store.Add({1, 3});
+  InvertedIndex idx;
+  ASSERT_TRUE(idx.AddRange(store, 0, 2).ok());
+  // term1: 2 postings, term2: 1, term3: 1.
+  EXPECT_EQ(idx.TotalPostings(), 4u);
+}
+
+TEST(InvertedIndexTest, AverageDocumentLength) {
+  InvertedIndex idx;
+  std::vector<TermId> d0{1, 2, 3, 4};
+  std::vector<TermId> d1{5, 6};
+  ASSERT_TRUE(idx.AddDocument(0, d0).ok());
+  ASSERT_TRUE(idx.AddDocument(1, d1).ok());
+  EXPECT_NEAR(idx.average_document_length(), 3.0, 1e-9);
+}
+
+TEST(InvertedIndexTest, TermsEnumeration) {
+  InvertedIndex idx;
+  std::vector<TermId> tokens{5, 9};
+  ASSERT_TRUE(idx.AddDocument(0, tokens).ok());
+  auto terms = idx.Terms();
+  std::sort(terms.begin(), terms.end());
+  EXPECT_EQ(terms, (std::vector<TermId>{5, 9}));
+}
+
+}  // namespace
+}  // namespace hdk::index

@@ -1,0 +1,94 @@
+#include "index/searcher.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk::index {
+namespace {
+
+// Tiny collection:
+//   doc 0: {1 1 2}       doc 1: {2 3}
+//   doc 2: {1 3 3 3}     doc 3: {4}
+class SearcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.Add({1, 1, 2});
+    store_.Add({2, 3});
+    store_.Add({1, 3, 3, 3});
+    store_.Add({4});
+    ASSERT_TRUE(idx_.AddRange(store_, 0, 4).ok());
+  }
+
+  corpus::DocumentStore store_;
+  InvertedIndex idx_;
+};
+
+TEST_F(SearcherTest, SingleTermQuery) {
+  Bm25Searcher searcher(idx_);
+  std::vector<TermId> q{1};
+  auto results = searcher.Search(q, 10);
+  ASSERT_EQ(results.size(), 2u);  // docs 0 and 2 contain term 1
+  EXPECT_TRUE((results[0].doc == 0 && results[1].doc == 2) ||
+              (results[0].doc == 2 && results[1].doc == 0));
+}
+
+TEST_F(SearcherTest, DisjunctiveSemantics) {
+  Bm25Searcher searcher(idx_);
+  std::vector<TermId> q{1, 4};
+  auto results = searcher.Search(q, 10);
+  // Docs containing term1 (0, 2) or term4 (3).
+  ASSERT_EQ(results.size(), 3u);
+}
+
+TEST_F(SearcherTest, MoreMatchingTermsScoreHigher) {
+  Bm25Searcher searcher(idx_);
+  std::vector<TermId> q{2, 3};
+  auto results = searcher.Search(q, 10);
+  ASSERT_GE(results.size(), 1u);
+  // Doc 1 contains both query terms; it should outrank single-term docs.
+  EXPECT_EQ(results[0].doc, 1u);
+}
+
+TEST_F(SearcherTest, KLimitsResults) {
+  Bm25Searcher searcher(idx_);
+  std::vector<TermId> q{1, 2, 3, 4};
+  EXPECT_EQ(searcher.Search(q, 2).size(), 2u);
+}
+
+TEST_F(SearcherTest, UnknownTermsYieldNothing) {
+  Bm25Searcher searcher(idx_);
+  std::vector<TermId> q{99};
+  EXPECT_TRUE(searcher.Search(q, 10).empty());
+}
+
+TEST_F(SearcherTest, DuplicateQueryTermsCountOnce) {
+  Bm25Searcher searcher(idx_);
+  std::vector<TermId> q1{1};
+  std::vector<TermId> q2{1, 1, 1};
+  auto r1 = searcher.Search(q1, 10);
+  auto r2 = searcher.Search(q2, 10);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].doc, r2[i].doc);
+    EXPECT_NEAR(r1[i].score, r2[i].score, 1e-12);
+  }
+}
+
+TEST_F(SearcherTest, RetrievalPostingsSumsDfs) {
+  Bm25Searcher searcher(idx_);
+  std::vector<TermId> q{1, 3};
+  // df(1) = 2, df(3) = 2.
+  EXPECT_EQ(searcher.RetrievalPostings(q), 4u);
+  std::vector<TermId> dup{1, 1, 3};
+  EXPECT_EQ(searcher.RetrievalPostings(dup), 4u);
+}
+
+TEST_F(SearcherTest, DeterministicRanking) {
+  Bm25Searcher searcher(idx_);
+  std::vector<TermId> q{1, 2, 3};
+  auto a = searcher.Search(q, 10);
+  auto b = searcher.Search(q, 10);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace hdk::index

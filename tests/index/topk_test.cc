@@ -1,0 +1,80 @@
+#include "index/topk.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk::index {
+namespace {
+
+TEST(TopKTest, CollectsBestK) {
+  TopK topk(3);
+  for (DocId d = 0; d < 10; ++d) {
+    topk.Offer({d, static_cast<double>(d)});
+  }
+  auto out = topk.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].doc, 9u);
+  EXPECT_EQ(out[1].doc, 8u);
+  EXPECT_EQ(out[2].doc, 7u);
+}
+
+TEST(TopKTest, FewerThanKCandidates) {
+  TopK topk(5);
+  topk.Offer({1, 2.0});
+  topk.Offer({2, 1.0});
+  auto out = topk.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].doc, 1u);
+}
+
+TEST(TopKTest, ZeroK) {
+  TopK topk(0);
+  topk.Offer({1, 1.0});
+  EXPECT_TRUE(topk.Take().empty());
+}
+
+TEST(TopKTest, TieBreaksByLowerDocId) {
+  TopK topk(2);
+  topk.Offer({30, 1.0});
+  topk.Offer({10, 1.0});
+  topk.Offer({20, 1.0});
+  auto out = topk.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].doc, 10u);
+  EXPECT_EQ(out[1].doc, 20u);
+}
+
+TEST(TopKTest, OrderIndependentResult) {
+  std::vector<ScoredDoc> docs;
+  for (DocId d = 0; d < 50; ++d) {
+    docs.push_back({d, static_cast<double>((d * 7919) % 23)});
+  }
+  TopK forward(10), backward(10);
+  for (const auto& d : docs) forward.Offer(d);
+  for (auto it = docs.rbegin(); it != docs.rend(); ++it) {
+    backward.Offer(*it);
+  }
+  EXPECT_EQ(forward.Take(), backward.Take());
+}
+
+TEST(TopKTest, BetterResultOrdering) {
+  EXPECT_TRUE(BetterResult({1, 2.0}, {2, 1.0}));
+  EXPECT_FALSE(BetterResult({2, 1.0}, {1, 2.0}));
+  EXPECT_TRUE(BetterResult({1, 1.0}, {2, 1.0}));   // tie: lower doc wins
+  EXPECT_FALSE(BetterResult({2, 1.0}, {1, 1.0}));
+}
+
+TEST(TopKTest, ResultsSortedBestFirst) {
+  TopK topk(20);
+  for (DocId d = 0; d < 100; ++d) {
+    topk.Offer({d, static_cast<double>((d * 31) % 17)});
+  }
+  auto out = topk.Take();
+  ASSERT_EQ(out.size(), 20u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_TRUE(BetterResult(out[i - 1], out[i]) ||
+                out[i - 1] == out[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hdk::index

@@ -1,0 +1,101 @@
+#include "net/traffic.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk::net {
+namespace {
+
+TEST(TrafficRecorderTest, RecordsTotals) {
+  TrafficRecorder rec;
+  rec.Record(0, 1, MessageKind::kInsertPostings, 100, 3);
+  rec.Record(1, 0, MessageKind::kPostingsResponse, 50, 1);
+  EXPECT_EQ(rec.total().messages, 2u);
+  EXPECT_EQ(rec.total().postings, 150u);
+  EXPECT_EQ(rec.total().hops, 4u);
+}
+
+TEST(TrafficRecorderTest, ByteModel) {
+  CostModel model;
+  model.header_bytes = 10;
+  model.posting_bytes = 4;
+  TrafficRecorder rec(model);
+  rec.Record(0, 1, MessageKind::kKeyProbe, 5, 2);
+  EXPECT_EQ(rec.total().bytes, 10u + 5u * 4u);
+}
+
+TEST(TrafficRecorderTest, PerHopOverhead) {
+  CostModel model;
+  model.header_bytes = 0;
+  model.posting_bytes = 0;
+  model.per_hop_overhead = 7;
+  TrafficRecorder rec(model);
+  rec.Record(0, 1, MessageKind::kKeyProbe, 0, 3);
+  EXPECT_EQ(rec.total().bytes, 21u);
+}
+
+TEST(TrafficRecorderTest, PerKindBreakdown) {
+  TrafficRecorder rec;
+  rec.Record(0, 1, MessageKind::kInsertPostings, 10, 1);
+  rec.Record(0, 1, MessageKind::kInsertPostings, 20, 1);
+  rec.Record(0, 1, MessageKind::kNdkNotification, 0, 1);
+  EXPECT_EQ(rec.ByKind(MessageKind::kInsertPostings).messages, 2u);
+  EXPECT_EQ(rec.ByKind(MessageKind::kInsertPostings).postings, 30u);
+  EXPECT_EQ(rec.ByKind(MessageKind::kNdkNotification).messages, 1u);
+  EXPECT_EQ(rec.ByKind(MessageKind::kKeyProbe).messages, 0u);
+}
+
+TEST(TrafficRecorderTest, PerPeerSentReceived) {
+  TrafficRecorder rec;
+  rec.Record(0, 1, MessageKind::kKeyProbe, 5, 2);
+  rec.Record(2, 0, MessageKind::kKeyProbe, 3, 1);
+  EXPECT_EQ(rec.SentBy(0).messages, 1u);
+  EXPECT_EQ(rec.SentBy(0).postings, 5u);
+  EXPECT_EQ(rec.ReceivedBy(0).postings, 3u);
+  EXPECT_EQ(rec.ReceivedBy(1).messages, 1u);
+  EXPECT_EQ(rec.SentBy(1).messages, 0u);
+  EXPECT_EQ(rec.num_peers(), 3u);
+}
+
+TEST(TrafficRecorderTest, AutoGrowsPeerTable) {
+  TrafficRecorder rec;
+  rec.Record(7, 9, MessageKind::kMaintenance, 0, 0);
+  EXPECT_EQ(rec.num_peers(), 10u);
+}
+
+TEST(TrafficRecorderTest, ResetClearsCountersKeepsPeers) {
+  TrafficRecorder rec;
+  rec.Record(0, 1, MessageKind::kKeyProbe, 5, 2);
+  rec.Reset();
+  EXPECT_EQ(rec.total().messages, 0u);
+  EXPECT_EQ(rec.SentBy(0).messages, 0u);
+  EXPECT_EQ(rec.ByKind(MessageKind::kKeyProbe).messages, 0u);
+  EXPECT_EQ(rec.num_peers(), 2u);
+}
+
+TEST(TrafficRecorderTest, SnapshotSupportsDifferentialMeasurement) {
+  TrafficRecorder rec;
+  rec.Record(0, 1, MessageKind::kKeyProbe, 5, 1);
+  TrafficCounters before = rec.Snapshot();
+  rec.Record(0, 1, MessageKind::kPostingsResponse, 25, 1);
+  TrafficCounters after = rec.Snapshot();
+  EXPECT_EQ(after.postings - before.postings, 25u);
+  EXPECT_EQ(after.messages - before.messages, 1u);
+}
+
+TEST(TrafficCountersTest, AddAccumulates) {
+  TrafficCounters a{1, 2, 3, 4};
+  TrafficCounters b{10, 20, 30, 40};
+  a.Add(b);
+  EXPECT_EQ(a, (TrafficCounters{11, 22, 33, 44}));
+}
+
+TEST(MessageKindTest, NamesAreStable) {
+  EXPECT_EQ(MessageKindName(MessageKind::kInsertPostings),
+            "InsertPostings");
+  EXPECT_EQ(MessageKindName(MessageKind::kNdkNotification),
+            "NdkNotification");
+  EXPECT_EQ(MessageKindName(MessageKind::kMaintenance), "Maintenance");
+}
+
+}  // namespace
+}  // namespace hdk::net

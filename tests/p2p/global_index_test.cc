@@ -1,0 +1,177 @@
+#include "p2p/global_index.h"
+
+#include <gtest/gtest.h>
+
+#include "dht/pgrid.h"
+
+namespace hdk::p2p {
+namespace {
+
+class GlobalIndexTest : public ::testing::Test {
+ protected:
+  GlobalIndexTest() : overlay_(4, 42), index_(&overlay_, &traffic_) {}
+
+  HdkParams Params(Freq df_max) {
+    HdkParams p;
+    p.df_max = df_max;
+    return p;
+  }
+
+  dht::PGridOverlay overlay_;
+  net::TrafficRecorder traffic_;
+  DistributedGlobalIndex index_;
+};
+
+TEST_F(GlobalIndexTest, AggregatesDfAcrossPeers) {
+  hdk::TermKey key{1, 2};
+  index_.InsertPostings(0, key, 2,
+                        index::PostingList({{0, 1, 10}, {1, 1, 10}}));
+  index_.InsertPostings(1, key, 3,
+                        index::PostingList({{5, 1, 10}, {6, 1, 10},
+                                            {7, 1, 10}}));
+  auto outcome = index_.EndLevel(Params(10), 10.0);
+  EXPECT_EQ(outcome.hdks, 1u);
+  EXPECT_EQ(outcome.ndks, 0u);
+
+  const hdk::KeyEntry* entry = index_.Peek(key);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->global_df, 5u);
+  EXPECT_TRUE(entry->is_hdk);
+  EXPECT_EQ(entry->postings.size(), 5u);
+}
+
+TEST_F(GlobalIndexTest, ClassifiesNdkAndTruncates) {
+  hdk::TermKey key{7};
+  std::vector<index::Posting> postings;
+  for (DocId d = 0; d < 20; ++d) {
+    postings.push_back({d, d + 1, 100});  // higher doc => higher tf
+  }
+  index_.InsertPostings(0, key, 20, index::PostingList(postings));
+  auto outcome = index_.EndLevel(Params(5), 100.0);
+  EXPECT_EQ(outcome.ndks, 1u);
+
+  const hdk::KeyEntry* entry = index_.Peek(key);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->is_hdk);
+  EXPECT_EQ(entry->global_df, 20u);
+  ASSERT_EQ(entry->postings.size(), 5u);
+  // The highest-tf postings survive.
+  EXPECT_EQ(entry->postings[0].doc, 15u);
+  EXPECT_EQ(entry->postings[4].doc, 19u);
+}
+
+TEST_F(GlobalIndexTest, NotifiesEveryContributorOfAnNdk) {
+  hdk::TermKey key{3};
+  for (PeerId p = 0; p < 3; ++p) {
+    std::vector<index::Posting> postings;
+    for (DocId d = p * 10; d < p * 10 + 4; ++d) {
+      postings.push_back({d, 1, 10});
+    }
+    index_.InsertPostings(p, key, 4, index::PostingList(postings));
+  }
+  auto outcome = index_.EndLevel(Params(10), 10.0);  // df 12 > 10
+  ASSERT_EQ(outcome.notifications.size(), 1u);
+  EXPECT_EQ(outcome.notifications[0].first, key);
+  EXPECT_EQ(outcome.notifications[0].second,
+            (std::vector<PeerId>{0, 1, 2}));
+  EXPECT_EQ(outcome.notification_messages, 3u);
+  EXPECT_EQ(traffic_.ByKind(net::MessageKind::kNdkNotification).messages,
+            3u);
+}
+
+TEST_F(GlobalIndexTest, NotificationsCanBeDisabled) {
+  hdk::TermKey key{3};
+  std::vector<index::Posting> postings;
+  for (DocId d = 0; d < 12; ++d) postings.push_back({d, 1, 10});
+  index_.InsertPostings(0, key, 12, index::PostingList(postings));
+  auto outcome = index_.EndLevel(Params(10), 10.0,
+                                 /*notify_contributors=*/false);
+  EXPECT_EQ(outcome.ndks, 1u);
+  EXPECT_TRUE(outcome.notifications.empty());
+  EXPECT_EQ(traffic_.ByKind(net::MessageKind::kNdkNotification).messages,
+            0u);
+}
+
+TEST_F(GlobalIndexTest, InsertRecordsTraffic) {
+  hdk::TermKey key{9};
+  index_.InsertPostings(2, key, 3,
+                        index::PostingList({{0, 1, 5}, {1, 1, 5},
+                                            {2, 1, 5}}));
+  const auto& insert =
+      traffic_.ByKind(net::MessageKind::kInsertPostings);
+  EXPECT_EQ(insert.messages, 1u);
+  EXPECT_EQ(insert.postings, 3u);
+}
+
+TEST_F(GlobalIndexTest, FetchRecordsProbeAndResponse) {
+  hdk::TermKey key{4};
+  index_.InsertPostings(0, key, 2,
+                        index::PostingList({{0, 1, 5}, {1, 1, 5}}));
+  index_.EndLevel(Params(10), 5.0);
+
+  const hdk::KeyEntry* entry = index_.FetchFrom(3, key);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(traffic_.ByKind(net::MessageKind::kKeyProbe).messages, 1u);
+  const auto& resp =
+      traffic_.ByKind(net::MessageKind::kPostingsResponse);
+  EXPECT_EQ(resp.messages, 1u);
+  EXPECT_EQ(resp.postings, 2u);
+}
+
+TEST_F(GlobalIndexTest, FetchMissRecordsEmptyResponse) {
+  const hdk::KeyEntry* entry = index_.FetchFrom(0, hdk::TermKey{99});
+  EXPECT_EQ(entry, nullptr);
+  EXPECT_EQ(traffic_.ByKind(net::MessageKind::kPostingsResponse).postings,
+            0u);
+  EXPECT_EQ(traffic_.ByKind(net::MessageKind::kPostingsResponse).messages,
+            1u);
+}
+
+TEST_F(GlobalIndexTest, KeysArePlacedByHashOnCorrectFragments) {
+  for (TermId t = 0; t < 40; ++t) {
+    hdk::TermKey key{t};
+    index_.InsertPostings(0, key, 1, index::PostingList({{0, 1, 5}}));
+  }
+  index_.EndLevel(Params(10), 5.0);
+  EXPECT_EQ(index_.TotalKeys(), 40u);
+  uint64_t sum = 0;
+  for (PeerId p = 0; p < 4; ++p) {
+    sum += index_.KeysAt(p);
+  }
+  EXPECT_EQ(sum, 40u);
+  // Placement must match ResponsiblePeer.
+  for (TermId t = 0; t < 40; ++t) {
+    hdk::TermKey key{t};
+    EXPECT_NE(index_.Peek(key), nullptr);
+  }
+}
+
+TEST_F(GlobalIndexTest, StoredPostingsPerPeerSumsToTotal) {
+  for (TermId t = 0; t < 20; ++t) {
+    index_.InsertPostings(
+        0, hdk::TermKey{t},
+        2, index::PostingList({{0, 1, 5}, {1, 1, 5}}));
+  }
+  index_.EndLevel(Params(10), 5.0);
+  uint64_t sum = 0;
+  for (PeerId p = 0; p < 4; ++p) {
+    sum += index_.StoredPostingsAt(p);
+  }
+  EXPECT_EQ(sum, index_.TotalStoredPostings());
+  EXPECT_EQ(sum, 40u);
+}
+
+TEST_F(GlobalIndexTest, ExportContainsEverything) {
+  index_.InsertPostings(0, hdk::TermKey{1}, 1,
+                        index::PostingList({{0, 1, 5}}));
+  index_.InsertPostings(1, hdk::TermKey{2, 3}, 1,
+                        index::PostingList({{5, 1, 5}}));
+  index_.EndLevel(Params(10), 5.0);
+  auto contents = index_.ExportContents();
+  EXPECT_EQ(contents.size(), 2u);
+  EXPECT_NE(contents.Find(hdk::TermKey{1}), nullptr);
+  EXPECT_NE(contents.Find(hdk::TermKey{2, 3}), nullptr);
+}
+
+}  // namespace
+}  // namespace hdk::p2p

@@ -1,0 +1,143 @@
+#include "p2p/retrieval.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/query_gen.h"
+#include "corpus/stats.h"
+#include "corpus/synthetic.h"
+#include "engine/overlay_factory.h"
+#include "hdk/query_lattice.h"
+#include "p2p/indexing_protocol.h"
+
+namespace hdk::p2p {
+namespace {
+
+class RetrievalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus::SyntheticConfig cfg;
+    cfg.seed = 2024;
+    cfg.vocabulary_size = 3000;
+    cfg.num_topics = 12;
+    cfg.topic_width = 35;
+    cfg.mean_doc_length = 50.0;
+    cfg.topic_share = 0.7;
+    corpus::SyntheticCorpus corpus(cfg);
+    corpus.FillStore(200, &store_);
+    stats_ = std::make_unique<corpus::CollectionStats>(store_);
+
+    params_.df_max = 10;
+    params_.very_frequent_threshold = 600;
+    params_.window = 8;
+    params_.s_max = 3;
+
+    overlay_ = engine::MakeOverlay(engine::OverlayKind::kPGrid, 4, 42);
+    traffic_ = std::make_unique<net::TrafficRecorder>();
+    HdkIndexingProtocol protocol(params_, store_, *stats_, overlay_.get(),
+                                 traffic_.get());
+    std::vector<std::pair<DocId, DocId>> ranges{
+        {0, 50}, {50, 100}, {100, 150}, {150, 200}};
+    auto global = protocol.Run(ranges);
+    ASSERT_TRUE(global.ok());
+    global_ = std::move(global).value();
+
+    retriever_ = std::make_unique<HdkRetriever>(
+        global_.get(), params_, stats_->num_documents(),
+        stats_->average_document_length(), traffic_.get());
+  }
+
+  std::vector<TermId> SampleQuery() {
+    corpus::QueryGenConfig qcfg;
+    qcfg.min_term_df = 3;
+    corpus::QueryGenerator gen(qcfg, store_, *stats_);
+    auto queries = gen.Generate(1);
+    if (queries.empty()) return {store_.Tokens(0)[0], store_.Tokens(0)[1]};
+    return queries[0].terms;
+  }
+
+  corpus::DocumentStore store_;
+  std::unique_ptr<corpus::CollectionStats> stats_;
+  HdkParams params_;
+  std::unique_ptr<dht::Overlay> overlay_;
+  std::unique_ptr<net::TrafficRecorder> traffic_;
+  std::unique_ptr<DistributedGlobalIndex> global_;
+  std::unique_ptr<HdkRetriever> retriever_;
+};
+
+TEST_F(RetrievalTest, ReturnsRankedResults) {
+  auto query = SampleQuery();
+  auto exec = retriever_->Search(0, query, 20);
+  EXPECT_GT(exec.results.size(), 0u);
+  EXPECT_LE(exec.results.size(), 20u);
+  for (size_t i = 1; i < exec.results.size(); ++i) {
+    EXPECT_GE(exec.results[i - 1].score, exec.results[i].score);
+  }
+}
+
+TEST_F(RetrievalTest, TrafficBoundedByLatticeTimesDfMax) {
+  // Paper Section 4.2: retrieval traffic <= nk * DFmax.
+  corpus::QueryGenConfig qcfg;
+  qcfg.min_term_df = 3;
+  corpus::QueryGenerator gen(qcfg, store_, *stats_);
+  for (const auto& q : gen.Generate(40)) {
+    auto exec = retriever_->Search(1, q.terms, 20);
+    const uint64_t nk = hdk::NumQueryKeys(
+        static_cast<uint32_t>(q.terms.size()), params_.s_max);
+    EXPECT_LE(exec.postings_fetched, nk * params_.df_max)
+        << "query size " << q.terms.size();
+    EXPECT_LE(exec.keys_fetched, nk);
+    EXPECT_LE(exec.probes, nk);
+  }
+}
+
+TEST_F(RetrievalTest, DeterministicAcrossOrigins) {
+  // Results are origin-independent (the global index is consistent);
+  // only routing hops differ.
+  auto query = SampleQuery();
+  auto a = retriever_->Search(0, query, 20);
+  auto b = retriever_->Search(3, query, 20);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].doc, b.results[i].doc);
+    EXPECT_NEAR(a.results[i].score, b.results[i].score, 1e-12);
+  }
+}
+
+TEST_F(RetrievalTest, SourceDocumentIsRetrieved) {
+  // Queries are sampled from a document window; that document contains
+  // all query terms and should appear in the merged candidate set.
+  corpus::QueryGenConfig qcfg;
+  qcfg.min_term_df = 3;
+  corpus::QueryGenerator gen(qcfg, store_, *stats_);
+  size_t found = 0, total = 0;
+  for (const auto& q : gen.Generate(30)) {
+    auto exec = retriever_->Search(0, q.terms, 200);
+    ++total;
+    for (const auto& r : exec.results) {
+      if (r.doc == q.source_doc) {
+        ++found;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // NDK truncation can drop a source doc, but most should surface.
+  EXPECT_GT(static_cast<double>(found) / static_cast<double>(total), 0.5);
+}
+
+TEST_F(RetrievalTest, EmptyQueryReturnsNothing) {
+  std::vector<TermId> empty;
+  auto exec = retriever_->Search(0, empty, 10);
+  EXPECT_TRUE(exec.results.empty());
+  EXPECT_EQ(exec.postings_fetched, 0u);
+  EXPECT_EQ(exec.probes, 0u);
+}
+
+TEST_F(RetrievalTest, MessagesAreProbesPlusResponses) {
+  auto query = SampleQuery();
+  auto exec = retriever_->Search(2, query, 10);
+  EXPECT_EQ(exec.messages, 2 * exec.probes);
+}
+
+}  // namespace
+}  // namespace hdk::p2p

@@ -1,0 +1,127 @@
+#include "p2p/single_term.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "corpus/synthetic.h"
+#include "dht/pgrid.h"
+#include "index/inverted_index.h"
+#include "index/searcher.h"
+
+namespace hdk::p2p {
+namespace {
+
+class SingleTermTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus::SyntheticConfig cfg;
+    cfg.seed = 31337;
+    cfg.vocabulary_size = 2000;
+    cfg.num_topics = 10;
+    cfg.topic_width = 30;
+    cfg.mean_doc_length = 40.0;
+    corpus::SyntheticCorpus corpus(cfg);
+    corpus.FillStore(120, &store_);
+  }
+
+  corpus::DocumentStore store_;
+};
+
+TEST_F(SingleTermTest, StoredEqualsInserted) {
+  dht::PGridOverlay overlay(4, 42);
+  net::TrafficRecorder traffic;
+  SingleTermP2PEngine engine(&overlay, &traffic);
+  for (PeerId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(engine.IndexPeer(p, store_, p * 30, (p + 1) * 30).ok());
+  }
+  uint64_t inserted = 0;
+  for (PeerId p = 0; p < 4; ++p) {
+    inserted += engine.InsertedPostingsBy(p);
+  }
+  // The ST baseline never truncates: stored == inserted.
+  EXPECT_EQ(engine.TotalStoredPostings(), inserted);
+  EXPECT_EQ(traffic.ByKind(net::MessageKind::kInsertPostings).postings,
+            inserted);
+}
+
+TEST_F(SingleTermTest, StoredPostingsMatchCentralizedIndex) {
+  dht::PGridOverlay overlay(4, 42);
+  net::TrafficRecorder traffic;
+  SingleTermP2PEngine engine(&overlay, &traffic);
+  for (PeerId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(engine.IndexPeer(p, store_, p * 30, (p + 1) * 30).ok());
+  }
+  index::InvertedIndex reference;
+  ASSERT_TRUE(reference.AddRange(store_, 0, 120).ok());
+  EXPECT_EQ(engine.TotalStoredPostings(), reference.TotalPostings());
+  EXPECT_EQ(engine.num_documents(), reference.num_documents());
+}
+
+TEST_F(SingleTermTest, SearchMatchesCentralizedBm25) {
+  dht::PGridOverlay overlay(4, 42);
+  net::TrafficRecorder traffic;
+  SingleTermP2PEngine engine(&overlay, &traffic);
+  for (PeerId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(engine.IndexPeer(p, store_, p * 30, (p + 1) * 30).ok());
+  }
+  index::InvertedIndex reference;
+  ASSERT_TRUE(reference.AddRange(store_, 0, 120).ok());
+  index::Bm25Searcher searcher(reference);
+
+  // Use terms that actually occur.
+  std::vector<TermId> query{store_.Tokens(0)[0], store_.Tokens(1)[0],
+                            store_.Tokens(2)[0]};
+  auto distributed = engine.Search(0, query, 20);
+  auto centralized = searcher.Search(query, 20);
+  ASSERT_EQ(distributed.results.size(), centralized.size());
+  for (size_t i = 0; i < centralized.size(); ++i) {
+    EXPECT_EQ(distributed.results[i].doc, centralized[i].doc);
+    EXPECT_NEAR(distributed.results[i].score, centralized[i].score, 1e-9);
+  }
+}
+
+TEST_F(SingleTermTest, QueryTrafficEqualsSumOfDfs) {
+  dht::PGridOverlay overlay(4, 42);
+  net::TrafficRecorder traffic;
+  SingleTermP2PEngine engine(&overlay, &traffic);
+  for (PeerId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(engine.IndexPeer(p, store_, p * 30, (p + 1) * 30).ok());
+  }
+  index::InvertedIndex reference;
+  ASSERT_TRUE(reference.AddRange(store_, 0, 120).ok());
+
+  std::vector<TermId> query{store_.Tokens(0)[0], store_.Tokens(5)[3]};
+  auto exec = engine.Search(1, query, 10);
+
+  std::vector<TermId> dedup(query);
+  std::sort(dedup.begin(), dedup.end());
+  dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+  uint64_t expected = 0;
+  for (TermId t : dedup) {
+    expected += reference.DocumentFrequency(t);
+  }
+  EXPECT_EQ(exec.postings_fetched, expected);
+}
+
+TEST_F(SingleTermTest, UnknownTermFetchesNothing) {
+  dht::PGridOverlay overlay(2, 42);
+  net::TrafficRecorder traffic;
+  SingleTermP2PEngine engine(&overlay, &traffic);
+  ASSERT_TRUE(engine.IndexPeer(0, store_, 0, 60).ok());
+  ASSERT_TRUE(engine.IndexPeer(1, store_, 60, 120).ok());
+  std::vector<TermId> query{1999999u};
+  auto exec = engine.Search(0, query, 10);
+  EXPECT_TRUE(exec.results.empty());
+  EXPECT_EQ(exec.postings_fetched, 0u);
+  EXPECT_GE(exec.messages, 2u);  // probe + empty response
+}
+
+TEST_F(SingleTermTest, IndexPeerValidatesRange) {
+  dht::PGridOverlay overlay(2, 42);
+  net::TrafficRecorder traffic;
+  SingleTermP2PEngine engine(&overlay, &traffic);
+  EXPECT_FALSE(engine.IndexPeer(0, store_, 0, 1 << 20).ok());
+}
+
+}  // namespace
+}  // namespace hdk::p2p

@@ -1,0 +1,85 @@
+#include "text/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk::text {
+namespace {
+
+TEST(AnalyzerTest, FullPipeline) {
+  Analyzer a;
+  auto tokens = a.AnalyzeToStrings("The peers are indexing the documents");
+  // "the"/"are" are stop words; remaining words are stemmed.
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"peer", "index", "document"}));
+}
+
+TEST(AnalyzerTest, StopwordRemovalOnly) {
+  AnalyzerOptions opt;
+  opt.stem = false;
+  Analyzer a(opt);
+  EXPECT_EQ(a.AnalyzeToStrings("the indexing of documents"),
+            (std::vector<std::string>{"indexing", "documents"}));
+}
+
+TEST(AnalyzerTest, StemmingOnly) {
+  AnalyzerOptions opt;
+  opt.remove_stopwords = false;
+  Analyzer a(opt);
+  EXPECT_EQ(a.AnalyzeToStrings("the indexing"),
+            (std::vector<std::string>{"the", "index"}));
+}
+
+TEST(AnalyzerTest, InternsConsistently) {
+  Analyzer a;
+  Vocabulary vocab;
+  auto ids1 = a.Analyze("peers indexing documents", &vocab);
+  auto ids2 = a.Analyze("documents indexing peers", &vocab);
+  ASSERT_EQ(ids1.size(), 3u);
+  ASSERT_EQ(ids2.size(), 3u);
+  EXPECT_EQ(ids1[0], ids2[2]);  // "peer"
+  EXPECT_EQ(ids1[1], ids2[1]);  // "index"
+  EXPECT_EQ(ids1[2], ids2[0]);  // "document"
+}
+
+TEST(AnalyzerTest, AppendsToOutput) {
+  Analyzer a;
+  Vocabulary vocab;
+  std::vector<TermId> out;
+  a.Analyze("peer", &vocab, &out);
+  a.Analyze("network", &vocab, &out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_NE(out[0], out[1]);
+}
+
+TEST(AnalyzerTest, QueryDropsUnknownTerms) {
+  Analyzer a;
+  Vocabulary vocab;
+  a.Analyze("peers index documents", &vocab);
+  auto q = a.AnalyzeQuery("peers query unknownword", vocab);
+  // "peer" is known; "queri"/"unknownword" were never interned.
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(vocab.TermOf(q[0]), "peer");
+  // Query analysis must not grow the vocabulary.
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(AnalyzerTest, QueryAppliesSamePipeline) {
+  Analyzer a;
+  Vocabulary vocab;
+  auto doc_ids = a.Analyze("connectivity", &vocab);
+  auto q = a.AnalyzeQuery("the connectivity", vocab);
+  ASSERT_EQ(doc_ids.size(), 1u);
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(doc_ids[0], q[0]);
+}
+
+TEST(AnalyzerTest, PositionsAreContiguousAfterStopwordRemoval) {
+  // The window model counts positions over the ANALYZED sequence.
+  Analyzer a;
+  Vocabulary vocab;
+  auto ids = a.Analyze("alpha the the the beta", &vocab);
+  EXPECT_EQ(ids.size(), 2u);  // "alpha", "beta" now adjacent
+}
+
+}  // namespace
+}  // namespace hdk::text

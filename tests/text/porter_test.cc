@@ -1,0 +1,134 @@
+#include "text/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk::text {
+namespace {
+
+struct Vec {
+  const char* in;
+  const char* out;
+};
+
+// Examples from M.F. Porter, "An algorithm for suffix stripping" (1980),
+// covering every rule of every step.
+const Vec kStep1aVectors[] = {
+    {"caresses", "caress"}, {"ponies", "poni"},   {"ties", "ti"},
+    {"caress", "caress"},   {"cats", "cat"},
+};
+
+const Vec kStep1bVectors[] = {
+    {"feed", "feed"},         {"agreed", "agre"},
+    {"plastered", "plaster"}, {"bled", "bled"},
+    {"motoring", "motor"},    {"sing", "sing"},
+    {"conflated", "conflat"}, {"troubled", "troubl"},
+    {"sized", "size"},        {"hopping", "hop"},
+    {"tanned", "tan"},        {"falling", "fall"},
+    {"hissing", "hiss"},      {"fizzed", "fizz"},
+    {"failing", "fail"},      {"filing", "file"},
+};
+
+const Vec kStep1cVectors[] = {
+    {"happy", "happi"},
+    {"sky", "sky"},
+};
+
+const Vec kStep2Vectors[] = {
+    {"relational", "relat"},       {"conditional", "condit"},
+    {"rational", "ration"},        {"valenci", "valenc"},
+    {"hesitanci", "hesit"},        {"digitizer", "digit"},
+    {"conformabli", "conform"},    {"radicalli", "radic"},
+    {"differentli", "differ"},     {"vileli", "vile"},
+    {"analogousli", "analog"},     {"vietnamization", "vietnam"},
+    {"predication", "predic"},     {"operator", "oper"},
+    {"feudalism", "feudal"},       {"decisiveness", "decis"},
+    {"hopefulness", "hope"},       {"callousness", "callous"},
+    {"formaliti", "formal"},       {"sensitiviti", "sensit"},
+    {"sensibiliti", "sensibl"},
+};
+
+const Vec kStep3Vectors[] = {
+    {"triplicate", "triplic"}, {"formative", "form"},
+    {"formalize", "formal"},   {"electriciti", "electr"},
+    {"electrical", "electr"},  {"hopeful", "hope"},
+    {"goodness", "good"},
+};
+
+const Vec kStep4Vectors[] = {
+    {"revival", "reviv"},       {"allowance", "allow"},
+    {"inference", "infer"},     {"airliner", "airlin"},
+    {"gyroscopic", "gyroscop"}, {"adjustable", "adjust"},
+    {"defensible", "defens"},   {"irritant", "irrit"},
+    {"replacement", "replac"},  {"adjustment", "adjust"},
+    {"dependent", "depend"},    {"adoption", "adopt"},
+    {"homologou", "homolog"},   {"communism", "commun"},
+    {"activate", "activ"},      {"angulariti", "angular"},
+    {"homologous", "homolog"},  {"effective", "effect"},
+    {"bowdlerize", "bowdler"},
+};
+
+const Vec kStep5Vectors[] = {
+    {"probate", "probat"},
+    {"rate", "rate"},
+    {"cease", "ceas"},
+    {"controll", "control"},
+    {"roll", "roll"},
+};
+
+class PorterVectorTest : public ::testing::TestWithParam<Vec> {};
+
+TEST_P(PorterVectorTest, StemsAsExpected) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem(GetParam().in), GetParam().out)
+      << "input: " << GetParam().in;
+}
+
+INSTANTIATE_TEST_SUITE_P(Step1a, PorterVectorTest,
+                         ::testing::ValuesIn(kStep1aVectors));
+INSTANTIATE_TEST_SUITE_P(Step1b, PorterVectorTest,
+                         ::testing::ValuesIn(kStep1bVectors));
+INSTANTIATE_TEST_SUITE_P(Step1c, PorterVectorTest,
+                         ::testing::ValuesIn(kStep1cVectors));
+INSTANTIATE_TEST_SUITE_P(Step2, PorterVectorTest,
+                         ::testing::ValuesIn(kStep2Vectors));
+INSTANTIATE_TEST_SUITE_P(Step3, PorterVectorTest,
+                         ::testing::ValuesIn(kStep3Vectors));
+INSTANTIATE_TEST_SUITE_P(Step4, PorterVectorTest,
+                         ::testing::ValuesIn(kStep4Vectors));
+INSTANTIATE_TEST_SUITE_P(Step5, PorterVectorTest,
+                         ::testing::ValuesIn(kStep5Vectors));
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  PorterStemmer s;
+  EXPECT_EQ(s.Stem(""), "");
+  EXPECT_EQ(s.Stem("a"), "a");
+  EXPECT_EQ(s.Stem("is"), "is");
+  EXPECT_EQ(s.Stem("by"), "by");
+}
+
+TEST(PorterStemmerTest, IdempotentOnCommonStems) {
+  // Stemming a stem should usually be a no-op; check common IR terms.
+  PorterStemmer s;
+  for (const char* w : {"comput", "retriev", "network", "index"}) {
+    EXPECT_EQ(s.Stem(w), w);
+  }
+}
+
+TEST(PorterStemmerTest, MergesInflections) {
+  PorterStemmer s;
+  EXPECT_EQ(s.Stem("retrieval"), s.Stem("retrieval"));
+  EXPECT_EQ(s.Stem("indexing"), s.Stem("indexed"));
+  EXPECT_EQ(s.Stem("connected"), s.Stem("connecting"));
+  EXPECT_EQ(s.Stem("connection"), s.Stem("connections"));
+}
+
+TEST(PorterStemmerTest, InPlaceMatchesByValue) {
+  PorterStemmer s;
+  std::string w = "generalizations";
+  std::string by_value = s.Stem(w);
+  s.StemInPlace(&w);
+  EXPECT_EQ(w, by_value);
+}
+
+}  // namespace
+}  // namespace hdk::text

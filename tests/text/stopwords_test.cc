@@ -1,0 +1,51 @@
+#include "text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk::text {
+namespace {
+
+TEST(StopwordsTest, DefaultListHas250Words) {
+  // The paper removes "250 common English stop words".
+  EXPECT_EQ(DefaultStopwords().size(), 250u);
+}
+
+TEST(StopwordsTest, CommonWordsPresent) {
+  const StopwordSet& sw = DefaultStopwords();
+  for (const char* w :
+       {"the", "a", "an", "and", "or", "of", "to", "in", "is", "are",
+        "was", "were", "be", "been", "this", "that", "with", "without"}) {
+    EXPECT_TRUE(sw.Contains(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ContentWordsAbsent) {
+  const StopwordSet& sw = DefaultStopwords();
+  for (const char* w :
+       {"peer", "index", "retrieval", "network", "key", "document",
+        "wikipedia", "bandwidth"}) {
+    EXPECT_FALSE(sw.Contains(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, CaseSensitiveByContract) {
+  // Input is lowercased by the tokenizer before the stop list is consulted.
+  EXPECT_TRUE(DefaultStopwords().Contains("the"));
+  EXPECT_FALSE(DefaultStopwords().Contains("The"));
+}
+
+TEST(StopwordsTest, CustomList) {
+  StopwordSet custom{"foo", "bar"};
+  EXPECT_EQ(custom.size(), 2u);
+  EXPECT_TRUE(custom.Contains("foo"));
+  EXPECT_FALSE(custom.Contains("the"));
+}
+
+TEST(StopwordsTest, SharedInstanceIsStable) {
+  const StopwordSet& a = DefaultStopwords();
+  const StopwordSet& b = DefaultStopwords();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace hdk::text

@@ -1,0 +1,84 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk::text {
+namespace {
+
+std::vector<std::string> Tok(std::string_view s, TokenizerOptions opt = {}) {
+  return Tokenizer(opt).Tokenize(s);
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tok("").empty());
+  EXPECT_TRUE(Tok("   \t\n ").empty());
+  EXPECT_TRUE(Tok("!!! ---").empty());
+}
+
+TEST(TokenizerTest, SimpleWords) {
+  EXPECT_EQ(Tok("peer to peer retrieval"),
+            (std::vector<std::string>{"peer", "to", "peer", "retrieval"}));
+}
+
+TEST(TokenizerTest, Lowercases) {
+  EXPECT_EQ(Tok("Highly Discriminative KEYS"),
+            (std::vector<std::string>{"highly", "discriminative", "keys"}));
+}
+
+TEST(TokenizerTest, SplitsOnPunctuation) {
+  EXPECT_EQ(Tok("index;retrieval,search."),
+            (std::vector<std::string>{"index", "retrieval", "search"}));
+}
+
+TEST(TokenizerTest, ApostropheJoinsContractions) {
+  EXPECT_EQ(Tok("don't stop"), (std::vector<std::string>{"dont", "stop"}));
+  EXPECT_EQ(Tok("the peer's index"),
+            (std::vector<std::string>{"the", "peers", "index"}));
+}
+
+TEST(TokenizerTest, TrailingApostropheIsSeparator) {
+  EXPECT_EQ(Tok("peers' data"),
+            (std::vector<std::string>{"peers", "data"}));
+}
+
+TEST(TokenizerTest, KeepsDigitsByDefault) {
+  EXPECT_EQ(Tok("icde 2007 p2p"),
+            (std::vector<std::string>{"icde", "2007", "p2p"}));
+}
+
+TEST(TokenizerTest, DigitsCanBeDisabled) {
+  TokenizerOptions opt;
+  opt.keep_digits = false;
+  EXPECT_EQ(Tok("icde 2007 p2p", opt),
+            (std::vector<std::string>{"icde", "p", "p"}));
+}
+
+TEST(TokenizerTest, MinLengthFilter) {
+  TokenizerOptions opt;
+  opt.min_token_length = 3;
+  EXPECT_EQ(Tok("a to the sea", opt),
+            (std::vector<std::string>{"the", "sea"}));
+}
+
+TEST(TokenizerTest, MaxLengthTruncates) {
+  TokenizerOptions opt;
+  opt.max_token_length = 4;
+  EXPECT_EQ(Tok("discriminative", opt),
+            (std::vector<std::string>{"disc"}));
+}
+
+TEST(TokenizerTest, UnicodeBytesActAsSeparators) {
+  // Non-ASCII bytes split tokens (ASCII-only model, documented).
+  auto tokens = Tok("caf\xc3\xa9 culture");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"caf", "culture"}));
+}
+
+TEST(TokenizerTest, AppendMode) {
+  Tokenizer t;
+  std::vector<std::string> out{"seed"};
+  t.Tokenize("more words", &out);
+  EXPECT_EQ(out, (std::vector<std::string>{"seed", "more", "words"}));
+}
+
+}  // namespace
+}  // namespace hdk::text

@@ -1,0 +1,61 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk::text {
+namespace {
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.Intern("alpha"), 0u);
+  EXPECT_EQ(v.Intern("beta"), 1u);
+  EXPECT_EQ(v.Intern("gamma"), 2u);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  TermId a = v.Intern("alpha");
+  EXPECT_EQ(v.Intern("alpha"), a);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(VocabularyTest, LookupKnownAndUnknown) {
+  Vocabulary v;
+  TermId a = v.Intern("alpha");
+  EXPECT_EQ(v.Lookup("alpha"), a);
+  EXPECT_EQ(v.Lookup("missing"), kInvalidTerm);
+}
+
+TEST(VocabularyTest, TermOfRoundTrips) {
+  Vocabulary v;
+  TermId a = v.Intern("alpha");
+  TermId b = v.Intern("beta");
+  EXPECT_EQ(v.TermOf(a), "alpha");
+  EXPECT_EQ(v.TermOf(b), "beta");
+}
+
+TEST(VocabularyTest, EmptyState) {
+  Vocabulary v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  v.Intern("x");
+  EXPECT_FALSE(v.empty());
+}
+
+TEST(VocabularyTest, ManyTermsStayConsistent) {
+  Vocabulary v;
+  for (int i = 0; i < 1000; ++i) {
+    v.Intern("term" + std::to_string(i));
+  }
+  EXPECT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    std::string t = "term" + std::to_string(i);
+    TermId id = v.Lookup(t);
+    ASSERT_NE(id, kInvalidTerm);
+    EXPECT_EQ(v.TermOf(id), t);
+  }
+}
+
+}  // namespace
+}  // namespace hdk::text

@@ -1,0 +1,181 @@
+#include "text/window.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hdk::text {
+namespace {
+
+// Brute-force oracle: does any length-w contiguous range contain all key
+// terms?
+bool BruteCoOccurs(const std::vector<TermId>& tokens, uint32_t w,
+                   std::vector<TermId> key) {
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  if (key.empty()) return true;
+  for (size_t start = 0; start < tokens.size(); ++start) {
+    size_t end = std::min(tokens.size(), start + w);
+    size_t found = 0;
+    for (TermId k : key) {
+      for (size_t i = start; i < end; ++i) {
+        if (tokens[i] == k) {
+          ++found;
+          break;
+        }
+      }
+    }
+    if (found == key.size()) return true;
+  }
+  return false;
+}
+
+TEST(WindowTailTest, TracksDistinctTerms) {
+  WindowTail tail(4);  // keeps 3 positions
+  tail.Push(1);
+  tail.Push(2);
+  tail.Push(2);
+  EXPECT_EQ(tail.distinct().size(), 2u);
+  EXPECT_TRUE(tail.Contains(1));
+  EXPECT_TRUE(tail.Contains(2));
+
+  tail.Push(3);  // evicts the 1 at the oldest position
+  EXPECT_FALSE(tail.Contains(1));
+  EXPECT_TRUE(tail.Contains(2));
+  EXPECT_TRUE(tail.Contains(3));
+  EXPECT_EQ(tail.distinct().size(), 2u);
+}
+
+TEST(WindowTailTest, DuplicateSurvivesPartialEviction) {
+  WindowTail tail(4);
+  tail.Push(7);
+  tail.Push(7);
+  tail.Push(1);
+  tail.Push(2);  // evicts first 7; second 7 still inside
+  EXPECT_TRUE(tail.Contains(7));
+  tail.Push(3);  // evicts second 7
+  EXPECT_FALSE(tail.Contains(7));
+}
+
+TEST(WindowTailTest, HolesAdvancePositions) {
+  WindowTail tail(3);  // keeps 2 positions
+  tail.Push(5);
+  tail.Push(kInvalidTerm);
+  EXPECT_TRUE(tail.Contains(5));
+  tail.Push(kInvalidTerm);  // 5 falls out
+  EXPECT_FALSE(tail.Contains(5));
+  EXPECT_TRUE(tail.distinct().empty());
+}
+
+TEST(WindowTailTest, ResetClears) {
+  WindowTail tail(5);
+  tail.Push(1);
+  tail.Push(2);
+  tail.Reset();
+  EXPECT_TRUE(tail.distinct().empty());
+  EXPECT_FALSE(tail.Contains(1));
+  tail.Push(9);
+  EXPECT_TRUE(tail.Contains(9));
+}
+
+TEST(WindowTailTest, MatchesSlidingSemantics) {
+  // After pushing positions 0..i, the tail holds positions [i-w+1, i-1]...
+  // meaning: pushing t at each i, the PREVIOUS w-1 terms are queryable.
+  const uint32_t w = 3;
+  std::vector<TermId> tokens{10, 20, 30, 40, 50};
+  WindowTail tail(w);
+  std::vector<std::vector<TermId>> tails_seen;
+  for (TermId t : tokens) {
+    std::vector<TermId> d = tail.distinct();
+    std::sort(d.begin(), d.end());
+    tails_seen.push_back(d);
+    tail.Push(t);
+  }
+  EXPECT_EQ(tails_seen[0], (std::vector<TermId>{}));
+  EXPECT_EQ(tails_seen[1], (std::vector<TermId>{10}));
+  EXPECT_EQ(tails_seen[2], (std::vector<TermId>{10, 20}));
+  EXPECT_EQ(tails_seen[3], (std::vector<TermId>{20, 30}));
+  EXPECT_EQ(tails_seen[4], (std::vector<TermId>{30, 40}));
+}
+
+TEST(WindowCoOccursTest, SingleTerm) {
+  std::vector<TermId> tokens{1, 2, 3};
+  EXPECT_TRUE(WindowCoOccurs(tokens, 2, std::vector<TermId>{2}));
+  EXPECT_FALSE(WindowCoOccurs(tokens, 2, std::vector<TermId>{9}));
+}
+
+TEST(WindowCoOccursTest, EmptyKeyTriviallyTrue) {
+  std::vector<TermId> tokens{1};
+  EXPECT_TRUE(WindowCoOccurs(tokens, 2, std::vector<TermId>{}));
+}
+
+TEST(WindowCoOccursTest, PairWithinAndBeyondWindow) {
+  std::vector<TermId> tokens{1, 9, 9, 9, 2};
+  // Distance between 1 and 2 is 4 positions; window 5 covers both.
+  EXPECT_TRUE(WindowCoOccurs(tokens, 5, std::vector<TermId>{1, 2}));
+  EXPECT_FALSE(WindowCoOccurs(tokens, 4, std::vector<TermId>{1, 2}));
+}
+
+TEST(WindowCoOccursTest, DuplicateKeyTermsActAsSet) {
+  std::vector<TermId> tokens{1, 2};
+  EXPECT_TRUE(WindowCoOccurs(tokens, 2, std::vector<TermId>{1, 1, 2}));
+}
+
+TEST(WindowCoOccursTest, TripleNeedsAllThree) {
+  std::vector<TermId> tokens{1, 2, 4, 5, 3};
+  EXPECT_TRUE(WindowCoOccurs(tokens, 5, std::vector<TermId>{1, 2, 3}));
+  EXPECT_FALSE(WindowCoOccurs(tokens, 3, std::vector<TermId>{1, 2, 3}));
+  EXPECT_FALSE(WindowCoOccurs(tokens, 5, std::vector<TermId>{1, 2, 7}));
+}
+
+TEST(CountWindowsTest, CountsEndPositions) {
+  std::vector<TermId> tokens{1, 2, 1, 2};
+  // Windows of size 2 ending at positions 1,2,3 contain {1,2}.
+  EXPECT_EQ(CountCoOccurrenceWindows(tokens, 2,
+                                     std::vector<TermId>{1, 2}),
+            3u);
+}
+
+TEST(CountWindowsTest, ZeroWhenAbsent) {
+  std::vector<TermId> tokens{1, 1, 1};
+  EXPECT_EQ(CountCoOccurrenceWindows(tokens, 3,
+                                     std::vector<TermId>{1, 2}),
+            0u);
+}
+
+// Property test: WindowCoOccurs agrees with the brute-force oracle on
+// random token streams.
+class WindowPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(WindowPropertyTest, AgreesWithBruteForce) {
+  const uint32_t w = std::get<0>(GetParam());
+  const uint32_t alphabet = std::get<1>(GetParam());
+  Rng rng(w * 1000 + alphabet);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t len = 1 + rng.NextBounded(60);
+    std::vector<TermId> tokens(len);
+    for (auto& t : tokens) {
+      t = static_cast<TermId>(rng.NextBounded(alphabet));
+    }
+    const size_t key_size = 1 + rng.NextBounded(3);
+    std::vector<TermId> key(key_size);
+    for (auto& k : key) {
+      k = static_cast<TermId>(rng.NextBounded(alphabet));
+    }
+    EXPECT_EQ(WindowCoOccurs(tokens, w, key),
+              BruteCoOccurs(tokens, w, key))
+        << "w=" << w << " len=" << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowPropertyTest,
+    ::testing::Combine(::testing::Values(2u, 3u, 5u, 10u, 20u),
+                       ::testing::Values(3u, 8u, 30u)));
+
+}  // namespace
+}  // namespace hdk::text

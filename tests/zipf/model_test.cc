@@ -1,0 +1,164 @@
+#include "zipf/model.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hdk::zipf {
+namespace {
+
+// Builds an exact synthetic rank-frequency curve z(r) = C * r^-a.
+std::vector<Freq> ExactZipf(double scale, double skew, size_t n) {
+  std::vector<Freq> rf;
+  rf.reserve(n);
+  for (size_t r = 1; r <= n; ++r) {
+    rf.push_back(static_cast<Freq>(
+        std::llround(scale * std::pow(static_cast<double>(r), -skew))));
+  }
+  return rf;
+}
+
+TEST(FitZipfTest, RecoversParametersOnExactData) {
+  auto rf = ExactZipf(1e6, 1.5, 2000);
+  auto fit = FitZipf(rf);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->skew, 1.5, 0.05);
+  EXPECT_NEAR(std::log(fit->scale), std::log(1e6), 0.2);
+  EXPECT_GT(fit->r_squared, 0.99);
+}
+
+TEST(FitZipfTest, RecoversShallowSkew) {
+  auto rf = ExactZipf(5e5, 0.9, 3000);
+  auto fit = FitZipf(rf);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->skew, 0.9, 0.05);
+}
+
+TEST(FitZipfTest, FrequencyFloorExcludesTail) {
+  auto rf = ExactZipf(1000, 1.0, 5000);  // long tail of 1s and 0s
+  ZipfFitOptions opt;
+  opt.min_frequency = 2;
+  auto fit = FitZipf(rf, opt);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->points_used, 1000u);
+}
+
+TEST(FitZipfTest, MaxRanksLimitsPoints) {
+  auto rf = ExactZipf(1e6, 1.2, 2000);
+  ZipfFitOptions opt;
+  opt.max_ranks = 100;
+  auto fit = FitZipf(rf, opt);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->points_used, 100u);
+}
+
+TEST(FitZipfTest, RejectsTooFewPoints) {
+  std::vector<Freq> rf{10, 5};
+  EXPECT_FALSE(FitZipf(rf).ok());
+}
+
+TEST(ZipfFitTest, FrequencyAndRankOfAreInverse) {
+  ZipfFit fit;
+  fit.skew = 1.5;
+  fit.scale = 1e6;
+  double f = fit.Frequency(100.0);
+  EXPECT_NEAR(fit.RankOf(f), 100.0, 1e-6);
+}
+
+TEST(TheoremTest, FrequentProbabilityMatchesClosedForm) {
+  // Theorem 2: P_f = (1 - (Fr/Ff)^e) / (1 - (1/Ff)^e), e = (a-1)/a.
+  const double a = 1.5, fr = 400, ff = 100000;
+  auto p = FrequentProbability(a, fr, ff);
+  ASSERT_TRUE(p.ok());
+  const double e = (a - 1.0) / a;
+  const double expected =
+      (1.0 - std::pow(fr / ff, e)) / (1.0 - std::pow(1.0 / ff, e));
+  EXPECT_NEAR(*p, expected, 1e-12);
+  EXPECT_GT(*p, 0.0);
+  EXPECT_LT(*p, 1.0);
+}
+
+TEST(TheoremTest, PaperParametersGiveHighPf) {
+  // The paper reports P_f,1 = 0.8 for a = 1.5 (fitted on Wikipedia).
+  auto p = FrequentProbability(1.5, 400, 100000);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.8, 0.1);
+}
+
+TEST(TheoremTest, FrequentProbabilityIndependentOfScale) {
+  // P_f does not depend on C(l) — the key scalability property.
+  auto p1 = FrequentProbability(1.5, 100, 10000);
+  auto p2 = FrequentProbability(1.5, 100, 10000);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p1, *p2);
+}
+
+TEST(TheoremTest, VeryFrequentProbabilityGrowsWithScale) {
+  // Theorem 1: P_vf depends on l (through C(l)) and grows as the
+  // collection grows.
+  auto small = VeryFrequentProbability(1.5, 1e6, 1e5);
+  auto large = VeryFrequentProbability(1.5, 1e9, 1e5);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(*large, *small);
+  EXPECT_GE(*small, 0.0);
+  EXPECT_LT(*large, 1.0);
+}
+
+TEST(TheoremTest, VeryFrequentZeroWhenCutoffAboveScale) {
+  auto p = VeryFrequentProbability(1.5, 1e4, 1e6);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, 0.0);
+}
+
+TEST(TheoremTest, RejectsInvalidArguments) {
+  EXPECT_FALSE(FrequentProbability(0.9, 10, 100).ok());   // skew <= 1
+  EXPECT_FALSE(FrequentProbability(1.5, 0, 100).ok());    // Fr <= 0
+  EXPECT_FALSE(FrequentProbability(1.5, 200, 100).ok());  // Fr > Ff
+  EXPECT_FALSE(VeryFrequentProbability(1.0, 1e6, 1e5).ok());
+  EXPECT_FALSE(VeryFrequentProbability(1.5, 0.5, 1e5).ok());
+}
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(Binomial(19, 1), 19.0);
+  EXPECT_EQ(Binomial(19, 2), 171.0);
+  EXPECT_EQ(Binomial(4, 2), 6.0);
+  EXPECT_EQ(Binomial(5, 0), 1.0);
+  EXPECT_EQ(Binomial(5, 5), 1.0);
+  EXPECT_EQ(Binomial(3, 4), 0.0);
+}
+
+TEST(IndexSizeTest, Level1BoundedBySampleSize) {
+  // IS_1 <= D (Section 4.1).
+  EXPECT_EQ(IndexSizeEstimate(1000000, 0.8, 20, 1), 1000000.0);
+}
+
+TEST(IndexSizeTest, MatchesTheorem3Formula) {
+  // IS_s = D * P_f,(s-1)^2 * binom(w-1, s-1).
+  const uint64_t d = 3000000;
+  const double pf = 0.8;
+  EXPECT_NEAR(IndexSizeEstimate(d, pf, 20, 2),
+              static_cast<double>(d) * 0.64 * 19.0, 1e-6);
+  EXPECT_NEAR(IndexSizeEstimate(d, 0.257, 20, 3),
+              static_cast<double>(d) * 0.257 * 0.257 * 171.0, 1e-3);
+}
+
+TEST(IndexSizeTest, PaperRatios) {
+  // Paper Section 5: with a_1=1.5 (P_f,1 = 0.8) the estimated IS_2/D is
+  // 12.16, and with P_f,2 = 0.257 the estimated IS_3/D is 11.35.
+  EXPECT_NEAR(IndexSizeEstimate(1, 0.8, 20, 2), 12.16, 0.01);
+  EXPECT_NEAR(IndexSizeEstimate(1, 0.257, 20, 3), 11.29, 0.2);
+}
+
+TEST(EvaluateZipfCurveTest, ProducesDecreasingCurve) {
+  auto curve = EvaluateZipfCurve(1.5, 1000.0, 50);
+  ASSERT_EQ(curve.size(), 50u);
+  EXPECT_EQ(curve[0], 1000.0);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LT(curve[i], curve[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace hdk::zipf

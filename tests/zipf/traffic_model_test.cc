@@ -1,0 +1,96 @@
+#include "zipf/traffic_model.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk::zipf {
+namespace {
+
+TEST(TrafficModelTest, DefaultsValid) {
+  EXPECT_TRUE(TrafficModelParams{}.Validate().ok());
+}
+
+TEST(TrafficModelTest, RejectsBadParams) {
+  TrafficModelParams p;
+  p.st_postings_per_doc = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TrafficModelParams{};
+  p.hdk_query_postings = -1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TrafficModelParams{};
+  p.queries_per_period = -5;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(TrafficModelTest, PaperRatioAtWikipediaScale) {
+  // Paper Section 5 / Figure 8: "for the whole Wikipedia collection
+  // (653,546 documents), the HDK approach would generate 20 times less
+  // traffic than the distributed single-term approach".
+  TrafficModelParams p;  // paper-calibrated defaults
+  TrafficEstimate e = EstimateTraffic(p, 653546);
+  EXPECT_GT(e.ratio, 15.0);
+  EXPECT_LT(e.ratio, 30.0);
+}
+
+TEST(TrafficModelTest, PaperRatioAtBillionDocs) {
+  // "...while for 1 billion documents the ratio is around 42."
+  TrafficModelParams p;
+  TrafficEstimate e = EstimateTraffic(p, 1000000000ULL);
+  EXPECT_GT(e.ratio, 35.0);
+  EXPECT_LT(e.ratio, 50.0);
+}
+
+TEST(TrafficModelTest, RatioGrowsWithCollectionSize) {
+  // ST retrieval grows linearly, HDK retrieval is bounded: the advantage
+  // widens with the collection.
+  TrafficModelParams p;
+  double prev = 0.0;
+  for (uint64_t m : {1000ULL, 100000ULL, 10000000ULL, 1000000000ULL}) {
+    TrafficEstimate e = EstimateTraffic(p, m);
+    EXPECT_GT(e.ratio, prev);
+    prev = e.ratio;
+  }
+}
+
+TEST(TrafficModelTest, RatioSaturates) {
+  // As M -> inf the ratio approaches the slope quotient
+  // (st_idx + Q*st_q) / hdk_idx.
+  TrafficModelParams p;
+  const double limit =
+      (p.st_postings_per_doc +
+       p.queries_per_period * p.st_query_postings_per_doc) /
+      p.hdk_postings_per_doc;
+  TrafficEstimate e = EstimateTraffic(p, 1ULL << 50);
+  EXPECT_NEAR(e.ratio, limit, limit * 0.01);
+}
+
+TEST(TrafficModelTest, HdkIndexingDominatesAtSmallScale) {
+  // Indexing with HDKs is MORE expensive; without queries the ST approach
+  // wins — the crossover only comes from retrieval volume.
+  TrafficModelParams p;
+  p.queries_per_period = 0;
+  TrafficEstimate e = EstimateTraffic(p, 1000000);
+  EXPECT_LT(e.ratio, 1.0);
+}
+
+TEST(TrafficModelTest, SweepEvaluatesAllPoints) {
+  TrafficModelParams p;
+  std::vector<uint64_t> ms{100, 1000, 10000};
+  auto sweep = EstimateTrafficSweep(p, ms);
+  ASSERT_EQ(sweep.size(), 3u);
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep[i].num_documents, ms[i]);
+    EXPECT_GT(sweep[i].st_total, 0.0);
+    EXPECT_GT(sweep[i].hdk_total, 0.0);
+  }
+}
+
+TEST(TrafficModelTest, TotalsAreMonotoneInDocuments) {
+  TrafficModelParams p;
+  TrafficEstimate a = EstimateTraffic(p, 1000);
+  TrafficEstimate b = EstimateTraffic(p, 2000);
+  EXPECT_GT(b.st_total, a.st_total);
+  EXPECT_GT(b.hdk_total, a.hdk_total);
+}
+
+}  // namespace
+}  // namespace hdk::zipf
