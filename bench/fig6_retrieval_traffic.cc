@@ -30,19 +30,14 @@ int main() {
       return 1;
     }
     auto queries = ctx.MakeQueries(point->num_docs, setup.num_queries);
-    double st = 0, low = 0, high = 0;
-    for (const auto& q : queries) {
-      st += static_cast<double>(
-          point->st->Search(q.terms, setup.top_k).postings_fetched);
-      low += static_cast<double>(
-          point->hdk_low->Search(q.terms, setup.top_k).postings_fetched);
-      high += static_cast<double>(
-          point->hdk_high->Search(q.terms, setup.top_k).postings_fetched);
-    }
+    // Batch execution through the unified SearchEngine interface.
     const double n = static_cast<double>(queries.size());
-    st /= n;
-    low /= n;
-    high /= n;
+    const double st = static_cast<double>(
+        point->st->SearchBatch(queries, setup.top_k).total.postings_fetched) / n;
+    const double low = static_cast<double>(
+        point->hdk_low->SearchBatch(queries, setup.top_k).total.postings_fetched) / n;
+    const double high = static_cast<double>(
+        point->hdk_high->SearchBatch(queries, setup.top_k).total.postings_fetched) / n;
     std::printf("%10u %12llu %12.0f %14.0f %14.0f %9.1fx\n", peers,
                 static_cast<unsigned long long>(point->num_docs), st, high,
                 low, low > 0 ? st / low : 0.0);

@@ -38,7 +38,7 @@ int main() {
       low_r.push_back(point->hdk_low->Search(q.terms, setup.top_k).results);
       high_r.push_back(
           point->hdk_high->Search(q.terms, setup.top_k).results);
-      bm25_r.push_back((*centralized)->Search(q.terms, setup.top_k));
+      bm25_r.push_back((*centralized)->Rank(q.terms, setup.top_k));
     }
     const double low =
         engine::MeanTopKOverlap(low_r, bm25_r, setup.top_k) * 100.0;

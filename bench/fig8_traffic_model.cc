@@ -63,13 +63,10 @@ int main() {
     return 1;
   }
   auto queries = ctx.MakeQueries(point->num_docs, setup.num_queries);
-  double st_q = 0, hdk_q = 0;
-  for (const auto& q : queries) {
-    st_q += static_cast<double>(
-        point->st->Search(q.terms, setup.top_k).postings_fetched);
-    hdk_q += static_cast<double>(
-        point->hdk_low->Search(q.terms, setup.top_k).postings_fetched);
-  }
+  const double st_q = static_cast<double>(
+      point->st->SearchBatch(queries, setup.top_k).total.postings_fetched);
+  const double hdk_q = static_cast<double>(
+      point->hdk_low->SearchBatch(queries, setup.top_k).total.postings_fetched);
   const double nq = static_cast<double>(queries.size());
   const double docs = static_cast<double>(point->num_docs);
 

@@ -1,15 +1,19 @@
-// Side-by-side comparison of the three retrieval architectures on the
-// same collection and query workload:
-//   * HdkSearchEngine      — the paper's contribution,
-//   * SingleTermEngine     — naive distributed single-term baseline,
-//   * CentralizedBm25Engine — quality reference (Terrier stand-in).
+// Side-by-side comparison of the three retrieval architectures, selected
+// from the engine registry by name and driven purely through the unified
+// SearchEngine interface:
+//   * "hdk"         — the paper's contribution,
+//   * "single-term" — naive distributed single-term baseline,
+//   * "centralized" — quality reference (Terrier stand-in).
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
-#include "engine/centralized.h"
+#include "engine/engine_factory.h"
 #include "engine/experiment.h"
 #include "engine/overlap.h"
+#include "engine/partition.h"
 
 int main() {
   using namespace hdk;
@@ -18,56 +22,72 @@ int main() {
   engine::ExperimentSetup setup = engine::ExperimentSetup::Tiny();
   setup.max_peers = 6;
   engine::ExperimentContext ctx(setup);
+  const uint64_t num_docs =
+      static_cast<uint64_t>(setup.max_peers) * setup.docs_per_peer;
+  const corpus::DocumentStore& store = ctx.GrowTo(num_docs);
 
+  engine::EngineConfig config;
+  config.hdk = setup.MakeParams(setup.DfMaxHigh());
+  config.overlay = setup.overlay;
+  config.overlay_seed = setup.overlay_seed;
+
+  // One factory call per backend; everything else is interface-driven.
   Stopwatch build_watch;
-  auto point = engine::BuildEnginesAtPoint(ctx, setup.max_peers);
-  if (!point.ok()) {
-    std::fprintf(stderr, "%s\n", point.status().ToString().c_str());
-    return 1;
+  std::vector<std::unique_ptr<engine::SearchEngine>> engines;
+  for (engine::EngineKind kind : engine::kAllEngineKinds) {
+    auto built = engine::MakeEngine(
+        kind, config, store, engine::SplitEvenly(num_docs, setup.max_peers));
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s: %s\n",
+                   std::string(engine::EngineKindName(kind)).c_str(),
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    engines.push_back(std::move(built).value());
   }
-  auto centralized =
-      engine::CentralizedBm25Engine::Build(ctx.GrowTo(point->num_docs));
-  if (!centralized.ok()) return 1;
   const double build_s = build_watch.ElapsedSeconds();
 
-  auto queries = ctx.MakeQueries(point->num_docs, setup.num_queries);
+  auto queries = ctx.MakeQueries(num_docs, setup.num_queries);
+  const double n = static_cast<double>(queries.size());
 
-  double hdk_post = 0, st_post = 0, hdk_msgs = 0;
-  std::vector<std::vector<index::ScoredDoc>> hdk_r, st_r, bm25_r;
+  // The centralized reference anchors the quality comparison.
   Stopwatch query_watch;
-  for (const auto& q : queries) {
-    auto h = point->hdk_high->Search(q.terms, 20);
-    auto s = point->st->Search(q.terms, 20);
-    hdk_post += static_cast<double>(h.postings_fetched);
-    st_post += static_cast<double>(s.postings_fetched);
-    hdk_msgs += static_cast<double>(h.messages);
-    hdk_r.push_back(std::move(h.results));
-    st_r.push_back(std::move(s.results));
-    bm25_r.push_back((*centralized)->Search(q.terms, 20));
+  std::vector<engine::BatchResponse> batches;
+  batches.reserve(engines.size());
+  for (auto& e : engines) {
+    batches.push_back(e->SearchBatch(queries, 20));
   }
   const double query_s = query_watch.ElapsedSeconds();
-  const double n = static_cast<double>(queries.size());
+
+  std::vector<std::vector<index::ScoredDoc>> reference;
+  for (size_t i = 0; i < engines.size(); ++i) {
+    if (engine::kAllEngineKinds[i] != engine::EngineKind::kCentralized) {
+      continue;
+    }
+    for (const auto& r : batches[i].responses) {
+      reference.push_back(r.results);
+    }
+  }
 
   std::printf("collection: %llu docs on %u peers; %zu queries; "
               "build %.1fs, queries %.2fs\n\n",
-              static_cast<unsigned long long>(point->num_docs),
-              setup.max_peers, queries.size(), build_s, query_s);
+              static_cast<unsigned long long>(num_docs), setup.max_peers,
+              queries.size(), build_s, query_s);
 
-  std::printf("%-34s %14s %14s\n", "metric", "HDK", "single-term");
-  std::printf("%-34s %14.0f %14.0f\n", "stored postings per peer",
-              point->hdk_high->StoredPostingsPerPeer(),
-              point->st->StoredPostingsPerPeer());
-  std::printf("%-34s %14.0f %14.0f\n", "inserted postings per peer",
-              point->hdk_high->InsertedPostingsPerPeer(),
-              point->st->InsertedPostingsPerPeer());
-  std::printf("%-34s %14.1f %14.1f\n", "retrieved postings per query",
-              hdk_post / n, st_post / n);
-  std::printf("%-34s %14.1f %14s\n", "messages per query", hdk_msgs / n,
-              "2/term");
-  std::printf("%-34s %13.1f%% %13.1f%%\n",
-              "top-20 overlap vs centralized BM25",
-              engine::MeanTopKOverlap(hdk_r, bm25_r, 20) * 100.0,
-              engine::MeanTopKOverlap(st_r, bm25_r, 20) * 100.0);
+  std::printf("%-28s %14s %14s %14s %12s %10s\n", "engine", "stored/peer",
+              "inserted/peer", "post/query", "msgs/query", "ovl@20");
+  for (size_t i = 0; i < engines.size(); ++i) {
+    const auto& e = *engines[i];
+    const auto& batch = batches[i];
+    std::vector<std::vector<index::ScoredDoc>> results;
+    for (const auto& r : batch.responses) results.push_back(r.results);
+    std::printf("%-28s %14.0f %14.0f %14.1f %12.1f %9.0f%%\n",
+                std::string(e.name()).c_str(), e.StoredPostingsPerPeer(),
+                e.InsertedPostingsPerPeer(),
+                static_cast<double>(batch.total.postings_fetched) / n,
+                static_cast<double>(batch.total.messages) / n,
+                engine::MeanTopKOverlap(results, reference, 20) * 100.0);
+  }
 
   std::printf("\nreading: the ST engine reproduces centralized BM25 "
               "exactly (same index, same scorer) but pays\nunbounded "

@@ -81,10 +81,10 @@ int main() {
               query_text.c_str(), query.size());
   std::printf("fetched %llu keys / %llu postings in %llu messages "
               "(%llu overlay hops)\n\n",
-              static_cast<unsigned long long>(exec.keys_fetched),
-              static_cast<unsigned long long>(exec.postings_fetched),
-              static_cast<unsigned long long>(exec.messages),
-              static_cast<unsigned long long>(exec.hops));
+              static_cast<unsigned long long>(exec.cost.keys_fetched),
+              static_cast<unsigned long long>(exec.cost.postings_fetched),
+              static_cast<unsigned long long>(exec.cost.messages),
+              static_cast<unsigned long long>(exec.cost.hops));
   for (size_t i = 0; i < exec.results.size(); ++i) {
     const auto& r = exec.results[i];
     std::printf("  %zu. [score %.3f] %s\n", i + 1, r.score,

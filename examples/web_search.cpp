@@ -42,7 +42,7 @@ int main() {
   for (const auto& q : queries) {
     auto hdk_exec = point->hdk_high->Search(q.terms, 10);
     auto st_exec = point->st->Search(q.terms, 10);
-    auto bm25 = (*centralized)->Search(q.terms, 10);
+    auto bm25 = (*centralized)->Rank(q.terms, 10);
     double overlap = engine::TopKOverlap(hdk_exec.results, bm25, 10);
 
     std::string qs = "{";
@@ -52,22 +52,23 @@ int main() {
     }
     qs += "}";
     if (qs.size() > 27) qs = qs.substr(0, 24) + "...";
-    std::printf("%-28s %6zu %9llu %9llu %8.1fx %7.0f%%\n", qs.c_str(),
-                q.terms.size(),
-                static_cast<unsigned long long>(hdk_exec.postings_fetched),
-                static_cast<unsigned long long>(st_exec.postings_fetched),
-                hdk_exec.postings_fetched > 0
-                    ? static_cast<double>(st_exec.postings_fetched) /
-                          static_cast<double>(hdk_exec.postings_fetched)
-                    : 0.0,
-                overlap * 100.0);
+    std::printf(
+        "%-28s %6zu %9llu %9llu %8.1fx %7.0f%%\n", qs.c_str(),
+        q.terms.size(),
+        static_cast<unsigned long long>(hdk_exec.cost.postings_fetched),
+        static_cast<unsigned long long>(st_exec.cost.postings_fetched),
+        hdk_exec.cost.postings_fetched > 0
+            ? static_cast<double>(st_exec.cost.postings_fetched) /
+                  static_cast<double>(hdk_exec.cost.postings_fetched)
+            : 0.0,
+        overlap * 100.0);
   }
 
   std::printf("\ntop result for the first query (HDK vs centralized "
               "BM25):\n");
   if (!queries.empty()) {
     auto hdk_exec = point->hdk_high->Search(queries[0].terms, 3);
-    auto bm25 = (*centralized)->Search(queries[0].terms, 3);
+    auto bm25 = (*centralized)->Rank(queries[0].terms, 3);
     for (size_t i = 0; i < 3; ++i) {
       std::printf("  #%zu  HDK doc %-8u  BM25 doc %-8u\n", i + 1,
                   i < hdk_exec.results.size() ? hdk_exec.results[i].doc

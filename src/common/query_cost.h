@@ -1,0 +1,43 @@
+// Unified per-query cost accounting shared by every retrieval backend.
+//
+// Subsumes the engine-specific execution counters the HDK retriever and the
+// single-term baseline used to report separately, so that benches and tests
+// can compare engines through one structure. Counters a backend does not
+// use (e.g. lattice probes for the single-term engine, any network counter
+// for the centralized engine) simply stay zero.
+#ifndef HDKP2P_COMMON_QUERY_COST_H_
+#define HDKP2P_COMMON_QUERY_COST_H_
+
+#include <cstdint>
+
+namespace hdk {
+
+/// Cost counters of one query execution (or an aggregate of several).
+struct QueryCost {
+  /// Keys (or terms) whose posting lists were fetched.
+  uint64_t keys_fetched = 0;
+  /// Postings transferred to the querying peer (paper Figure 6 metric).
+  uint64_t postings_fetched = 0;
+  /// Probe messages issued / lattice nodes pruned without probing.
+  uint64_t probes = 0;
+  uint64_t pruned = 0;
+  /// Total messages (probes + responses) and overlay routing hops.
+  uint64_t messages = 0;
+  uint64_t hops = 0;
+
+  QueryCost& operator+=(const QueryCost& other) {
+    keys_fetched += other.keys_fetched;
+    postings_fetched += other.postings_fetched;
+    probes += other.probes;
+    pruned += other.pruned;
+    messages += other.messages;
+    hops += other.hops;
+    return *this;
+  }
+
+  bool operator==(const QueryCost&) const = default;
+};
+
+}  // namespace hdk
+
+#endif  // HDKP2P_COMMON_QUERY_COST_H_

@@ -5,12 +5,15 @@
 
 namespace hdk::corpus {
 
-CollectionStats::CollectionStats(const DocumentStore& store) {
-  num_documents_ = store.size();
-  total_tokens_ = store.TotalTokens();
+CollectionStats::CollectionStats(const DocumentStore& store,
+                                 uint64_t num_docs) {
+  if (num_docs == 0 || num_docs > store.size()) num_docs = store.size();
+  num_documents_ = num_docs;
 
   TermId max_id = 0;
-  for (const auto& doc : store.docs()) {
+  for (uint64_t d = 0; d < num_docs; ++d) {
+    const auto& doc = store.docs()[d];
+    total_tokens_ += doc.tokens.size();
     for (TermId t : doc.tokens) {
       max_id = std::max(max_id, t);
     }
@@ -21,7 +24,8 @@ CollectionStats::CollectionStats(const DocumentStore& store) {
   df_.assign(static_cast<size_t>(max_id) + 1, 0);
 
   std::vector<TermId> seen;  // distinct terms of the current document
-  for (const auto& doc : store.docs()) {
+  for (uint64_t d = 0; d < num_docs; ++d) {
+    const auto& doc = store.docs()[d];
     seen.clear();
     for (TermId t : doc.tokens) {
       if (cf_[t]++ == 0) ++vocabulary_size_;

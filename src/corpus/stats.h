@@ -15,8 +15,11 @@ namespace hdk::corpus {
 /// Term frequency statistics of a document collection.
 class CollectionStats {
  public:
-  /// Computes statistics over all documents of `store`.
-  explicit CollectionStats(const DocumentStore& store);
+  /// Computes statistics over the first `num_docs` documents of `store`
+  /// (0 = all of it). The prefix form is what the engines use when the
+  /// store has grown past the indexed collection.
+  explicit CollectionStats(const DocumentStore& store,
+                           uint64_t num_docs = 0);
 
   /// Number of documents M.
   uint64_t num_documents() const { return num_documents_; }

@@ -1,18 +1,58 @@
 #include "engine/centralized.h"
 
+#include <algorithm>
+
+#include "engine/partition.h"
+
 namespace hdk::engine {
 
 Result<std::unique_ptr<CentralizedBm25Engine>> CentralizedBm25Engine::Build(
-    const corpus::DocumentStore& store, index::Bm25Params params) {
+    const corpus::DocumentStore& store, index::Bm25Params params,
+    DocId num_docs) {
+  if (num_docs == 0) num_docs = static_cast<DocId>(store.size());
+  if (num_docs > store.size()) {
+    return Status::OutOfRange("CentralizedBm25Engine: num_docs > store");
+  }
   auto engine = std::unique_ptr<CentralizedBm25Engine>(
       new CentralizedBm25Engine());
+  engine->store_ = &store;
   engine->params_ = params;
-  HDK_RETURN_NOT_OK(engine->index_.AddRange(
-      store, 0, static_cast<DocId>(store.size())));
+  HDK_RETURN_NOT_OK(engine->index_.AddRange(store, 0, num_docs));
   return engine;
 }
 
-std::vector<index::ScoredDoc> CentralizedBm25Engine::Search(
+SearchResponse CentralizedBm25Engine::Search(std::span<const TermId> query,
+                                             size_t k, PeerId /*origin*/) {
+  index::Bm25Searcher searcher(index_, params_);
+  SearchResponse response;
+  response.results = searcher.Search(query, k);
+  // No network: report the postings scanned (= what a distributed
+  // single-term engine would transfer) and the terms that matched.
+  response.cost.postings_fetched = searcher.RetrievalPostings(query);
+  std::vector<TermId> terms(query.begin(), query.end());
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (TermId t : terms) {
+    if (index_.DocumentFrequency(t) > 0) ++response.cost.keys_fetched;
+  }
+  return response;
+}
+
+Status CentralizedBm25Engine::AddPeers(
+    const corpus::DocumentStore& store,
+    const std::vector<std::pair<DocId, DocId>>& new_ranges) {
+  if (&store != store_) {
+    return Status::InvalidArgument(
+        "AddPeers: must grow the store the engine was built on");
+  }
+  HDK_RETURN_NOT_OK(ValidateJoinRanges(
+      static_cast<DocId>(index_.num_documents()), new_ranges,
+      store.size()));
+  return index_.AddRange(store, static_cast<DocId>(index_.num_documents()),
+                         new_ranges.back().second);
+}
+
+std::vector<index::ScoredDoc> CentralizedBm25Engine::Rank(
     std::span<const TermId> query, size_t k) const {
   index::Bm25Searcher searcher(index_, params_);
   return searcher.Search(query, k);

@@ -1,30 +1,64 @@
 // CentralizedBm25Engine — the centralized single-term reference engine
-// with BM25 ranking (the paper's Terrier stand-in for Figure 7).
+// with BM25 ranking (the paper's Terrier stand-in for Figure 7), behind
+// the unified SearchEngine interface. It has no network: num_peers() is 1,
+// every QueryCost network counter stays 0, and postings_fetched reports
+// the postings SCANNED (the sum of the query terms' posting-list lengths —
+// exactly what a distributed single-term engine would have to transfer,
+// the paper's naive-baseline cost metric). AddPeers degenerates to
+// appending the new document ranges to the index.
 #ifndef HDKP2P_ENGINE_CENTRALIZED_H_
 #define HDKP2P_ENGINE_CENTRALIZED_H_
 
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "corpus/document.h"
+#include "engine/search_engine.h"
 #include "index/inverted_index.h"
 #include "index/searcher.h"
 
 namespace hdk::engine {
 
 /// A classic centralized IR engine over the full collection.
-class CentralizedBm25Engine {
+class CentralizedBm25Engine : public SearchEngine {
  public:
-  /// Indexes all documents of `store`.
+  /// Indexes the first `num_docs` documents of `store` (0 = all of it).
   static Result<std::unique_ptr<CentralizedBm25Engine>> Build(
       const corpus::DocumentStore& store,
-      index::Bm25Params params = {});
+      index::Bm25Params params = {}, DocId num_docs = 0);
 
-  /// Top-k BM25 retrieval (disjunctive).
-  std::vector<index::ScoredDoc> Search(std::span<const TermId> query,
-                                       size_t k) const;
+  // -- SearchEngine ----------------------------------------------------
+
+  std::string_view name() const override { return "centralized"; }
+
+  /// Top-k BM25 retrieval (disjunctive). `origin` is ignored — there are
+  /// no peers.
+  SearchResponse Search(std::span<const TermId> query, size_t k,
+                        PeerId origin = kInvalidPeer) override;
+
+  /// "Joins" reduce to indexing the new document ranges: the centralized
+  /// reference keeps mirroring the grown collection.
+  Status AddPeers(
+      const corpus::DocumentStore& store,
+      const std::vector<std::pair<DocId, DocId>>& new_ranges) override;
+
+  size_t num_peers() const override { return 1; }
+  uint64_t num_documents() const override { return index_.num_documents(); }
+  double StoredPostingsPerPeer() const override {
+    return static_cast<double>(index_.TotalPostings());
+  }
+  double InsertedPostingsPerPeer() const override {
+    return static_cast<double>(index_.TotalPostings());
+  }
+
+  // -- reference-specific helpers --------------------------------------
+
+  /// Rank-only search (no cost accounting) for overlap comparisons.
+  std::vector<index::ScoredDoc> Rank(std::span<const TermId> query,
+                                     size_t k) const;
 
   /// Posting volume a *distributed* single-term engine would transfer for
   /// this query (Σ posting-list lengths of the query terms).
@@ -35,6 +69,7 @@ class CentralizedBm25Engine {
  private:
   CentralizedBm25Engine() = default;
 
+  const corpus::DocumentStore* store_ = nullptr;
   index::InvertedIndex index_;
   index::Bm25Params params_;
 };

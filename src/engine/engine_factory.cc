@@ -1,0 +1,75 @@
+#include "engine/engine_factory.h"
+
+#include <algorithm>
+
+#include "engine/centralized.h"
+#include "engine/hdk_engine.h"
+#include "engine/st_engine.h"
+
+namespace hdk::engine {
+
+std::string_view EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kHdk:
+      return "hdk";
+    case EngineKind::kSingleTerm:
+      return "single-term";
+    case EngineKind::kCentralized:
+      return "centralized";
+  }
+  return "unknown";
+}
+
+std::optional<EngineKind> ParseEngineKind(std::string_view name) {
+  for (EngineKind kind : kAllEngineKinds) {
+    if (name == EngineKindName(kind)) return kind;
+  }
+  // Accept common aliases.
+  if (name == "st") return EngineKind::kSingleTerm;
+  if (name == "bm25") return EngineKind::kCentralized;
+  return std::nullopt;
+}
+
+Result<std::unique_ptr<SearchEngine>> MakeEngine(
+    EngineKind kind, const EngineConfig& config,
+    const corpus::DocumentStore& store,
+    std::vector<std::pair<DocId, DocId>> peer_ranges) {
+  switch (kind) {
+    case EngineKind::kHdk: {
+      HdkEngineConfig hdk;
+      hdk.hdk = config.hdk;
+      hdk.overlay = config.overlay;
+      hdk.overlay_seed = config.overlay_seed;
+      HDK_ASSIGN_OR_RETURN(
+          std::unique_ptr<HdkSearchEngine> engine,
+          HdkSearchEngine::Build(hdk, store, std::move(peer_ranges)));
+      return std::unique_ptr<SearchEngine>(std::move(engine));
+    }
+    case EngineKind::kSingleTerm: {
+      StEngineConfig st;
+      st.overlay = config.overlay;
+      st.overlay_seed = config.overlay_seed;
+      HDK_ASSIGN_OR_RETURN(
+          std::unique_ptr<SingleTermEngine> engine,
+          SingleTermEngine::Build(st, store, std::move(peer_ranges)));
+      return std::unique_ptr<SearchEngine>(std::move(engine));
+    }
+    case EngineKind::kCentralized: {
+      if (peer_ranges.empty()) {
+        return Status::InvalidArgument(
+            "CentralizedBm25Engine: need >= 1 peer range");
+      }
+      DocId num_docs = 0;
+      for (const auto& [first, last] : peer_ranges) {
+        num_docs = std::max(num_docs, last);
+      }
+      HDK_ASSIGN_OR_RETURN(
+          std::unique_ptr<CentralizedBm25Engine> engine,
+          CentralizedBm25Engine::Build(store, config.bm25, num_docs));
+      return std::unique_ptr<SearchEngine>(std::move(engine));
+    }
+  }
+  return Status::InvalidArgument("unknown engine kind");
+}
+
+}  // namespace hdk::engine

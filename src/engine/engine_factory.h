@@ -1,0 +1,63 @@
+// Engine registry: select any retrieval backend by kind (or name) behind
+// the unified SearchEngine interface — the overlay_factory pattern lifted
+// to whole engines. Benches, examples and future backends (super-peer
+// routing, caching layers) plug in here.
+#ifndef HDKP2P_ENGINE_ENGINE_FACTORY_H_
+#define HDKP2P_ENGINE_ENGINE_FACTORY_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/params.h"
+#include "common/status.h"
+#include "corpus/document.h"
+#include "engine/overlay_factory.h"
+#include "engine/search_engine.h"
+#include "index/bm25.h"
+
+namespace hdk::engine {
+
+/// Which retrieval backend answers the queries.
+enum class EngineKind {
+  kHdk,          // the paper's HDK P2P engine
+  kSingleTerm,   // naive distributed single-term baseline
+  kCentralized,  // centralized BM25 reference (Terrier stand-in)
+};
+
+inline constexpr std::array<EngineKind, 3> kAllEngineKinds = {
+    EngineKind::kHdk, EngineKind::kSingleTerm, EngineKind::kCentralized};
+
+/// Stable name ("hdk", "single-term", "centralized").
+std::string_view EngineKindName(EngineKind kind);
+
+/// Inverse of EngineKindName; nullopt for unknown names.
+std::optional<EngineKind> ParseEngineKind(std::string_view name);
+
+/// One configuration drives every backend; each consumes the fields it
+/// understands.
+struct EngineConfig {
+  /// HDK model parameters (kHdk).
+  HdkParams hdk;
+  /// Ranking parameters of the centralized reference (kCentralized; the
+  /// distributed baseline uses the shared BM25 defaults).
+  index::Bm25Params bm25;
+  /// Structured overlay for the distributed backends.
+  OverlayKind overlay = OverlayKind::kPGrid;
+  uint64_t overlay_seed = 42;
+};
+
+/// Builds an engine of `kind` over the documents covered by `peer_ranges`
+/// (the centralized backend indexes the same documents on one node).
+/// `store` must outlive the engine.
+Result<std::unique_ptr<SearchEngine>> MakeEngine(
+    EngineKind kind, const EngineConfig& config,
+    const corpus::DocumentStore& store,
+    std::vector<std::pair<DocId, DocId>> peer_ranges);
+
+}  // namespace hdk::engine
+
+#endif  // HDKP2P_ENGINE_ENGINE_FACTORY_H_

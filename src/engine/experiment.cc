@@ -80,6 +80,8 @@ std::vector<uint32_t> ExperimentSetup::PeerSweep() const {
 ExperimentContext::ExperimentContext(const ExperimentSetup& setup)
     : setup_(setup), corpus_(setup.corpus) {}
 
+ExperimentContext::~ExperimentContext() = default;
+
 const corpus::DocumentStore& ExperimentContext::GrowTo(uint64_t docs) {
   corpus_.FillStore(docs, &store_);
   return store_;
@@ -109,35 +111,64 @@ std::vector<corpus::Query> ExperimentContext::MakeQueries(
   return gen.Generate(num_queries);
 }
 
-Result<EnginesAtPoint> BuildEnginesAtPoint(ExperimentContext& ctx,
-                                           uint32_t num_peers) {
-  const ExperimentSetup& setup = ctx.setup();
+Result<EnginesAtPoint> ExperimentContext::EnginesAt(uint32_t num_peers) {
+  if (num_peers == 0) {
+    return Status::InvalidArgument("EnginesAt: need >= 1 peer");
+  }
+  if (num_peers < built_peers_) {
+    return Status::InvalidArgument(
+        "EnginesAt: the peer sweep must be monotone (engines grow "
+        "incrementally)");
+  }
+
   EnginesAtPoint point;
   point.num_peers = num_peers;
-  point.num_docs =
-      static_cast<uint64_t>(num_peers) * setup.docs_per_peer;
+  point.num_docs = static_cast<uint64_t>(num_peers) * setup_.docs_per_peer;
 
-  const corpus::DocumentStore& store = ctx.GrowTo(point.num_docs);
-  (void)ctx.StatsFor(point.num_docs);
-  auto ranges = SplitEvenly(point.num_docs, num_peers);
+  const corpus::DocumentStore& store = GrowTo(point.num_docs);
+  (void)StatsFor(point.num_docs);
 
-  HdkEngineConfig low;
-  low.hdk = setup.MakeParams(setup.DfMaxLow());
-  low.overlay = setup.overlay;
-  low.overlay_seed = setup.overlay_seed;
-  HDK_ASSIGN_OR_RETURN(point.hdk_low,
-                       HdkSearchEngine::Build(low, store, ranges));
+  if (built_peers_ == 0) {
+    auto ranges = SplitEvenly(point.num_docs, num_peers);
 
-  HdkEngineConfig high = low;
-  high.hdk = setup.MakeParams(setup.DfMaxHigh());
-  HDK_ASSIGN_OR_RETURN(point.hdk_high,
-                       HdkSearchEngine::Build(high, store, ranges));
+    HdkEngineConfig low;
+    low.hdk = setup_.MakeParams(setup_.DfMaxLow());
+    low.overlay = setup_.overlay;
+    low.overlay_seed = setup_.overlay_seed;
+    HDK_ASSIGN_OR_RETURN(hdk_low_,
+                         HdkSearchEngine::Build(low, store, ranges));
 
-  StEngineConfig st;
-  st.overlay = setup.overlay;
-  st.overlay_seed = setup.overlay_seed;
-  HDK_ASSIGN_OR_RETURN(point.st, SingleTermEngine::Build(st, store, ranges));
+    HdkEngineConfig high = low;
+    high.hdk = setup_.MakeParams(setup_.DfMaxHigh());
+    HDK_ASSIGN_OR_RETURN(hdk_high_,
+                         HdkSearchEngine::Build(high, store, ranges));
+
+    StEngineConfig st;
+    st.overlay = setup_.overlay;
+    st.overlay_seed = setup_.overlay_seed;
+    HDK_ASSIGN_OR_RETURN(st_, SingleTermEngine::Build(st, store, ranges));
+  } else if (num_peers > built_peers_) {
+    // The paper's evolution step: the new peers join with the document
+    // delta; nothing already indexed is re-indexed.
+    const auto join = JoinRanges(
+        static_cast<DocId>(static_cast<uint64_t>(built_peers_) *
+                           setup_.docs_per_peer),
+        num_peers - built_peers_, setup_.docs_per_peer);
+    HDK_RETURN_NOT_OK(hdk_low_->AddPeers(store, join));
+    HDK_RETURN_NOT_OK(hdk_high_->AddPeers(store, join));
+    HDK_RETURN_NOT_OK(st_->AddPeers(store, join));
+  }
+  built_peers_ = num_peers;
+
+  point.hdk_low = hdk_low_.get();
+  point.hdk_high = hdk_high_.get();
+  point.st = st_.get();
   return point;
+}
+
+Result<EnginesAtPoint> BuildEnginesAtPoint(ExperimentContext& ctx,
+                                           uint32_t num_peers) {
+  return ctx.EnginesAt(num_peers);
 }
 
 }  // namespace hdk::engine

@@ -26,6 +26,7 @@
 #include "corpus/synthetic.h"
 #include "engine/centralized.h"
 #include "engine/hdk_engine.h"
+#include "engine/partition.h"
 #include "engine/st_engine.h"
 
 namespace hdk::engine {
@@ -79,13 +80,28 @@ struct ExperimentSetup {
   std::vector<uint32_t> PeerSweep() const;
 };
 
+/// One sweep point's engine bundle. The engines are OWNED BY THE CONTEXT
+/// and persist across sweep points: advancing the sweep grows them
+/// incrementally (SearchEngine::AddPeers over the document delta), exactly
+/// like the paper's "4 more peers join with their documents" runs — and
+/// far cheaper than the old re-index-from-scratch-per-point harness.
+struct EnginesAtPoint {
+  uint32_t num_peers = 0;
+  uint64_t num_docs = 0;
+  HdkSearchEngine* hdk_low = nullptr;   // DFmax = DfMaxLow()
+  HdkSearchEngine* hdk_high = nullptr;  // DFmax = DfMaxHigh()
+  SingleTermEngine* st = nullptr;
+};
+
 /// Grows a deterministic synthetic collection on demand and caches
 /// statistics per size. Each sweep point uses the PREFIX of the same
 /// collection, exactly like the paper's incremental "4 more peers join
-/// with their documents" runs.
+/// with their documents" runs. Also owns the sweep's engines (see
+/// EnginesAtPoint).
 class ExperimentContext {
  public:
   explicit ExperimentContext(const ExperimentSetup& setup);
+  ~ExperimentContext();
 
   const ExperimentSetup& setup() const { return setup_; }
 
@@ -100,6 +116,12 @@ class ExperimentContext {
   /// (paper: multi-term queries, 2..8 terms, avg ~3, df floor).
   std::vector<corpus::Query> MakeQueries(uint64_t docs, uint32_t num_queries);
 
+  /// Engines for the sweep point with `num_peers` peers. The first call
+  /// builds them; subsequent calls with a LARGER peer count join the new
+  /// peers incrementally with their document delta. Sweeps must be
+  /// monotone (the paper's are).
+  Result<EnginesAtPoint> EnginesAt(uint32_t num_peers);
+
   const corpus::SyntheticCorpus& corpus() const { return corpus_; }
 
  private:
@@ -108,19 +130,15 @@ class ExperimentContext {
   corpus::DocumentStore store_;
   uint64_t stats_docs_ = 0;
   std::unique_ptr<corpus::CollectionStats> stats_;
+  // Sweep engines, grown in place.
+  std::unique_ptr<HdkSearchEngine> hdk_low_;
+  std::unique_ptr<HdkSearchEngine> hdk_high_;
+  std::unique_ptr<SingleTermEngine> st_;
+  uint32_t built_peers_ = 0;
 };
 
-/// One sweep point's engine bundle (built on demand by the benches).
-struct EnginesAtPoint {
-  uint32_t num_peers = 0;
-  uint64_t num_docs = 0;
-  std::unique_ptr<HdkSearchEngine> hdk_low;   // DFmax = DfMaxLow()
-  std::unique_ptr<HdkSearchEngine> hdk_high;  // DFmax = DfMaxHigh()
-  std::unique_ptr<SingleTermEngine> st;
-};
-
-/// Builds the HDK engines (both DFmax settings) and the ST baseline for a
-/// sweep point.
+/// Engines for a sweep point (forwards to ctx.EnginesAt — kept as the
+/// entry point the benches read naturally).
 Result<EnginesAtPoint> BuildEnginesAtPoint(ExperimentContext& ctx,
                                            uint32_t num_peers);
 

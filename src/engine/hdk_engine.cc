@@ -1,22 +1,8 @@
 #include "engine/hdk_engine.h"
 
-namespace hdk::engine {
+#include <algorithm>
 
-std::vector<std::pair<DocId, DocId>> SplitEvenly(uint64_t num_docs,
-                                                 uint32_t num_peers) {
-  std::vector<std::pair<DocId, DocId>> ranges;
-  ranges.reserve(num_peers);
-  uint64_t base = num_peers == 0 ? 0 : num_docs / num_peers;
-  uint64_t extra = num_peers == 0 ? 0 : num_docs % num_peers;
-  uint64_t start = 0;
-  for (uint32_t p = 0; p < num_peers; ++p) {
-    uint64_t len = base + (p < extra ? 1 : 0);
-    ranges.emplace_back(static_cast<DocId>(start),
-                        static_cast<DocId>(start + len));
-    start += len;
-  }
-  return ranges;
-}
+namespace hdk::engine {
 
 Result<std::unique_ptr<HdkSearchEngine>> HdkSearchEngine::Build(
     const HdkEngineConfig& config, const corpus::DocumentStore& store,
@@ -25,20 +11,23 @@ Result<std::unique_ptr<HdkSearchEngine>> HdkSearchEngine::Build(
   if (peer_ranges.empty()) {
     return Status::InvalidArgument("HdkSearchEngine: need >= 1 peer");
   }
+  DocId watermark = 0;
+  for (const auto& [first, last] : peer_ranges) {
+    watermark = std::max(watermark, last);
+  }
 
   auto engine = std::unique_ptr<HdkSearchEngine>(new HdkSearchEngine());
   engine->config_ = config;
   engine->store_ = &store;
-  engine->stats_ = std::make_unique<corpus::CollectionStats>(store);
+  engine->stats_ = std::make_unique<corpus::CollectionStats>(store, watermark);
   engine->overlay_ =
       MakeOverlay(config.overlay, peer_ranges.size(), config.overlay_seed);
   engine->traffic_ = std::make_unique<net::TrafficRecorder>();
 
-  p2p::HdkIndexingProtocol protocol(config.hdk, store, *engine->stats_,
-                                    engine->overlay_.get(),
-                                    engine->traffic_.get());
+  engine->protocol_ = std::make_unique<p2p::HdkIndexingProtocol>(
+      config.hdk, store, engine->overlay_.get(), engine->traffic_.get());
   HDK_ASSIGN_OR_RETURN(engine->global_,
-                       protocol.Run(peer_ranges, &engine->report_));
+                       engine->protocol_->Run(peer_ranges, *engine->stats_));
 
   engine->retriever_ = std::make_unique<p2p::HdkRetriever>(
       engine->global_.get(), config.hdk, engine->stats_->num_documents(),
@@ -46,8 +35,48 @@ Result<std::unique_ptr<HdkSearchEngine>> HdkSearchEngine::Build(
   return engine;
 }
 
-p2p::QueryExecution HdkSearchEngine::Search(std::span<const TermId> query,
-                                            size_t k, PeerId origin) {
+Status HdkSearchEngine::AddPeers(
+    const corpus::DocumentStore& store,
+    const std::vector<std::pair<DocId, DocId>>& new_ranges) {
+  if (&store != store_) {
+    return Status::InvalidArgument(
+        "AddPeers: must grow the store the engine was built on");
+  }
+  // Validate up front so a rejected join leaves the engine untouched
+  // (the protocol re-checks after the overlay has grown).
+  HDK_RETURN_NOT_OK(ValidateJoinRanges(protocol_->indexed_documents(),
+                                       new_ranges, store.size()));
+
+  // 1. The joining peers enter the overlay; key-space responsibility is
+  //    re-balanced and published fragments are handed over.
+  for (size_t i = 0; i < new_ranges.size(); ++i) {
+    HDK_RETURN_NOT_OK(overlay_->AddPeer());
+  }
+  p2p::GrowthStats growth;
+  growth.migrated_keys = global_->OnOverlayGrown();
+
+  // 2. Collection statistics over the grown prefix (very-frequent cutoff,
+  //    average document length).
+  DocId watermark = 0;
+  for (const auto& [first, last] : new_ranges) {
+    watermark = std::max(watermark, last);
+  }
+  stats_ = std::make_unique<corpus::CollectionStats>(store, watermark);
+
+  // 3. Delta indexing run.
+  Status st = protocol_->Grow(new_ranges, *stats_, &growth);
+  if (!st.ok()) return st;
+  last_growth_ = growth;
+
+  // 4. The retriever ranks with global collection statistics; refresh it.
+  retriever_ = std::make_unique<p2p::HdkRetriever>(
+      global_.get(), config_.hdk, stats_->num_documents(),
+      stats_->average_document_length(), traffic_.get());
+  return Status::OK();
+}
+
+SearchResponse HdkSearchEngine::Search(std::span<const TermId> query,
+                                       size_t k, PeerId origin) {
   if (origin == kInvalidPeer) {
     origin = next_origin_;
     next_origin_ = static_cast<PeerId>((next_origin_ + 1) % num_peers());
@@ -61,10 +90,10 @@ double HdkSearchEngine::StoredPostingsPerPeer() const {
 }
 
 double HdkSearchEngine::InsertedPostingsPerPeer() const {
+  const auto& per_peer = protocol_->report().inserted_postings_per_peer;
   uint64_t total = 0;
-  for (uint64_t v : report_.inserted_postings_per_peer) total += v;
-  return static_cast<double>(total) /
-         static_cast<double>(report_.inserted_postings_per_peer.size());
+  for (uint64_t v : per_peer) total += v;
+  return static_cast<double>(total) / static_cast<double>(per_peer.size());
 }
 
 }  // namespace hdk::engine

@@ -1,14 +1,14 @@
-// HdkSearchEngine — the paper's system, assembled behind one public API:
-// a structured P2P network whose peers collaboratively build a global
-// highly-discriminative-key index and answer multi-term queries with
-// bounded retrieval traffic.
+// HdkSearchEngine — the paper's system behind the unified SearchEngine
+// interface: a structured P2P network whose peers collaboratively build a
+// global highly-discriminative-key index and answer multi-term queries
+// with bounded retrieval traffic. Supports the incremental AddPeers
+// lifecycle (paper's evolution experiment): joining peers index only the
+// document delta while keys whose document frequency crossed DFmax are
+// re-derived, producing an index posting-for-posting identical to a
+// from-scratch build.
 //
-// Quickstart:
-//   corpus::DocumentStore store = ...;              // analyzed documents
-//   engine::HdkEngineConfig config;                 // DFmax, w, smax, ...
-//   auto built = engine::HdkSearchEngine::Build(
-//       config, store, engine::SplitEvenly(store.size(), num_peers));
-//   auto result = built->Search(query_terms, 20);
+// See engine/search_engine.h for the interface quickstart; construct via
+// MakeEngine(EngineKind::kHdk, ...) or HdkSearchEngine::Build.
 #ifndef HDKP2P_ENGINE_HDK_ENGINE_H_
 #define HDKP2P_ENGINE_HDK_ENGINE_H_
 
@@ -22,6 +22,8 @@
 #include "corpus/document.h"
 #include "corpus/stats.h"
 #include "engine/overlay_factory.h"
+#include "engine/partition.h"
+#include "engine/search_engine.h"
 #include "net/traffic.h"
 #include "p2p/global_index.h"
 #include "p2p/indexing_protocol.h"
@@ -36,13 +38,8 @@ struct HdkEngineConfig {
   uint64_t overlay_seed = 42;
 };
 
-/// Splits `num_docs` documents into `num_peers` contiguous, near-equal
-/// [first, last) ranges (peer i gets the i-th range).
-std::vector<std::pair<DocId, DocId>> SplitEvenly(uint64_t num_docs,
-                                                 uint32_t num_peers);
-
 /// The assembled HDK P2P retrieval engine.
-class HdkSearchEngine {
+class HdkSearchEngine : public SearchEngine {
  public:
   /// Builds the network, runs the distributed indexing protocol over the
   /// given peer document ranges, and returns a ready-to-query engine.
@@ -51,30 +48,54 @@ class HdkSearchEngine {
       const HdkEngineConfig& config, const corpus::DocumentStore& store,
       std::vector<std::pair<DocId, DocId>> peer_ranges);
 
+  // -- SearchEngine ----------------------------------------------------
+
+  std::string_view name() const override { return "hdk"; }
+
   /// Executes a query from `origin` (default: rotates across peers) and
   /// returns the ranked top-k with cost accounting.
-  p2p::QueryExecution Search(std::span<const TermId> query, size_t k,
-                             PeerId origin = kInvalidPeer);
+  SearchResponse Search(std::span<const TermId> query, size_t k,
+                        PeerId origin = kInvalidPeer) override;
 
-  // -- observability ---------------------------------------------------
+  /// Joins peers to the overlay and runs the indexing protocol over the
+  /// delta only: new documents are indexed, key-space responsibility is
+  /// handed over, terms that crossed Ff are purged, and HDKs whose global
+  /// document frequency crossed DFmax are reclassified (their historical
+  /// contributors are notified and expand them) — see
+  /// p2p/indexing_protocol.h. `store` must be the same store the engine
+  /// was built on, grown in place.
+  Status AddPeers(
+      const corpus::DocumentStore& store,
+      const std::vector<std::pair<DocId, DocId>>& new_ranges) override;
 
-  size_t num_peers() const { return overlay_->num_peers(); }
-  uint64_t num_documents() const { return stats_->num_documents(); }
-
-  /// The indexing run's statistics (per-level candidates/HDKs/NDKs,
-  /// per-peer inserted postings).
-  const p2p::IndexingReport& indexing_report() const { return report_; }
+  size_t num_peers() const override { return overlay_->num_peers(); }
+  uint64_t num_documents() const override {
+    return stats_->num_documents();
+  }
 
   /// Average postings stored per peer (Figure 3 metric).
-  double StoredPostingsPerPeer() const;
+  double StoredPostingsPerPeer() const override;
 
   /// Average postings inserted per peer during indexing (Figure 4 metric).
-  double InsertedPostingsPerPeer() const;
+  double InsertedPostingsPerPeer() const override;
 
-  /// All traffic recorded so far (indexing + queries).
-  const net::TrafficRecorder& traffic() const { return *traffic_; }
+  const net::TrafficRecorder* traffic() const override {
+    return traffic_.get();
+  }
+
+  // -- HDK-specific observability --------------------------------------
+
+  /// The indexing run's statistics (per-level candidates/HDKs/NDKs,
+  /// per-peer inserted postings), cumulative across growth steps.
+  const p2p::IndexingReport& indexing_report() const {
+    return protocol_->report();
+  }
+
+  /// What the most recent AddPeers call did (reclassified keys, purged
+  /// very-frequent terms, migrated fragments, delta traffic).
+  const p2p::GrowthStats& last_growth() const { return last_growth_; }
+
   net::TrafficRecorder& mutable_traffic() { return *traffic_; }
-
   const p2p::DistributedGlobalIndex& global_index() const { return *global_; }
   const corpus::CollectionStats& collection_stats() const { return *stats_; }
   const HdkEngineConfig& config() const { return config_; }
@@ -87,9 +108,10 @@ class HdkSearchEngine {
   std::unique_ptr<corpus::CollectionStats> stats_;
   std::unique_ptr<dht::Overlay> overlay_;
   std::unique_ptr<net::TrafficRecorder> traffic_;
+  std::unique_ptr<p2p::HdkIndexingProtocol> protocol_;
   std::unique_ptr<p2p::DistributedGlobalIndex> global_;
   std::unique_ptr<p2p::HdkRetriever> retriever_;
-  p2p::IndexingReport report_;
+  p2p::GrowthStats last_growth_;
   PeerId next_origin_ = 0;
 };
 

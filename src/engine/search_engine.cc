@@ -1,0 +1,16 @@
+#include "engine/search_engine.h"
+
+namespace hdk::engine {
+
+BatchResponse SearchEngine::SearchBatch(
+    std::span<const corpus::Query> queries, size_t k) {
+  BatchResponse batch;
+  batch.responses.reserve(queries.size());
+  for (const corpus::Query& q : queries) {
+    batch.responses.push_back(Search(q.terms, k));
+    batch.total += batch.responses.back().cost;
+  }
+  return batch;
+}
+
+}  // namespace hdk::engine

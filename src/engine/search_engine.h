@@ -1,0 +1,95 @@
+// SearchEngine — the unified facade over every retrieval backend.
+//
+// All three engines of the reproduction (the paper's HDK P2P engine, the
+// distributed single-term baseline, the centralized BM25 reference)
+// implement this interface, so benches, examples and tests drive them
+// polymorphically: one result type (SearchResponse = ranked ScoredDocs +
+// QueryCost), one batch entry point for throughput workloads, and one
+// INCREMENTAL lifecycle — AddPeers() joins peers to the overlay and indexes
+// only the document delta, exactly matching the paper's evolution
+// experiment where peers join in waves of 4 with 5,000 documents each.
+//
+// Quickstart (see also examples/quickstart.cpp and README.md):
+//
+//   corpus::DocumentStore store = ...;        // analyzed documents
+//   engine::EngineConfig config;              // DFmax, w, smax, overlay...
+//   auto built = engine::MakeEngine(engine::EngineKind::kHdk, config,
+//                                   store, engine::SplitEvenly(store.size(), 4));
+//   auto response = (*built)->Search(query_terms, 20);
+//   // ... more documents arrive, four peers join with the delta:
+//   (*built)->AddPeers(store, engine::JoinRanges(old_size, 4, docs_per_peer));
+#ifndef HDKP2P_ENGINE_SEARCH_ENGINE_H_
+#define HDKP2P_ENGINE_SEARCH_ENGINE_H_
+
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/query_cost.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "corpus/document.h"
+#include "corpus/query_gen.h"
+#include "index/search_result.h"
+#include "net/traffic.h"
+
+namespace hdk::engine {
+
+using index::ScoredDoc;
+using index::SearchResponse;
+
+/// Result of a batch execution: per-query responses plus the summed cost.
+struct BatchResponse {
+  std::vector<SearchResponse> responses;
+  QueryCost total;
+};
+
+/// The unified engine interface.
+class SearchEngine {
+ public:
+  virtual ~SearchEngine() = default;
+
+  /// Stable backend name ("hdk", "single-term", "centralized").
+  virtual std::string_view name() const = 0;
+
+  /// Executes one query from `origin` and returns the ranked top-k with
+  /// unified cost accounting. kInvalidPeer lets the engine pick the origin
+  /// (distributed backends rotate across peers; the centralized backend
+  /// has no notion of origin).
+  virtual SearchResponse Search(std::span<const TermId> query, size_t k,
+                                PeerId origin = kInvalidPeer) = 0;
+
+  /// Executes a query workload and aggregates cost — the throughput entry
+  /// point the figure benches run. The default implementation loops
+  /// Search(); backends may override with a fused path.
+  virtual BatchResponse SearchBatch(std::span<const corpus::Query> queries,
+                                    size_t k);
+
+  /// Joins peers holding `new_ranges` (contiguous continuation of the
+  /// indexed document prefix of `store`, one range per joining peer) and
+  /// runs the backend's indexing protocol over the delta only. `store`
+  /// must be the same (grown) store the engine was built on.
+  virtual Status AddPeers(
+      const corpus::DocumentStore& store,
+      const std::vector<std::pair<DocId, DocId>>& new_ranges) = 0;
+
+  // -- observability ---------------------------------------------------
+
+  virtual size_t num_peers() const = 0;
+  virtual uint64_t num_documents() const = 0;
+
+  /// Average postings stored per peer (Figure 3 metric).
+  virtual double StoredPostingsPerPeer() const = 0;
+
+  /// Average postings inserted per peer during indexing (Figure 4 metric).
+  virtual double InsertedPostingsPerPeer() const = 0;
+
+  /// Network traffic recorder; nullptr for backends without a network
+  /// (the centralized reference).
+  virtual const net::TrafficRecorder* traffic() const { return nullptr; }
+};
+
+}  // namespace hdk::engine
+
+#endif  // HDKP2P_ENGINE_SEARCH_ENGINE_H_

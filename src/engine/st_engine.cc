@@ -1,5 +1,7 @@
 #include "engine/st_engine.h"
 
+#include "engine/partition.h"
+
 namespace hdk::engine {
 
 Result<std::unique_ptr<SingleTermEngine>> SingleTermEngine::Build(
@@ -9,6 +11,7 @@ Result<std::unique_ptr<SingleTermEngine>> SingleTermEngine::Build(
     return Status::InvalidArgument("SingleTermEngine: need >= 1 peer");
   }
   auto engine = std::unique_ptr<SingleTermEngine>(new SingleTermEngine());
+  engine->store_ = &store;
   engine->overlay_ =
       MakeOverlay(config.overlay, peer_ranges.size(), config.overlay_seed);
   engine->traffic_ = std::make_unique<net::TrafficRecorder>();
@@ -21,8 +24,32 @@ Result<std::unique_ptr<SingleTermEngine>> SingleTermEngine::Build(
   return engine;
 }
 
-p2p::SingleTermP2PEngine::QueryExecution SingleTermEngine::Search(
-    std::span<const TermId> query, size_t k, PeerId origin) {
+Status SingleTermEngine::AddPeers(
+    const corpus::DocumentStore& store,
+    const std::vector<std::pair<DocId, DocId>>& new_ranges) {
+  if (&store != store_) {
+    return Status::InvalidArgument(
+        "AddPeers: must grow the store the engine was built on");
+  }
+  HDK_RETURN_NOT_OK(ValidateJoinRanges(
+      static_cast<DocId>(engine_->num_documents()), new_ranges,
+      store.size()));
+
+  const PeerId first_new = static_cast<PeerId>(overlay_->num_peers());
+  for (size_t i = 0; i < new_ranges.size(); ++i) {
+    HDK_RETURN_NOT_OK(overlay_->AddPeer());
+  }
+  engine_->OnOverlayGrown();
+  for (size_t i = 0; i < new_ranges.size(); ++i) {
+    HDK_RETURN_NOT_OK(engine_->IndexPeer(
+        first_new + static_cast<PeerId>(i), store, new_ranges[i].first,
+        new_ranges[i].second));
+  }
+  return Status::OK();
+}
+
+SearchResponse SingleTermEngine::Search(std::span<const TermId> query,
+                                        size_t k, PeerId origin) {
   if (origin == kInvalidPeer) {
     origin = next_origin_;
     next_origin_ = static_cast<PeerId>((next_origin_ + 1) % num_peers());

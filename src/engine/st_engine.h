@@ -1,5 +1,8 @@
 // SingleTermEngine — the naive distributed single-term baseline behind the
-// same facade shape as HdkSearchEngine.
+// unified SearchEngine interface. Supports the same incremental AddPeers
+// lifecycle as the HDK engine: joining peers insert their local posting
+// lists and term fragments are handed over when key-space responsibility
+// moves.
 #ifndef HDKP2P_ENGINE_ST_ENGINE_H_
 #define HDKP2P_ENGINE_ST_ENGINE_H_
 
@@ -12,6 +15,7 @@
 #include "common/types.h"
 #include "corpus/document.h"
 #include "engine/overlay_factory.h"
+#include "engine/search_engine.h"
 #include "net/traffic.h"
 #include "p2p/single_term.h"
 
@@ -24,27 +28,42 @@ struct StEngineConfig {
 };
 
 /// Distributed single-term indexing + BM25 retrieval baseline.
-class SingleTermEngine {
+class SingleTermEngine : public SearchEngine {
  public:
   static Result<std::unique_ptr<SingleTermEngine>> Build(
       const StEngineConfig& config, const corpus::DocumentStore& store,
       std::vector<std::pair<DocId, DocId>> peer_ranges);
 
-  p2p::SingleTermP2PEngine::QueryExecution Search(
-      std::span<const TermId> query, size_t k, PeerId origin = kInvalidPeer);
+  // -- SearchEngine ----------------------------------------------------
 
-  size_t num_peers() const { return overlay_->num_peers(); }
+  std::string_view name() const override { return "single-term"; }
+
+  SearchResponse Search(std::span<const TermId> query, size_t k,
+                        PeerId origin = kInvalidPeer) override;
+
+  Status AddPeers(
+      const corpus::DocumentStore& store,
+      const std::vector<std::pair<DocId, DocId>>& new_ranges) override;
+
+  size_t num_peers() const override { return overlay_->num_peers(); }
+  uint64_t num_documents() const override {
+    return engine_->num_documents();
+  }
 
   /// Figure 3 / Figure 4 baseline metrics (equal: nothing is truncated).
-  double StoredPostingsPerPeer() const;
-  double InsertedPostingsPerPeer() const;
+  double StoredPostingsPerPeer() const override;
+  double InsertedPostingsPerPeer() const override;
 
-  const net::TrafficRecorder& traffic() const { return *traffic_; }
+  const net::TrafficRecorder* traffic() const override {
+    return traffic_.get();
+  }
+
   const p2p::SingleTermP2PEngine& p2p_engine() const { return *engine_; }
 
  private:
   SingleTermEngine() = default;
 
+  const corpus::DocumentStore* store_ = nullptr;
   std::unique_ptr<dht::Overlay> overlay_;
   std::unique_ptr<net::TrafficRecorder> traffic_;
   std::unique_ptr<p2p::SingleTermP2PEngine> engine_;

@@ -137,6 +137,184 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevel1(
   return out;
 }
 
+KeyMap<index::PostingList> CandidateBuilder::BuildLevelDelta(
+    uint32_t s, const corpus::DocumentStore& store, DocId first, DocId last,
+    std::span<const DocId> docs, const NdkOracle& oracle,
+    const OracleDelta& delta, CandidateBuildStats* stats) const {
+  assert(s >= 2);
+  if (delta.empty()) return {};
+  if (s > 3) {
+    // Correct but not delta-pruned; smax is 3 everywhere in the paper.
+    return BuildLevel(s, store, first, last, oracle, stats);
+  }
+  (void)first;
+  (void)last;
+  if (docs.empty()) return {};
+
+  KeyMap<Accum> accums;
+  text::WindowTail tail(params_.window);
+  std::vector<TermId> pool;
+  std::vector<char> fresh_ish;  // parallel to pool (s == 3 only)
+
+  // Every NEW candidate has a fresh sub-key, and every fresh sub-key
+  // contributes a term that must lie inside the candidate's window. So a
+  // position can be skipped in O(1) whenever neither its trigger term nor
+  // its tail can touch fresh knowledge — that skip is what makes the
+  // delta scan cheap. The fresh vocabularies are LEVEL-SPECIFIC:
+  //   s == 2: only newly-expandable single terms create new pairs;
+  //   s == 3: newly-expandable terms, plus the terms of fresh NDK PAIRS
+  //           (a triple's sub-keys and gates all have size <= 2) — and a
+  //           fresh pair only helps when BOTH its terms are present.
+  const std::unordered_set<TermId>& fresh_singles = delta.terms;
+  std::unordered_set<TermId> pair_terms;
+  if (s == 3) {
+    for (const TermKey& k : delta.ndk_pairs) {
+      pair_terms.insert(k.term(0));
+      pair_terms.insert(k.term(1));
+    }
+  }
+  if (fresh_singles.empty() && (s == 2 || pair_terms.empty())) return {};
+
+  // Ring mirroring the tail (w - 1 positions): per position, whether it
+  // carried a fresh single / a fresh-pair term, with running counts.
+  constexpr char kSingle = 1, kPairTerm = 2;
+  std::vector<char> relevant_ring(params_.window - 1, 0);
+  size_t ring_pos = 0;
+  size_t ring_filled = 0;
+  uint32_t singles_in_tail = 0;
+  uint32_t pair_terms_in_tail = 0;
+
+  auto visit = [&](const TermKey& candidate, DocId d, uint32_t len) {
+    auto [it, inserted] = accums.try_emplace(candidate);
+    Accum& a = it->second;
+    if (inserted) {
+      a.valid = AllSubKeysNdk(candidate, oracle);
+      if (!a.valid && stats != nullptr) ++stats->pruned_candidates;
+    }
+    if (!a.valid) return;
+    a.Touch(d, len);
+    if (stats != nullptr) ++stats->formations;
+  };
+
+  for (DocId d : docs) {
+    std::span<const TermId> tokens = store.Tokens(d);
+    const uint32_t len = static_cast<uint32_t>(tokens.size());
+    tail.Reset();
+    std::fill(relevant_ring.begin(), relevant_ring.end(), 0);
+    ring_pos = 0;
+    ring_filled = 0;
+    singles_in_tail = 0;
+    pair_terms_in_tail = 0;
+    if (stats != nullptr) {
+      ++stats->documents_scanned;
+      stats->positions_scanned += tokens.size();
+    }
+
+    for (TermId t : tokens) {
+      const bool eligible = oracle.IsExpandableTerm(t);
+      const bool t_single = fresh_singles.count(t) > 0;
+      const bool t_pair_term = s == 3 && pair_terms.count(t) > 0;
+      // A new candidate needs a fresh single in its window, or (s == 3)
+      // BOTH terms of a fresh pair among {trigger, tail}.
+      const bool position_relevant =
+          t_single || singles_in_tail > 0 ||
+          (s == 3 &&
+           (t_pair_term ? 1u : 0u) + pair_terms_in_tail >= 2u);
+      if (eligible && !tail.distinct().empty() && position_relevant) {
+        const bool fresh_t = delta.FreshTerm(t);
+        pool.clear();
+        for (TermId x : tail.distinct()) {
+          if (x == t) continue;
+          if (s == 2 || oracle.IsNdk(TermKey{x, t})) {
+            pool.push_back(x);
+          }
+        }
+        std::sort(pool.begin(), pool.end());
+
+        if (s == 2) {
+          // A pair {x, t} is new iff one of its terms became expandable.
+          for (TermId x : pool) {
+            if (fresh_t || delta.FreshTerm(x)) {
+              visit(TermKey{x, t}, d, len);
+            }
+          }
+        } else {  // s == 3: candidate {x1, x2, t} with sub-key S = {x1,x2}
+          // A triple is new iff one of its sub-keys is fresh: a term
+          // became expandable, a gate pair {x, t} became an NDK, or the
+          // enumeration sub-key {x1, x2} became an NDK.
+          fresh_ish.assign(pool.size(), 0);
+          for (size_t i = 0; i < pool.size(); ++i) {
+            fresh_ish[i] = delta.FreshTerm(pool[i]) ||
+                           delta.FreshNdk(TermKey{pool[i], t});
+          }
+          if (fresh_t) {
+            // Every enumerable triple at this position is new.
+            for (size_t i = 0; i < pool.size(); ++i) {
+              for (size_t j = i + 1; j < pool.size(); ++j) {
+                TermKey sub{pool[i], pool[j]};
+                if (oracle.IsNdk(sub)) visit(sub.Extend(t), d, len);
+              }
+            }
+          } else {
+            // (a) pairs touching a fresh term or fresh gate;
+            for (size_t i = 0; i < pool.size(); ++i) {
+              for (size_t j = i + 1; j < pool.size(); ++j) {
+                if (!fresh_ish[i] && !fresh_ish[j]) continue;
+                TermKey sub{pool[i], pool[j]};
+                if (oracle.IsNdk(sub)) visit(sub.Extend(t), d, len);
+              }
+            }
+            // (b) all-old pairs whose sub-key itself freshly became an
+            // NDK (disjoint from (a) by the fresh_ish guards).
+            for (const TermKey& sub : delta.ndk_pairs) {
+              const TermId a = sub.term(0), b = sub.term(1);
+              if (a == t || b == t) continue;
+              auto ia = std::lower_bound(pool.begin(), pool.end(), a);
+              if (ia == pool.end() || *ia != a) continue;
+              auto ib = std::lower_bound(pool.begin(), pool.end(), b);
+              if (ib == pool.end() || *ib != b) continue;
+              if (fresh_ish[ia - pool.begin()] ||
+                  fresh_ish[ib - pool.begin()]) {
+                continue;  // already visited in (a)
+              }
+              visit(sub.Extend(t), d, len);
+            }
+          }
+        }
+      }
+      tail.Push(eligible ? t : kInvalidTerm);
+      // Mirror the tail window for the O(1) relevance skip. Only
+      // non-hole (eligible) relevant terms can join candidates.
+      const char pushed = eligible ? static_cast<char>(
+                                         (t_single ? kSingle : 0) |
+                                         (t_pair_term ? kPairTerm : 0))
+                                   : 0;
+      if (!relevant_ring.empty()) {
+        if (ring_filled == relevant_ring.size()) {
+          const char evicted = relevant_ring[ring_pos];
+          if (evicted & kSingle) --singles_in_tail;
+          if (evicted & kPairTerm) --pair_terms_in_tail;
+        } else {
+          ++ring_filled;
+        }
+        relevant_ring[ring_pos] = pushed;
+        if (pushed & kSingle) ++singles_in_tail;
+        if (pushed & kPairTerm) ++pair_terms_in_tail;
+        ring_pos = (ring_pos + 1) % relevant_ring.size();
+      }
+    }
+  }
+
+  KeyMap<index::PostingList> out;
+  for (auto& [key, accum] : accums) {
+    if (!accum.valid) continue;
+    accum.FlushDoc();
+    if (accum.postings.empty()) continue;
+    out.emplace(key, index::PostingList(std::move(accum.postings)));
+  }
+  return out;
+}
+
 KeyMap<index::PostingList> CandidateBuilder::BuildLevel(
     uint32_t s, const corpus::DocumentStore& store, DocId first, DocId last,
     const NdkOracle& oracle, CandidateBuildStats* stats) const {

@@ -17,6 +17,7 @@
 #define HDKP2P_HDK_CANDIDATE_BUILDER_H_
 
 #include <unordered_map>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -56,8 +57,28 @@ class SetNdkOracle : public NdkOracle {
  public:
   SetNdkOracle() = default;
 
-  void AddExpandableTerm(TermId t) { terms_.insert(t); }
-  void AddNdk(const TermKey& k) { ndks_.insert(k); }
+  /// Both insertions report whether the fact was NEW — the incremental
+  /// indexing protocol uses this to know which peers gained knowledge and
+  /// therefore need to re-derive higher-level candidates.
+  bool AddExpandableTerm(TermId t) { return terms_.insert(t).second; }
+  bool AddNdk(const TermKey& k) { return ndks_.insert(k).second; }
+
+  /// Forgets a term that crossed the very-frequent threshold Ff while the
+  /// collection grew, together with every known NDK containing it: a
+  /// from-scratch build over the grown collection would exclude the term
+  /// from the key vocabulary entirely. Returns true if anything changed.
+  bool PurgeTerm(TermId t) {
+    bool changed = terms_.erase(t) > 0;
+    for (auto it = ndks_.begin(); it != ndks_.end();) {
+      if (it->Contains(t)) {
+        it = ndks_.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    return changed;
+  }
 
   bool IsExpandableTerm(TermId t) const override {
     return terms_.count(t) > 0;
@@ -70,6 +91,40 @@ class SetNdkOracle : public NdkOracle {
  private:
   std::unordered_set<TermId> terms_;
   KeySet ndks_;
+};
+
+/// The facts a peer learned SINCE IT LAST GENERATED candidates: newly
+/// expandable terms and newly non-discriminative keys. Incremental growth
+/// uses this to generate only the candidate DELTA — any candidate whose
+/// generation uses exclusively old facts was already produced by the
+/// previous (deterministic) scan over the same documents.
+struct OracleDelta {
+  std::unordered_set<TermId> terms;  // newly expandable single terms
+  KeySet ndks;                       // newly non-discriminative keys
+  std::vector<TermKey> ndk_pairs;    // the size-2 subset of `ndks`
+
+  bool FreshTerm(TermId t) const { return terms.count(t) > 0; }
+  bool FreshNdk(const TermKey& k) const { return ndks.count(k) > 0; }
+  bool empty() const { return terms.empty() && ndks.empty(); }
+
+  void AddTerm(TermId t) { terms.insert(t); }
+  void AddNdk(const TermKey& k) {
+    if (ndks.insert(k).second && k.size() == 2) ndk_pairs.push_back(k);
+  }
+  /// Forgets everything about a purged (newly very frequent) term.
+  void PurgeTerm(TermId t) {
+    terms.erase(t);
+    for (auto it = ndks.begin(); it != ndks.end();) {
+      it = it->Contains(t) ? ndks.erase(it) : std::next(it);
+    }
+    std::erase_if(ndk_pairs,
+                  [t](const TermKey& k) { return k.Contains(t); });
+  }
+  void Clear() {
+    terms.clear();
+    ndks.clear();
+    ndk_pairs.clear();
+  }
 };
 
 /// Counters describing one candidate-generation pass.
@@ -103,6 +158,24 @@ class CandidateBuilder {
                                         DocId first, DocId last,
                                         const NdkOracle& oracle,
                                         CandidateBuildStats* stats) const;
+
+  /// Level-s candidates that could NOT have been generated before `delta`
+  /// was learned — the incremental-growth work list. A candidate is new
+  /// exactly when one of its terms or one of its (s-1)-sub-keys is fresh
+  /// (the oracle only ever grows, and a peer's documents never change, so
+  /// all-old candidates were produced by the previous scan). Posting lists
+  /// are identical to what a full BuildLevel would return for those keys.
+  ///
+  /// `docs` restricts the scan: every window event of a new candidate lies
+  /// in a document where one of its fresh sub-keys (co-)occurs, so the
+  /// caller passes the union of the fresh facts' local document lists —
+  /// tiny, because a fresh fact is a key that only just crossed DFmax.
+  /// Implemented for s == 2 and s == 3 (the paper's smax); larger levels
+  /// fall back to the full scan over [first, last).
+  KeyMap<index::PostingList> BuildLevelDelta(
+      uint32_t s, const corpus::DocumentStore& store, DocId first,
+      DocId last, std::span<const DocId> docs, const NdkOracle& oracle,
+      const OracleDelta& delta, CandidateBuildStats* stats) const;
 
   const HdkParams& params() const { return params_; }
 

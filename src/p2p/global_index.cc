@@ -24,21 +24,79 @@ PeerId DistributedGlobalIndex::ResponsiblePeer(const hdk::TermKey& key) const {
   return overlay_->Responsible(key.Hash64());
 }
 
-void DistributedGlobalIndex::InsertPostings(PeerId src,
-                                            const hdk::TermKey& key,
-                                            Freq local_df,
-                                            index::PostingList postings) {
+uint64_t DistributedGlobalIndex::InsertPostings(PeerId src,
+                                                const hdk::TermKey& key,
+                                                index::PostingList full_local,
+                                                const HdkParams& params,
+                                                double avg_doc_length) {
   EnsureFragments();
+
+  // Sender-side truncation: a locally non-discriminative key is certainly
+  // globally non-discriminative (paper Section 3: local NDK => global NDK),
+  // so the peer only transmits its local top-DFmax postings for it.
+  uint64_t payload = full_local.size();
+  if (full_local.size() > params.df_max) {
+    payload = std::min<uint64_t>(payload, params.EffectiveNdkTruncation());
+  }
+
   const RingId ring_key = key.Hash64();
   const PeerId dst = overlay_->Responsible(ring_key);
   const size_t hops = overlay_->Route(src, ring_key);
-  traffic_->Record(src, dst, net::MessageKind::kInsertPostings,
-                   postings.size(), hops);
+  traffic_->Record(src, dst, net::MessageKind::kInsertPostings, payload,
+                   hops);
 
-  PendingEntry& entry = pending_[key];
-  entry.global_df += local_df;
-  entry.merged.Merge(postings);
-  entry.contributors.push_back(src);
+  pending_[key].push_back(Contribution{src, std::move(full_local)});
+  (void)avg_doc_length;  // truncation choice is re-derived at publish time
+  return payload;
+}
+
+void DistributedGlobalIndex::RebuildCache(LedgerEntry& ledger,
+                                          const HdkParams& params,
+                                          double avg_doc_length) const {
+  const Freq trunc_limit = params.EffectiveNdkTruncation();
+  auto score = [avg_doc_length](const index::Posting& p) {
+    return hdk::TruncationScore(p, avg_doc_length);
+  };
+  ledger.global_df = 0;
+  ledger.merged_locals = index::PostingList();
+  for (const Contribution& c : ledger.contributions) {
+    ledger.global_df += c.full.size();
+    if (c.full.size() > params.df_max) {
+      index::PostingList truncated = c.full;
+      truncated.TruncateTopBy(trunc_limit, score);
+      ledger.merged_locals.Merge(truncated);
+    } else {
+      ledger.merged_locals.Merge(c.full);
+    }
+  }
+}
+
+bool DistributedGlobalIndex::Publish(const hdk::TermKey& key,
+                                     LedgerEntry& ledger,
+                                     const HdkParams& params,
+                                     double avg_doc_length) {
+  const Freq trunc_limit = params.EffectiveNdkTruncation();
+
+  hdk::KeyEntry entry;
+  entry.global_df = ledger.global_df;
+  entry.is_hdk = entry.global_df <= params.df_max;
+  entry.postings = ledger.merged_locals;  // copy: the cache lives on
+  if (!entry.is_hdk) {
+    entry.postings.TruncateTopBy(
+        trunc_limit, [avg_doc_length](const index::Posting& p) {
+          return hdk::TruncationScore(p, avg_doc_length);
+        });
+  }
+
+  ledger.published_ndk = !entry.is_hdk;
+  // Some contribution was locally truncated iff the merged cache is
+  // shorter than the global df.
+  ledger.truncation_sensitive =
+      !entry.is_hdk || ledger.merged_locals.size() < ledger.global_df;
+
+  const bool is_ndk = !entry.is_hdk;
+  fragments_[ResponsiblePeer(key)][key] = std::move(entry);
+  return is_ndk;
 }
 
 LevelOutcome DistributedGlobalIndex::EndLevel(const HdkParams& params,
@@ -46,47 +104,126 @@ LevelOutcome DistributedGlobalIndex::EndLevel(const HdkParams& params,
                                               bool notify_contributors) {
   EnsureFragments();
   LevelOutcome outcome;
+
   const Freq trunc_limit = params.EffectiveNdkTruncation();
+  auto score = [avg_doc_length](const index::Posting& p) {
+    return hdk::TruncationScore(p, avg_doc_length);
+  };
 
-  for (auto& [key, pending] : pending_) {
-    const PeerId owner = ResponsiblePeer(key);
-    hdk::KeyEntry entry;
-    entry.global_df = pending.global_df;
-    entry.is_hdk = pending.global_df <= params.df_max;
-    entry.postings = std::move(pending.merged);
+  for (auto& [key, contributions] : pending_) {
+    LedgerEntry& ledger = ledger_[key];
+    const bool was_published = !ledger.contributions.empty();
+    const bool was_ndk = ledger.published_ndk;
 
-    if (entry.is_hdk) {
-      ++outcome.hdks;
-    } else {
-      ++outcome.ndks;
-      entry.postings.TruncateTopBy(
-          trunc_limit, [avg_doc_length](const index::Posting& p) {
-            return hdk::TruncationScore(p, avg_doc_length);
-          });
-      // Deduplicate contributors (a peer inserts a key once per level, but
-      // be robust) and notify each that the key must be expanded.
-      std::sort(pending.contributors.begin(), pending.contributors.end());
-      pending.contributors.erase(
-          std::unique(pending.contributors.begin(),
-                      pending.contributors.end()),
-          pending.contributors.end());
-      if (notify_contributors) {
-        for (PeerId contributor : pending.contributors) {
-          // Notifications carry the key only, no postings. The owner knows
-          // the contributor directly (source address of the insertion), so
-          // this is a single overlay-external message: 1 hop.
-          traffic_->Record(owner, contributor,
-                           net::MessageKind::kNdkNotification,
-                           /*postings=*/0, /*hops=*/1);
-          ++outcome.notification_messages;
-        }
-        outcome.notifications.emplace_back(key, pending.contributors);
+    std::vector<PeerId> new_contributors;
+    new_contributors.reserve(contributions.size());
+    for (Contribution& c : contributions) {
+      new_contributors.push_back(c.peer);
+      // Fold the new contribution into the merge cache (sender-side
+      // truncation re-applied exactly as InsertPostings transmitted it).
+      ledger.global_df += c.full.size();
+      if (c.full.size() > params.df_max) {
+        index::PostingList truncated = c.full;
+        truncated.TruncateTopBy(trunc_limit, score);
+        ledger.merged_locals.Merge(truncated);
+      } else {
+        ledger.merged_locals.Merge(c.full);
       }
+      ledger.contributions.push_back(std::move(c));
     }
-    fragments_[owner][key] = std::move(entry);
+    std::sort(ledger.contributions.begin(), ledger.contributions.end(),
+              [](const Contribution& a, const Contribution& b) {
+                return a.peer < b.peer;
+              });
+
+    const bool is_ndk = Publish(key, ledger, params, avg_doc_length);
+    if (is_ndk) {
+      ++outcome.ndks;
+      if (was_published && !was_ndk) ++outcome.reclassified;
+    } else {
+      ++outcome.hdks;
+    }
+
+    if (is_ndk && notify_contributors) {
+      // A key already known to be non-discriminative only informs its NEW
+      // contributors (old ones expanded it when they were first notified);
+      // a key that just crossed DFmax informs everyone who ever
+      // contributed, so that old peers expand it too.
+      std::vector<PeerId> recipients;
+      if (was_ndk) {
+        recipients = std::move(new_contributors);
+      } else {
+        recipients.reserve(ledger.contributions.size());
+        for (const Contribution& c : ledger.contributions) {
+          recipients.push_back(c.peer);
+        }
+      }
+      std::sort(recipients.begin(), recipients.end());
+      recipients.erase(std::unique(recipients.begin(), recipients.end()),
+                       recipients.end());
+      const PeerId owner = ResponsiblePeer(key);
+      for (PeerId contributor : recipients) {
+        // Notifications carry the key only, no postings. The owner knows
+        // the contributor directly (source address of the insertion), so
+        // this is a single overlay-external message: 1 hop.
+        traffic_->Record(owner, contributor,
+                         net::MessageKind::kNdkNotification,
+                         /*postings=*/0, /*hops=*/1);
+        ++outcome.notification_messages;
+      }
+      outcome.notifications.emplace_back(key, std::move(recipients));
+    }
   }
   pending_.clear();
   return outcome;
+}
+
+uint64_t DistributedGlobalIndex::EraseKeysContaining(TermId t) {
+  uint64_t erased = 0;
+  for (auto it = ledger_.begin(); it != ledger_.end();) {
+    if (it->first.Contains(t)) {
+      const PeerId owner = ResponsiblePeer(it->first);
+      if (owner < fragments_.size()) fragments_[owner].erase(it->first);
+      it = ledger_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
+void DistributedGlobalIndex::Retruncate(const HdkParams& params,
+                                        double avg_doc_length) {
+  for (auto& [key, ledger] : ledger_) {
+    if (ledger.truncation_sensitive) {
+      RebuildCache(ledger, params, avg_doc_length);
+      Publish(key, ledger, params, avg_doc_length);
+    }
+  }
+}
+
+uint64_t DistributedGlobalIndex::OnOverlayGrown() {
+  EnsureFragments();
+  uint64_t migrated = 0;
+  for (PeerId old_owner = 0; old_owner < fragments_.size(); ++old_owner) {
+    auto& fragment = fragments_[old_owner];
+    for (auto it = fragment.begin(); it != fragment.end();) {
+      const PeerId new_owner = ResponsiblePeer(it->first);
+      if (new_owner == old_owner) {
+        ++it;
+        continue;
+      }
+      // Key-space handover to the joining (or re-responsible) peer: one
+      // direct message carrying the published postings.
+      traffic_->Record(old_owner, new_owner, net::MessageKind::kMaintenance,
+                       it->second.postings.size(), /*hops=*/1);
+      fragments_[new_owner][it->first] = std::move(it->second);
+      it = fragment.erase(it);
+      ++migrated;
+    }
+  }
+  return migrated;
 }
 
 const hdk::KeyEntry* DistributedGlobalIndex::FetchFrom(
@@ -140,6 +277,23 @@ uint64_t DistributedGlobalIndex::TotalKeys() const {
   uint64_t total = 0;
   for (const auto& fragment : fragments_) total += fragment.size();
   return total;
+}
+
+void DistributedGlobalIndex::CountKeys(uint32_t level, uint64_t* hdks,
+                                       uint64_t* ndks) const {
+  uint64_t h = 0, n = 0;
+  for (const auto& fragment : fragments_) {
+    for (const auto& [key, entry] : fragment) {
+      if (level != 0 && key.size() != level) continue;
+      if (entry.is_hdk) {
+        ++h;
+      } else {
+        ++n;
+      }
+    }
+  }
+  if (hdks != nullptr) *hdks = h;
+  if (ndks != nullptr) *ndks = n;
 }
 
 hdk::HdkIndexContents DistributedGlobalIndex::ExportContents() const {

@@ -10,7 +10,20 @@
 //   * classification: HDK (global df <= DFmax, full postings) vs NDK
 //     (global df > DFmax, postings truncated to the top-DFmax best),
 //   * expansion notifications to the peers that contributed an NDK,
-//   * traffic accounting for every message.
+//   * traffic accounting for every message,
+//   * incremental growth: when peers join with new documents, the index
+//     re-derives the published state of every affected key — including
+//     HDK -> NDK reclassification of keys whose global df crossed DFmax —
+//     so that the grown index is posting-for-posting identical to a
+//     from-scratch build over the larger collection.
+//
+// To support the growth path the index keeps, per key, the CONTRIBUTION
+// LEDGER: each contributor's full (untruncated) local posting list. This is
+// simulation bookkeeping — in the real network that data simply stays on
+// the contributing peer, which re-sends or re-truncates on request; here it
+// lets the simulator recompute any published entry deterministically. The
+// published per-peer fragments and all recorded traffic continue to model
+// exactly what the protocol transmits and stores.
 #ifndef HDKP2P_P2P_GLOBAL_INDEX_H_
 #define HDKP2P_P2P_GLOBAL_INDEX_H_
 
@@ -38,6 +51,9 @@ struct LevelOutcome {
   uint64_t ndks = 0;
   /// Notification messages sent.
   uint64_t notification_messages = 0;
+  /// Keys that were published as HDK earlier and crossed DFmax during this
+  /// level (incremental growth only; always 0 on the initial build).
+  uint64_t reclassified = 0;
 };
 
 /// The DHT-distributed global index.
@@ -51,22 +67,52 @@ class DistributedGlobalIndex {
   /// The peer responsible for a key.
   PeerId ResponsiblePeer(const hdk::TermKey& key) const;
 
-  /// Indexing-time insertion from peer `src`: the key, the peer's true
-  /// local document frequency, and the (possibly locally truncated)
-  /// posting list payload. Records an InsertPostings message routed
-  /// through the overlay.
-  void InsertPostings(PeerId src, const hdk::TermKey& key, Freq local_df,
-                      index::PostingList postings);
+  /// Indexing-time insertion from peer `src`: the peer's FULL local
+  /// posting list for `key` (the local document frequency is its size).
+  /// Sender-side truncation of locally non-discriminative keys (local df >
+  /// DFmax) to the local top-DFmax by TruncationScore is applied here: the
+  /// recorded InsertPostings message carries only the truncated list,
+  /// exactly as in the paper's protocol. The full list is retained in the
+  /// contribution ledger (see the file comment). Returns the number of
+  /// postings actually transmitted.
+  uint64_t InsertPostings(PeerId src, const hdk::TermKey& key,
+                          index::PostingList full_local,
+                          const HdkParams& params, double avg_doc_length);
 
-  /// Classifies all keys inserted since the last EndLevel call, truncates
-  /// NDK posting lists to the top `params.EffectiveNdkTruncation()` best
-  /// postings (score normalized with `avg_doc_length`), moves the entries
-  /// into the per-peer fragments, and — when `notify_contributors` is set —
-  /// sends one NdkNotification message to every contributor of every NDK.
+  /// Classifies all keys that received contributions since the last
+  /// EndLevel call: merges them into the ledger, re-derives the published
+  /// entry (HDK full postings / NDK top-DFmax postings, score normalized
+  /// with `avg_doc_length`), places it on the responsible peer's fragment
+  /// and — when `notify_contributors` is set — sends NdkNotification
+  /// messages. A key already published as NDK notifies only its NEW
+  /// contributors; a key that just crossed DFmax (HDK -> NDK, or a new
+  /// key that is born non-discriminative) notifies ALL contributors.
   /// Notifications are pointless at the last level (size filtering stops
   /// expansion), so the protocol disables them there.
   LevelOutcome EndLevel(const HdkParams& params, double avg_doc_length,
                         bool notify_contributors = true);
+
+  /// Removes every key containing term `t` from the ledger and the
+  /// fragments — used when a term crosses the very-frequent threshold Ff
+  /// as the collection grows (a from-scratch build over the grown
+  /// collection excludes it from the key vocabulary). Like the Ff cutoff
+  /// itself, this is treated as global preprocessing outside the paper's
+  /// traffic accounting. Returns the number of erased keys.
+  uint64_t EraseKeysContaining(TermId t);
+
+  /// Re-derives every published entry whose truncation depends on the
+  /// average document length (local or global posting-list truncation
+  /// active). Called when the collection grew and avgdl shifted, so that
+  /// the published state matches what a from-scratch build over the grown
+  /// collection would produce. Simulation bookkeeping; no traffic.
+  void Retruncate(const HdkParams& params, double avg_doc_length);
+
+  /// Re-places published entries after the overlay gained peers: every key
+  /// whose responsible peer changed is handed over to its new owner, and
+  /// the handover is recorded as one kMaintenance message carrying the
+  /// published postings (1 hop: the old owner learns the new owner during
+  /// the join). Returns the number of migrated keys.
+  uint64_t OnOverlayGrown();
 
   /// Retrieval probe from peer `src`: routes a KeyProbe message to the
   /// responsible peer; when the key exists, a PostingsResponse carrying
@@ -86,6 +132,10 @@ class DistributedGlobalIndex {
   uint64_t KeysAt(PeerId peer) const;
   uint64_t TotalKeys() const;
 
+  /// Exact published-classification counts for keys of size `level`
+  /// (0 = all sizes).
+  void CountKeys(uint32_t level, uint64_t* hdks, uint64_t* ndks) const;
+
   /// Flattens the fragments into logical contents (identical, by
   /// construction, to what the centralized indexer produces — asserted by
   /// the integration tests).
@@ -94,19 +144,49 @@ class DistributedGlobalIndex {
   const dht::Overlay& overlay() const { return *overlay_; }
 
  private:
-  struct PendingEntry {
+  /// One contributor's full local posting list (local df == full.size()).
+  struct Contribution {
+    PeerId peer = kInvalidPeer;
+    index::PostingList full;
+  };
+
+  /// Everything ever contributed for one key, plus published-state flags
+  /// and the incrementally maintained merge of the locally-truncated
+  /// contributions (what publishing derives the fragment entry from —
+  /// caching it makes EndLevel cost proportional to the NEW contributions
+  /// instead of the key's whole history).
+  struct LedgerEntry {
+    std::vector<Contribution> contributions;  // ascending peer id
     Freq global_df = 0;
-    index::PostingList merged;
-    std::vector<PeerId> contributors;
+    index::PostingList merged_locals;
+    bool published_ndk = false;
+    /// True when some truncation (local or global) shapes the published
+    /// entry — only those entries depend on avgdl.
+    bool truncation_sensitive = false;
   };
 
   void EnsureFragments();
 
+  /// Recomputes `merged_locals` / `global_df` from the full contribution
+  /// history under (params, avg_doc_length) — needed when avgdl drift may
+  /// have changed the local truncation choices.
+  void RebuildCache(LedgerEntry& ledger, const HdkParams& params,
+                    double avg_doc_length) const;
+
+  /// Derives the published KeyEntry of `key` from the ledger cache —
+  /// bit-identical to what a from-scratch build would publish — and
+  /// stores it on the responsible fragment. Returns whether the published
+  /// entry is an NDK.
+  bool Publish(const hdk::TermKey& key, LedgerEntry& ledger,
+               const HdkParams& params, double avg_doc_length);
+
   const dht::Overlay* overlay_;
   net::TrafficRecorder* traffic_;
-  /// Aggregation buffer for the level currently being inserted.
-  hdk::KeyMap<PendingEntry> pending_;
-  /// peer -> finalized fragment of the global index.
+  /// Contributions received since the last EndLevel call.
+  hdk::KeyMap<std::vector<Contribution>> pending_;
+  /// Full contribution history per key.
+  hdk::KeyMap<LedgerEntry> ledger_;
+  /// peer -> published fragment of the global index.
   std::vector<hdk::KeyMap<hdk::KeyEntry>> fragments_;
 };
 

@@ -1,6 +1,6 @@
 #include "p2p/indexing_protocol.h"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "hdk/indexer.h"
 
@@ -14,19 +14,36 @@ uint64_t IndexingReport::TotalInsertedPostings() const {
 
 HdkIndexingProtocol::HdkIndexingProtocol(const HdkParams& params,
                                          const corpus::DocumentStore& store,
-                                         const corpus::CollectionStats& stats,
                                          const dht::Overlay* overlay,
                                          net::TrafficRecorder* traffic)
     : params_(params),
       store_(store),
-      stats_(stats),
       overlay_(overlay),
       traffic_(traffic) {}
 
+std::vector<TermId> HdkIndexingProtocol::RefreshVeryFrequent(
+    const corpus::CollectionStats& stats) {
+  // The very-frequent cutoff uses global collection statistics. The real
+  // deployment aggregates these while peers join (cheap term-count
+  // gossip); the paper applies it as global preprocessing, and so do we —
+  // this traffic is not part of the paper's accounting.
+  std::vector<TermId> fresh;
+  for (TermId t :
+       stats.VeryFrequentTerms(params_.very_frequent_threshold)) {
+    if (very_frequent_.insert(t).second) fresh.push_back(t);
+  }
+  report_.excluded_very_frequent_terms = very_frequent_.size();
+  return fresh;
+}
+
 Result<std::unique_ptr<DistributedGlobalIndex>> HdkIndexingProtocol::Run(
     const std::vector<std::pair<DocId, DocId>>& peer_ranges,
-    IndexingReport* report) {
+    const corpus::CollectionStats& stats) {
   HDK_RETURN_NOT_OK(params_.Validate());
+  if (!peers_.empty()) {
+    return Status::FailedPrecondition(
+        "protocol already ran; use Grow() to add peers");
+  }
   if (peer_ranges.empty()) {
     return Status::InvalidArgument("need at least one peer");
   }
@@ -34,90 +51,175 @@ Result<std::unique_ptr<DistributedGlobalIndex>> HdkIndexingProtocol::Run(
     return Status::InvalidArgument(
         "peer_ranges must match the overlay's peer count");
   }
+  DocId watermark = 0;
   for (const auto& [first, last] : peer_ranges) {
     if (first > last || last > store_.size()) {
       return Status::OutOfRange("invalid peer document range");
     }
+    watermark = std::max(watermark, last);
   }
+  indexed_docs_ = watermark;
 
-  const double avgdl = stats_.average_document_length();
-
-  // The very-frequent cutoff uses global collection statistics. The real
-  // deployment aggregates these while peers join (cheap term-count
-  // gossip); the paper applies it as global preprocessing, and so do we —
-  // this traffic is not part of the paper's accounting.
-  std::unordered_set<TermId> very_frequent;
-  for (TermId t :
-       stats_.VeryFrequentTerms(params_.very_frequent_threshold)) {
-    very_frequent.insert(t);
+  RefreshVeryFrequent(stats);
+  report_.levels.resize(params_.s_max);
+  for (uint32_t s = 1; s <= params_.s_max; ++s) {
+    report_.levels[s - 1].level = s;
   }
-  if (report != nullptr) {
-    report->excluded_very_frequent_terms = very_frequent.size();
-    report->inserted_postings_per_peer.assign(peer_ranges.size(), 0);
-  }
+  report_.inserted_postings_per_peer.assign(peer_ranges.size(), 0);
 
-  std::vector<Peer> peers;
-  peers.reserve(peer_ranges.size());
+  peers_.reserve(peer_ranges.size());
   for (PeerId p = 0; p < peer_ranges.size(); ++p) {
-    peers.emplace_back(p, peer_ranges[p].first, peer_ranges[p].second,
-                       params_);
+    peers_.emplace_back(p, peer_ranges[p].first, peer_ranges[p].second,
+                        params_);
   }
 
   auto global = std::make_unique<DistributedGlobalIndex>(overlay_, traffic_);
-  const Freq local_trunc = params_.EffectiveNdkTruncation();
+  global_ = global.get();
+
+  RunLevels(stats, /*first_new_peer=*/0, nullptr);
+  return global;
+}
+
+Status HdkIndexingProtocol::Grow(
+    const std::vector<std::pair<DocId, DocId>>& new_ranges,
+    const corpus::CollectionStats& stats, GrowthStats* growth) {
+  if (global_ == nullptr) {
+    return Status::FailedPrecondition("Run() must succeed before Grow()");
+  }
+  if (new_ranges.empty()) {
+    return Status::InvalidArgument("need at least one joining peer");
+  }
+  if (peers_.size() + new_ranges.size() != overlay_->num_peers()) {
+    return Status::InvalidArgument(
+        "overlay must already contain the joining peers");
+  }
+  DocId frontier = indexed_docs_;
+  for (const auto& [first, last] : new_ranges) {
+    if (first != frontier || last < first || last > store_.size()) {
+      return Status::OutOfRange(
+          "joining ranges must continue contiguously from the indexed "
+          "document frontier");
+    }
+    frontier = last;
+  }
+  indexed_docs_ = frontier;
+
+  if (growth != nullptr) {
+    growth->joined_peers = new_ranges.size();
+    growth->delta_documents = frontier - new_ranges.front().first;
+  }
+
+  // 1. Terms that crossed Ff leave the key vocabulary: erase their keys
+  //    from the global index and from every peer's local knowledge —
+  //    a from-scratch build over the grown collection never creates them.
+  const std::vector<TermId> fresh_vf = RefreshVeryFrequent(stats);
+  uint64_t purged = 0;
+  for (TermId t : fresh_vf) {
+    purged += global_->EraseKeysContaining(t);
+    for (Peer& peer : peers_) peer.PurgeTerm(t);
+  }
+  if (growth != nullptr) {
+    growth->new_very_frequent_terms = fresh_vf.size();
+    growth->purged_keys = purged;
+  }
+
+  // 2. The average document length shifted with the new documents;
+  //    re-derive every truncation-dependent published entry under the
+  //    grown collection's statistics.
+  global_->Retruncate(params_, stats.average_document_length());
+
+  // 3. The joining peers enter the protocol.
+  const size_t first_new_peer = peers_.size();
+  for (const auto& [first, last] : new_ranges) {
+    peers_.emplace_back(static_cast<PeerId>(peers_.size()), first, last,
+                        params_);
+  }
+  report_.inserted_postings_per_peer.resize(peers_.size(), 0);
+
+  // 4. Level-wise protocol over the delta.
+  RunLevels(stats, first_new_peer, growth);
+  return Status::OK();
+}
+
+void HdkIndexingProtocol::RunLevels(const corpus::CollectionStats& stats,
+                                    size_t first_new_peer,
+                                    GrowthStats* growth) {
+  const double avgdl = stats.average_document_length();
+  std::vector<bool> rescan_counted(peers_.size(), false);
 
   for (uint32_t s = 1; s <= params_.s_max; ++s) {
-    ProtocolLevelStats level_stats;
-    level_stats.level = s;
+    ProtocolLevelStats& level_stats = report_.levels[s - 1];
 
-    for (Peer& peer : peers) {
+    for (Peer& peer : peers_) {
+      const bool is_new = peer.id() >= first_new_peer;
+      if (!is_new) {
+        // An existing peer's level-1 candidates never grow (the very-
+        // frequent set only shrinks the vocabulary), and its higher
+        // levels only produce NEW candidates when it gained knowledge —
+        // in which case the delta scan generates exactly those.
+        if (s == 1 || !peer.HasFreshKnowledge()) continue;
+        if (growth != nullptr && !rescan_counted[peer.id()]) {
+          rescan_counted[peer.id()] = true;
+          ++growth->rescanned_peers;
+        }
+      }
+
       hdk::KeyMap<index::PostingList> candidates =
-          s == 1 ? peer.BuildLevel1(store_, very_frequent,
+          s == 1 ? peer.BuildLevel1(store_, very_frequent_,
                                     &level_stats.generation)
-                 : peer.BuildLevel(s, store_, &level_stats.generation);
+          : is_new ? peer.BuildLevel(s, store_, &level_stats.generation)
+                   : peer.BuildLevelDelta(s, store_,
+                                          &level_stats.generation);
 
       for (auto& [key, pl] : candidates) {
-        const Freq local_df = pl.size();
-        // A locally non-discriminative key is certainly globally
-        // non-discriminative (paper Section 3: local NDK => global NDK),
-        // so the peer only publishes its local top-DFmax postings for it.
-        if (local_df > params_.df_max) {
-          pl.TruncateTopBy(local_trunc, [avgdl](const index::Posting& p) {
-            return hdk::TruncationScore(p, avgdl);
-          });
-        }
-        const uint64_t payload = pl.size();
-        global->InsertPostings(peer.id(), key, local_df, std::move(pl));
+        if (!is_new && peer.HasPublished(s, key)) continue;
+        // Keys below the top level can become expansion material later;
+        // remember which local documents carry them (delta-scan targets).
+        std::vector<DocId> key_docs;
+        if (s < params_.s_max) key_docs = pl.Documents();
+        const uint64_t payload = global_->InsertPostings(
+            peer.id(), key, std::move(pl), params_, avgdl);
+        peer.MarkPublished(s, key, std::move(key_docs));
         ++level_stats.keys_inserted;
         level_stats.postings_inserted += payload;
-        if (report != nullptr) {
-          report->inserted_postings_per_peer[peer.id()] += payload;
+        report_.inserted_postings_per_peer[peer.id()] += payload;
+        if (growth != nullptr) {
+          ++growth->delta_insertions;
+          growth->delta_postings += payload;
         }
       }
     }
 
-    LevelOutcome outcome = global->EndLevel(
+    // Notifications are pointless at the last level (size filtering stops
+    // expansion), so the protocol disables them there.
+    LevelOutcome outcome = global_->EndLevel(
         params_, avgdl, /*notify_contributors=*/s < params_.s_max);
-    level_stats.hdks = outcome.hdks;
-    level_stats.ndks = outcome.ndks;
-    level_stats.notifications = outcome.notification_messages;
+    level_stats.notifications += outcome.notification_messages;
+    if (growth != nullptr) growth->reclassified_keys += outcome.reclassified;
 
     // Deliver the notifications: contributors learn which of their keys
     // are globally non-discriminative and expand them at the next level.
+    // An existing peer that learns something NEW accumulates it as fresh
+    // knowledge and re-derives its candidate delta at the higher levels.
     if (s < params_.s_max) {
       for (const auto& [key, contributors] : outcome.notifications) {
         for (PeerId contributor : contributors) {
-          peers[contributor].OnNdkNotification(key);
+          peers_[contributor].OnNdkNotification(key);
         }
       }
     }
-
-    if (report != nullptr) {
-      report->levels.push_back(level_stats);
-    }
   }
 
-  return global;
+  // The pass consumed every fresh fact: level-k facts arrive at level-k's
+  // EndLevel and only matter for levels > k, all of which just ran.
+  for (Peer& peer : peers_) peer.ClearFreshKnowledge();
+
+  // Keep the published classification counts exact (a growth step may
+  // reclassify keys inserted long ago).
+  for (uint32_t s = 1; s <= params_.s_max; ++s) {
+    global_->CountKeys(s, &report_.levels[s - 1].hdks,
+                       &report_.levels[s - 1].ndks);
+  }
 }
 
 }  // namespace hdk::p2p

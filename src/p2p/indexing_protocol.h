@@ -10,6 +10,26 @@
 //     postings for NDKs, and notify every contributor of an NDK so that it
 //     expands the key at level s+1.
 //
+// The protocol object is STATEFUL: after the initial Run() it retains every
+// peer's local knowledge (NDK oracle, published keys), so the network can
+// Grow() — the paper's evolution experiment, where peers join in waves and
+// contribute new documents. A growth step runs the same level-wise protocol
+// but only over the delta:
+//
+//   * terms that crossed the very-frequent threshold Ff are purged from
+//     the key vocabulary (global preprocessing, like the Ff cutoff itself),
+//   * published entries whose truncation depends on the average document
+//     length are re-derived under the grown collection's avgdl,
+//   * joining peers run all levels over their own documents,
+//   * existing peers re-derive candidates only when they gained knowledge
+//     (a key of theirs crossed DFmax), and insert only unpublished keys,
+//   * the global index reclassifies keys whose df crossed DFmax and
+//     notifies every historical contributor so old peers expand them too.
+//
+// The result is posting-for-posting identical to a from-scratch run over
+// the grown collection (asserted by the incremental-growth tests), at a
+// fraction of the indexing traffic.
+//
 // All insertions, responses and notifications are routed through the
 // overlay and recorded by the TrafficRecorder.
 #ifndef HDKP2P_P2P_INDEXING_PROTOCOL_H_
@@ -17,6 +37,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "common/params.h"
@@ -31,19 +52,19 @@
 
 namespace hdk::p2p {
 
-/// Per-level protocol statistics.
+/// Per-level protocol statistics (cumulative across growth steps).
 struct ProtocolLevelStats {
   uint32_t level = 0;
   uint64_t keys_inserted = 0;       // insertion messages (= candidate keys
-                                    // summed over peers)
+                                    // summed over peers and growth steps)
   uint64_t postings_inserted = 0;   // postings carried by insertions
-  uint64_t hdks = 0;
+  uint64_t hdks = 0;                // current published classification
   uint64_t ndks = 0;
   uint64_t notifications = 0;
   hdk::CandidateBuildStats generation;
 };
 
-/// Whole-run report.
+/// Whole-network report, kept current across Run() and every Grow().
 struct IndexingReport {
   std::vector<ProtocolLevelStats> levels;
   uint64_t excluded_very_frequent_terms = 0;
@@ -54,33 +75,85 @@ struct IndexingReport {
   uint64_t TotalInsertedPostings() const;
 };
 
-/// Runs the indexing protocol over a set of peers.
+/// What one growth step did (observability for benches and tests).
+struct GrowthStats {
+  uint64_t joined_peers = 0;
+  uint64_t delta_documents = 0;
+  /// Terms that crossed Ff and were purged from the key vocabulary.
+  uint64_t new_very_frequent_terms = 0;
+  uint64_t purged_keys = 0;
+  /// Keys whose global df crossed DFmax (HDK -> NDK reclassifications).
+  uint64_t reclassified_keys = 0;
+  /// Published entries handed over because key-space responsibility moved.
+  uint64_t migrated_keys = 0;
+  /// Insert messages / postings transmitted during this step.
+  uint64_t delta_insertions = 0;
+  uint64_t delta_postings = 0;
+  /// Existing peers that re-derived candidates because they gained
+  /// knowledge.
+  uint64_t rescanned_peers = 0;
+};
+
+/// Runs the indexing protocol over a growing set of peers.
 class HdkIndexingProtocol {
  public:
   /// \param params  HDK model parameters.
-  /// \param store   the global collection (peers reference ranges of it).
-  /// \param stats   collection statistics (very-frequent cutoff, avgdl).
-  /// \param overlay DHT overlay (outlives the protocol).
+  /// \param store   the global collection (peers reference ranges of it;
+  ///                it may grow between Run and Grow calls).
+  /// \param overlay DHT overlay (outlives the protocol; grown by the
+  ///                caller before Grow is invoked).
   /// \param traffic traffic sink (outlives the protocol).
   HdkIndexingProtocol(const HdkParams& params,
                       const corpus::DocumentStore& store,
-                      const corpus::CollectionStats& stats,
                       const dht::Overlay* overlay,
                       net::TrafficRecorder* traffic);
 
-  /// Executes the protocol for peers holding the given [first, last) doc
-  /// ranges (one entry per peer; peer ids are positional). Returns the
-  /// populated distributed index.
+  /// Executes the full protocol for peers holding the given [first, last)
+  /// doc ranges (one entry per peer; peer ids are positional). `stats`
+  /// must describe exactly the documents covered by the ranges. Returns
+  /// the populated distributed index; the caller owns it, the protocol
+  /// keeps a reference for later growth steps.
   Result<std::unique_ptr<DistributedGlobalIndex>> Run(
       const std::vector<std::pair<DocId, DocId>>& peer_ranges,
-      IndexingReport* report = nullptr);
+      const corpus::CollectionStats& stats);
+
+  /// Incremental join: `new_ranges` (one per joining peer) must continue
+  /// contiguously from the indexed document frontier, and the overlay must
+  /// already contain the new peers (caller responsibility — see
+  /// HdkSearchEngine::AddPeers). `stats` must describe the grown
+  /// collection. Fills protocol-level fields of `growth` when non-null.
+  Status Grow(const std::vector<std::pair<DocId, DocId>>& new_ranges,
+              const corpus::CollectionStats& stats,
+              GrowthStats* growth = nullptr);
+
+  /// Cumulative report, current after every Run/Grow.
+  const IndexingReport& report() const { return report_; }
+
+  size_t num_peers() const { return peers_.size(); }
+  /// One past the highest indexed document.
+  DocId indexed_documents() const { return indexed_docs_; }
 
  private:
-  const HdkParams& params_;
+  /// Refreshes the very-frequent term set from `stats`; returns the terms
+  /// that newly crossed Ff.
+  std::vector<TermId> RefreshVeryFrequent(const corpus::CollectionStats& stats);
+
+  /// The shared level loop. Peers with id >= `first_new_peer` run a full
+  /// build; older peers participate only at levels >= 2 and only while
+  /// they hold fresh knowledge, generating and inserting only the
+  /// candidate delta that knowledge makes newly generable.
+  void RunLevels(const corpus::CollectionStats& stats, size_t first_new_peer,
+                 GrowthStats* growth);
+
+  const HdkParams params_;
   const corpus::DocumentStore& store_;
-  const corpus::CollectionStats& stats_;
   const dht::Overlay* overlay_;
   net::TrafficRecorder* traffic_;
+  DistributedGlobalIndex* global_ = nullptr;  // borrowed after Run
+  std::vector<Peer> peers_;
+  std::unordered_set<TermId> very_frequent_;
+  IndexingReport report_;
+  DocId indexed_docs_ = 0;
 };
 
 }  // namespace hdk::p2p

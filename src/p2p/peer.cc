@@ -1,5 +1,7 @@
 #include "p2p/peer.h"
 
+#include <algorithm>
+
 namespace hdk::p2p {
 
 Peer::Peer(PeerId id, DocId first, DocId last, const HdkParams& params)
@@ -19,12 +21,40 @@ hdk::KeyMap<index::PostingList> Peer::BuildLevel(
   return builder_.BuildLevel(s, store, first_, last_, oracle_, stats);
 }
 
-void Peer::OnNdkNotification(const hdk::TermKey& key) {
-  if (key.size() == 1) {
-    oracle_.AddExpandableTerm(key.term(0));
-  } else {
-    oracle_.AddNdk(key);
+hdk::KeyMap<index::PostingList> Peer::BuildLevelDelta(
+    uint32_t s, const corpus::DocumentStore& store,
+    hdk::CandidateBuildStats* stats) const {
+  // Every window event of a NEW candidate lies in a document where one of
+  // its fresh sub-keys occurs — and the peer recorded those documents when
+  // it published the sub-key. The union is tiny: fresh facts are keys
+  // that only just crossed DFmax.
+  std::vector<DocId> docs;
+  auto append = [&](const hdk::TermKey& key) {
+    auto it = published_docs_.find(key);
+    if (it != published_docs_.end()) {
+      docs.insert(docs.end(), it->second.begin(), it->second.end());
+    }
+  };
+  for (TermId t : delta_.terms) append(hdk::TermKey{t});
+  if (s >= 3) {
+    for (const hdk::TermKey& pair : delta_.ndk_pairs) append(pair);
   }
+  std::sort(docs.begin(), docs.end());
+  docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
+
+  return builder_.BuildLevelDelta(s, store, first_, last_, docs, oracle_,
+                                  delta_, stats);
+}
+
+bool Peer::OnNdkNotification(const hdk::TermKey& key) {
+  if (key.size() == 1) {
+    if (!oracle_.AddExpandableTerm(key.term(0))) return false;
+    delta_.AddTerm(key.term(0));
+    return true;
+  }
+  if (!oracle_.AddNdk(key)) return false;
+  delta_.AddNdk(key);
+  return true;
 }
 
 }  // namespace hdk::p2p

@@ -11,6 +11,7 @@
 #define HDKP2P_P2P_PEER_H_
 
 #include <unordered_set>
+#include <vector>
 
 #include "common/params.h"
 #include "common/types.h"
@@ -46,10 +47,51 @@ class Peer {
       uint32_t s, const corpus::DocumentStore& store,
       hdk::CandidateBuildStats* stats = nullptr) const;
 
+  /// Only the level-s candidates that the peer's FRESH knowledge (facts
+  /// learned since the last protocol pass, see fresh_knowledge()) makes
+  /// newly generable — the incremental-growth work list.
+  hdk::KeyMap<index::PostingList> BuildLevelDelta(
+      uint32_t s, const corpus::DocumentStore& store,
+      hdk::CandidateBuildStats* stats = nullptr) const;
+
   /// Handles an NDK notification from the global index: the key this peer
   /// submitted is globally non-discriminative and becomes expansion
-  /// material for the next level.
-  void OnNdkNotification(const hdk::TermKey& key);
+  /// material for the next level. Returns true when the notification
+  /// carried NEW knowledge (the incremental protocol re-derives this
+  /// peer's higher-level candidates only in that case).
+  bool OnNdkNotification(const hdk::TermKey& key);
+
+  /// Forgets a term that became very frequent as the collection grew (and
+  /// every known NDK containing it). Returns true if the oracle changed.
+  bool PurgeTerm(TermId t) {
+    delta_.PurgeTerm(t);
+    return oracle_.PurgeTerm(t);
+  }
+
+  /// Facts learned since the last protocol pass consumed them. Non-empty
+  /// means the peer must re-derive candidate deltas at levels >= 2.
+  const hdk::OracleDelta& fresh_knowledge() const { return delta_; }
+  bool HasFreshKnowledge() const { return !delta_.empty(); }
+  /// Called by the protocol once a Run/Grow pass has consumed the delta.
+  void ClearFreshKnowledge() { delta_.Clear(); }
+
+  /// Bookkeeping of the keys this peer has already inserted into the
+  /// global index, per level. During incremental network growth an old
+  /// peer re-derives its candidate set under its GROWN oracle and inserts
+  /// only the delta — everything not yet published. For keys below the
+  /// top level the peer also remembers WHICH local documents carried the
+  /// key: when such a key later becomes expansion material (it crossed
+  /// DFmax), the delta scan only has to revisit those documents.
+  bool HasPublished(uint32_t level, const hdk::TermKey& key) const {
+    return level - 1 < published_.size() &&
+           published_[level - 1].count(key) > 0;
+  }
+  void MarkPublished(uint32_t level, const hdk::TermKey& key,
+                     std::vector<DocId> docs) {
+    if (published_.size() < level) published_.resize(level);
+    published_[level - 1].insert(key);
+    if (!docs.empty()) published_docs_[key] = std::move(docs);
+  }
 
   /// The peer's accumulated global knowledge.
   const hdk::SetNdkOracle& oracle() const { return oracle_; }
@@ -61,6 +103,11 @@ class Peer {
   HdkParams params_;
   hdk::CandidateBuilder builder_;
   hdk::SetNdkOracle oracle_;
+  hdk::OracleDelta delta_;
+  /// published_[s - 1] = keys this peer inserted at level s.
+  std::vector<hdk::KeySet> published_;
+  /// Local documents carrying each published key (levels below smax).
+  hdk::KeyMap<std::vector<DocId>> published_docs_;
 };
 
 }  // namespace hdk::p2p

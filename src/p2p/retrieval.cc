@@ -12,10 +12,10 @@ HdkRetriever::HdkRetriever(const DistributedGlobalIndex* global,
       avg_doc_length_(avg_doc_length),
       traffic_(traffic) {}
 
-QueryExecution HdkRetriever::Search(PeerId origin,
-                                    std::span<const TermId> query,
-                                    size_t k) const {
-  QueryExecution exec;
+index::SearchResponse HdkRetriever::Search(PeerId origin,
+                                           std::span<const TermId> query,
+                                           size_t k) const {
+  index::SearchResponse exec;
   const net::TrafficCounters before = traffic_->Snapshot();
 
   std::vector<hdk::FetchedKey> fetched;
@@ -26,19 +26,19 @@ QueryExecution HdkRetriever::Search(PeerId origin,
         if (entry == nullptr) return std::nullopt;
         fetched.push_back(hdk::FetchedKey{key, entry->global_df,
                                           entry->is_hdk, &entry->postings});
-        exec.postings_fetched += entry->postings.size();
+        exec.cost.postings_fetched += entry->postings.size();
         return hdk::ProbeOutcome{entry->is_hdk};
       });
 
-  exec.keys_fetched = plan.fetched.size();
-  exec.probes = plan.probes;
-  exec.pruned = plan.pruned;
+  exec.cost.keys_fetched = plan.fetched.size();
+  exec.cost.probes = plan.probes;
+  exec.cost.pruned = plan.pruned;
   exec.results = hdk::RankFetchedKeys(fetched, collection_size_,
                                       avg_doc_length_, k);
 
   const net::TrafficCounters after = traffic_->Snapshot();
-  exec.messages = after.messages - before.messages;
-  exec.hops = after.hops - before.hops;
+  exec.cost.messages = after.messages - before.messages;
+  exec.cost.hops = after.hops - before.hops;
   return exec;
 }
 

@@ -12,27 +12,12 @@
 #include "common/params.h"
 #include "common/types.h"
 #include "hdk/query_lattice.h"
+#include "index/search_result.h"
 #include "index/topk.h"
 #include "net/traffic.h"
 #include "p2p/global_index.h"
 
 namespace hdk::p2p {
-
-/// Result of one query execution, with cost accounting.
-struct QueryExecution {
-  /// Ranked results, best first.
-  std::vector<index::ScoredDoc> results;
-  /// Keys fetched from the global index.
-  uint64_t keys_fetched = 0;
-  /// Postings transferred to the querying peer (paper Figure 6 metric).
-  uint64_t postings_fetched = 0;
-  /// Probe messages issued / lattice nodes pruned without probing.
-  uint64_t probes = 0;
-  uint64_t pruned = 0;
-  /// Total messages (probes + responses) and overlay hops.
-  uint64_t messages = 0;
-  uint64_t hops = 0;
-};
 
 /// Executes queries against a DistributedGlobalIndex.
 class HdkRetriever {
@@ -46,9 +31,9 @@ class HdkRetriever {
                net::TrafficRecorder* traffic);
 
   /// Runs the retrieval protocol for `query` from peer `origin` and
-  /// returns the top `k` documents plus cost counters.
-  QueryExecution Search(PeerId origin, std::span<const TermId> query,
-                        size_t k) const;
+  /// returns the top `k` documents plus unified cost counters.
+  index::SearchResponse Search(PeerId origin, std::span<const TermId> query,
+                               size_t k) const;
 
  private:
   const DistributedGlobalIndex* global_;

@@ -76,9 +76,34 @@ uint64_t SingleTermP2PEngine::InsertedPostingsBy(PeerId peer) const {
   return peer < inserted_by_peer_.size() ? inserted_by_peer_[peer] : 0;
 }
 
-SingleTermP2PEngine::QueryExecution SingleTermP2PEngine::Search(
+uint64_t SingleTermP2PEngine::OnOverlayGrown() {
+  if (fragments_.size() < overlay_->num_peers()) {
+    fragments_.resize(overlay_->num_peers());
+    inserted_by_peer_.resize(overlay_->num_peers(), 0);
+    traffic_->EnsurePeers(overlay_->num_peers());
+  }
+  uint64_t migrated = 0;
+  for (PeerId old_owner = 0; old_owner < fragments_.size(); ++old_owner) {
+    auto& fragment = fragments_[old_owner];
+    for (auto it = fragment.begin(); it != fragment.end();) {
+      const PeerId new_owner = overlay_->Responsible(HashU64(it->first));
+      if (new_owner == old_owner) {
+        ++it;
+        continue;
+      }
+      traffic_->Record(old_owner, new_owner, net::MessageKind::kMaintenance,
+                       it->second.size(), /*hops=*/1);
+      fragments_[new_owner][it->first].Merge(it->second);
+      it = fragment.erase(it);
+      ++migrated;
+    }
+  }
+  return migrated;
+}
+
+index::SearchResponse SingleTermP2PEngine::Search(
     PeerId origin, std::span<const TermId> query, size_t k) const {
-  QueryExecution exec;
+  index::SearchResponse exec;
   const net::TrafficCounters before = traffic_->Snapshot();
 
   std::vector<TermId> terms(query.begin(), query.end());
@@ -93,6 +118,7 @@ SingleTermP2PEngine::QueryExecution SingleTermP2PEngine::Search(
     const PeerId dst = overlay_->Responsible(ring_key);
     const size_t hops = overlay_->Route(origin, ring_key);
     traffic_->Record(origin, dst, net::MessageKind::kKeyProbe, 0, hops);
+    ++exec.cost.probes;
 
     const auto& fragment = fragments_[dst];
     auto it = fragment.find(term);
@@ -101,7 +127,8 @@ SingleTermP2PEngine::QueryExecution SingleTermP2PEngine::Search(
     const uint64_t payload = pl != nullptr ? pl->size() : 0;
     traffic_->Record(dst, origin, net::MessageKind::kPostingsResponse,
                      payload, /*hops=*/1);
-    exec.postings_fetched += payload;
+    exec.cost.postings_fetched += payload;
+    if (pl != nullptr) ++exec.cost.keys_fetched;
 
     if (pl != nullptr) {
       const Freq df = pl->size();
@@ -118,8 +145,8 @@ SingleTermP2PEngine::QueryExecution SingleTermP2PEngine::Search(
   exec.results = topk.Take();
 
   const net::TrafficCounters after = traffic_->Snapshot();
-  exec.messages = after.messages - before.messages;
-  exec.hops = after.hops - before.hops;
+  exec.cost.messages = after.messages - before.messages;
+  exec.cost.hops = after.hops - before.hops;
   return exec;
 }
 

@@ -21,6 +21,7 @@
 #include "dht/overlay.h"
 #include "index/bm25.h"
 #include "index/posting.h"
+#include "index/search_result.h"
 #include "index/topk.h"
 #include "net/traffic.h"
 
@@ -38,6 +39,12 @@ class SingleTermP2PEngine {
   Status IndexPeer(PeerId src, const corpus::DocumentStore& store,
                    DocId first, DocId last);
 
+  /// Re-places stored term fragments after the overlay gained peers: every
+  /// term whose responsible peer changed is handed over to its new owner
+  /// (one kMaintenance message carrying the stored postings, 1 hop).
+  /// Returns the number of migrated terms.
+  uint64_t OnOverlayGrown();
+
   /// Postings stored on a peer's fragment / in total (Figure 3 ST curve).
   uint64_t StoredPostingsAt(PeerId peer) const;
   uint64_t TotalStoredPostings() const;
@@ -48,14 +55,10 @@ class SingleTermP2PEngine {
 
   /// Query execution: fetches the full posting list of every distinct
   /// query term from the DHT (recording traffic) and ranks with BM25.
-  struct QueryExecution {
-    std::vector<index::ScoredDoc> results;
-    uint64_t postings_fetched = 0;
-    uint64_t messages = 0;
-    uint64_t hops = 0;
-  };
-  QueryExecution Search(PeerId origin, std::span<const TermId> query,
-                        size_t k) const;
+  /// QueryCost semantics here: probes = distinct terms looked up,
+  /// keys_fetched = terms whose posting list existed, pruned = 0.
+  index::SearchResponse Search(PeerId origin, std::span<const TermId> query,
+                               size_t k) const;
 
   /// Conjunctive (AND-semantics) retrieval: only documents containing ALL
   /// query terms, BM25-ranked. Two protocol variants (related work [15],

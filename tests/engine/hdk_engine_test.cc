@@ -30,30 +30,7 @@ class HdkEngineTest : public ::testing::Test {
   HdkEngineConfig config_;
 };
 
-TEST(SplitEvenlyTest, BalancedRanges) {
-  auto ranges = SplitEvenly(10, 3);
-  ASSERT_EQ(ranges.size(), 3u);
-  EXPECT_EQ(ranges[0], (std::pair<DocId, DocId>{0, 4}));
-  EXPECT_EQ(ranges[1], (std::pair<DocId, DocId>{4, 7}));
-  EXPECT_EQ(ranges[2], (std::pair<DocId, DocId>{7, 10}));
-}
-
-TEST(SplitEvenlyTest, ExactDivision) {
-  auto ranges = SplitEvenly(8, 4);
-  for (size_t i = 0; i < 4; ++i) {
-    EXPECT_EQ(ranges[i].second - ranges[i].first, 2u);
-  }
-}
-
-TEST(SplitEvenlyTest, CoversEveryDocumentOnce) {
-  auto ranges = SplitEvenly(17, 5);
-  DocId next = 0;
-  for (const auto& [first, last] : ranges) {
-    EXPECT_EQ(first, next);
-    next = last;
-  }
-  EXPECT_EQ(next, 17u);
-}
+// SplitEvenly/JoinRanges are covered by tests/engine/partition_test.cc.
 
 TEST_F(HdkEngineTest, BuildsAndSearches) {
   auto built =

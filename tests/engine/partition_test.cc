@@ -1,0 +1,58 @@
+#include "engine/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace hdk::engine {
+namespace {
+
+TEST(SplitEvenlyTest, BalancedRanges) {
+  auto ranges = SplitEvenly(10, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], (DocRange{0, 4}));
+  EXPECT_EQ(ranges[1], (DocRange{4, 7}));
+  EXPECT_EQ(ranges[2], (DocRange{7, 10}));
+}
+
+TEST(SplitEvenlyTest, ExactDivision) {
+  auto ranges = SplitEvenly(8, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ranges[i].second - ranges[i].first, 2u);
+  }
+}
+
+TEST(SplitEvenlyTest, CoversEveryDocumentOnce) {
+  auto ranges = SplitEvenly(17, 5);
+  DocId next = 0;
+  for (const auto& [first, last] : ranges) {
+    EXPECT_EQ(first, next);
+    next = last;
+  }
+  EXPECT_EQ(next, 17u);
+}
+
+TEST(SplitEvenlyTest, ZeroPeersYieldsNothing) {
+  EXPECT_TRUE(SplitEvenly(10, 0).empty());
+}
+
+TEST(JoinRangesTest, ContinuesContiguously) {
+  auto ranges = JoinRanges(100, 3, 25);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], (DocRange{100, 125}));
+  EXPECT_EQ(ranges[1], (DocRange{125, 150}));
+  EXPECT_EQ(ranges[2], (DocRange{150, 175}));
+}
+
+TEST(JoinRangesTest, MatchesSplitEvenlyContinuation) {
+  // Joining k peers with d docs each after n peers built over n*d docs
+  // reproduces exactly SplitEvenly((n+k)*d, n+k) — the incremental sweep
+  // and the from-scratch sweep partition identically.
+  const uint32_t n = 4, k = 3, d = 50;
+  auto full = SplitEvenly(static_cast<uint64_t>(n + k) * d, n + k);
+  auto join = JoinRanges(n * d, k, d);
+  for (uint32_t i = 0; i < k; ++i) {
+    EXPECT_EQ(join[i], full[n + i]);
+  }
+}
+
+}  // namespace
+}  // namespace hdk::engine

@@ -1,0 +1,242 @@
+// Conformance suite for the unified SearchEngine interface: every
+// EngineKind is driven through the same tiny corpus and query workload via
+// MakeEngine + the abstract interface, and must satisfy the same contract —
+// ranked deterministic results, coherent cost counters, batch == sum of
+// singles, and an incremental AddPeers lifecycle.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/query_gen.h"
+#include "corpus/stats.h"
+#include "corpus/synthetic.h"
+#include "engine/engine_factory.h"
+#include "engine/overlap.h"
+#include "engine/partition.h"
+#include "engine/search_engine.h"
+#include "index/topk.h"
+
+namespace hdk::engine {
+namespace {
+
+corpus::SyntheticCorpus TestCorpus() {
+  corpus::SyntheticConfig cfg;
+  cfg.seed = 4242;
+  cfg.vocabulary_size = 3000;
+  cfg.num_topics = 12;
+  cfg.topic_width = 35;
+  cfg.mean_doc_length = 50.0;
+  cfg.topic_share = 0.7;
+  return corpus::SyntheticCorpus(cfg);
+}
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.hdk.df_max = 10;
+  config.hdk.very_frequent_threshold = 600;
+  config.hdk.window = 8;
+  config.hdk.s_max = 3;
+  return config;
+}
+
+class ConformanceTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  void SetUp() override {
+    TestCorpus().FillStore(160, &store_);
+    corpus::CollectionStats stats(store_);
+    corpus::QueryGenConfig qcfg;
+    qcfg.min_term_df = 3;
+    corpus::QueryGenerator gen(qcfg, store_, stats);
+    queries_ = gen.Generate(25);
+    ASSERT_GT(queries_.size(), 5u);
+  }
+
+  std::unique_ptr<SearchEngine> Make(uint64_t docs = 160,
+                                     uint32_t peers = 4) {
+    auto built = MakeEngine(GetParam(), TestConfig(), store_,
+                            SplitEvenly(docs, peers));
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    return built.ok() ? std::move(built).value() : nullptr;
+  }
+
+  corpus::DocumentStore store_;
+  std::vector<corpus::Query> queries_;
+};
+
+TEST_P(ConformanceTest, FactorySelectsByNameAndKind) {
+  auto engine = Make();
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->name(), EngineKindName(GetParam()));
+  EXPECT_EQ(ParseEngineKind(engine->name()), GetParam());
+  EXPECT_EQ(engine->num_documents(), 160u);
+}
+
+TEST_P(ConformanceTest, RankedDeterministicResults) {
+  auto engine = Make();
+  ASSERT_NE(engine, nullptr);
+  for (const auto& q : queries_) {
+    SearchResponse a = engine->Search(q.terms, 20);
+    EXPECT_LE(a.results.size(), 20u);
+    for (size_t i = 1; i < a.results.size(); ++i) {
+      EXPECT_TRUE(!index::BetterResult(a.results[i], a.results[i - 1]))
+          << "results must be ranked best-first";
+    }
+    // Re-running the same query yields the same ranking regardless of the
+    // engine-chosen origin.
+    SearchResponse b = engine->Search(q.terms, 20);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (size_t i = 0; i < a.results.size(); ++i) {
+      EXPECT_EQ(a.results[i].doc, b.results[i].doc);
+    }
+  }
+}
+
+TEST_P(ConformanceTest, CostCountersAreCoherentAndMonotone) {
+  auto engine = Make();
+  ASSERT_NE(engine, nullptr);
+  QueryCost running;
+  uint64_t last_traffic_messages = 0;
+  for (const auto& q : queries_) {
+    SearchResponse r = engine->Search(q.terms, 20);
+    // Per-query counters are internally coherent: a distributed engine
+    // can only fetch keys it probed for.
+    if (GetParam() != EngineKind::kCentralized) {
+      EXPECT_LE(r.cost.keys_fetched, r.cost.probes);
+    } else {
+      EXPECT_EQ(r.cost.probes, 0u);
+    }
+    running += r.cost;
+    // The running aggregate only grows (monotone counters).
+    EXPECT_GE(running.postings_fetched, r.cost.postings_fetched);
+    // Distributed engines expose a recorder whose totals grow with every
+    // query; the centralized reference has no network.
+    const net::TrafficRecorder* traffic = engine->traffic();
+    if (GetParam() == EngineKind::kCentralized) {
+      EXPECT_EQ(traffic, nullptr);
+      EXPECT_EQ(r.cost.messages, 0u);
+      EXPECT_EQ(r.cost.hops, 0u);
+    } else {
+      ASSERT_NE(traffic, nullptr);
+      EXPECT_GE(traffic->total().messages, last_traffic_messages);
+      EXPECT_GT(r.cost.messages, 0u);
+      last_traffic_messages = traffic->total().messages;
+    }
+  }
+}
+
+TEST_P(ConformanceTest, BatchEqualsSumOfSingles) {
+  auto batch_engine = Make();
+  auto single_engine = Make();
+  ASSERT_NE(batch_engine, nullptr);
+  ASSERT_NE(single_engine, nullptr);
+
+  BatchResponse batch = batch_engine->SearchBatch(queries_, 20);
+  ASSERT_EQ(batch.responses.size(), queries_.size());
+
+  QueryCost summed;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    SearchResponse single = single_engine->Search(queries_[i].terms, 20);
+    summed += single.cost;
+    ASSERT_EQ(batch.responses[i].results.size(), single.results.size());
+    for (size_t j = 0; j < single.results.size(); ++j) {
+      EXPECT_EQ(batch.responses[i].results[j].doc, single.results[j].doc);
+    }
+  }
+  EXPECT_EQ(batch.total.postings_fetched, summed.postings_fetched);
+  EXPECT_EQ(batch.total.keys_fetched, summed.keys_fetched);
+  EXPECT_EQ(batch.total.messages, summed.messages);
+}
+
+TEST_P(ConformanceTest, AddPeersGrowsTheEngine) {
+  auto engine = Make(/*docs=*/120, /*peers=*/3);
+  ASSERT_NE(engine, nullptr);
+  const size_t peers_before = engine->num_peers();
+  ASSERT_EQ(engine->num_documents(), 120u);
+
+  ASSERT_TRUE(engine->AddPeers(store_, JoinRanges(120, 1, 40)).ok());
+  EXPECT_EQ(engine->num_documents(), 160u);
+  if (GetParam() != EngineKind::kCentralized) {
+    EXPECT_EQ(engine->num_peers(), peers_before + 1);
+  }
+
+  // Non-contiguous or foreign-store joins are rejected.
+  EXPECT_FALSE(engine->AddPeers(store_, JoinRanges(500, 1, 40)).ok());
+  corpus::DocumentStore other;
+  TestCorpus().FillStore(160, &other);
+  EXPECT_FALSE(engine->AddPeers(other, JoinRanges(160, 1, 0)).ok());
+
+  for (const auto& q : queries_) {
+    EXPECT_LE(engine->Search(q.terms, 10).results.size(), 10u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngineKinds, ConformanceTest,
+                         ::testing::ValuesIn(kAllEngineKinds),
+                         [](const auto& info) {
+                           std::string name(EngineKindName(info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// Cross-engine agreement: the distributed single-term baseline IS
+// centralized BM25 behind a network (same index contents, same scorer) —
+// their rankings must agree document-for-document. The HDK engine trades
+// truncated NDK postings for bounded traffic; its top-20 must still
+// overlap substantially (paper Figure 7).
+TEST(EngineAgreementTest, SingleTermMatchesCentralizedExactly) {
+  corpus::DocumentStore store;
+  TestCorpus().FillStore(160, &store);
+  corpus::CollectionStats stats(store);
+  corpus::QueryGenConfig qcfg;
+  qcfg.min_term_df = 3;
+  auto queries = corpus::QueryGenerator(qcfg, store, stats).Generate(25);
+
+  auto st = MakeEngine(EngineKind::kSingleTerm, TestConfig(), store,
+                       SplitEvenly(160, 4));
+  auto central = MakeEngine(EngineKind::kCentralized, TestConfig(), store,
+                            SplitEvenly(160, 4));
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(central.ok());
+
+  for (const auto& q : queries) {
+    auto a = (*st)->Search(q.terms, 20);
+    auto b = (*central)->Search(q.terms, 20);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (size_t i = 0; i < a.results.size(); ++i) {
+      EXPECT_EQ(a.results[i].doc, b.results[i].doc);
+      EXPECT_NEAR(a.results[i].score, b.results[i].score, 1e-9);
+    }
+    // Identical retrieval-cost semantics too: both report the full
+    // posting volume of the query terms.
+    EXPECT_EQ(a.cost.postings_fetched, b.cost.postings_fetched);
+  }
+}
+
+TEST(EngineAgreementTest, HdkOverlapsSubstantially) {
+  corpus::DocumentStore store;
+  TestCorpus().FillStore(160, &store);
+  corpus::CollectionStats stats(store);
+  corpus::QueryGenConfig qcfg;
+  qcfg.min_term_df = 3;
+  auto queries = corpus::QueryGenerator(qcfg, store, stats).Generate(25);
+
+  auto hdk = MakeEngine(EngineKind::kHdk, TestConfig(), store,
+                        SplitEvenly(160, 4));
+  auto central = MakeEngine(EngineKind::kCentralized, TestConfig(), store,
+                            SplitEvenly(160, 4));
+  ASSERT_TRUE(hdk.ok());
+  ASSERT_TRUE(central.ok());
+
+  std::vector<std::vector<index::ScoredDoc>> hdk_r, bm25_r;
+  for (const auto& q : queries) {
+    hdk_r.push_back((*hdk)->Search(q.terms, 20).results);
+    bm25_r.push_back((*central)->Search(q.terms, 20).results);
+  }
+  EXPECT_GT(MeanTopKOverlap(hdk_r, bm25_r, 20), 0.3);
+}
+
+}  // namespace
+}  // namespace hdk::engine

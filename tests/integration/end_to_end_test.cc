@@ -62,9 +62,9 @@ TEST_F(EndToEndTest, HdkRetrievalTrafficFarBelowSingleTerm) {
   double hdk_postings = 0, st_postings = 0;
   for (const auto& q : *queries_) {
     hdk_postings += static_cast<double>(
-        point_->hdk_low->Search(q.terms, 20).postings_fetched);
+        point_->hdk_low->Search(q.terms, 20).cost.postings_fetched);
     st_postings += static_cast<double>(
-        point_->st->Search(q.terms, 20).postings_fetched);
+        point_->st->Search(q.terms, 20).cost.postings_fetched);
   }
   hdk_postings /= static_cast<double>(queries_->size());
   st_postings /= static_cast<double>(queries_->size());
@@ -94,7 +94,7 @@ TEST_F(EndToEndTest, OverlapWithCentralizedBm25IsSubstantial) {
   for (const auto& q : *queries_) {
     hdk_results.push_back(
         point_->hdk_high->Search(q.terms, 20).results);
-    bm25_results.push_back(centralized_->Search(q.terms, 20));
+    bm25_results.push_back(centralized_->Rank(q.terms, 20));
   }
   double overlap = MeanTopKOverlap(hdk_results, bm25_results, 20);
   // Figure 7 reports 60-90% on Wikipedia; the tiny synthetic collection
@@ -107,7 +107,7 @@ TEST_F(EndToEndTest, HigherDfMaxImprovesOverlap) {
   for (const auto& q : *queries_) {
     low_r.push_back(point_->hdk_low->Search(q.terms, 20).results);
     high_r.push_back(point_->hdk_high->Search(q.terms, 20).results);
-    bm25_r.push_back(centralized_->Search(q.terms, 20));
+    bm25_r.push_back(centralized_->Rank(q.terms, 20));
   }
   double low = MeanTopKOverlap(low_r, bm25_r, 20);
   double high = MeanTopKOverlap(high_r, bm25_r, 20);
@@ -131,7 +131,7 @@ TEST_F(EndToEndTest, RetrievalTrafficRespectsTheoreticalBound) {
         nk += c;
       }
     }
-    EXPECT_LE(exec.postings_fetched,
+    EXPECT_LE(exec.cost.postings_fetched,
               nk * point_->hdk_low->config().hdk.df_max);
   }
 }

@@ -24,11 +24,13 @@ class GlobalIndexTest : public ::testing::Test {
 
 TEST_F(GlobalIndexTest, AggregatesDfAcrossPeers) {
   hdk::TermKey key{1, 2};
-  index_.InsertPostings(0, key, 2,
-                        index::PostingList({{0, 1, 10}, {1, 1, 10}}));
-  index_.InsertPostings(1, key, 3,
+  index_.InsertPostings(0, key,
+                        index::PostingList({{0, 1, 10}, {1, 1, 10}}),
+                        Params(10), 10.0);
+  index_.InsertPostings(1, key,
                         index::PostingList({{5, 1, 10}, {6, 1, 10},
-                                            {7, 1, 10}}));
+                                            {7, 1, 10}}),
+                        Params(10), 10.0);
   auto outcome = index_.EndLevel(Params(10), 10.0);
   EXPECT_EQ(outcome.hdks, 1u);
   EXPECT_EQ(outcome.ndks, 0u);
@@ -46,7 +48,11 @@ TEST_F(GlobalIndexTest, ClassifiesNdkAndTruncates) {
   for (DocId d = 0; d < 20; ++d) {
     postings.push_back({d, d + 1, 100});  // higher doc => higher tf
   }
-  index_.InsertPostings(0, key, 20, index::PostingList(postings));
+  // Sender-side truncation already limits the transmitted payload to the
+  // local top-DFmax.
+  const uint64_t payload = index_.InsertPostings(
+      0, key, index::PostingList(postings), Params(5), 100.0);
+  EXPECT_EQ(payload, 5u);
   auto outcome = index_.EndLevel(Params(5), 100.0);
   EXPECT_EQ(outcome.ndks, 1u);
 
@@ -67,7 +73,8 @@ TEST_F(GlobalIndexTest, NotifiesEveryContributorOfAnNdk) {
     for (DocId d = p * 10; d < p * 10 + 4; ++d) {
       postings.push_back({d, 1, 10});
     }
-    index_.InsertPostings(p, key, 4, index::PostingList(postings));
+    index_.InsertPostings(p, key, index::PostingList(postings), Params(10),
+                          10.0);
   }
   auto outcome = index_.EndLevel(Params(10), 10.0);  // df 12 > 10
   ASSERT_EQ(outcome.notifications.size(), 1u);
@@ -79,11 +86,58 @@ TEST_F(GlobalIndexTest, NotifiesEveryContributorOfAnNdk) {
             3u);
 }
 
+TEST_F(GlobalIndexTest, LateContributionCrossingDfMaxNotifiesEveryone) {
+  // Incremental growth: a key published as HDK crosses DFmax when a new
+  // peer contributes — ALL contributors (old and new) must be notified so
+  // the old peers expand it too.
+  hdk::TermKey key{3};
+  std::vector<index::Posting> first;
+  for (DocId d = 0; d < 6; ++d) first.push_back({d, 1, 10});
+  index_.InsertPostings(0, key, index::PostingList(first), Params(10), 10.0);
+  auto outcome = index_.EndLevel(Params(10), 10.0);
+  EXPECT_EQ(outcome.hdks, 1u);
+  EXPECT_EQ(outcome.reclassified, 0u);
+  ASSERT_TRUE(index_.Peek(key)->is_hdk);
+
+  std::vector<index::Posting> second;
+  for (DocId d = 20; d < 26; ++d) second.push_back({d, 1, 10});
+  index_.InsertPostings(1, key, index::PostingList(second), Params(10),
+                        10.0);
+  outcome = index_.EndLevel(Params(10), 10.0);  // df 12 > 10 now
+  EXPECT_EQ(outcome.ndks, 1u);
+  EXPECT_EQ(outcome.reclassified, 1u);
+  ASSERT_EQ(outcome.notifications.size(), 1u);
+  EXPECT_EQ(outcome.notifications[0].second,
+            (std::vector<PeerId>{0, 1}));
+  EXPECT_FALSE(index_.Peek(key)->is_hdk);
+  EXPECT_EQ(index_.Peek(key)->global_df, 12u);
+}
+
+TEST_F(GlobalIndexTest, LateContributionToKnownNdkNotifiesOnlyNewcomer) {
+  hdk::TermKey key{5};
+  std::vector<index::Posting> first;
+  for (DocId d = 0; d < 12; ++d) first.push_back({d, 1, 10});
+  index_.InsertPostings(0, key, index::PostingList(first), Params(10), 10.0);
+  auto outcome = index_.EndLevel(Params(10), 10.0);  // NDK immediately
+  EXPECT_EQ(outcome.ndks, 1u);
+
+  std::vector<index::Posting> second;
+  for (DocId d = 20; d < 23; ++d) second.push_back({d, 1, 10});
+  index_.InsertPostings(1, key, index::PostingList(second), Params(10),
+                        10.0);
+  outcome = index_.EndLevel(Params(10), 10.0);
+  EXPECT_EQ(outcome.reclassified, 0u);
+  ASSERT_EQ(outcome.notifications.size(), 1u);
+  // Peer 0 already expanded this key; only the newcomer learns about it.
+  EXPECT_EQ(outcome.notifications[0].second, (std::vector<PeerId>{1}));
+}
+
 TEST_F(GlobalIndexTest, NotificationsCanBeDisabled) {
   hdk::TermKey key{3};
   std::vector<index::Posting> postings;
   for (DocId d = 0; d < 12; ++d) postings.push_back({d, 1, 10});
-  index_.InsertPostings(0, key, 12, index::PostingList(postings));
+  index_.InsertPostings(0, key, index::PostingList(postings), Params(10),
+                        10.0);
   auto outcome = index_.EndLevel(Params(10), 10.0,
                                  /*notify_contributors=*/false);
   EXPECT_EQ(outcome.ndks, 1u);
@@ -94,9 +148,10 @@ TEST_F(GlobalIndexTest, NotificationsCanBeDisabled) {
 
 TEST_F(GlobalIndexTest, InsertRecordsTraffic) {
   hdk::TermKey key{9};
-  index_.InsertPostings(2, key, 3,
+  index_.InsertPostings(2, key,
                         index::PostingList({{0, 1, 5}, {1, 1, 5},
-                                            {2, 1, 5}}));
+                                            {2, 1, 5}}),
+                        Params(10), 5.0);
   const auto& insert =
       traffic_.ByKind(net::MessageKind::kInsertPostings);
   EXPECT_EQ(insert.messages, 1u);
@@ -105,8 +160,9 @@ TEST_F(GlobalIndexTest, InsertRecordsTraffic) {
 
 TEST_F(GlobalIndexTest, FetchRecordsProbeAndResponse) {
   hdk::TermKey key{4};
-  index_.InsertPostings(0, key, 2,
-                        index::PostingList({{0, 1, 5}, {1, 1, 5}}));
+  index_.InsertPostings(0, key,
+                        index::PostingList({{0, 1, 5}, {1, 1, 5}}),
+                        Params(10), 5.0);
   index_.EndLevel(Params(10), 5.0);
 
   const hdk::KeyEntry* entry = index_.FetchFrom(3, key);
@@ -130,7 +186,8 @@ TEST_F(GlobalIndexTest, FetchMissRecordsEmptyResponse) {
 TEST_F(GlobalIndexTest, KeysArePlacedByHashOnCorrectFragments) {
   for (TermId t = 0; t < 40; ++t) {
     hdk::TermKey key{t};
-    index_.InsertPostings(0, key, 1, index::PostingList({{0, 1, 5}}));
+    index_.InsertPostings(0, key, index::PostingList({{0, 1, 5}}),
+                          Params(10), 5.0);
   }
   index_.EndLevel(Params(10), 5.0);
   EXPECT_EQ(index_.TotalKeys(), 40u);
@@ -146,11 +203,49 @@ TEST_F(GlobalIndexTest, KeysArePlacedByHashOnCorrectFragments) {
   }
 }
 
+TEST_F(GlobalIndexTest, OverlayGrowthMigratesResponsibility) {
+  for (TermId t = 0; t < 40; ++t) {
+    index_.InsertPostings(0, hdk::TermKey{t},
+                          index::PostingList({{0, 1, 5}}), Params(10), 5.0);
+  }
+  index_.EndLevel(Params(10), 5.0);
+
+  ASSERT_TRUE(overlay_.AddPeer().ok());
+  ASSERT_TRUE(overlay_.AddPeer().ok());
+  const uint64_t migrated = index_.OnOverlayGrown();
+  EXPECT_GT(migrated, 0u);
+  EXPECT_EQ(traffic_.ByKind(net::MessageKind::kMaintenance).messages,
+            migrated);
+
+  // Every key is findable at its NEW responsible peer.
+  EXPECT_EQ(index_.TotalKeys(), 40u);
+  for (TermId t = 0; t < 40; ++t) {
+    EXPECT_NE(index_.Peek(hdk::TermKey{t}), nullptr);
+  }
+}
+
+TEST_F(GlobalIndexTest, EraseKeysContainingPurgesEverywhere) {
+  index_.InsertPostings(0, hdk::TermKey{1}, index::PostingList({{0, 1, 5}}),
+                        Params(10), 5.0);
+  index_.InsertPostings(0, hdk::TermKey{2}, index::PostingList({{0, 1, 5}}),
+                        Params(10), 5.0);
+  index_.EndLevel(Params(10), 5.0);
+  index_.InsertPostings(1, hdk::TermKey{1, 2},
+                        index::PostingList({{5, 1, 5}}), Params(10), 5.0);
+  index_.EndLevel(Params(10), 5.0);
+
+  EXPECT_EQ(index_.EraseKeysContaining(1), 2u);  // {1} and {1,2}
+  EXPECT_EQ(index_.Peek(hdk::TermKey{1}), nullptr);
+  EXPECT_EQ(index_.Peek(hdk::TermKey{1, 2}), nullptr);
+  EXPECT_NE(index_.Peek(hdk::TermKey{2}), nullptr);
+  EXPECT_EQ(index_.TotalKeys(), 1u);
+}
+
 TEST_F(GlobalIndexTest, StoredPostingsPerPeerSumsToTotal) {
   for (TermId t = 0; t < 20; ++t) {
     index_.InsertPostings(
         0, hdk::TermKey{t},
-        2, index::PostingList({{0, 1, 5}, {1, 1, 5}}));
+        index::PostingList({{0, 1, 5}, {1, 1, 5}}), Params(10), 5.0);
   }
   index_.EndLevel(Params(10), 5.0);
   uint64_t sum = 0;
@@ -162,10 +257,10 @@ TEST_F(GlobalIndexTest, StoredPostingsPerPeerSumsToTotal) {
 }
 
 TEST_F(GlobalIndexTest, ExportContainsEverything) {
-  index_.InsertPostings(0, hdk::TermKey{1}, 1,
-                        index::PostingList({{0, 1, 5}}));
-  index_.InsertPostings(1, hdk::TermKey{2, 3}, 1,
-                        index::PostingList({{5, 1, 5}}));
+  index_.InsertPostings(0, hdk::TermKey{1},
+                        index::PostingList({{0, 1, 5}}), Params(10), 5.0);
+  index_.InsertPostings(1, hdk::TermKey{2, 3},
+                        index::PostingList({{5, 1, 5}}), Params(10), 5.0);
   index_.EndLevel(Params(10), 5.0);
   auto contents = index_.ExportContents();
   EXPECT_EQ(contents.size(), 2u);

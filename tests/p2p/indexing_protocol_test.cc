@@ -84,10 +84,9 @@ TEST_P(ProtocolEquivalenceTest, DistributedEqualsCentralized) {
   // Distributed protocol.
   auto overlay = MakeOverlay(kind, peers, 42);
   net::TrafficRecorder traffic;
-  HdkIndexingProtocol protocol(fx.params, fx.store, *fx.stats,
-                               overlay.get(), &traffic);
-  IndexingReport report;
-  auto global = protocol.Run(fx.Ranges(peers), &report);
+  HdkIndexingProtocol protocol(fx.params, fx.store, overlay.get(),
+                               &traffic);
+  auto global = protocol.Run(fx.Ranges(peers), *fx.stats);
   ASSERT_TRUE(global.ok());
 
   ExpectSameContents(*expected, (*global)->ExportContents());
@@ -110,11 +109,11 @@ TEST(IndexingProtocolTest, ReportAccountsInsertions) {
   Fixture fx;
   auto overlay = MakeOverlay(OverlayKind::kPGrid, 4, 42);
   net::TrafficRecorder traffic;
-  HdkIndexingProtocol protocol(fx.params, fx.store, *fx.stats,
-                               overlay.get(), &traffic);
-  IndexingReport report;
-  auto global = protocol.Run(fx.Ranges(4), &report);
+  HdkIndexingProtocol protocol(fx.params, fx.store, overlay.get(),
+                               &traffic);
+  auto global = protocol.Run(fx.Ranges(4), *fx.stats);
   ASSERT_TRUE(global.ok());
+  const IndexingReport& report = protocol.report();
 
   ASSERT_EQ(report.levels.size(), fx.params.s_max);
   // Total inserted postings equals the insert-message payload sum.
@@ -140,9 +139,9 @@ TEST(IndexingProtocolTest, PeerCountDoesNotChangeLogicalIndex) {
   for (uint32_t peers : {1u, 3u, 6u}) {
     auto overlay = MakeOverlay(OverlayKind::kPGrid, peers, 42);
     net::TrafficRecorder traffic;
-    HdkIndexingProtocol protocol(fx.params, fx.store, *fx.stats,
-                                 overlay.get(), &traffic);
-    auto global = protocol.Run(fx.Ranges(peers));
+    HdkIndexingProtocol protocol(fx.params, fx.store, overlay.get(),
+                                 &traffic);
+    auto global = protocol.Run(fx.Ranges(peers), *fx.stats);
     ASSERT_TRUE(global.ok());
     auto contents = (*global)->ExportContents();
     if (!have_first) {
@@ -158,15 +157,82 @@ TEST(IndexingProtocolTest, RejectsMismatchedPeerRanges) {
   Fixture fx;
   auto overlay = MakeOverlay(OverlayKind::kPGrid, 4, 42);
   net::TrafficRecorder traffic;
-  HdkIndexingProtocol protocol(fx.params, fx.store, *fx.stats,
-                               overlay.get(), &traffic);
+  HdkIndexingProtocol protocol(fx.params, fx.store, overlay.get(),
+                               &traffic);
   // 2 ranges vs 4 overlay peers.
-  EXPECT_FALSE(protocol.Run(fx.Ranges(2)).ok());
+  EXPECT_FALSE(protocol.Run(fx.Ranges(2), *fx.stats).ok());
   // Out-of-range documents.
   std::vector<std::pair<DocId, DocId>> bad(4, {0, 1 << 30});
-  EXPECT_FALSE(protocol.Run(bad).ok());
+  EXPECT_FALSE(protocol.Run(bad, *fx.stats).ok());
   // Empty peer set.
-  EXPECT_FALSE(protocol.Run({}).ok());
+  EXPECT_FALSE(protocol.Run({}, *fx.stats).ok());
+}
+
+TEST(IndexingProtocolTest, GrowEqualsFromScratchRun) {
+  // The protocol-level version of the incremental-growth guarantee: Run
+  // over a prefix + Grow over the delta == one Run over everything.
+  Fixture fx(180);
+  corpus::DocumentStore prefix_store;  // the same first 90 docs
+  {
+    corpus::SyntheticConfig cfg;
+    cfg.seed = 777;
+    cfg.vocabulary_size = 3000;
+    cfg.num_topics = 12;
+    cfg.topic_width = 35;
+    cfg.mean_doc_length = 50.0;
+    cfg.topic_share = 0.7;
+    corpus::SyntheticCorpus corpus(cfg);
+    corpus.FillStore(90, &prefix_store);
+  }
+  corpus::CollectionStats prefix_stats(prefix_store);
+
+  // Incremental: 2 peers over 90 docs, then 2 more join with 90 more.
+  auto overlay = MakeOverlay(OverlayKind::kPGrid, 2, 42);
+  net::TrafficRecorder traffic;
+  HdkIndexingProtocol protocol(fx.params, fx.store, overlay.get(),
+                               &traffic);
+  auto grown = protocol.Run({{0, 45}, {45, 90}}, prefix_stats);
+  ASSERT_TRUE(grown.ok());
+  ASSERT_TRUE(overlay->AddPeer().ok());
+  ASSERT_TRUE(overlay->AddPeer().ok());
+  (*grown)->OnOverlayGrown();
+  GrowthStats growth;
+  ASSERT_TRUE(
+      protocol.Grow({{90, 135}, {135, 180}}, *fx.stats, &growth).ok());
+  EXPECT_EQ(growth.joined_peers, 2u);
+  EXPECT_EQ(growth.delta_documents, 90u);
+  EXPECT_GT(growth.delta_insertions, 0u);
+
+  // From scratch: 4 peers over all 180 docs.
+  auto overlay_b = MakeOverlay(OverlayKind::kPGrid, 4, 42);
+  net::TrafficRecorder traffic_b;
+  HdkIndexingProtocol protocol_b(fx.params, fx.store, overlay_b.get(),
+                                 &traffic_b);
+  auto scratch =
+      protocol_b.Run({{0, 45}, {45, 90}, {90, 135}, {135, 180}}, *fx.stats);
+  ASSERT_TRUE(scratch.ok());
+
+  ExpectSameContents((*scratch)->ExportContents(),
+                     (*grown)->ExportContents());
+}
+
+TEST(IndexingProtocolTest, GrowValidatesRanges) {
+  Fixture fx;
+  auto overlay = MakeOverlay(OverlayKind::kPGrid, 4, 42);
+  net::TrafficRecorder traffic;
+  HdkIndexingProtocol protocol(fx.params, fx.store, overlay.get(),
+                               &traffic);
+  // Grow before Run fails.
+  EXPECT_FALSE(protocol.Grow({{0, 10}}, *fx.stats).ok());
+  auto global = protocol.Run(fx.Ranges(4), *fx.stats);
+  ASSERT_TRUE(global.ok());
+  // A second Run is rejected.
+  EXPECT_FALSE(protocol.Run(fx.Ranges(4), *fx.stats).ok());
+  // Overlay was not grown.
+  EXPECT_FALSE(protocol.Grow({{180, 200}}, *fx.stats).ok());
+  ASSERT_TRUE(overlay->AddPeer().ok());
+  // Non-contiguous join range.
+  EXPECT_FALSE(protocol.Grow({{200, 220}}, *fx.stats).ok());
 }
 
 TEST(IndexingProtocolTest, MoreExpensiveThanSingleTermButBounded) {
@@ -175,11 +241,11 @@ TEST(IndexingProtocolTest, MoreExpensiveThanSingleTermButBounded) {
   Fixture fx;
   auto overlay = MakeOverlay(OverlayKind::kPGrid, 4, 42);
   net::TrafficRecorder traffic;
-  HdkIndexingProtocol protocol(fx.params, fx.store, *fx.stats,
-                               overlay.get(), &traffic);
-  IndexingReport report;
-  auto global = protocol.Run(fx.Ranges(4), &report);
+  HdkIndexingProtocol protocol(fx.params, fx.store, overlay.get(),
+                               &traffic);
+  auto global = protocol.Run(fx.Ranges(4), *fx.stats);
   ASSERT_TRUE(global.ok());
+  const IndexingReport& report = protocol.report();
 
   const uint64_t st_postings = [&] {
     uint64_t n = 0;

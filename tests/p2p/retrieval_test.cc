@@ -33,11 +33,11 @@ class RetrievalTest : public ::testing::Test {
 
     overlay_ = engine::MakeOverlay(engine::OverlayKind::kPGrid, 4, 42);
     traffic_ = std::make_unique<net::TrafficRecorder>();
-    HdkIndexingProtocol protocol(params_, store_, *stats_, overlay_.get(),
+    HdkIndexingProtocol protocol(params_, store_, overlay_.get(),
                                  traffic_.get());
     std::vector<std::pair<DocId, DocId>> ranges{
         {0, 50}, {50, 100}, {100, 150}, {150, 200}};
-    auto global = protocol.Run(ranges);
+    auto global = protocol.Run(ranges, *stats_);
     ASSERT_TRUE(global.ok());
     global_ = std::move(global).value();
 
@@ -83,10 +83,10 @@ TEST_F(RetrievalTest, TrafficBoundedByLatticeTimesDfMax) {
     auto exec = retriever_->Search(1, q.terms, 20);
     const uint64_t nk = hdk::NumQueryKeys(
         static_cast<uint32_t>(q.terms.size()), params_.s_max);
-    EXPECT_LE(exec.postings_fetched, nk * params_.df_max)
+    EXPECT_LE(exec.cost.postings_fetched, nk * params_.df_max)
         << "query size " << q.terms.size();
-    EXPECT_LE(exec.keys_fetched, nk);
-    EXPECT_LE(exec.probes, nk);
+    EXPECT_LE(exec.cost.keys_fetched, nk);
+    EXPECT_LE(exec.cost.probes, nk);
   }
 }
 
@@ -129,14 +129,14 @@ TEST_F(RetrievalTest, EmptyQueryReturnsNothing) {
   std::vector<TermId> empty;
   auto exec = retriever_->Search(0, empty, 10);
   EXPECT_TRUE(exec.results.empty());
-  EXPECT_EQ(exec.postings_fetched, 0u);
-  EXPECT_EQ(exec.probes, 0u);
+  EXPECT_EQ(exec.cost.postings_fetched, 0u);
+  EXPECT_EQ(exec.cost.probes, 0u);
 }
 
 TEST_F(RetrievalTest, MessagesAreProbesPlusResponses) {
   auto query = SampleQuery();
   auto exec = retriever_->Search(2, query, 10);
-  EXPECT_EQ(exec.messages, 2 * exec.probes);
+  EXPECT_EQ(exec.cost.messages, 2 * exec.cost.probes);
 }
 
 }  // namespace

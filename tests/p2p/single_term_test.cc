@@ -100,7 +100,7 @@ TEST_F(SingleTermTest, QueryTrafficEqualsSumOfDfs) {
   for (TermId t : dedup) {
     expected += reference.DocumentFrequency(t);
   }
-  EXPECT_EQ(exec.postings_fetched, expected);
+  EXPECT_EQ(exec.cost.postings_fetched, expected);
 }
 
 TEST_F(SingleTermTest, UnknownTermFetchesNothing) {
@@ -112,8 +112,8 @@ TEST_F(SingleTermTest, UnknownTermFetchesNothing) {
   std::vector<TermId> query{1999999u};
   auto exec = engine.Search(0, query, 10);
   EXPECT_TRUE(exec.results.empty());
-  EXPECT_EQ(exec.postings_fetched, 0u);
-  EXPECT_GE(exec.messages, 2u);  // probe + empty response
+  EXPECT_EQ(exec.cost.postings_fetched, 0u);
+  EXPECT_GE(exec.cost.messages, 2u);  // probe + empty response
 }
 
 TEST_F(SingleTermTest, IndexPeerValidatesRange) {
