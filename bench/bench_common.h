@@ -13,14 +13,31 @@
 namespace hdk::bench {
 
 /// Selects the experiment scale: HDKP2P_BENCH_SCALE=tiny for smoke runs,
-/// anything else (or unset) for the scaled-default reproduction.
+/// anything else (or unset) for the scaled-default reproduction. Two more
+/// environment knobs apply to every bench:
+///   HDKP2P_THREADS       worker threads per engine (0/unset = hardware
+///                        concurrency, 1 = serial; results identical),
+///   HDKP2P_CORPUS_CACHE  directory of the on-disk synthetic-corpus cache
+///                        (unset = "corpus_cache"; "off" or "0" disables).
 inline engine::ExperimentSetup SelectSetup() {
   SetLogLevel(LogLevel::kWarning);
   const char* scale = std::getenv("HDKP2P_BENCH_SCALE");
-  if (scale != nullptr && std::strcmp(scale, "tiny") == 0) {
-    return engine::ExperimentSetup::Tiny();
+  engine::ExperimentSetup setup =
+      (scale != nullptr && std::strcmp(scale, "tiny") == 0)
+          ? engine::ExperimentSetup::Tiny()
+          : engine::ExperimentSetup::ScaledDefault();
+
+  if (const char* threads = std::getenv("HDKP2P_THREADS")) {
+    setup.num_threads = static_cast<size_t>(std::strtoul(threads, nullptr, 10));
   }
-  return engine::ExperimentSetup::ScaledDefault();
+  const char* cache = std::getenv("HDKP2P_CORPUS_CACHE");
+  if (cache == nullptr) {
+    setup.corpus_cache_dir = "corpus_cache";
+  } else if (std::strcmp(cache, "off") != 0 && std::strcmp(cache, "0") != 0 &&
+             cache[0] != '\0') {
+    setup.corpus_cache_dir = cache;
+  }
+  return setup;
 }
 
 /// Prints the standard bench banner.

@@ -30,6 +30,9 @@ int main() {
   config.hdk = setup.MakeParams(setup.DfMaxHigh());
   config.overlay = setup.overlay;
   config.overlay_seed = setup.overlay_seed;
+  // All available cores for the indexing scans and the SearchBatch
+  // fan-out; results are identical to num_threads = 1 (README "Threading").
+  config.num_threads = 0;
 
   // One factory call per backend; everything else is interface-driven.
   Stopwatch build_watch;

@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace hdk {
+
+size_t ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::unique_ptr<ThreadPool> ThreadPool::MakeIfParallel(size_t num_threads) {
+  const size_t threads =
+      num_threads == 0 ? HardwareThreads() : num_threads;
+  if (threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {
+  if (num_threads_ <= 1) return;  // inline-only pool: exact serial path
+  workers_.reserve(num_threads_ - 1);
+  for (size_t rank = 1; rank < num_threads_; ++rank) {
+    workers_.emplace_back([this, rank] { WorkerLoop(rank); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::pair<size_t, size_t> ThreadPool::ChunkBounds(size_t n, size_t chunks,
+                                                  size_t chunk) {
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  const size_t begin = chunk * base + std::min(chunk, extra);
+  const size_t end = begin + base + (chunk < extra ? 1 : 0);
+  return {begin, end};
+}
+
+void ThreadPool::ParallelChunks(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads_ <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_n_ = n;
+    job_fn_ = &fn;
+    pending_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // Chunk 0 runs on the calling thread.
+  const auto [begin, end] = ChunkBounds(n, num_threads_, 0);
+  if (begin < end) fn(begin, end, 0);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+  job_fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t rank) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_fn_;
+      n = job_n_;
+    }
+    const auto [begin, end] = ChunkBounds(n, num_threads_, rank);
+    if (begin < end) (*fn)(begin, end, rank);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace hdk

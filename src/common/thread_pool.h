@@ -1,0 +1,116 @@
+// Work-stealing-free chunked thread pool — the parallel execution
+// substrate for the engines.
+//
+// The protocol and query workloads this repo parallelizes are embarrassingly
+// parallel ACROSS independent units (peers within an indexing level, queries
+// within a batch), and determinism matters more than load balance: serial
+// and parallel runs must produce posting-for-posting identical indexes and
+// result lists. The pool therefore deliberately avoids work stealing and
+// dynamic scheduling — ParallelChunks statically splits [0, n) into one
+// contiguous chunk per thread, so chunk boundaries (and therefore any
+// per-chunk accumulator) depend only on (n, num_threads), never on timing.
+//
+// A pool with num_threads == 1 spawns no workers and runs everything inline
+// on the caller — the exact serial path, byte-identical to the pre-parallel
+// code. The free helpers accept a nullptr pool with the same meaning.
+#ifndef HDKP2P_COMMON_THREAD_POOL_H_
+#define HDKP2P_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hdk {
+
+/// A fixed-size pool of worker threads executing statically chunked
+/// parallel-for jobs. One job runs at a time; concurrent ParallelChunks
+/// calls from different threads serialize on an internal mutex (each call
+/// still sees its own chunking), so a shared pool is safe to use from
+/// concurrently running batches.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 means HardwareThreads(). With 1,
+  ///        no threads are spawned and jobs run inline on the caller.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t HardwareThreads();
+
+  /// The engine-construction policy in one place: resolves 0 to
+  /// HardwareThreads() and returns a pool only when that leaves more than
+  /// one thread — nullptr means "run the exact serial path".
+  static std::unique_ptr<ThreadPool> MakeIfParallel(size_t num_threads);
+
+  /// Splits [0, n) into num_threads() contiguous chunks (the first n %
+  /// num_threads chunks get one extra element) and runs
+  /// fn(begin, end, chunk_index) for every non-empty chunk, blocking until
+  /// all chunks finished. Chunk 0 runs on the calling thread. Chunk
+  /// boundaries depend only on (n, num_threads()) — deterministic.
+  void ParallelChunks(size_t n,
+                      const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// [begin, end) of chunk `chunk` when [0, n) is split into `chunks`
+  /// contiguous pieces. Exposed for callers sizing per-chunk accumulators.
+  static std::pair<size_t, size_t> ChunkBounds(size_t n, size_t chunks,
+                                               size_t chunk);
+
+ private:
+  void WorkerLoop(size_t rank);
+
+  const size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  // One ParallelChunks call at a time.
+  std::mutex run_mutex_;
+
+  // Job broadcast state (generation-counted so workers never miss or
+  // double-run a job).
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  size_t job_n_ = 0;
+  const std::function<void(size_t, size_t, size_t)>* job_fn_ = nullptr;
+  size_t pending_workers_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(begin, end, chunk_index) over a static chunking of [0, n).
+/// pool == nullptr (or a 1-thread pool) runs fn(0, n, 0) inline — the
+/// exact serial path. The number of chunks is pool ? pool->num_threads()
+/// : 1; use ThreadPool::ChunkBounds with the same count to size per-chunk
+/// accumulators.
+inline void ParallelChunks(
+    ThreadPool* pool, size_t n,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  pool->ParallelChunks(n, fn);
+}
+
+/// Per-element convenience: calls fn(i) for every i in [0, n), chunked
+/// across the pool (serial when pool is nullptr).
+template <typename Fn>
+void ParallelForEach(ThreadPool* pool, size_t n, Fn&& fn) {
+  ParallelChunks(pool, n, [&fn](size_t begin, size_t end, size_t /*chunk*/) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace hdk
+
+#endif  // HDKP2P_COMMON_THREAD_POOL_H_

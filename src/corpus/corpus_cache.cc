@@ -1,0 +1,250 @@
+#include "corpus/corpus_cache.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace hdk::corpus {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'D', 'K', 'C'};
+constexpr uint32_t kFormatVersion = 1;
+
+struct Header {
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t config_hash = 0;
+  uint64_t num_documents = 0;
+};
+
+uint64_t HashDouble(uint64_t seed, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashCombine(seed, bits);
+}
+
+/// RAII FILE handle.
+struct File {
+  explicit File(std::FILE* f) : f(f) {}
+  ~File() {
+    if (f != nullptr) std::fclose(f);
+  }
+  std::FILE* f;
+};
+
+}  // namespace
+
+uint64_t SyntheticConfigHash(const SyntheticConfig& c) {
+  uint64_t h = Mix64(kFormatVersion);
+  h = HashCombine(h, c.seed);
+  h = HashCombine(h, c.vocabulary_size);
+  h = HashDouble(h, c.zipf_skew);
+  h = HashCombine(h, c.stopword_head_ranks);
+  h = HashDouble(h, c.topic_popularity_skew);
+  h = HashCombine(h, c.num_topics);
+  h = HashCombine(h, c.topic_width);
+  h = HashDouble(h, c.topic_skew);
+  h = HashDouble(h, c.topic_share);
+  h = HashDouble(h, c.burstiness);
+  h = HashDouble(h, c.mean_doc_length);
+  h = HashCombine(h, c.min_doc_length);
+  h = HashCombine(h, c.max_topics_per_doc);
+  return h;
+}
+
+std::string CorpusCachePath(const std::string& dir,
+                            const SyntheticConfig& config) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "corpus_%016llx.bin",
+                static_cast<unsigned long long>(SyntheticConfigHash(config)));
+  return (std::filesystem::path(dir) / name).string();
+}
+
+namespace {
+
+/// What a load pass learned about the cache file.
+struct CacheState {
+  bool header_valid = false;
+  uint64_t cached_documents = 0;  // header count, when valid
+  uint64_t documents_read = 0;    // docs validated on this pass
+  uint64_t end_offset = 0;        // byte offset just past the last read doc
+};
+
+/// Appends cached documents beyond store->size() (up to `n`) to `store`.
+/// Every length field is validated against the actual file size before
+/// allocation, so a truncated or garbled file degrades to regeneration
+/// instead of crashing.
+CacheState LoadFromCache(const std::string& path, uint64_t config_hash,
+                         uint64_t n, DocumentStore* store) {
+  CacheState state;
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file.f == nullptr) return state;
+
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return state;
+
+  Header header;
+  if (file_size < sizeof(header) ||
+      std::fread(&header, sizeof(header), 1, file.f) != 1 ||
+      std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0 ||
+      header.version != kFormatVersion ||
+      header.config_hash != config_hash) {
+    HDK_LOG(Warning) << "corpus cache " << path
+                     << " has a stale or foreign header; regenerating";
+    return state;
+  }
+  state.header_valid = true;
+  state.cached_documents = header.num_documents;
+  state.end_offset = sizeof(header);
+
+  const uint64_t want = std::min(n, header.num_documents);
+  std::vector<TermId> tokens;
+  for (uint64_t d = 0; d < want; ++d) {
+    uint32_t len = 0;
+    if (std::fread(&len, sizeof(len), 1, file.f) != 1) break;
+    // Bound the allocation by what the file can actually hold.
+    const uint64_t pos = state.end_offset + sizeof(len);
+    if (pos > file_size ||
+        len > (file_size - pos) / sizeof(TermId)) {
+      HDK_LOG(Warning) << "corpus cache " << path
+                       << " is truncated or corrupt at document " << d
+                       << "; regenerating the remainder";
+      break;
+    }
+    tokens.resize(len);
+    if (len > 0 &&
+        std::fread(tokens.data(), sizeof(TermId), len, file.f) != len) {
+      break;
+    }
+    // Documents before the store's current frontier were already present
+    // (idempotent fill); only append the new suffix.
+    if (d >= store->size()) store->Add(tokens);
+    ++state.documents_read;
+    state.end_offset = pos + uint64_t{len} * sizeof(TermId);
+  }
+  return state;
+}
+
+Status WriteDocuments(std::FILE* f, const DocumentStore& store,
+                      uint64_t first, uint64_t last) {
+  for (uint64_t d = first; d < last; ++d) {
+    std::span<const TermId> tokens = store.Tokens(static_cast<DocId>(d));
+    const uint32_t len = static_cast<uint32_t>(tokens.size());
+    if (std::fwrite(&len, sizeof(len), 1, f) != 1 ||
+        (len > 0 &&
+         std::fwrite(tokens.data(), sizeof(TermId), len, f) != len)) {
+      return Status::IOError("short write on corpus cache");
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteHeader(std::FILE* f, uint64_t config_hash, uint64_t n) {
+  Header header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kFormatVersion;
+  header.config_hash = config_hash;
+  header.num_documents = n;
+  if (std::fseek(f, 0, SEEK_SET) != 0 ||
+      std::fwrite(&header, sizeof(header), 1, f) != 1) {
+    return Status::IOError("cannot write corpus cache header");
+  }
+  return Status::OK();
+}
+
+/// Fresh cache: write everything to a process-unique temp file, then move
+/// it into place.
+Status SaveToCache(const std::string& path, uint64_t config_hash,
+                   uint64_t n, const DocumentStore& store) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(getpid()));
+  {
+    File file(std::fopen(tmp.c_str(), "wb"));
+    if (file.f == nullptr) {
+      return Status::IOError("cannot open corpus cache for writing: " + tmp);
+    }
+    HDK_RETURN_NOT_OK(WriteHeader(file.f, config_hash, n));
+    HDK_RETURN_NOT_OK(WriteDocuments(file.f, store, 0, n));
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("cannot move corpus cache into place");
+  }
+  return Status::OK();
+}
+
+/// Growing cache: append only the new suffix at the validated end offset
+/// and bump the header count — a growth sweep writes each document once
+/// instead of rewriting the whole prefix per sweep point.
+Status AppendToCache(const std::string& path, uint64_t config_hash,
+                     uint64_t end_offset, uint64_t old_count, uint64_t n,
+                     const DocumentStore& store) {
+  File file(std::fopen(path.c_str(), "r+b"));
+  if (file.f == nullptr) {
+    return Status::IOError("cannot reopen corpus cache: " + path);
+  }
+  if (std::fseek(file.f, static_cast<long>(end_offset), SEEK_SET) != 0) {
+    return Status::IOError("cannot seek corpus cache: " + path);
+  }
+  HDK_RETURN_NOT_OK(WriteDocuments(file.f, store, old_count, n));
+  return WriteHeader(file.f, config_hash, n);
+}
+
+}  // namespace
+
+void FillStoreCached(const SyntheticCorpus& corpus, uint64_t n,
+                     DocumentStore* store, const std::string& dir) {
+  if (store->size() >= n) return;
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    HDK_LOG(Warning) << "cannot create corpus cache dir " << dir << ": "
+                      << ec.message() << "; generating without cache";
+    corpus.FillStore(n, store);
+    return;
+  }
+
+  const uint64_t config_hash = SyntheticConfigHash(corpus.config());
+  const std::string path = CorpusCachePath(dir, corpus.config());
+
+  const uint64_t before = store->size();
+  const CacheState cache = LoadFromCache(path, config_hash, n, store);
+  corpus.FillStore(n, store);  // generate whatever the cache did not cover
+
+  if (cache.documents_read > before) {
+    HDK_LOG(Info) << "corpus cache: loaded "
+                  << (cache.documents_read - before) << " documents from "
+                  << path;
+  }
+  if (n > cache.documents_read) {
+    // The collection outgrew the cache. Append the new suffix when every
+    // cached document validated (the common growth-sweep path — each
+    // document is written exactly once); rewrite from scratch otherwise.
+    Status st =
+        cache.header_valid && cache.documents_read == cache.cached_documents
+            ? AppendToCache(path, config_hash, cache.end_offset,
+                            cache.cached_documents, n, *store)
+            : SaveToCache(path, config_hash, n, *store);
+    if (!st.ok()) {
+      HDK_LOG(Warning) << "corpus cache write failed: " << st.ToString();
+    } else {
+      HDK_LOG(Info) << "corpus cache: now holds " << n << " documents at "
+                    << path;
+    }
+  }
+}
+
+}  // namespace hdk::corpus

@@ -1,0 +1,46 @@
+// On-disk cache for the synthetic corpus.
+//
+// Generating the synthetic collection dominates bench start-up once the
+// engines grow incrementally, and every bench regenerates the exact same
+// deterministic documents. This cache persists the token streams after the
+// first generation and reloads them on later runs. Cache files are keyed
+// by ALL generation parameters plus the seed (a config hash baked into the
+// file name and the header), so a changed setup never reads a stale cache,
+// and prefix stability of the generator means a cache produced at a larger
+// collection size serves every smaller run.
+//
+// Format (little-endian, version-checked): magic "HDKC", format version,
+// config hash, document count, then per document a token count followed by
+// the raw TermId stream.
+#ifndef HDKP2P_CORPUS_CORPUS_CACHE_H_
+#define HDKP2P_CORPUS_CORPUS_CACHE_H_
+
+#include <string>
+
+#include "corpus/document.h"
+#include "corpus/synthetic.h"
+
+namespace hdk::corpus {
+
+/// Deterministic hash over every generation parameter of `config`
+/// (including the seed) — the cache key.
+uint64_t SyntheticConfigHash(const SyntheticConfig& config);
+
+/// The cache file for `config` under `dir`.
+std::string CorpusCachePath(const std::string& dir,
+                            const SyntheticConfig& config);
+
+/// Grows `store` to hold the first `n` documents of `corpus`, like
+/// SyntheticCorpus::FillStore, but backed by the disk cache under `dir`:
+/// documents covered by a matching cache file are loaded instead of
+/// regenerated, the remainder is generated, and the cache is appended (or
+/// rewritten after corruption) when the collection grew. `dir` is created
+/// if missing. The store ALWAYS comes back filled — any cache failure
+/// (unreadable, mismatched, or unwritable files) logs a warning and
+/// degrades to plain generation.
+void FillStoreCached(const SyntheticCorpus& corpus, uint64_t n,
+                     DocumentStore* store, const std::string& dir);
+
+}  // namespace hdk::corpus
+
+#endif  // HDKP2P_CORPUS_CORPUS_CACHE_H_

@@ -8,7 +8,7 @@ namespace hdk::engine {
 
 Result<std::unique_ptr<CentralizedBm25Engine>> CentralizedBm25Engine::Build(
     const corpus::DocumentStore& store, index::Bm25Params params,
-    DocId num_docs) {
+    DocId num_docs, size_t num_threads) {
   if (num_docs == 0) num_docs = static_cast<DocId>(store.size());
   if (num_docs > store.size()) {
     return Status::OutOfRange("CentralizedBm25Engine: num_docs > store");
@@ -17,8 +17,30 @@ Result<std::unique_ptr<CentralizedBm25Engine>> CentralizedBm25Engine::Build(
       new CentralizedBm25Engine());
   engine->store_ = &store;
   engine->params_ = params;
-  HDK_RETURN_NOT_OK(engine->index_.AddRange(store, 0, num_docs));
+  engine->pool_ = ThreadPool::MakeIfParallel(num_threads);
+  HDK_RETURN_NOT_OK(engine->IndexRange(0, num_docs));
   return engine;
+}
+
+Status CentralizedBm25Engine::IndexRange(DocId first, DocId last) {
+  const size_t n = last - first;
+  if (pool_ == nullptr || n < 2) {
+    return index_.AddRange(*store_, first, last);
+  }
+  const size_t chunks = pool_->num_threads();
+  std::vector<index::InvertedIndex> parts(chunks);
+  std::vector<Status> statuses(chunks, Status::OK());
+  ParallelChunks(pool_.get(), n,
+                 [&](size_t begin, size_t end, size_t chunk) {
+                   statuses[chunk] = parts[chunk].AddRange(
+                       *store_, first + static_cast<DocId>(begin),
+                       first + static_cast<DocId>(end));
+                 });
+  for (const Status& st : statuses) HDK_RETURN_NOT_OK(st);
+  for (const index::InvertedIndex& part : parts) {
+    index_.MergeDisjoint(part);
+  }
+  return Status::OK();
 }
 
 SearchResponse CentralizedBm25Engine::Search(std::span<const TermId> query,
@@ -48,8 +70,8 @@ Status CentralizedBm25Engine::AddPeers(
   HDK_RETURN_NOT_OK(ValidateJoinRanges(
       static_cast<DocId>(index_.num_documents()), new_ranges,
       store.size()));
-  return index_.AddRange(store, static_cast<DocId>(index_.num_documents()),
-                         new_ranges.back().second);
+  return IndexRange(static_cast<DocId>(index_.num_documents()),
+                    new_ranges.back().second);
 }
 
 std::vector<index::ScoredDoc> CentralizedBm25Engine::Rank(

@@ -26,9 +26,13 @@ namespace hdk::engine {
 class CentralizedBm25Engine : public SearchEngine {
  public:
   /// Indexes the first `num_docs` documents of `store` (0 = all of it).
+  /// `num_threads` drives the chunked parallel index build and the
+  /// SearchBatch fan-out (0 = hardware concurrency, 1 = exact serial
+  /// path); the index and all results are identical for every value.
   static Result<std::unique_ptr<CentralizedBm25Engine>> Build(
       const corpus::DocumentStore& store,
-      index::Bm25Params params = {}, DocId num_docs = 0);
+      index::Bm25Params params = {}, DocId num_docs = 0,
+      size_t num_threads = 0);
 
   // -- SearchEngine ----------------------------------------------------
 
@@ -66,10 +70,18 @@ class CentralizedBm25Engine : public SearchEngine {
 
   const index::InvertedIndex& index() const { return index_; }
 
+ protected:
+  ThreadPool* batch_pool() const override { return pool_.get(); }
+
  private:
   CentralizedBm25Engine() = default;
 
+  /// Indexes [first, last): chunked across the pool, merged in chunk
+  /// order — identical to a serial AddRange.
+  Status IndexRange(DocId first, DocId last);
+
   const corpus::DocumentStore* store_ = nullptr;
+  std::unique_ptr<ThreadPool> pool_;  // nullptr = serial
   index::InvertedIndex index_;
   index::Bm25Params params_;
 };

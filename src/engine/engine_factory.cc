@@ -40,6 +40,7 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
       hdk.hdk = config.hdk;
       hdk.overlay = config.overlay;
       hdk.overlay_seed = config.overlay_seed;
+      hdk.num_threads = config.num_threads;
       HDK_ASSIGN_OR_RETURN(
           std::unique_ptr<HdkSearchEngine> engine,
           HdkSearchEngine::Build(hdk, store, std::move(peer_ranges)));
@@ -49,6 +50,7 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
       StEngineConfig st;
       st.overlay = config.overlay;
       st.overlay_seed = config.overlay_seed;
+      st.num_threads = config.num_threads;
       HDK_ASSIGN_OR_RETURN(
           std::unique_ptr<SingleTermEngine> engine,
           SingleTermEngine::Build(st, store, std::move(peer_ranges)));
@@ -65,7 +67,8 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
       }
       HDK_ASSIGN_OR_RETURN(
           std::unique_ptr<CentralizedBm25Engine> engine,
-          CentralizedBm25Engine::Build(store, config.bm25, num_docs));
+          CentralizedBm25Engine::Build(store, config.bm25, num_docs,
+                                       config.num_threads));
       return std::unique_ptr<SearchEngine>(std::move(engine));
     }
   }

@@ -48,6 +48,11 @@ struct EngineConfig {
   /// Structured overlay for the distributed backends.
   OverlayKind overlay = OverlayKind::kPGrid;
   uint64_t overlay_seed = 42;
+  /// Worker threads for indexing scans and the SearchBatch fan-out, in
+  /// every backend. 0 = hardware concurrency, 1 = exact serial path.
+  /// Indexes and query results are identical for every value (see README
+  /// "Threading").
+  size_t num_threads = 0;
 };
 
 /// Builds an engine of `kind` over the documents covered by `peer_ranges`

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "corpus/corpus_cache.h"
+
 namespace hdk::engine {
 
 ExperimentSetup ExperimentSetup::ScaledDefault() {
@@ -83,7 +85,12 @@ ExperimentContext::ExperimentContext(const ExperimentSetup& setup)
 ExperimentContext::~ExperimentContext() = default;
 
 const corpus::DocumentStore& ExperimentContext::GrowTo(uint64_t docs) {
-  corpus_.FillStore(docs, &store_);
+  if (setup_.corpus_cache_dir.empty()) {
+    corpus_.FillStore(docs, &store_);
+  } else {
+    corpus::FillStoreCached(corpus_, docs, &store_,
+                            setup_.corpus_cache_dir);
+  }
   return store_;
 }
 
@@ -135,6 +142,7 @@ Result<EnginesAtPoint> ExperimentContext::EnginesAt(uint32_t num_peers) {
     low.hdk = setup_.MakeParams(setup_.DfMaxLow());
     low.overlay = setup_.overlay;
     low.overlay_seed = setup_.overlay_seed;
+    low.num_threads = setup_.num_threads;
     HDK_ASSIGN_OR_RETURN(hdk_low_,
                          HdkSearchEngine::Build(low, store, ranges));
 
@@ -146,6 +154,7 @@ Result<EnginesAtPoint> ExperimentContext::EnginesAt(uint32_t num_peers) {
     StEngineConfig st;
     st.overlay = setup_.overlay;
     st.overlay_seed = setup_.overlay_seed;
+    st.num_threads = setup_.num_threads;
     HDK_ASSIGN_OR_RETURN(st_, SingleTermEngine::Build(st, store, ranges));
   } else if (num_peers > built_peers_) {
     // The paper's evolution step: the new peers join with the document

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/params.h"
@@ -53,6 +54,14 @@ struct ExperimentSetup {
   size_t top_k = 20;
   OverlayKind overlay = OverlayKind::kPGrid;
   uint64_t overlay_seed = 42;
+  /// Worker threads for every engine the context builds (0 = hardware
+  /// concurrency, 1 = exact serial path); results are identical either
+  /// way. Benches override via HDKP2P_THREADS.
+  size_t num_threads = 0;
+  /// Directory for the on-disk synthetic-corpus cache (see
+  /// corpus/corpus_cache.h); empty disables caching. Benches default to
+  /// "corpus_cache", overridable via HDKP2P_CORPUS_CACHE.
+  std::string corpus_cache_dir;
 
   /// Paper-faithful defaults scaled to laptop size.
   static ExperimentSetup ScaledDefault();

@@ -20,12 +20,14 @@ Result<std::unique_ptr<HdkSearchEngine>> HdkSearchEngine::Build(
   engine->config_ = config;
   engine->store_ = &store;
   engine->stats_ = std::make_unique<corpus::CollectionStats>(store, watermark);
+  engine->pool_ = ThreadPool::MakeIfParallel(config.num_threads);
   engine->overlay_ =
       MakeOverlay(config.overlay, peer_ranges.size(), config.overlay_seed);
   engine->traffic_ = std::make_unique<net::TrafficRecorder>();
 
   engine->protocol_ = std::make_unique<p2p::HdkIndexingProtocol>(
-      config.hdk, store, engine->overlay_.get(), engine->traffic_.get());
+      config.hdk, store, engine->overlay_.get(), engine->traffic_.get(),
+      engine->pool_.get());
   HDK_ASSIGN_OR_RETURN(engine->global_,
                        engine->protocol_->Run(peer_ranges, *engine->stats_));
 
@@ -77,10 +79,9 @@ Status HdkSearchEngine::AddPeers(
 
 SearchResponse HdkSearchEngine::Search(std::span<const TermId> query,
                                        size_t k, PeerId origin) {
-  if (origin == kInvalidPeer) {
-    origin = next_origin_;
-    next_origin_ = static_cast<PeerId>((next_origin_ + 1) % num_peers());
-  }
+  // With an explicit origin this mutates nothing — SearchBatch relies on
+  // that to fan queries out across the pool.
+  if (origin == kInvalidPeer) origin = AcquireOrigin();
   return retriever_->Search(origin, query, k);
 }
 

@@ -12,6 +12,7 @@
 #ifndef HDKP2P_ENGINE_HDK_ENGINE_H_
 #define HDKP2P_ENGINE_HDK_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <utility>
@@ -36,6 +37,10 @@ struct HdkEngineConfig {
   HdkParams hdk;
   OverlayKind overlay = OverlayKind::kPGrid;
   uint64_t overlay_seed = 42;
+  /// Worker threads for the per-peer indexing scans and SearchBatch
+  /// fan-out. 0 = hardware concurrency, 1 = exact serial path. Results
+  /// are identical for every value (see README "Threading").
+  size_t num_threads = 0;
 };
 
 /// The assembled HDK P2P retrieval engine.
@@ -100,19 +105,37 @@ class HdkSearchEngine : public SearchEngine {
   const corpus::CollectionStats& collection_stats() const { return *stats_; }
   const HdkEngineConfig& config() const { return config_; }
 
+ protected:
+  /// Atomic rotation so concurrent batches over a shared engine stay
+  /// race-free (each batch still pre-assigns origins in query order). The
+  /// stored value is kept reduced into [0, num_peers), like the serial
+  /// rotation always did, so the origin sequence across AddPeers calls —
+  /// and therefore per-query hop/message accounting in grown sweeps — is
+  /// unchanged from the pre-parallel engine.
+  PeerId AcquireOrigin() override {
+    PeerId current = next_origin_.load(std::memory_order_relaxed);
+    while (!next_origin_.compare_exchange_weak(
+        current, static_cast<PeerId>((current + 1) % num_peers()),
+        std::memory_order_relaxed)) {
+    }
+    return current;
+  }
+  ThreadPool* batch_pool() const override { return pool_.get(); }
+
  private:
   HdkSearchEngine() = default;
 
   HdkEngineConfig config_;
   const corpus::DocumentStore* store_ = nullptr;
   std::unique_ptr<corpus::CollectionStats> stats_;
+  std::unique_ptr<ThreadPool> pool_;  // nullptr = serial
   std::unique_ptr<dht::Overlay> overlay_;
   std::unique_ptr<net::TrafficRecorder> traffic_;
   std::unique_ptr<p2p::HdkIndexingProtocol> protocol_;
   std::unique_ptr<p2p::DistributedGlobalIndex> global_;
   std::unique_ptr<p2p::HdkRetriever> retriever_;
   p2p::GrowthStats last_growth_;
-  PeerId next_origin_ = 0;
+  std::atomic<PeerId> next_origin_{0};
 };
 
 }  // namespace hdk::engine

@@ -5,11 +5,26 @@ namespace hdk::engine {
 BatchResponse SearchEngine::SearchBatch(
     std::span<const corpus::Query> queries, size_t k) {
   BatchResponse batch;
-  batch.responses.reserve(queries.size());
-  for (const corpus::Query& q : queries) {
-    batch.responses.push_back(Search(q.terms, k));
-    batch.total += batch.responses.back().cost;
-  }
+  const size_t n = queries.size();
+  batch.responses.resize(n);
+  if (n == 0) return batch;
+
+  // Origins are assigned serially in query order, so the peer rotation is
+  // independent of how the queries are later scheduled onto threads.
+  std::vector<PeerId> origins(n);
+  for (PeerId& origin : origins) origin = AcquireOrigin();
+
+  ThreadPool* pool = batch_pool();
+  const size_t chunks = pool != nullptr ? pool->num_threads() : 1;
+  std::vector<QueryCost> chunk_cost(chunks);
+  ParallelChunks(pool, n, [&](size_t begin, size_t end, size_t chunk) {
+    QueryCost& cost = chunk_cost[chunk];
+    for (size_t i = begin; i < end; ++i) {
+      batch.responses[i] = Search(queries[i].terms, k, origins[i]);
+      cost += batch.responses[i].cost;
+    }
+  });
+  for (const QueryCost& cost : chunk_cost) batch.total += cost;
   return batch;
 }
 

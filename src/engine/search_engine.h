@@ -28,6 +28,7 @@
 
 #include "common/query_cost.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "corpus/document.h"
 #include "corpus/query_gen.h"
@@ -61,8 +62,13 @@ class SearchEngine {
                                 PeerId origin = kInvalidPeer) = 0;
 
   /// Executes a query workload and aggregates cost — the throughput entry
-  /// point the figure benches run. The default implementation loops
-  /// Search(); backends may override with a fused path.
+  /// point the figure benches run. The default implementation fans the
+  /// queries out across the engine's thread pool (serial when the engine
+  /// was configured with num_threads = 1): origins are pre-assigned in
+  /// query order, each worker chunk accumulates its own QueryCost, and the
+  /// per-chunk costs are reduced in chunk order — so responses AND the
+  /// total are identical to a serial loop over Search(). Backends may
+  /// override with a fused path.
   virtual BatchResponse SearchBatch(std::span<const corpus::Query> queries,
                                     size_t k);
 
@@ -88,6 +94,16 @@ class SearchEngine {
   /// Network traffic recorder; nullptr for backends without a network
   /// (the centralized reference).
   virtual const net::TrafficRecorder* traffic() const { return nullptr; }
+
+ protected:
+  /// Origin of the next auto-assigned query. Distributed backends override
+  /// this with their peer rotation so that rotation state is mutated ONLY
+  /// here (serially, before a batch fans out) and Search() with an
+  /// explicit origin stays safe to call from pool workers.
+  virtual PeerId AcquireOrigin() { return kInvalidPeer; }
+
+  /// The pool SearchBatch fans out on; nullptr means serial execution.
+  virtual ThreadPool* batch_pool() const { return nullptr; }
 };
 
 }  // namespace hdk::engine

@@ -12,15 +12,14 @@ Result<std::unique_ptr<SingleTermEngine>> SingleTermEngine::Build(
   }
   auto engine = std::unique_ptr<SingleTermEngine>(new SingleTermEngine());
   engine->store_ = &store;
+  engine->pool_ = ThreadPool::MakeIfParallel(config.num_threads);
   engine->overlay_ =
       MakeOverlay(config.overlay, peer_ranges.size(), config.overlay_seed);
   engine->traffic_ = std::make_unique<net::TrafficRecorder>();
   engine->engine_ = std::make_unique<p2p::SingleTermP2PEngine>(
       engine->overlay_.get(), engine->traffic_.get());
-  for (PeerId p = 0; p < peer_ranges.size(); ++p) {
-    HDK_RETURN_NOT_OK(engine->engine_->IndexPeer(
-        p, store, peer_ranges[p].first, peer_ranges[p].second));
-  }
+  HDK_RETURN_NOT_OK(engine->engine_->IndexPeers(
+      /*first_peer=*/0, store, peer_ranges, engine->pool_.get()));
   return engine;
 }
 
@@ -40,20 +39,14 @@ Status SingleTermEngine::AddPeers(
     HDK_RETURN_NOT_OK(overlay_->AddPeer());
   }
   engine_->OnOverlayGrown();
-  for (size_t i = 0; i < new_ranges.size(); ++i) {
-    HDK_RETURN_NOT_OK(engine_->IndexPeer(
-        first_new + static_cast<PeerId>(i), store, new_ranges[i].first,
-        new_ranges[i].second));
-  }
-  return Status::OK();
+  return engine_->IndexPeers(first_new, store, new_ranges, pool_.get());
 }
 
 SearchResponse SingleTermEngine::Search(std::span<const TermId> query,
                                         size_t k, PeerId origin) {
-  if (origin == kInvalidPeer) {
-    origin = next_origin_;
-    next_origin_ = static_cast<PeerId>((next_origin_ + 1) % num_peers());
-  }
+  // With an explicit origin this mutates nothing — SearchBatch relies on
+  // that to fan queries out across the pool.
+  if (origin == kInvalidPeer) origin = AcquireOrigin();
   return engine_->Search(origin, query, k);
 }
 

@@ -6,6 +6,7 @@
 #ifndef HDKP2P_ENGINE_ST_ENGINE_H_
 #define HDKP2P_ENGINE_ST_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <utility>
@@ -25,6 +26,9 @@ namespace hdk::engine {
 struct StEngineConfig {
   OverlayKind overlay = OverlayKind::kPGrid;
   uint64_t overlay_seed = 42;
+  /// Worker threads for the per-peer indexing scans and SearchBatch
+  /// fan-out. 0 = hardware concurrency, 1 = exact serial path.
+  size_t num_threads = 0;
 };
 
 /// Distributed single-term indexing + BM25 retrieval baseline.
@@ -60,14 +64,30 @@ class SingleTermEngine : public SearchEngine {
 
   const p2p::SingleTermP2PEngine& p2p_engine() const { return *engine_; }
 
+ protected:
+  /// Atomic rotation so concurrent batches over a shared engine stay
+  /// race-free (each batch still pre-assigns origins in query order). The
+  /// stored value stays reduced into [0, num_peers), matching the serial
+  /// rotation's origin sequence across AddPeers calls exactly.
+  PeerId AcquireOrigin() override {
+    PeerId current = next_origin_.load(std::memory_order_relaxed);
+    while (!next_origin_.compare_exchange_weak(
+        current, static_cast<PeerId>((current + 1) % num_peers()),
+        std::memory_order_relaxed)) {
+    }
+    return current;
+  }
+  ThreadPool* batch_pool() const override { return pool_.get(); }
+
  private:
   SingleTermEngine() = default;
 
   const corpus::DocumentStore* store_ = nullptr;
+  std::unique_ptr<ThreadPool> pool_;  // nullptr = serial
   std::unique_ptr<dht::Overlay> overlay_;
   std::unique_ptr<net::TrafficRecorder> traffic_;
   std::unique_ptr<p2p::SingleTermP2PEngine> engine_;
-  PeerId next_origin_ = 0;
+  std::atomic<PeerId> next_origin_{0};
 };
 
 }  // namespace hdk::engine

@@ -58,8 +58,8 @@ bool AllSubKeysNdk(const TermKey& candidate, const NdkOracle& oracle) {
 }
 
 // Enumerates all (s-1)-element subsets S of `pool` (distinct eligible tail
-// terms) such that S itself is a known NDK, and calls visit(candidate) for
-// candidate = S + {new_term}. Pool terms are guaranteed != new_term.
+// terms) such that S itself is a known NDK, and calls visit(sub, candidate)
+// for candidate = S + {new_term}. Pool terms are guaranteed != new_term.
 template <typename Visit>
 void EnumerateCandidates(const std::vector<TermId>& pool, TermId new_term,
                          uint32_t subset_size, const NdkOracle& oracle,
@@ -79,7 +79,7 @@ void EnumerateCandidates(const std::vector<TermId>& pool, TermId new_term,
     const bool sub_ok = (k == 1) ? oracle.IsExpandableTerm(sub.term(0))
                                  : oracle.IsNdk(sub);
     if (sub_ok) {
-      visit(sub.Extend(new_term));
+      visit(sub, sub.Extend(new_term));
     }
     // Advance to the next combination.
     int i = static_cast<int>(k) - 1;
@@ -142,14 +142,12 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevelDelta(
     std::span<const DocId> docs, const NdkOracle& oracle,
     const OracleDelta& delta, CandidateBuildStats* stats) const {
   assert(s >= 2);
-  if (delta.empty()) return {};
-  if (s > 3) {
-    // Correct but not delta-pruned; smax is 3 everywhere in the paper.
-    return BuildLevel(s, store, first, last, oracle, stats);
-  }
   (void)first;
   (void)last;
-  if (docs.empty()) return {};
+  if (delta.empty() || docs.empty()) return {};
+  if (s > 3) {
+    return BuildLevelDeltaGeneral(s, store, docs, oracle, delta, stats);
+  }
 
   KeyMap<Accum> accums;
   text::WindowTail tail(params_.window);
@@ -315,6 +313,137 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevelDelta(
   return out;
 }
 
+KeyMap<index::PostingList> CandidateBuilder::BuildLevelDeltaGeneral(
+    uint32_t s, const corpus::DocumentStore& store,
+    std::span<const DocId> docs, const NdkOracle& oracle,
+    const OracleDelta& delta, CandidateBuildStats* stats) const {
+  assert(s >= 4);
+  // A level-s event is NEW exactly when one of the facts its generation
+  // uses is fresh: the trigger or a pool term became expandable, a gate
+  // pair {x, t} became an NDK, or one of the candidate's (s-1)-sub-keys
+  // (including the enumeration sub-key) became an NDK. Keys published
+  // earlier never gain events — their generation facts were all old (a
+  // published key's sub-keys were NDKs the peer had been notified about,
+  // which recursively implies old expandability and old gate pairs) — so
+  // this walk regenerates exactly the unpublished candidates, with full
+  // posting lists.
+  KeyMap<Accum> accums;
+  text::WindowTail tail(params_.window);
+  std::vector<TermId> pool;
+
+  // Fresh vocabularies for the O(1) position-relevance skip: newly
+  // expandable singles, and the terms of fresh NDKs of the sizes
+  // generation consults (gate pairs, (s-1)-sub-keys).
+  const std::unordered_set<TermId>& fresh_singles = delta.terms;
+  std::unordered_set<TermId> fresh_key_terms;
+  for (const TermKey& k : delta.ndks) {
+    if (k.size() == 2 || k.size() == s - 1) {
+      for (TermId t : k.terms()) fresh_key_terms.insert(t);
+    }
+  }
+  if (fresh_singles.empty() && fresh_key_terms.empty()) return {};
+
+  // Ring mirroring the tail (w - 1 positions): per position, whether it
+  // carried a fresh single / a fresh-key term, with running counts.
+  constexpr char kSingle = 1, kKeyTerm = 2;
+  std::vector<char> relevant_ring(params_.window - 1, 0);
+  size_t ring_pos = 0;
+  size_t ring_filled = 0;
+  uint32_t singles_in_tail = 0;
+  uint32_t key_terms_in_tail = 0;
+
+  // Exact novelty test for one event: candidate = sub + {t}.
+  auto fresh_event = [&](const TermKey& sub, TermId t,
+                         const TermKey& candidate) {
+    if (delta.FreshTerm(t)) return true;
+    for (TermId x : sub.terms()) {
+      if (delta.FreshTerm(x) || delta.FreshNdk(TermKey{x, t})) return true;
+    }
+    for (uint32_t i = 0; i < candidate.size(); ++i) {
+      if (delta.FreshNdk(candidate.DropTerm(i))) return true;
+    }
+    return false;
+  };
+
+  for (DocId d : docs) {
+    std::span<const TermId> tokens = store.Tokens(d);
+    const uint32_t len = static_cast<uint32_t>(tokens.size());
+    tail.Reset();
+    std::fill(relevant_ring.begin(), relevant_ring.end(), 0);
+    ring_pos = 0;
+    ring_filled = 0;
+    singles_in_tail = 0;
+    key_terms_in_tail = 0;
+    if (stats != nullptr) {
+      ++stats->documents_scanned;
+      stats->positions_scanned += tokens.size();
+    }
+
+    for (TermId t : tokens) {
+      const bool eligible = oracle.IsExpandableTerm(t);
+      const bool t_single = fresh_singles.count(t) > 0;
+      const bool t_key_term = fresh_key_terms.count(t) > 0;
+      // Every fresh fact a new event can use either is a fresh single in
+      // the window or contributes >= 2 fresh-key terms to it.
+      const bool position_relevant =
+          t_single || singles_in_tail > 0 ||
+          (t_key_term ? 1u : 0u) + key_terms_in_tail >= 2u;
+      if (eligible && !tail.distinct().empty() && position_relevant) {
+        pool.clear();
+        for (TermId x : tail.distinct()) {
+          if (x == t) continue;
+          if (oracle.IsNdk(TermKey{x, t})) pool.push_back(x);
+        }
+        std::sort(pool.begin(), pool.end());
+
+        EnumerateCandidates(
+            pool, t, s - 1, oracle,
+            [&](const TermKey& sub, const TermKey& candidate) {
+              if (!fresh_event(sub, t, candidate)) return;
+              auto [it, inserted] = accums.try_emplace(candidate);
+              Accum& a = it->second;
+              if (inserted) {
+                a.valid = AllSubKeysNdk(candidate, oracle);
+                if (!a.valid && stats != nullptr) {
+                  ++stats->pruned_candidates;
+                }
+              }
+              if (!a.valid) return;
+              a.Touch(d, len);
+              if (stats != nullptr) ++stats->formations;
+            });
+      }
+      tail.Push(eligible ? t : kInvalidTerm);
+      const char pushed =
+          eligible ? static_cast<char>((t_single ? kSingle : 0) |
+                                       (t_key_term ? kKeyTerm : 0))
+                   : 0;
+      if (!relevant_ring.empty()) {
+        if (ring_filled == relevant_ring.size()) {
+          const char evicted = relevant_ring[ring_pos];
+          if (evicted & kSingle) --singles_in_tail;
+          if (evicted & kKeyTerm) --key_terms_in_tail;
+        } else {
+          ++ring_filled;
+        }
+        relevant_ring[ring_pos] = pushed;
+        if (pushed & kSingle) ++singles_in_tail;
+        if (pushed & kKeyTerm) ++key_terms_in_tail;
+        ring_pos = (ring_pos + 1) % relevant_ring.size();
+      }
+    }
+  }
+
+  KeyMap<index::PostingList> out;
+  for (auto& [key, accum] : accums) {
+    if (!accum.valid) continue;
+    accum.FlushDoc();
+    if (accum.postings.empty()) continue;
+    out.emplace(key, index::PostingList(std::move(accum.postings)));
+  }
+  return out;
+}
+
 KeyMap<index::PostingList> CandidateBuilder::BuildLevel(
     uint32_t s, const corpus::DocumentStore& store, DocId first, DocId last,
     const NdkOracle& oracle, CandidateBuildStats* stats) const {
@@ -353,7 +482,8 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevel(
         std::sort(pool.begin(), pool.end());
 
         EnumerateCandidates(
-            pool, t, s - 1, oracle, [&](const TermKey& candidate) {
+            pool, t, s - 1, oracle,
+            [&](const TermKey& /*sub*/, const TermKey& candidate) {
               auto [it, inserted] = accums.try_emplace(candidate);
               Accum& a = it->second;
               if (inserted) {

@@ -127,7 +127,10 @@ struct OracleDelta {
   }
 };
 
-/// Counters describing one candidate-generation pass.
+/// Counters describing one candidate-generation pass. Parallel protocol
+/// runs give every concurrent scan its own instance and fold them with
+/// operator+= afterwards (sums are order-independent, so the folded totals
+/// match a serial pass exactly).
 struct CandidateBuildStats {
   uint64_t documents_scanned = 0;
   uint64_t positions_scanned = 0;
@@ -135,6 +138,14 @@ struct CandidateBuildStats {
   uint64_t formations = 0;
   /// Candidates rejected by the all-sub-keys-non-discriminative check.
   uint64_t pruned_candidates = 0;
+
+  CandidateBuildStats& operator+=(const CandidateBuildStats& other) {
+    documents_scanned += other.documents_scanned;
+    positions_scanned += other.positions_scanned;
+    formations += other.formations;
+    pruned_candidates += other.pruned_candidates;
+    return *this;
+  }
 };
 
 /// Generates candidate keys and local posting lists for one level.
@@ -170,8 +181,10 @@ class CandidateBuilder {
   /// in a document where one of its fresh sub-keys (co-)occurs, so the
   /// caller passes the union of the fresh facts' local document lists —
   /// tiny, because a fresh fact is a key that only just crossed DFmax.
-  /// Implemented for s == 2 and s == 3 (the paper's smax); larger levels
-  /// fall back to the full scan over [first, last).
+  /// s == 2 and s == 3 (the paper's smax) use hand-tuned walks; s >= 4
+  /// (the "larger keys" extension) uses the generalized fresh-key-targeted
+  /// walk, so growth cost stays delta-proportional at every level.
+  /// [first, last) is unused (kept for signature stability).
   KeyMap<index::PostingList> BuildLevelDelta(
       uint32_t s, const corpus::DocumentStore& store, DocId first,
       DocId last, std::span<const DocId> docs, const NdkOracle& oracle,
@@ -180,6 +193,16 @@ class CandidateBuilder {
   const HdkParams& params() const { return params_; }
 
  private:
+  /// The generalized fresh-key-targeted delta walk used for s >= 4: at
+  /// positions that can touch fresh knowledge, enumerate candidates as
+  /// BuildLevel would and keep exactly the events whose generation uses a
+  /// fresh fact (trigger/pool expandability, gate pair, or an
+  /// (s-1)-sub-key of the candidate).
+  KeyMap<index::PostingList> BuildLevelDeltaGeneral(
+      uint32_t s, const corpus::DocumentStore& store,
+      std::span<const DocId> docs, const NdkOracle& oracle,
+      const OracleDelta& delta, CandidateBuildStats* stats) const;
+
   HdkParams params_;
 };
 

@@ -42,6 +42,17 @@ Status InvertedIndex::AddRange(const corpus::DocumentStore& store,
   return Status::OK();
 }
 
+void InvertedIndex::MergeDisjoint(const InvertedIndex& other) {
+  for (const auto& [term, pl] : other.postings_) {
+    postings_[term].Merge(pl);
+  }
+  for (const auto& [term, freq] : other.cf_) {
+    cf_[term] += freq;
+  }
+  num_documents_ += other.num_documents_;
+  total_tokens_ += other.total_tokens_;
+}
+
 const PostingList& InvertedIndex::Postings(TermId term) const {
   auto it = postings_.find(term);
   return it == postings_.end() ? EmptyList() : it->second;

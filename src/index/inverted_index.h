@@ -30,6 +30,13 @@ class InvertedIndex {
   Status AddRange(const corpus::DocumentStore& store, DocId first,
                   DocId last);
 
+  /// Merges `other` — an index over a DISJOINT document set — into this
+  /// one: posting lists union in doc-id order, collection frequencies and
+  /// size counters add. The parallel build path indexes contiguous chunks
+  /// concurrently and merges them in chunk order, which reproduces the
+  /// serial AddRange result posting-for-posting.
+  void MergeDisjoint(const InvertedIndex& other);
+
   /// Posting list of a term; empty list for unknown terms.
   const PostingList& Postings(TermId term) const;
 

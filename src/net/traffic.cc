@@ -2,8 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <thread>
 
 namespace hdk::net {
+
+namespace {
+
+/// The innermost active tally of the calling thread (tallies on different
+/// recorders chain through prev_).
+thread_local ScopedTally* tls_active_tally = nullptr;
+
+}  // namespace
 
 std::string_view MessageKindName(MessageKind kind) {
   switch (kind) {
@@ -19,17 +28,33 @@ std::string_view MessageKindName(MessageKind kind) {
   return "Unknown";
 }
 
+ScopedTally::ScopedTally(const TrafficRecorder* recorder)
+    : recorder_(recorder), prev_(tls_active_tally) {
+  tls_active_tally = this;
+}
+
+ScopedTally::~ScopedTally() { tls_active_tally = prev_; }
+
 TrafficRecorder::TrafficRecorder(CostModel model) : model_(model) {}
 
-void TrafficRecorder::EnsurePeers(size_t n) {
-  if (sent_.size() < n) {
-    sent_.resize(n);
-    received_.resize(n);
+void TrafficRecorder::EnsurePeers(size_t n) const {
+  // Lock-free monotone max; the per-peer vectors grow lazily inside the
+  // shard locks on the next write.
+  size_t current = num_peers_.load(std::memory_order_relaxed);
+  while (current < n &&
+         !num_peers_.compare_exchange_weak(current, n,
+                                           std::memory_order_acq_rel)) {
   }
 }
 
+TrafficRecorder::Shard& TrafficRecorder::ShardForThisThread() const {
+  const size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[h % kNumShards];
+}
+
 void TrafficRecorder::Record(PeerId src, PeerId dst, MessageKind kind,
-                             uint64_t postings, uint64_t hops) {
+                             uint64_t postings, uint64_t hops) const {
   EnsurePeers(static_cast<size_t>(std::max(src, dst)) + 1);
   TrafficCounters delta;
   delta.messages = 1;
@@ -37,31 +62,89 @@ void TrafficRecorder::Record(PeerId src, PeerId dst, MessageKind kind,
   delta.hops = hops;
   delta.bytes = model_.header_bytes + postings * model_.posting_bytes +
                 hops * model_.per_hop_overhead;
-  total_.Add(delta);
-  by_kind_[static_cast<size_t>(kind)].Add(delta);
-  sent_[src].Add(delta);
-  received_[dst].Add(delta);
+
+  for (ScopedTally* tally = tls_active_tally; tally != nullptr;
+       tally = tally->prev_) {
+    if (tally->recorder_ == this) {
+      tally->counters_.Add(delta);
+      break;
+    }
+  }
+
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const size_t need = static_cast<size_t>(std::max(src, dst)) + 1;
+  if (shard.sent.size() < need) {
+    shard.sent.resize(need);
+    shard.received.resize(need);
+  }
+  shard.total.Add(delta);
+  shard.by_kind[static_cast<size_t>(kind)].Add(delta);
+  shard.sent[src].Add(delta);
+  shard.received[dst].Add(delta);
+}
+
+void TrafficRecorder::MergeShards() const {
+  // Cleared in place (never reassigned) so references returned by earlier
+  // accessor calls stay valid across merges, like the pre-sharded
+  // recorder's member counters did.
+  merged_.total = TrafficCounters{};
+  merged_.by_kind.fill(TrafficCounters{});
+  const size_t n = num_peers();
+  if (merged_.sent.size() < n) {
+    merged_.sent.resize(n);
+    merged_.received.resize(n);
+  }
+  for (auto& c : merged_.sent) c = TrafficCounters{};
+  for (auto& c : merged_.received) c = TrafficCounters{};
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    merged_.total.Add(shard.total);
+    for (size_t k = 0; k < kNumMessageKinds; ++k) {
+      merged_.by_kind[k].Add(shard.by_kind[k]);
+    }
+    for (size_t p = 0; p < shard.sent.size(); ++p) {
+      merged_.sent[p].Add(shard.sent[p]);
+      merged_.received[p].Add(shard.received[p]);
+    }
+  }
+}
+
+const TrafficCounters& TrafficRecorder::total() const {
+  MergeShards();
+  return merged_.total;
 }
 
 const TrafficCounters& TrafficRecorder::ByKind(MessageKind kind) const {
-  return by_kind_[static_cast<size_t>(kind)];
+  MergeShards();
+  return merged_.by_kind[static_cast<size_t>(kind)];
 }
 
 const TrafficCounters& TrafficRecorder::SentBy(PeerId peer) const {
-  assert(peer < sent_.size());
-  return sent_[peer];
+  MergeShards();
+  assert(peer < merged_.sent.size());
+  return merged_.sent[peer];
 }
 
 const TrafficCounters& TrafficRecorder::ReceivedBy(PeerId peer) const {
-  assert(peer < received_.size());
-  return received_[peer];
+  MergeShards();
+  assert(peer < merged_.received.size());
+  return merged_.received[peer];
+}
+
+TrafficCounters TrafficRecorder::Snapshot() const {
+  MergeShards();
+  return merged_.total;
 }
 
 void TrafficRecorder::Reset() {
-  total_ = TrafficCounters{};
-  by_kind_.fill(TrafficCounters{});
-  for (auto& c : sent_) c = TrafficCounters{};
-  for (auto& c : received_) c = TrafficCounters{};
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.total = TrafficCounters{};
+    shard.by_kind.fill(TrafficCounters{});
+    for (auto& c : shard.sent) c = TrafficCounters{};
+    for (auto& c : shard.received) c = TrafficCounters{};
+  }
 }
 
 }  // namespace hdk::net

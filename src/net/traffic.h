@@ -6,11 +6,23 @@
 // transmit"). The simulator therefore records, for every message, the
 // posting payload alongside message and hop counts and an approximate
 // byte volume.
+//
+// THREAD SAFETY: Record() may be called concurrently from any number of
+// threads (the parallel SearchBatch fan-out records retrieval traffic from
+// every pool worker). Writes go to per-thread-sharded counters and are
+// merged on read, so the aggregate accessors (total(), ByKind(), SentBy(),
+// ReceivedBy(), Snapshot()) must only be called while no concurrent
+// Record() is in flight — i.e. from the serial sections between parallel
+// regions, which is where every bench and test reads them. Per-query
+// message/hop deltas under concurrency use ScopedTally, which counts only
+// the messages recorded by the calling thread.
 #ifndef HDKP2P_NET_TRAFFIC_H_
 #define HDKP2P_NET_TRAFFIC_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -57,6 +69,33 @@ struct CostModel {
   uint64_t per_hop_overhead = 0; // set >0 to bill every routed hop
 };
 
+class TrafficRecorder;
+
+/// RAII tally of the traffic the CALLING THREAD records on one recorder
+/// between construction and destruction. This is how query executions
+/// attribute messages/hops to themselves: a query runs entirely on one
+/// thread, so the thread-local tally is exact even while other pool
+/// workers record their own queries' traffic concurrently. At most one
+/// tally is active per (thread, recorder); tallies on different recorders
+/// may nest.
+class ScopedTally {
+ public:
+  explicit ScopedTally(const TrafficRecorder* recorder);
+  ~ScopedTally();
+
+  ScopedTally(const ScopedTally&) = delete;
+  ScopedTally& operator=(const ScopedTally&) = delete;
+
+  const TrafficCounters& counters() const { return counters_; }
+
+ private:
+  friend class TrafficRecorder;
+
+  const TrafficRecorder* recorder_;
+  ScopedTally* prev_;
+  TrafficCounters counters_;
+};
+
 /// Records protocol messages between peers.
 ///
 /// Per-peer counters distinguish sent and received volume so that the
@@ -65,16 +104,19 @@ class TrafficRecorder {
  public:
   explicit TrafficRecorder(CostModel model = {});
 
-  /// Ensures per-peer counters exist for ids < n.
-  void EnsurePeers(size_t n);
+  /// Ensures per-peer counters exist for ids < n. Safe to call
+  /// concurrently with Record().
+  void EnsurePeers(size_t n) const;
 
   /// Records one message of `kind` from `src` to `dst` carrying `postings`
-  /// postings and routed over `hops` overlay hops.
+  /// postings and routed over `hops` overlay hops. Thread-safe.
   void Record(PeerId src, PeerId dst, MessageKind kind, uint64_t postings,
-              uint64_t hops);
+              uint64_t hops) const;
+
+  // -- aggregate reads (serial sections only; see file comment) ---------
 
   /// Totals across all peers and kinds.
-  const TrafficCounters& total() const { return total_; }
+  const TrafficCounters& total() const;
 
   /// Totals for one message kind.
   const TrafficCounters& ByKind(MessageKind kind) const;
@@ -84,20 +126,48 @@ class TrafficRecorder {
   const TrafficCounters& ReceivedBy(PeerId peer) const;
 
   /// Number of peers tracked.
-  size_t num_peers() const { return sent_.size(); }
+  size_t num_peers() const {
+    return num_peers_.load(std::memory_order_acquire);
+  }
 
   /// Resets every counter (peers stay registered).
   void Reset();
 
-  /// Snapshot of the current totals (for differential measurements).
-  TrafficCounters Snapshot() const { return total_; }
+  /// Snapshot of the current totals (for differential measurements from
+  /// serial sections; inside parallel regions use ScopedTally instead).
+  TrafficCounters Snapshot() const;
 
  private:
+  /// One shard of the write side. Threads hash to a shard; every mutation
+  /// holds the shard mutex, so colliding threads stay correct and
+  /// non-colliding threads never contend.
+  struct Shard {
+    mutable std::mutex mu;
+    TrafficCounters total;
+    std::array<TrafficCounters, kNumMessageKinds> by_kind{};
+    std::vector<TrafficCounters> sent;
+    std::vector<TrafficCounters> received;
+  };
+  static constexpr size_t kNumShards = 16;
+
+  Shard& ShardForThisThread() const;
+
+  /// Folds every shard into the merged_ cache. Caller must be in a serial
+  /// section; the merge itself locks each shard.
+  void MergeShards() const;
+
   CostModel model_;
-  TrafficCounters total_;
-  std::array<TrafficCounters, kNumMessageKinds> by_kind_;
-  std::vector<TrafficCounters> sent_;
-  std::vector<TrafficCounters> received_;
+  mutable std::atomic<size_t> num_peers_{0};
+  mutable std::array<Shard, kNumShards> shards_;
+
+  /// Read-side cache, rebuilt by the aggregate accessors.
+  struct Merged {
+    TrafficCounters total;
+    std::array<TrafficCounters, kNumMessageKinds> by_kind{};
+    std::vector<TrafficCounters> sent;
+    std::vector<TrafficCounters> received;
+  };
+  mutable Merged merged_;
 };
 
 }  // namespace hdk::net

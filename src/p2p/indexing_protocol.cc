@@ -15,11 +15,13 @@ uint64_t IndexingReport::TotalInsertedPostings() const {
 HdkIndexingProtocol::HdkIndexingProtocol(const HdkParams& params,
                                          const corpus::DocumentStore& store,
                                          const dht::Overlay* overlay,
-                                         net::TrafficRecorder* traffic)
+                                         net::TrafficRecorder* traffic,
+                                         ThreadPool* pool)
     : params_(params),
       store_(store),
       overlay_(overlay),
-      traffic_(traffic) {}
+      traffic_(traffic),
+      pool_(pool) {}
 
 std::vector<TermId> HdkIndexingProtocol::RefreshVeryFrequent(
     const corpus::CollectionStats& stats) {
@@ -150,6 +152,18 @@ void HdkIndexingProtocol::RunLevels(const corpus::CollectionStats& stats,
   for (uint32_t s = 1; s <= params_.s_max; ++s) {
     ProtocolLevelStats& level_stats = report_.levels[s - 1];
 
+    // Phase 1 (serial): which peers participate at this level. Within a
+    // level, every peer's candidate set depends only on the state at
+    // level entry (knowledge updates arrive after EndLevel), so the
+    // participants are independent of each other.
+    struct ScanTask {
+      Peer* peer = nullptr;
+      bool is_new = false;
+      hdk::KeyMap<index::PostingList> candidates;
+      hdk::CandidateBuildStats generation;
+    };
+    std::vector<ScanTask> tasks;
+    tasks.reserve(peers_.size());
     for (Peer& peer : peers_) {
       const bool is_new = peer.id() >= first_new_peer;
       if (!is_new) {
@@ -163,29 +177,58 @@ void HdkIndexingProtocol::RunLevels(const corpus::CollectionStats& stats,
           ++growth->rescanned_peers;
         }
       }
+      tasks.push_back(ScanTask{&peer, is_new, {}, {}});
+    }
 
-      hdk::KeyMap<index::PostingList> candidates =
-          s == 1 ? peer.BuildLevel1(store_, very_frequent_,
-                                    &level_stats.generation)
-          : is_new ? peer.BuildLevel(s, store_, &level_stats.generation)
-                   : peer.BuildLevelDelta(s, store_,
-                                          &level_stats.generation);
+    // Phases 2 + 3, in waves of pool-width: scan `wave_size` peers
+    // concurrently (the protocol's hot path — the builders are
+    // const/reentrant and each task writes only its own slot, so the
+    // fan-out is race-free), then merge that wave into the global index
+    // serially in ascending peer order and free its candidate maps.
+    // Waves bound peak memory to ~num_threads candidate maps instead of
+    // one per peer; with no pool this degenerates to the serial loop.
+    // Each candidate map comes from a deterministic single-threaded scan,
+    // so its iteration order — and therefore every insertion and traffic
+    // record — matches the serial protocol regardless of wave shape.
+    const size_t wave_size =
+        pool_ != nullptr ? std::max<size_t>(pool_->num_threads(), 1) : 1;
+    for (size_t wave = 0; wave < tasks.size(); wave += wave_size) {
+      const size_t wave_end = std::min(tasks.size(), wave + wave_size);
+      ParallelForEach(pool_, wave_end - wave, [&](size_t i) {
+        ScanTask& task = tasks[wave + i];
+        task.candidates =
+            s == 1 ? task.peer->BuildLevel1(store_, very_frequent_,
+                                            &task.generation)
+            : task.is_new
+                ? task.peer->BuildLevel(s, store_, &task.generation)
+                : task.peer->BuildLevelDelta(s, store_, &task.generation);
+      });
 
-      for (auto& [key, pl] : candidates) {
-        if (!is_new && peer.HasPublished(s, key)) continue;
-        // Keys below the top level can become expansion material later;
-        // remember which local documents carry them (delta-scan targets).
-        std::vector<DocId> key_docs;
-        if (s < params_.s_max) key_docs = pl.Documents();
-        const uint64_t payload = global_->InsertPostings(
-            peer.id(), key, std::move(pl), params_, avgdl);
-        peer.MarkPublished(s, key, std::move(key_docs));
-        ++level_stats.keys_inserted;
-        level_stats.postings_inserted += payload;
-        report_.inserted_postings_per_peer[peer.id()] += payload;
-        if (growth != nullptr) {
-          ++growth->delta_insertions;
-          growth->delta_postings += payload;
+      for (size_t t = wave; t < wave_end; ++t) {
+        ScanTask& task = tasks[t];
+        Peer& peer = *task.peer;
+        const bool is_new = task.is_new;
+        level_stats.generation += task.generation;
+        hdk::KeyMap<index::PostingList> candidates =
+            std::move(task.candidates);
+
+        for (auto& [key, pl] : candidates) {
+          if (!is_new && peer.HasPublished(s, key)) continue;
+          // Keys below the top level can become expansion material
+          // later; remember which local documents carry them (delta-scan
+          // targets).
+          std::vector<DocId> key_docs;
+          if (s < params_.s_max) key_docs = pl.Documents();
+          const uint64_t payload = global_->InsertPostings(
+              peer.id(), key, std::move(pl), params_, avgdl);
+          peer.MarkPublished(s, key, std::move(key_docs));
+          ++level_stats.keys_inserted;
+          level_stats.postings_inserted += payload;
+          report_.inserted_postings_per_peer[peer.id()] += payload;
+          if (growth != nullptr) {
+            ++growth->delta_insertions;
+            growth->delta_postings += payload;
+          }
         }
       }
     }

@@ -42,6 +42,7 @@
 
 #include "common/params.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "corpus/document.h"
 #include "corpus/stats.h"
 #include "dht/overlay.h"
@@ -103,10 +104,17 @@ class HdkIndexingProtocol {
   /// \param overlay DHT overlay (outlives the protocol; grown by the
   ///                caller before Grow is invoked).
   /// \param traffic traffic sink (outlives the protocol).
+  /// \param pool    thread pool the per-peer candidate scans fan out on
+  ///                within each protocol level (outlives the protocol);
+  ///                nullptr runs the exact serial path. Candidate sets
+  ///                are merged into the global index in ascending peer
+  ///                order either way, so parallel builds are
+  ///                posting-for-posting identical to serial ones.
   HdkIndexingProtocol(const HdkParams& params,
                       const corpus::DocumentStore& store,
                       const dht::Overlay* overlay,
-                      net::TrafficRecorder* traffic);
+                      net::TrafficRecorder* traffic,
+                      ThreadPool* pool = nullptr);
 
   /// Executes the full protocol for peers holding the given [first, last)
   /// doc ranges (one entry per peer; peer ids are positional). `stats`
@@ -149,6 +157,7 @@ class HdkIndexingProtocol {
   const corpus::DocumentStore& store_;
   const dht::Overlay* overlay_;
   net::TrafficRecorder* traffic_;
+  ThreadPool* pool_;
   DistributedGlobalIndex* global_ = nullptr;  // borrowed after Run
   std::vector<Peer> peers_;
   std::unordered_set<TermId> very_frequent_;

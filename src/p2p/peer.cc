@@ -39,6 +39,13 @@ hdk::KeyMap<index::PostingList> Peer::BuildLevelDelta(
   if (s >= 3) {
     for (const hdk::TermKey& pair : delta_.ndk_pairs) append(pair);
   }
+  if (s >= 4) {
+    // The generalized walk also consults fresh (s-1)-sub-keys (gate pairs
+    // are already covered above).
+    for (const hdk::TermKey& key : delta_.ndks) {
+      if (key.size() == s - 1) append(key);
+    }
+  }
   std::sort(docs.begin(), docs.end());
   docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
 

@@ -16,7 +16,9 @@ index::SearchResponse HdkRetriever::Search(PeerId origin,
                                            std::span<const TermId> query,
                                            size_t k) const {
   index::SearchResponse exec;
-  const net::TrafficCounters before = traffic_->Snapshot();
+  // Tally only the traffic THIS thread records: queries of a parallel
+  // batch run concurrently against the shared recorder.
+  const net::ScopedTally tally(traffic_);
 
   std::vector<hdk::FetchedKey> fetched;
   hdk::RetrievalPlan plan = hdk::PlanRetrieval(
@@ -36,9 +38,8 @@ index::SearchResponse HdkRetriever::Search(PeerId origin,
   exec.results = hdk::RankFetchedKeys(fetched, collection_size_,
                                       avg_doc_length_, k);
 
-  const net::TrafficCounters after = traffic_->Snapshot();
-  exec.cost.messages = after.messages - before.messages;
-  exec.cost.hops = after.hops - before.hops;
+  exec.cost.messages = tally.counters().messages;
+  exec.cost.hops = tally.counters().hops;
   return exec;
 }
 

@@ -16,20 +16,9 @@ SingleTermP2PEngine::SingleTermP2PEngine(const dht::Overlay* overlay,
   traffic_->EnsurePeers(overlay_->num_peers());
 }
 
-Status SingleTermP2PEngine::IndexPeer(PeerId src,
-                                      const corpus::DocumentStore& store,
-                                      DocId first, DocId last) {
-  if (first > last || last > store.size()) {
-    return Status::OutOfRange("IndexPeer: invalid document range");
-  }
-  if (fragments_.size() < overlay_->num_peers()) {
-    fragments_.resize(overlay_->num_peers());
-    inserted_by_peer_.resize(overlay_->num_peers(), 0);
-    traffic_->EnsurePeers(overlay_->num_peers());
-  }
-
-  // Build the peer's local single-term posting lists.
-  std::unordered_map<TermId, std::vector<index::Posting>> local;
+SingleTermP2PEngine::LocalIndex SingleTermP2PEngine::BuildLocal(
+    const corpus::DocumentStore& store, DocId first, DocId last) {
+  LocalIndex local;
   std::unordered_map<TermId, uint32_t> tf;
   for (DocId d = first; d < last; ++d) {
     std::span<const TermId> tokens = store.Tokens(d);
@@ -37,14 +26,19 @@ Status SingleTermP2PEngine::IndexPeer(PeerId src,
     for (TermId t : tokens) ++tf[t];
     const uint32_t len = static_cast<uint32_t>(tokens.size());
     for (const auto& [term, count] : tf) {
-      local[term].push_back(index::Posting{d, count, len});
+      local.terms[term].push_back(index::Posting{d, count, len});
     }
-    ++num_documents_;
-    total_tokens_ += tokens.size();
+    ++local.documents;
+    local.tokens += tokens.size();
   }
+  return local;
+}
 
+void SingleTermP2PEngine::InsertLocal(PeerId src, LocalIndex local) {
+  num_documents_ += local.documents;
+  total_tokens_ += local.tokens;
   // Insert each term's local list into the DHT.
-  for (auto& [term, postings] : local) {
+  for (auto& [term, postings] : local.terms) {
     const RingId ring_key = HashU64(term);
     const PeerId dst = overlay_->Responsible(ring_key);
     const size_t hops = overlay_->Route(src, ring_key);
@@ -53,6 +47,37 @@ Status SingleTermP2PEngine::IndexPeer(PeerId src,
                      hops);
     inserted_by_peer_[src] += pl.size();
     fragments_[dst][term].Merge(pl);
+  }
+}
+
+Status SingleTermP2PEngine::IndexPeer(PeerId src,
+                                      const corpus::DocumentStore& store,
+                                      DocId first, DocId last) {
+  return IndexPeers(src, store, {{first, last}}, /*pool=*/nullptr);
+}
+
+Status SingleTermP2PEngine::IndexPeers(
+    PeerId first_peer, const corpus::DocumentStore& store,
+    const std::vector<std::pair<DocId, DocId>>& ranges, ThreadPool* pool) {
+  for (const auto& [first, last] : ranges) {
+    if (first > last || last > store.size()) {
+      return Status::OutOfRange("IndexPeers: invalid document range");
+    }
+  }
+  if (fragments_.size() < overlay_->num_peers()) {
+    fragments_.resize(overlay_->num_peers());
+    inserted_by_peer_.resize(overlay_->num_peers(), 0);
+    traffic_->EnsurePeers(overlay_->num_peers());
+  }
+
+  // Concurrent per-peer scans, then a serial merge in ascending peer
+  // order — fragments and traffic come out identical to the serial loop.
+  std::vector<LocalIndex> locals(ranges.size());
+  ParallelForEach(pool, ranges.size(), [&](size_t i) {
+    locals[i] = BuildLocal(store, ranges[i].first, ranges[i].second);
+  });
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    InsertLocal(first_peer + static_cast<PeerId>(i), std::move(locals[i]));
   }
   return Status::OK();
 }
@@ -104,7 +129,9 @@ uint64_t SingleTermP2PEngine::OnOverlayGrown() {
 index::SearchResponse SingleTermP2PEngine::Search(
     PeerId origin, std::span<const TermId> query, size_t k) const {
   index::SearchResponse exec;
-  const net::TrafficCounters before = traffic_->Snapshot();
+  // Tally only the traffic THIS thread records: queries of a parallel
+  // batch run concurrently against the shared recorder.
+  const net::ScopedTally tally(traffic_);
 
   std::vector<TermId> terms(query.begin(), query.end());
   std::sort(terms.begin(), terms.end());
@@ -144,9 +171,8 @@ index::SearchResponse SingleTermP2PEngine::Search(
   }
   exec.results = topk.Take();
 
-  const net::TrafficCounters after = traffic_->Snapshot();
-  exec.cost.messages = after.messages - before.messages;
-  exec.cost.hops = after.hops - before.hops;
+  exec.cost.messages = tally.counters().messages;
+  exec.cost.hops = tally.counters().hops;
   return exec;
 }
 
@@ -156,7 +182,7 @@ SingleTermP2PEngine::SearchConjunctive(PeerId origin,
                                        size_t k, bool use_bloom,
                                        double bloom_fp_rate) const {
   ConjunctiveExecution exec;
-  const net::TrafficCounters before = traffic_->Snapshot();
+  const net::ScopedTally tally(traffic_);
 
   // Resolve each distinct term to (owner, posting list), ascending df.
   std::vector<TermId> terms(query.begin(), query.end());
@@ -184,9 +210,8 @@ SingleTermP2PEngine::SearchConjunctive(PeerId origin,
                        hops);
       traffic_->Record(owner, origin, net::MessageKind::kPostingsResponse,
                        0, 1);
-      const net::TrafficCounters after = traffic_->Snapshot();
-      exec.messages = after.messages - before.messages;
-      exec.hops = after.hops - before.hops;
+      exec.messages = tally.counters().messages;
+      exec.hops = tally.counters().hops;
       return exec;
     }
   }
@@ -282,9 +307,8 @@ SingleTermP2PEngine::SearchConjunctive(PeerId origin,
   }
   exec.results = topk.Take();
 
-  const net::TrafficCounters after = traffic_->Snapshot();
-  exec.messages = after.messages - before.messages;
-  exec.hops = after.hops - before.hops;
+  exec.messages = tally.counters().messages;
+  exec.hops = tally.counters().hops;
   return exec;
 }
 

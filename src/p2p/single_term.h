@@ -12,10 +12,12 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/params.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "corpus/document.h"
 #include "dht/overlay.h"
@@ -38,6 +40,15 @@ class SingleTermP2PEngine {
   /// the full local posting list.
   Status IndexPeer(PeerId src, const corpus::DocumentStore& store,
                    DocId first, DocId last);
+
+  /// Indexes `ranges[i]` as peer `first_peer + i` for every i. The
+  /// document scans (the expensive part) run concurrently on `pool`
+  /// (nullptr = serial); the DHT insertions are merged serially in
+  /// ascending peer order, so the resulting fragments and recorded traffic
+  /// are identical to calling IndexPeer peer by peer.
+  Status IndexPeers(PeerId first_peer, const corpus::DocumentStore& store,
+                    const std::vector<std::pair<DocId, DocId>>& ranges,
+                    ThreadPool* pool);
 
   /// Re-places stored term fragments after the overlay gained peers: every
   /// term whose responsible peer changed is handed over to its new owner
@@ -95,6 +106,20 @@ class SingleTermP2PEngine {
   }
 
  private:
+  /// One peer's freshly scanned local collection, before DHT insertion.
+  struct LocalIndex {
+    std::unordered_map<TermId, std::vector<index::Posting>> terms;
+    uint64_t documents = 0;
+    uint64_t tokens = 0;
+  };
+
+  /// Pure scan of [first, last) — safe to run concurrently.
+  static LocalIndex BuildLocal(const corpus::DocumentStore& store,
+                               DocId first, DocId last);
+
+  /// Serial merge of one peer's scan into the DHT fragments + traffic.
+  void InsertLocal(PeerId src, LocalIndex local);
+
   const dht::Overlay* overlay_;
   net::TrafficRecorder* traffic_;
   /// peer -> (term -> global posting list fragment).

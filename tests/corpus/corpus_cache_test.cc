@@ -1,0 +1,113 @@
+#include "corpus/corpus_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corpus/synthetic.h"
+
+namespace hdk::corpus {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig cfg;
+  cfg.seed = 1234;
+  cfg.vocabulary_size = 2000;
+  cfg.num_topics = 8;
+  cfg.topic_width = 30;
+  cfg.mean_doc_length = 40.0;
+  return cfg;
+}
+
+std::string FreshCacheDir(const char* name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectSameStores(const DocumentStore& a, const DocumentStore& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.TotalTokens(), b.TotalTokens());
+  for (DocId d = 0; d < a.size(); ++d) {
+    ASSERT_EQ(a.Get(d).tokens, b.Get(d).tokens) << "doc " << d;
+  }
+}
+
+TEST(CorpusCacheTest, RoundTripsTheGeneratedCollection) {
+  const std::string dir = FreshCacheDir("corpus_cache_roundtrip");
+  SyntheticCorpus corpus(SmallConfig());
+
+  DocumentStore generated;
+  FillStoreCached(corpus, 50, &generated, dir);
+  ASSERT_TRUE(
+      std::filesystem::exists(CorpusCachePath(dir, corpus.config())));
+
+  // A second store must come back identical, now loaded from disk.
+  DocumentStore loaded;
+  FillStoreCached(corpus, 50, &loaded, dir);
+  ExpectSameStores(generated, loaded);
+
+  // And both match plain generation.
+  DocumentStore reference;
+  corpus.FillStore(50, &reference);
+  ExpectSameStores(reference, loaded);
+}
+
+TEST(CorpusCacheTest, GrowsTheCacheWithTheCollection) {
+  const std::string dir = FreshCacheDir("corpus_cache_grow");
+  SyntheticCorpus corpus(SmallConfig());
+
+  DocumentStore store;
+  FillStoreCached(corpus, 30, &store, dir);
+  // Growing the same store: cache covers the prefix, the rest generates,
+  // and the new suffix is appended to the cache.
+  FillStoreCached(corpus, 80, &store, dir);
+  EXPECT_EQ(store.size(), 80u);
+
+  DocumentStore loaded;
+  FillStoreCached(corpus, 80, &loaded, dir);
+  ExpectSameStores(store, loaded);
+
+  DocumentStore reference;
+  corpus.FillStore(80, &reference);
+  ExpectSameStores(reference, loaded);
+}
+
+TEST(CorpusCacheTest, KeyedByGenerationParameters) {
+  SyntheticConfig a = SmallConfig();
+  SyntheticConfig b = SmallConfig();
+  b.seed = 99;
+  SyntheticConfig c = SmallConfig();
+  c.mean_doc_length = 41.0;
+  EXPECT_NE(SyntheticConfigHash(a), SyntheticConfigHash(b));
+  EXPECT_NE(SyntheticConfigHash(a), SyntheticConfigHash(c));
+  EXPECT_EQ(SyntheticConfigHash(a), SyntheticConfigHash(SmallConfig()));
+  EXPECT_NE(CorpusCachePath("d", a), CorpusCachePath("d", b));
+}
+
+TEST(CorpusCacheTest, StaleOrForeignCacheDegradesToGeneration) {
+  const std::string dir = FreshCacheDir("corpus_cache_stale");
+  SyntheticCorpus corpus(SmallConfig());
+  const std::string path = CorpusCachePath(dir, corpus.config());
+
+  // Plant garbage at the cache path.
+  std::filesystem::create_directories(dir);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a corpus cache", f);
+    std::fclose(f);
+  }
+
+  DocumentStore store;
+  FillStoreCached(corpus, 20, &store, dir);
+  DocumentStore reference;
+  corpus.FillStore(20, &reference);
+  ExpectSameStores(reference, store);
+}
+
+}  // namespace
+}  // namespace hdk::corpus

@@ -296,5 +296,46 @@ TEST(IncrementalGrowthTest, ExperimentSweepGrowsWithoutRebuilding) {
   EXPECT_FALSE(ctx.EnginesAt(setup.initial_peers).ok());
 }
 
+TEST(IncrementalGrowthTest, SmaxFourGrowthIsDeltaPrunedAndExact) {
+  // The "larger keys" extension: with s_max = 4 the growth path uses the
+  // generalized fresh-key-targeted walk at level 4 (it used to fall back
+  // to a full rescan of every knowledge-gaining peer), and the grown
+  // index must still equal a from-scratch build posting for posting.
+  corpus::SyntheticCorpus corpus = GrowthCorpus();
+  corpus::DocumentStore store;
+  corpus.FillStore(120, &store);
+  HdkEngineConfig config = GrowthConfig();
+  config.hdk.s_max = 4;
+  // A larger DFmax keeps the growth wave's fresh-fact set sparse (few
+  // keys cross), which is exactly when delta pruning must pay off.
+  config.hdk.df_max = 24;
+  config.hdk.rare_threshold = 24;
+  auto grown = HdkSearchEngine::Build(config, store, SplitEvenly(120, 2));
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  const uint64_t level4_docs_before =
+      (*grown)->indexing_report().levels[3].generation.documents_scanned;
+
+  corpus.FillStore(240, &store);
+  ASSERT_TRUE((*grown)->AddPeers(store, JoinRanges(120, 2, 60)).ok());
+  const p2p::GrowthStats& g = (*grown)->last_growth();
+  // The hard path ran: old peers gained knowledge and re-derived.
+  EXPECT_GT(g.reclassified_keys, 0u);
+  EXPECT_GT(g.rescanned_peers, 0u);
+
+  // Delta-proportional growth cost: the growth step's level-4 scans must
+  // stay strictly below the full-scan fallback's volume (each joining
+  // peer's 60 documents scanned fully, plus 60 for every rescanned old
+  // peer under the old fallback).
+  const uint64_t level4_docs_delta =
+      (*grown)->indexing_report().levels[3].generation.documents_scanned -
+      level4_docs_before;
+  EXPECT_LT(level4_docs_delta, 120u + g.rescanned_peers * 60u);
+
+  auto scratch = HdkSearchEngine::Build(config, store, SplitEvenly(240, 4));
+  ASSERT_TRUE(scratch.ok());
+  ExpectSameContents((*scratch)->global_index().ExportContents(),
+                     (*grown)->global_index().ExportContents());
+}
+
 }  // namespace
 }  // namespace hdk::engine
