@@ -1,0 +1,241 @@
+// Membership-churn micro-bench: join/leave waves through the
+// ApplyMembership lifecycle API.
+//
+// Measures, for the distributed engines (plus the "cached(hdk)" decorator
+// stack), the wall time and network cost of alternating join and
+// departure waves — messages and postings moved per membership event —
+// and the result-cache hit rate of a repeated query batch between waves.
+// Emits BENCH_churn.json. (Plain main(), no Google Benchmark dependency,
+// like micro_parallel.)
+//
+// Env knobs (see bench_common.h): HDKP2P_BENCH_SCALE=tiny,
+// HDKP2P_THREADS, HDKP2P_CORPUS_CACHE.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "engine/engine_factory.h"
+#include "engine/membership.h"
+#include "engine/partition.h"
+#include "engine/result_cache.h"
+
+namespace {
+
+using namespace hdk;
+
+struct WavePoint {
+  std::string kind;         // "join" or "leave"
+  size_t events = 0;
+  size_t peers_after = 0;
+  double seconds = 0;
+  uint64_t messages = 0;
+  uint64_t postings_moved = 0;
+};
+
+struct EngineRun {
+  std::string spec;
+  std::vector<WavePoint> waves;
+  double batch_cold_s = 0;
+  double batch_warm_s = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0;
+};
+
+net::TrafficCounters Delta(const net::TrafficCounters& before,
+                           const net::TrafficCounters& after) {
+  net::TrafficCounters d;
+  d.messages = after.messages - before.messages;
+  d.postings = after.postings - before.postings;
+  d.hops = after.hops - before.hops;
+  d.bytes = after.bytes - before.bytes;
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  auto setup = bench::SelectSetup();
+  bench::Banner(
+      "micro_churn: join/leave waves through ApplyMembership",
+      "real overlays churn — departures must cost churn traffic, not a "
+      "rebuild");
+  bench::PrintSetup(setup);
+
+  const uint32_t initial_peers = setup.initial_peers;
+  const uint32_t wave = setup.peer_step;
+  const uint32_t leave_per_wave = std::max(1u, wave / 2);
+  const uint64_t total_docs =
+      static_cast<uint64_t>(initial_peers + 2 * wave) * setup.docs_per_peer;
+
+  engine::ExperimentContext ctx(setup);
+  const corpus::DocumentStore& store = ctx.GrowTo(total_docs);
+  std::vector<corpus::Query> queries =
+      ctx.MakeQueries(initial_peers * setup.docs_per_peer,
+                      setup.num_queries);
+  // A repeated workload (each query twice): the cache's bread and butter.
+  {
+    const size_t base = queries.size();
+    for (size_t i = 0; i < base; ++i) queries.push_back(queries[i]);
+  }
+
+  const std::vector<std::string> specs = {"hdk", "single-term",
+                                          "cached(hdk)"};
+  std::vector<EngineRun> runs;
+
+  for (const std::string& spec : specs) {
+    engine::EngineConfig config;
+    config.hdk = setup.MakeParams(setup.DfMaxLow());
+    config.overlay = setup.overlay;
+    config.overlay_seed = setup.overlay_seed;
+    config.num_threads = setup.num_threads;
+
+    auto built = engine::MakeEngine(
+        std::string_view(spec), config, store,
+        engine::SplitEvenly(initial_peers * setup.docs_per_peer,
+                            initial_peers));
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed for %s: %s\n", spec.c_str(),
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    engine::SearchEngine& engine = **built;
+    EngineRun run;
+    run.spec = spec;
+
+    std::printf("%-14s %-6s %7s %10s %12s %14s %16s\n", spec.c_str(),
+                "wave", "events", "peers", "seconds", "messages",
+                "postings_moved");
+
+    DocId frontier =
+        static_cast<DocId>(initial_peers) * setup.docs_per_peer;
+    auto run_wave = [&](const std::vector<engine::MembershipEvent>& events,
+                        const char* kind) -> bool {
+      const net::TrafficCounters before =
+          engine.traffic() != nullptr ? engine.traffic()->Snapshot()
+                                      : net::TrafficCounters{};
+      Stopwatch watch;
+      Status st = engine.ApplyMembership(store, events);
+      const double seconds = watch.ElapsedSeconds();
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s wave failed: %s\n", kind,
+                     st.ToString().c_str());
+        return false;
+      }
+      const net::TrafficCounters after =
+          engine.traffic() != nullptr ? engine.traffic()->Snapshot()
+                                      : net::TrafficCounters{};
+      const net::TrafficCounters delta = Delta(before, after);
+      WavePoint point;
+      point.kind = kind;
+      point.events = events.size();
+      point.peers_after = engine.num_peers();
+      point.seconds = seconds;
+      point.messages = delta.messages;
+      point.postings_moved = delta.postings;
+      run.waves.push_back(point);
+      std::printf("%-14s %-6s %7zu %10zu %12.4f %14llu %16llu\n", "",
+                  kind, point.events, point.peers_after, point.seconds,
+                  static_cast<unsigned long long>(point.messages),
+                  static_cast<unsigned long long>(point.postings_moved));
+      return true;
+    };
+
+    for (int cycle = 0; cycle < 2; ++cycle) {
+      // Join wave: `wave` peers, docs_per_peer each, from the frontier.
+      std::vector<engine::MembershipEvent> joins =
+          engine::JoinWave(frontier, wave, setup.docs_per_peer);
+      frontier += static_cast<DocId>(wave) * setup.docs_per_peer;
+      if (!run_wave(joins, "join")) return 1;
+
+      // Leave wave: odd-positioned peers churn out one by one.
+      std::vector<engine::MembershipEvent> leaves;
+      for (uint32_t i = 0; i < leave_per_wave; ++i) {
+        leaves.push_back(engine::MembershipEvent::Leave(
+            static_cast<PeerId>(1 + i)));
+      }
+      if (!run_wave(leaves, "leave")) return 1;
+    }
+
+    // Repeated query batch over the churned network: cold, then warm.
+    Stopwatch cold;
+    auto cold_batch = engine.SearchBatch(queries, setup.top_k);
+    run.batch_cold_s = cold.ElapsedSeconds();
+    Stopwatch warm;
+    auto warm_batch = engine.SearchBatch(queries, setup.top_k);
+    run.batch_warm_s = warm.ElapsedSeconds();
+    run.cache_hits =
+        cold_batch.total.cache_hits + warm_batch.total.cache_hits;
+    run.cache_misses =
+        cold_batch.total.cache_misses + warm_batch.total.cache_misses;
+    const uint64_t lookups = run.cache_hits + run.cache_misses;
+    run.cache_hit_rate =
+        lookups == 0 ? 0.0
+                     : static_cast<double>(run.cache_hits) /
+                           static_cast<double>(lookups);
+    std::printf("%-14s batch: cold %.4fs warm %.4fs | cache hits %llu "
+                "misses %llu (hit rate %.2f)\n\n",
+                "", run.batch_cold_s, run.batch_warm_s,
+                static_cast<unsigned long long>(run.cache_hits),
+                static_cast<unsigned long long>(run.cache_misses),
+                run.cache_hit_rate);
+    runs.push_back(std::move(run));
+  }
+
+  const char* out_path = "BENCH_churn.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  const char* scale_env = std::getenv("HDKP2P_BENCH_SCALE");
+  std::fprintf(out, "{\n  \"bench\": \"micro_churn\",\n");
+  std::fprintf(out, "  \"scale\": \"%s\",\n",
+               scale_env != nullptr && std::strcmp(scale_env, "tiny") == 0
+                   ? "tiny"
+                   : "default");
+  std::fprintf(out, "  \"initial_peers\": %u,\n  \"wave_peers\": %u,\n",
+               initial_peers, wave);
+  std::fprintf(out, "  \"leaves_per_wave\": %u,\n  \"docs_per_peer\": %u,\n",
+               leave_per_wave, setup.docs_per_peer);
+  std::fprintf(out, "  \"batch_queries\": %zu,\n  \"engines\": [\n",
+               queries.size());
+  for (size_t e = 0; e < runs.size(); ++e) {
+    const EngineRun& run = runs[e];
+    std::fprintf(out, "    {\"spec\": \"%s\", \"waves\": [\n",
+                 run.spec.c_str());
+    for (size_t i = 0; i < run.waves.size(); ++i) {
+      const WavePoint& p = run.waves[i];
+      const double per_event =
+          p.events > 0
+              ? static_cast<double>(p.postings_moved) /
+                    static_cast<double>(p.events)
+              : 0.0;
+      std::fprintf(out,
+                   "      {\"kind\": \"%s\", \"events\": %zu, "
+                   "\"peers_after\": %zu, \"seconds\": %.6f, "
+                   "\"messages\": %llu, \"postings_moved\": %llu, "
+                   "\"postings_per_event\": %.1f}%s\n",
+                   p.kind.c_str(), p.events, p.peers_after, p.seconds,
+                   static_cast<unsigned long long>(p.messages),
+                   static_cast<unsigned long long>(p.postings_moved),
+                   per_event, i + 1 < run.waves.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "    ], \"batch_cold_s\": %.6f, \"batch_warm_s\": %.6f, "
+                 "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                 "\"cache_hit_rate\": %.4f}%s\n",
+                 run.batch_cold_s, run.batch_warm_s,
+                 static_cast<unsigned long long>(run.cache_hits),
+                 static_cast<unsigned long long>(run.cache_misses),
+                 run.cache_hit_rate,
+                 e + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

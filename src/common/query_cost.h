@@ -24,6 +24,11 @@ struct QueryCost {
   /// Total messages (probes + responses) and overlay routing hops.
   uint64_t messages = 0;
   uint64_t hops = 0;
+  /// Result-cache outcomes (engine decorators, e.g. "cached(hdk)"): a hit
+  /// answers from the cache with every network counter zero; a miss ran
+  /// the wrapped engine. Both stay 0 on undecorated engines.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   QueryCost& operator+=(const QueryCost& other) {
     keys_fetched += other.keys_fetched;
@@ -32,6 +37,8 @@ struct QueryCost {
     pruned += other.pruned;
     messages += other.messages;
     hops += other.hops;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
     return *this;
   }
 

@@ -8,14 +8,27 @@ namespace hdk::corpus {
 CollectionStats::CollectionStats(const DocumentStore& store,
                                  uint64_t num_docs) {
   if (num_docs == 0 || num_docs > store.size()) num_docs = store.size();
-  num_documents_ = num_docs;
+  std::pair<DocId, DocId> prefix{0, static_cast<DocId>(num_docs)};
+  Init(store, {&prefix, 1});
+}
 
+CollectionStats::CollectionStats(
+    const DocumentStore& store,
+    std::span<const std::pair<DocId, DocId>> ranges) {
+  Init(store, ranges);
+}
+
+void CollectionStats::Init(const DocumentStore& store,
+                           std::span<const std::pair<DocId, DocId>> ranges) {
   TermId max_id = 0;
-  for (uint64_t d = 0; d < num_docs; ++d) {
-    const auto& doc = store.docs()[d];
-    total_tokens_ += doc.tokens.size();
-    for (TermId t : doc.tokens) {
-      max_id = std::max(max_id, t);
+  for (const auto& [first, last] : ranges) {
+    for (DocId d = first; d < last && d < store.size(); ++d) {
+      const auto& doc = store.docs()[d];
+      ++num_documents_;
+      total_tokens_ += doc.tokens.size();
+      for (TermId t : doc.tokens) {
+        max_id = std::max(max_id, t);
+      }
     }
   }
   if (num_documents_ == 0) return;
@@ -24,16 +37,18 @@ CollectionStats::CollectionStats(const DocumentStore& store,
   df_.assign(static_cast<size_t>(max_id) + 1, 0);
 
   std::vector<TermId> seen;  // distinct terms of the current document
-  for (uint64_t d = 0; d < num_docs; ++d) {
-    const auto& doc = store.docs()[d];
-    seen.clear();
-    for (TermId t : doc.tokens) {
-      if (cf_[t]++ == 0) ++vocabulary_size_;
-      seen.push_back(t);
+  for (const auto& [first, last] : ranges) {
+    for (DocId d = first; d < last && d < store.size(); ++d) {
+      const auto& doc = store.docs()[d];
+      seen.clear();
+      for (TermId t : doc.tokens) {
+        if (cf_[t]++ == 0) ++vocabulary_size_;
+        seen.push_back(t);
+      }
+      std::sort(seen.begin(), seen.end());
+      seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+      for (TermId t : seen) ++df_[t];
     }
-    std::sort(seen.begin(), seen.end());
-    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
-    for (TermId t : seen) ++df_[t];
   }
 
   rank_freq_.reserve(vocabulary_size_);

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -20,6 +21,12 @@ class CollectionStats {
   /// store has grown past the indexed collection.
   explicit CollectionStats(const DocumentStore& store,
                            uint64_t num_docs = 0);
+
+  /// Computes statistics over the union of the given disjoint [first,
+  /// last) document ranges — the collection a churned network covers once
+  /// departed peers have punched holes into the indexed prefix.
+  CollectionStats(const DocumentStore& store,
+                  std::span<const std::pair<DocId, DocId>> ranges);
 
   /// Number of documents M.
   uint64_t num_documents() const { return num_documents_; }
@@ -64,6 +71,9 @@ class CollectionStats {
   uint64_t NumHapax() const;
 
  private:
+  void Init(const DocumentStore& store,
+            std::span<const std::pair<DocId, DocId>> ranges);
+
   uint64_t num_documents_ = 0;
   uint64_t total_tokens_ = 0;
   uint64_t vocabulary_size_ = 0;

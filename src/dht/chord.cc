@@ -12,7 +12,9 @@ ChordOverlay::ChordOverlay(size_t initial_peers, uint64_t seed)
   assert(initial_peers >= 1);
   node_ids_.reserve(initial_peers);
   for (size_t i = 0; i < initial_peers; ++i) {
-    node_ids_.push_back(Mix64(seed_ ^ (0xC0DE + i * 0x9E3779B97F4A7C15ULL)));
+    node_ids_.push_back(
+        Mix64(seed_ ^ (0xC0DE + next_placement_++ *
+                                    0x9E3779B97F4A7C15ULL)));
   }
   Rebuild();
 }
@@ -56,10 +58,24 @@ PeerId ChordOverlay::NextHop(PeerId from, RingId key) const {
 }
 
 Status ChordOverlay::AddPeer() {
-  PeerId id = static_cast<PeerId>(node_ids_.size());
   node_ids_.push_back(
-      Mix64(seed_ ^ (0xC0DE + static_cast<uint64_t>(id) *
+      Mix64(seed_ ^ (0xC0DE + next_placement_++ *
                                   0x9E3779B97F4A7C15ULL)));
+  Rebuild();
+  return Status::OK();
+}
+
+Status ChordOverlay::RemovePeer(PeerId p) {
+  if (p >= node_ids_.size()) {
+    return Status::InvalidArgument("Chord RemovePeer: unknown peer");
+  }
+  if (node_ids_.size() == 1) {
+    return Status::FailedPrecondition(
+        "Chord RemovePeer: cannot remove the last peer");
+  }
+  // Successor responsibility makes departures trivial: the node leaves the
+  // ring and its arc falls to its successor when the tables are rebuilt.
+  node_ids_.erase(node_ids_.begin() + p);
   Rebuild();
   return Status::OK();
 }

@@ -24,6 +24,7 @@ class ChordOverlay : public Overlay {
   PeerId Responsible(RingId key) const override;
   PeerId NextHop(PeerId from, RingId key) const override;
   Status AddPeer() override;
+  Status RemovePeer(PeerId p) override;
   size_t num_peers() const override { return node_ids_.size(); }
 
   /// Ring position of a peer.
@@ -36,6 +37,11 @@ class ChordOverlay : public Overlay {
   static bool InInterval(RingId x, RingId a, RingId b);
 
   uint64_t seed_;
+  /// Monotone placement counter: joining nodes draw fresh ring positions
+  /// from it, so a join after a departure can never reuse a placement
+  /// that is still on the ring (ids are renumbered densely, placements
+  /// are not).
+  uint64_t next_placement_ = 0;
   std::vector<RingId> node_ids_;                  // peer -> ring id
   std::vector<std::pair<RingId, PeerId>> ring_;   // sorted by ring id
   std::vector<PeerId> successor_;                 // peer -> next peer on ring

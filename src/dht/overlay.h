@@ -33,6 +33,13 @@ class Overlay {
   /// Adds one peer to the overlay (network growth experiments).
   virtual Status AddPeer() = 0;
 
+  /// Removes peer `p` from the overlay (churn experiments): its key-space
+  /// responsibility is absorbed by the surviving peers and every peer with
+  /// an id greater than `p` is renumbered down by one, keeping ids dense
+  /// in [0, num_peers()). Fails when `p` is out of range or the overlay
+  /// would become empty.
+  virtual Status RemovePeer(PeerId p) = 0;
+
   virtual size_t num_peers() const = 0;
 
   /// Routes a lookup from `from` to the responsible peer; returns the hop

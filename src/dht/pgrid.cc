@@ -49,6 +49,52 @@ Status PGridOverlay::AddPeer() {
   return Status::OK();
 }
 
+Status PGridOverlay::RemovePeer(PeerId p) {
+  if (p >= paths_.size()) {
+    return Status::InvalidArgument("P-Grid RemovePeer: unknown peer");
+  }
+  if (paths_.size() == 1) {
+    return Status::FailedPrecondition(
+        "P-Grid RemovePeer: cannot remove the last peer");
+  }
+
+  // A deepest leaf always has a LEAF buddy (were its sibling subtree
+  // subdivided, an even deeper leaf would exist), so the pair can merge
+  // into one leaf of depth-1 — the inverse of the AddPeer split. When the
+  // departing peer is not itself a deepest leaf, the freed deepest peer
+  // takes over the departing peer's path instead.
+  size_t deepest = 0;
+  for (size_t i = 1; i < paths_.size(); ++i) {
+    if (paths_[i].length > paths_[deepest].length) deepest = i;
+  }
+  if (paths_[p].length == paths_[deepest].length) deepest = p;
+
+  // Find the buddy leaf: same length, last bit flipped.
+  TriePath buddy = paths_[deepest];
+  buddy.bits ^= (1ULL << (64 - buddy.length));
+  size_t buddy_index = paths_.size();
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    if (i != deepest && paths_[i].length == buddy.length &&
+        paths_[i].bits == buddy.bits) {
+      buddy_index = i;
+      break;
+    }
+  }
+  if (buddy_index == paths_.size()) {
+    return Status::Internal("P-Grid RemovePeer: deepest leaf has no buddy");
+  }
+
+  // The buddy absorbs the deepest leaf's half of the key space ...
+  TriePath& absorbed = paths_[buddy_index];
+  --absorbed.length;
+  absorbed.bits &= absorbed.length == 0 ? 0 : ~0ULL << (64 - absorbed.length);
+  // ... and the freed peer inherits the departing peer's path.
+  if (deepest != p) paths_[deepest] = paths_[p];
+  paths_.erase(paths_.begin() + p);
+  RebuildIntervals();
+  return Status::OK();
+}
+
 void PGridOverlay::RebuildIntervals() {
   intervals_.clear();
   intervals_.reserve(paths_.size());

@@ -54,6 +54,7 @@ class PGridOverlay : public Overlay {
   PeerId Responsible(RingId key) const override;
   PeerId NextHop(PeerId from, RingId key) const override;
   Status AddPeer() override;
+  Status RemovePeer(PeerId p) override;
   size_t num_peers() const override { return paths_.size(); }
 
   /// The key-space path of a peer.

@@ -19,6 +19,31 @@ Result<std::unique_ptr<CentralizedBm25Engine>> CentralizedBm25Engine::Build(
   engine->params_ = params;
   engine->pool_ = ThreadPool::MakeIfParallel(num_threads);
   HDK_RETURN_NOT_OK(engine->IndexRange(0, num_docs));
+  engine->ranges_.emplace_back(0, num_docs);
+  engine->frontier_ = num_docs;
+  return engine;
+}
+
+Result<std::unique_ptr<CentralizedBm25Engine>>
+CentralizedBm25Engine::BuildOverRanges(
+    const corpus::DocumentStore& store,
+    std::vector<std::pair<DocId, DocId>> peer_ranges,
+    index::Bm25Params params, size_t num_threads) {
+  if (peer_ranges.empty()) {
+    return Status::InvalidArgument(
+        "CentralizedBm25Engine: need >= 1 peer range");
+  }
+  HDK_RETURN_NOT_OK(ValidateDisjointRanges(peer_ranges, store.size()));
+  auto engine = std::unique_ptr<CentralizedBm25Engine>(
+      new CentralizedBm25Engine());
+  engine->store_ = &store;
+  engine->params_ = params;
+  engine->pool_ = ThreadPool::MakeIfParallel(num_threads);
+  for (const auto& [first, last] : peer_ranges) {
+    HDK_RETURN_NOT_OK(engine->IndexRange(first, last));
+    engine->frontier_ = std::max(engine->frontier_, last);
+  }
+  engine->ranges_ = std::move(peer_ranges);
   return engine;
 }
 
@@ -60,18 +85,37 @@ SearchResponse CentralizedBm25Engine::Search(std::span<const TermId> query,
   return response;
 }
 
-Status CentralizedBm25Engine::AddPeers(
+Status CentralizedBm25Engine::ValidateEvents(
     const corpus::DocumentStore& store,
-    const std::vector<std::pair<DocId, DocId>>& new_ranges) {
+    std::span<const MembershipEvent> events) const {
   if (&store != store_) {
     return Status::InvalidArgument(
-        "AddPeers: must grow the store the engine was built on");
+        "ApplyMembership: must use the store the engine was built on");
   }
-  HDK_RETURN_NOT_OK(ValidateJoinRanges(
-      static_cast<DocId>(index_.num_documents()), new_ranges,
-      store.size()));
-  return IndexRange(static_cast<DocId>(index_.num_documents()),
-                    new_ranges.back().second);
+  return ValidateMembershipEvents(events, ranges_.size(), frontier_,
+                                  store.size());
+}
+
+Status CentralizedBm25Engine::ApplyMembership(
+    const corpus::DocumentStore& store,
+    std::span<const MembershipEvent> events) {
+  HDK_RETURN_NOT_OK(ValidateEvents(store, events));
+  return DispatchMembershipEvents(
+      events,
+      [&](const std::vector<DocRange>& wave) {
+        for (const DocRange& range : wave) {
+          HDK_RETURN_NOT_OK(IndexRange(range.first, range.second));
+          ranges_.push_back(range);
+          frontier_ = std::max(frontier_, range.second);
+        }
+        return Status::OK();
+      },
+      [&](PeerId peer) {
+        const DocRange range = ranges_[peer];
+        index_.RemoveRange(*store_, range.first, range.second);
+        ranges_.erase(ranges_.begin() + peer);
+        return Status::OK();
+      });
 }
 
 std::vector<index::ScoredDoc> CentralizedBm25Engine::Rank(

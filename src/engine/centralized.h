@@ -4,8 +4,11 @@
 // every QueryCost network counter stays 0, and postings_fetched reports
 // the postings SCANNED (the sum of the query terms' posting-list lengths —
 // exactly what a distributed single-term engine would have to transfer,
-// the paper's naive-baseline cost metric). AddPeers degenerates to
-// appending the new document ranges to the index.
+// the paper's naive-baseline cost metric). Membership events address
+// LOGICAL peers (the document ranges the engine was built with): joins
+// append their ranges to the index, departures drop theirs from it
+// (InvertedIndex::RemoveRange), so the reference keeps mirroring exactly
+// the churned collection.
 #ifndef HDKP2P_ENGINE_CENTRALIZED_H_
 #define HDKP2P_ENGINE_CENTRALIZED_H_
 
@@ -25,14 +28,22 @@ namespace hdk::engine {
 /// A classic centralized IR engine over the full collection.
 class CentralizedBm25Engine : public SearchEngine {
  public:
-  /// Indexes the first `num_docs` documents of `store` (0 = all of it).
-  /// `num_threads` drives the chunked parallel index build and the
-  /// SearchBatch fan-out (0 = hardware concurrency, 1 = exact serial
-  /// path); the index and all results are identical for every value.
+  /// Indexes the first `num_docs` documents of `store` (0 = all of it) as
+  /// one logical peer. `num_threads` drives the chunked parallel index
+  /// build and the SearchBatch fan-out (0 = hardware concurrency, 1 =
+  /// exact serial path); the index and all results are identical for
+  /// every value.
   static Result<std::unique_ptr<CentralizedBm25Engine>> Build(
       const corpus::DocumentStore& store,
       index::Bm25Params params = {}, DocId num_docs = 0,
       size_t num_threads = 0);
+
+  /// Indexes the documents covered by `peer_ranges`, remembering the
+  /// ranges as logical peers so membership events can address them.
+  static Result<std::unique_ptr<CentralizedBm25Engine>> BuildOverRanges(
+      const corpus::DocumentStore& store,
+      std::vector<std::pair<DocId, DocId>> peer_ranges,
+      index::Bm25Params params = {}, size_t num_threads = 0);
 
   // -- SearchEngine ----------------------------------------------------
 
@@ -43,11 +54,12 @@ class CentralizedBm25Engine : public SearchEngine {
   SearchResponse Search(std::span<const TermId> query, size_t k,
                         PeerId origin = kInvalidPeer) override;
 
-  /// "Joins" reduce to indexing the new document ranges: the centralized
-  /// reference keeps mirroring the grown collection.
-  Status AddPeers(
-      const corpus::DocumentStore& store,
-      const std::vector<std::pair<DocId, DocId>>& new_ranges) override;
+  /// Joins index the new document ranges, departures drop the departed
+  /// logical peer's range from the index: the centralized reference keeps
+  /// mirroring the churned collection posting for posting.
+  Status ApplyMembership(const corpus::DocumentStore& store,
+                         std::span<const MembershipEvent> events) override;
+  using SearchEngine::ApplyMembership;
 
   size_t num_peers() const override { return 1; }
   uint64_t num_documents() const override { return index_.num_documents(); }
@@ -70,11 +82,17 @@ class CentralizedBm25Engine : public SearchEngine {
 
   const index::InvertedIndex& index() const { return index_; }
 
+  /// The logical peer ranges membership events address.
+  const std::vector<DocRange>& peer_ranges() const { return ranges_; }
+
  protected:
   ThreadPool* batch_pool() const override { return pool_.get(); }
 
  private:
   CentralizedBm25Engine() = default;
+
+  Status ValidateEvents(const corpus::DocumentStore& store,
+                        std::span<const MembershipEvent> events) const;
 
   /// Indexes [first, last): chunked across the pool, merged in chunk
   /// order — identical to a serial AddRange.
@@ -84,6 +102,10 @@ class CentralizedBm25Engine : public SearchEngine {
   std::unique_ptr<ThreadPool> pool_;  // nullptr = serial
   index::InvertedIndex index_;
   index::Bm25Params params_;
+  /// Logical peers; `frontier_` is one past the highest ever indexed
+  /// document (departed ranges are not re-used).
+  std::vector<DocRange> ranges_;
+  DocId frontier_ = 0;
 };
 
 }  // namespace hdk::engine

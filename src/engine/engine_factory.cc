@@ -1,12 +1,60 @@
 #include "engine/engine_factory.h"
 
 #include <algorithm>
+#include <charconv>
+#include <map>
+#include <mutex>
 
 #include "engine/centralized.h"
 #include "engine/hdk_engine.h"
+#include "engine/result_cache.h"
 #include "engine/st_engine.h"
 
 namespace hdk::engine {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  while (!s.empty() && s.back() == ' ') s.remove_suffix(1);
+  return s;
+}
+
+/// Built-in "cached" decorator: LRU capacity from the spec argument, the
+/// EngineConfig default otherwise.
+Result<std::unique_ptr<SearchEngine>> MakeCached(
+    std::unique_ptr<SearchEngine> inner, std::string_view arg,
+    const EngineConfig& config) {
+  size_t capacity = config.result_cache_capacity;
+  if (!arg.empty()) {
+    size_t parsed = 0;
+    auto [ptr, ec] =
+        std::from_chars(arg.data(), arg.data() + arg.size(), parsed);
+    if (ec != std::errc() || ptr != arg.data() + arg.size() ||
+        parsed == 0) {
+      return Status::InvalidArgument(
+          "cached: capacity argument must be a positive integer, got '" +
+          std::string(arg) + "'");
+    }
+    capacity = parsed;
+  }
+  return std::unique_ptr<SearchEngine>(
+      std::make_unique<ResultCacheEngine>(std::move(inner), capacity));
+}
+
+struct DecoratorRegistry {
+  std::mutex mu;
+  std::map<std::string, EngineDecoratorFactory, std::less<>> factories;
+
+  DecoratorRegistry() { factories.emplace("cached", MakeCached); }
+};
+
+DecoratorRegistry& Registry() {
+  static DecoratorRegistry* registry = new DecoratorRegistry();
+  return *registry;
+}
+
+}  // namespace
 
 std::string_view EngineKindName(EngineKind kind) {
   switch (kind) {
@@ -28,6 +76,79 @@ std::optional<EngineKind> ParseEngineKind(std::string_view name) {
   if (name == "st") return EngineKind::kSingleTerm;
   if (name == "bm25") return EngineKind::kCentralized;
   return std::nullopt;
+}
+
+bool RegisterEngineDecorator(std::string_view name,
+                             EngineDecoratorFactory factory) {
+  DecoratorRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.factories.emplace(std::string(name), std::move(factory))
+      .second;
+}
+
+std::vector<std::string> RegisteredEngineDecorators() {
+  DecoratorRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.factories.size());
+  for (const auto& [name, factory] : registry.factories) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<EngineSpec> EngineSpec::Parse(std::string_view spec) {
+  EngineSpec parsed;
+  std::string_view rest = Trim(spec);
+  while (true) {
+    const size_t open = rest.find('(');
+    if (open == std::string_view::npos) break;
+    // "name(" or "name:arg(" — a decorator layer.
+    std::string_view head = Trim(rest.substr(0, open));
+    if (rest.empty() || rest.back() != ')') {
+      return Status::InvalidArgument("EngineSpec: missing ')' in '" +
+                                     std::string(spec) + "'");
+    }
+    std::string_view arg;
+    const size_t colon = head.find(':');
+    if (colon != std::string_view::npos) {
+      arg = Trim(head.substr(colon + 1));
+      head = Trim(head.substr(0, colon));
+      if (arg.empty()) {
+        return Status::InvalidArgument(
+            "EngineSpec: ':' without an argument in '" +
+            std::string(spec) + "'");
+      }
+    }
+    if (head.empty()) {
+      return Status::InvalidArgument(
+          "EngineSpec: empty decorator name in '" + std::string(spec) +
+          "'");
+    }
+    parsed.decorators.push_back(
+        Decorator{std::string(head), std::string(arg)});
+    rest = Trim(rest.substr(open + 1, rest.size() - open - 2));
+  }
+  const std::optional<EngineKind> kind = ParseEngineKind(Trim(rest));
+  if (!kind.has_value()) {
+    return Status::InvalidArgument("EngineSpec: unknown backend '" +
+                                   std::string(Trim(rest)) + "' in '" +
+                                   std::string(spec) + "'");
+  }
+  parsed.kind = *kind;
+  return parsed;
+}
+
+std::string EngineSpec::ToString() const {
+  std::string out;
+  for (const Decorator& decorator : decorators) {
+    out += decorator.name;
+    if (!decorator.arg.empty()) out += ":" + decorator.arg;
+    out += "(";
+  }
+  out += std::string(EngineKindName(kind));
+  out.append(decorators.size(), ')');
+  return out;
 }
 
 Result<std::unique_ptr<SearchEngine>> MakeEngine(
@@ -57,22 +178,50 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
       return std::unique_ptr<SearchEngine>(std::move(engine));
     }
     case EngineKind::kCentralized: {
-      if (peer_ranges.empty()) {
-        return Status::InvalidArgument(
-            "CentralizedBm25Engine: need >= 1 peer range");
-      }
-      DocId num_docs = 0;
-      for (const auto& [first, last] : peer_ranges) {
-        num_docs = std::max(num_docs, last);
-      }
       HDK_ASSIGN_OR_RETURN(
           std::unique_ptr<CentralizedBm25Engine> engine,
-          CentralizedBm25Engine::Build(store, config.bm25, num_docs,
-                                       config.num_threads));
+          CentralizedBm25Engine::BuildOverRanges(
+              store, std::move(peer_ranges), config.bm25,
+              config.num_threads));
       return std::unique_ptr<SearchEngine>(std::move(engine));
     }
   }
   return Status::InvalidArgument("unknown engine kind");
+}
+
+Result<std::unique_ptr<SearchEngine>> MakeEngine(
+    const EngineSpec& spec, const EngineConfig& config,
+    const corpus::DocumentStore& store,
+    std::vector<std::pair<DocId, DocId>> peer_ranges) {
+  HDK_ASSIGN_OR_RETURN(
+      std::unique_ptr<SearchEngine> engine,
+      MakeEngine(spec.kind, config, store, std::move(peer_ranges)));
+  // Innermost decorator wraps first.
+  for (auto it = spec.decorators.rbegin(); it != spec.decorators.rend();
+       ++it) {
+    EngineDecoratorFactory factory;
+    {
+      DecoratorRegistry& registry = Registry();
+      std::lock_guard<std::mutex> lock(registry.mu);
+      auto found = registry.factories.find(it->name);
+      if (found == registry.factories.end()) {
+        return Status::InvalidArgument(
+            "EngineSpec: unknown decorator '" + it->name + "'");
+      }
+      factory = found->second;
+    }
+    HDK_ASSIGN_OR_RETURN(engine,
+                         factory(std::move(engine), it->arg, config));
+  }
+  return engine;
+}
+
+Result<std::unique_ptr<SearchEngine>> MakeEngine(
+    std::string_view spec, const EngineConfig& config,
+    const corpus::DocumentStore& store,
+    std::vector<std::pair<DocId, DocId>> peer_ranges) {
+  HDK_ASSIGN_OR_RETURN(EngineSpec parsed, EngineSpec::Parse(spec));
+  return MakeEngine(parsed, config, store, std::move(peer_ranges));
 }
 
 }  // namespace hdk::engine

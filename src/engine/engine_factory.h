@@ -1,13 +1,25 @@
-// Engine registry: select any retrieval backend by kind (or name) behind
-// the unified SearchEngine interface — the overlay_factory pattern lifted
-// to whole engines. Benches, examples and future backends (super-peer
-// routing, caching layers) plug in here.
+// Engine registry: build any retrieval backend — optionally wrapped in a
+// stack of engine DECORATORS — behind the unified SearchEngine interface.
+//
+// A spec string names the composition:
+//
+//   "hdk"                  bare backend (EngineKind)
+//   "cached(hdk)"          result-cache decorator over the HDK engine
+//   "cached:256(st)"       same, with an explicit capacity argument
+//   "cached(cached(hdk))"  decorators nest (outermost first)
+//
+// Decorators register themselves by name through RegisterEngineDecorator;
+// "cached" (engine/result_cache.h) ships built in, and future layers —
+// super-peer routing fronts (arXiv:1111.5518), posting caches
+// (arXiv:cs/0210010) — plug into the same seam.
 #ifndef HDKP2P_ENGINE_ENGINE_FACTORY_H_
 #define HDKP2P_ENGINE_ENGINE_FACTORY_H_
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -53,13 +65,64 @@ struct EngineConfig {
   /// Indexes and query results are identical for every value (see README
   /// "Threading").
   size_t num_threads = 0;
+  /// Default capacity of the "cached" decorator's LRU (overridable per
+  /// spec: "cached:256(hdk)").
+  size_t result_cache_capacity = 1024;
 };
 
-/// Builds an engine of `kind` over the documents covered by `peer_ranges`
-/// (the centralized backend indexes the same documents on one node).
-/// `store` must outlive the engine.
+/// A parsed composition: the concrete backend plus the decorator stack
+/// wrapped around it, outermost first.
+struct EngineSpec {
+  struct Decorator {
+    std::string name;
+    std::string arg;  // empty when the spec gave none
+  };
+
+  EngineKind kind = EngineKind::kHdk;
+  std::vector<Decorator> decorators;
+
+  /// Parses "deco:arg(deco2(kind))"-style specs (kind aliases of
+  /// ParseEngineKind accepted). Unknown decorator or backend names and
+  /// malformed nesting are InvalidArgument.
+  static Result<EngineSpec> Parse(std::string_view spec);
+
+  /// Canonical spec string ("cached:256(hdk)").
+  std::string ToString() const;
+};
+
+/// Wraps `inner` according to one registered decorator; `arg` is the
+/// spec's per-decorator argument (may be empty).
+using EngineDecoratorFactory =
+    std::function<Result<std::unique_ptr<SearchEngine>>(
+        std::unique_ptr<SearchEngine> inner, std::string_view arg,
+        const EngineConfig& config)>;
+
+/// Registers a decorator under `name` (false if the name is taken). The
+/// built-in "cached" result cache is pre-registered.
+bool RegisterEngineDecorator(std::string_view name,
+                             EngineDecoratorFactory factory);
+
+/// Names of all registered decorators, sorted.
+std::vector<std::string> RegisteredEngineDecorators();
+
+/// Builds a bare engine of `kind` over the documents covered by
+/// `peer_ranges` (the centralized backend indexes the same ranges as
+/// logical peers). `store` must outlive the engine.
 Result<std::unique_ptr<SearchEngine>> MakeEngine(
     EngineKind kind, const EngineConfig& config,
+    const corpus::DocumentStore& store,
+    std::vector<std::pair<DocId, DocId>> peer_ranges);
+
+/// Builds a parsed composition: the backend plus its decorator stack.
+Result<std::unique_ptr<SearchEngine>> MakeEngine(
+    const EngineSpec& spec, const EngineConfig& config,
+    const corpus::DocumentStore& store,
+    std::vector<std::pair<DocId, DocId>> peer_ranges);
+
+/// Parses `spec` and builds it — the one-liner benches and examples use:
+/// MakeEngine("cached(hdk)", config, store, ranges).
+Result<std::unique_ptr<SearchEngine>> MakeEngine(
+    std::string_view spec, const EngineConfig& config,
     const corpus::DocumentStore& store,
     std::vector<std::pair<DocId, DocId>> peer_ranges);
 

@@ -1,6 +1,7 @@
 #include "engine/hdk_engine.h"
 
 #include <algorithm>
+#include <string>
 
 namespace hdk::engine {
 
@@ -11,15 +12,15 @@ Result<std::unique_ptr<HdkSearchEngine>> HdkSearchEngine::Build(
   if (peer_ranges.empty()) {
     return Status::InvalidArgument("HdkSearchEngine: need >= 1 peer");
   }
-  DocId watermark = 0;
-  for (const auto& [first, last] : peer_ranges) {
-    watermark = std::max(watermark, last);
-  }
+  HDK_RETURN_NOT_OK(ValidateDisjointRanges(peer_ranges, store.size()));
 
   auto engine = std::unique_ptr<HdkSearchEngine>(new HdkSearchEngine());
   engine->config_ = config;
   engine->store_ = &store;
-  engine->stats_ = std::make_unique<corpus::CollectionStats>(store, watermark);
+  // Ranges-based statistics: a scratch build over a churned network's
+  // surviving ranges (holes included) must see exactly those documents.
+  engine->stats_ =
+      std::make_unique<corpus::CollectionStats>(store, peer_ranges);
   engine->pool_ = ThreadPool::MakeIfParallel(config.num_threads);
   engine->overlay_ =
       MakeOverlay(config.overlay, peer_ranges.size(), config.overlay_seed);
@@ -37,17 +38,22 @@ Result<std::unique_ptr<HdkSearchEngine>> HdkSearchEngine::Build(
   return engine;
 }
 
-Status HdkSearchEngine::AddPeers(
+Status HdkSearchEngine::ValidateEvents(
     const corpus::DocumentStore& store,
-    const std::vector<std::pair<DocId, DocId>>& new_ranges) {
+    std::span<const MembershipEvent> events) const {
   if (&store != store_) {
     return Status::InvalidArgument(
-        "AddPeers: must grow the store the engine was built on");
+        "ApplyMembership: must use the store the engine was built on");
   }
-  // Validate up front so a rejected join leaves the engine untouched
-  // (the protocol re-checks after the overlay has grown).
+  return ValidateMembershipEvents(events, num_peers(),
+                                  protocol_->indexed_documents(),
+                                  store.size());
+}
+
+Status HdkSearchEngine::ApplyJoinWave(
+    const std::vector<DocRange>& new_ranges) {
   HDK_RETURN_NOT_OK(ValidateJoinRanges(protocol_->indexed_documents(),
-                                       new_ranges, store.size()));
+                                       new_ranges, store_->size()));
 
   // 1. The joining peers enter the overlay; key-space responsibility is
   //    re-balanced and published fragments are handed over.
@@ -57,23 +63,61 @@ Status HdkSearchEngine::AddPeers(
   p2p::GrowthStats growth;
   growth.migrated_keys = global_->OnOverlayGrown();
 
-  // 2. Collection statistics over the grown prefix (very-frequent cutoff,
-  //    average document length).
-  DocId watermark = 0;
-  for (const auto& [first, last] : new_ranges) {
-    watermark = std::max(watermark, last);
-  }
-  stats_ = std::make_unique<corpus::CollectionStats>(store, watermark);
+  // 2. Collection statistics over the grown ranges (very-frequent cutoff,
+  //    average document length) — ranges-based, because departures may
+  //    have punched holes into the indexed prefix.
+  std::vector<DocRange> all_ranges = protocol_->peer_ranges();
+  all_ranges.insert(all_ranges.end(), new_ranges.begin(), new_ranges.end());
+  stats_ = std::make_unique<corpus::CollectionStats>(*store_, all_ranges);
 
   // 3. Delta indexing run.
-  Status st = protocol_->Grow(new_ranges, *stats_, &growth);
-  if (!st.ok()) return st;
+  HDK_RETURN_NOT_OK(protocol_->Grow(new_ranges, *stats_, &growth));
   last_growth_ = growth;
+  return Status::OK();
+}
 
-  // 4. The retriever ranks with global collection statistics; refresh it.
+Status HdkSearchEngine::ApplyDeparture(PeerId peer) {
+  // Collection statistics over the survivors only.
+  std::vector<DocRange> ranges = protocol_->peer_ranges();
+  ranges.erase(ranges.begin() + peer);
+  auto stats = std::make_unique<corpus::CollectionStats>(*store_, ranges);
+
+  p2p::DepartureStats departure;
+  HDK_RETURN_NOT_OK(protocol_->Depart(
+      peer, *stats, [this, peer] { return overlay_->RemovePeer(peer); },
+      &departure));
+  stats_ = std::move(stats);
+  last_departure_ = departure;
+  return Status::OK();
+}
+
+Status HdkSearchEngine::ApplyMembership(
+    const corpus::DocumentStore& store,
+    std::span<const MembershipEvent> events) {
+  HDK_RETURN_NOT_OK(ValidateEvents(store, events));
+
+  MembershipSummary summary;
+  summary.events = events.size();
+  HDK_RETURN_NOT_OK(DispatchMembershipEvents(
+      events,
+      [&](const std::vector<DocRange>& wave) {
+        HDK_RETURN_NOT_OK(ApplyJoinWave(wave));
+        summary.joined_peers += wave.size();
+        return Status::OK();
+      },
+      [&](PeerId peer) {
+        HDK_RETURN_NOT_OK(ApplyDeparture(peer));
+        ++summary.departed_peers;
+        return Status::OK();
+      }));
+  last_membership_ = summary;
+
+  // The retriever ranks with global collection statistics; refresh it.
   retriever_ = std::make_unique<p2p::HdkRetriever>(
       global_.get(), config_.hdk, stats_->num_documents(),
       stats_->average_document_length(), traffic_.get());
+  // Keep the query-origin rotation inside the live peer set.
+  next_origin_.Clamp(num_peers());
   return Status::OK();
 }
 

@@ -1,11 +1,12 @@
 // HdkSearchEngine — the paper's system behind the unified SearchEngine
 // interface: a structured P2P network whose peers collaboratively build a
 // global highly-discriminative-key index and answer multi-term queries
-// with bounded retrieval traffic. Supports the incremental AddPeers
-// lifecycle (paper's evolution experiment): joining peers index only the
-// document delta while keys whose document frequency crossed DFmax are
-// re-derived, producing an index posting-for-posting identical to a
-// from-scratch build.
+// with bounded retrieval traffic. Supports the full membership lifecycle:
+// joins index only the document delta (paper's evolution experiment) and
+// departures run a ledger-driven repair (contribution purge, reverse
+// DFmax-reclassification, fragment re-replication, Ff re-admission) — in
+// both directions the index stays posting-for-posting identical to a
+// from-scratch build over the current document ranges.
 //
 // See engine/search_engine.h for the interface quickstart; construct via
 // MakeEngine(EngineKind::kHdk, ...) or HdkSearchEngine::Build.
@@ -62,16 +63,15 @@ class HdkSearchEngine : public SearchEngine {
   SearchResponse Search(std::span<const TermId> query, size_t k,
                         PeerId origin = kInvalidPeer) override;
 
-  /// Joins peers to the overlay and runs the indexing protocol over the
-  /// delta only: new documents are indexed, key-space responsibility is
-  /// handed over, terms that crossed Ff are purged, and HDKs whose global
-  /// document frequency crossed DFmax are reclassified (their historical
-  /// contributors are notified and expand them) — see
-  /// p2p/indexing_protocol.h. `store` must be the same store the engine
-  /// was built on, grown in place.
-  Status AddPeers(
-      const corpus::DocumentStore& store,
-      const std::vector<std::pair<DocId, DocId>>& new_ranges) override;
+  /// Joins run the delta indexing protocol (new documents indexed,
+  /// key-space handover, Ff purge, DFmax reclassification); departures
+  /// run the ledger-driven repair (contribution purge, retraction,
+  /// reverse reclassification, fragment re-replication, Ff re-admission)
+  /// — see p2p/indexing_protocol.h. `store` must be the same store the
+  /// engine was built on, grown in place.
+  Status ApplyMembership(const corpus::DocumentStore& store,
+                         std::span<const MembershipEvent> events) override;
+  using SearchEngine::ApplyMembership;
 
   size_t num_peers() const override { return overlay_->num_peers(); }
   uint64_t num_documents() const override {
@@ -96,9 +96,32 @@ class HdkSearchEngine : public SearchEngine {
     return protocol_->report();
   }
 
-  /// What the most recent AddPeers call did (reclassified keys, purged
+  /// What the most recent join wave did (reclassified keys, purged
   /// very-frequent terms, migrated fragments, delta traffic).
   const p2p::GrowthStats& last_growth() const { return last_growth_; }
+
+  /// What the most recent departure repair did (removed contributions,
+  /// retractions, reverse reclassifications, re-replication).
+  const p2p::DepartureStats& last_departure() const {
+    return last_departure_;
+  }
+
+  /// Summary of the most recent ApplyMembership batch.
+  struct MembershipSummary {
+    uint64_t events = 0;
+    uint64_t joined_peers = 0;
+    uint64_t departed_peers = 0;
+  };
+  const MembershipSummary& last_membership() const {
+    return last_membership_;
+  }
+
+  /// The [first, last) document range of every current peer — after
+  /// churn, the union has holes; a from-scratch reference build must
+  /// cover exactly these ranges.
+  std::vector<DocRange> peer_ranges() const {
+    return protocol_->peer_ranges();
+  }
 
   net::TrafficRecorder& mutable_traffic() { return *traffic_; }
   const p2p::DistributedGlobalIndex& global_index() const { return *global_; }
@@ -106,24 +129,22 @@ class HdkSearchEngine : public SearchEngine {
   const HdkEngineConfig& config() const { return config_; }
 
  protected:
-  /// Atomic rotation so concurrent batches over a shared engine stay
-  /// race-free (each batch still pre-assigns origins in query order). The
-  /// stored value is kept reduced into [0, num_peers), like the serial
-  /// rotation always did, so the origin sequence across AddPeers calls —
-  /// and therefore per-query hop/message accounting in grown sweeps — is
-  /// unchanged from the pre-parallel engine.
+  /// See OriginRotation: race-free rotation, departure-safe origins.
   PeerId AcquireOrigin() override {
-    PeerId current = next_origin_.load(std::memory_order_relaxed);
-    while (!next_origin_.compare_exchange_weak(
-        current, static_cast<PeerId>((current + 1) % num_peers()),
-        std::memory_order_relaxed)) {
-    }
-    return current;
+    return next_origin_.Next(num_peers());
   }
   ThreadPool* batch_pool() const override { return pool_.get(); }
 
  private:
   HdkSearchEngine() = default;
+
+  /// Pre-validates a whole event batch against the current state — a
+  /// rejected batch leaves the engine untouched.
+  Status ValidateEvents(const corpus::DocumentStore& store,
+                        std::span<const MembershipEvent> events) const;
+  /// One coalesced join wave / one departure.
+  Status ApplyJoinWave(const std::vector<DocRange>& new_ranges);
+  Status ApplyDeparture(PeerId peer);
 
   HdkEngineConfig config_;
   const corpus::DocumentStore* store_ = nullptr;
@@ -135,7 +156,9 @@ class HdkSearchEngine : public SearchEngine {
   std::unique_ptr<p2p::DistributedGlobalIndex> global_;
   std::unique_ptr<p2p::HdkRetriever> retriever_;
   p2p::GrowthStats last_growth_;
-  std::atomic<PeerId> next_origin_{0};
+  p2p::DepartureStats last_departure_;
+  MembershipSummary last_membership_;
+  OriginRotation next_origin_;
 };
 
 }  // namespace hdk::engine

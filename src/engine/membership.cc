@@ -1,0 +1,56 @@
+#include "engine/membership.h"
+
+namespace hdk::engine {
+
+std::string MembershipEvent::ToString() const {
+  if (kind == Kind::kJoin) {
+    return "join([" + std::to_string(range.first) + ", " +
+           std::to_string(range.second) + "))";
+  }
+  return "leave(peer " + std::to_string(peer) + ")";
+}
+
+std::vector<MembershipEvent> JoinEvents(const std::vector<DocRange>& ranges) {
+  std::vector<MembershipEvent> events;
+  events.reserve(ranges.size());
+  for (const DocRange& r : ranges) {
+    events.push_back(MembershipEvent::Join(r));
+  }
+  return events;
+}
+
+std::vector<MembershipEvent> JoinWave(DocId first, uint32_t num_new_peers,
+                                      uint32_t docs_per_peer) {
+  return JoinEvents(JoinRanges(first, num_new_peers, docs_per_peer));
+}
+
+Status ValidateMembershipEvents(std::span<const MembershipEvent> events,
+                                size_t num_peers, DocId frontier,
+                                uint64_t store_size) {
+  if (events.empty()) {
+    return Status::InvalidArgument(
+        "ApplyMembership: need >= 1 membership event");
+  }
+  for (const MembershipEvent& event : events) {
+    if (event.kind == MembershipEvent::Kind::kJoin) {
+      HDK_RETURN_NOT_OK(
+          ValidateJoinRange(event.range, frontier, store_size));
+      frontier = event.range.second;
+      ++num_peers;
+    } else {
+      if (event.peer >= num_peers) {
+        return Status::InvalidArgument(
+            "ApplyMembership: departure of unknown peer " +
+            std::to_string(event.peer));
+      }
+      if (num_peers == 1) {
+        return Status::FailedPrecondition(
+            "ApplyMembership: cannot depart the last peer");
+      }
+      --num_peers;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hdk::engine

@@ -1,0 +1,80 @@
+// Membership events: the churn vocabulary of the engine lifecycle API.
+//
+// A P2P retrieval network is never static — peers JOIN with their
+// documents (the paper's evolution experiment) and peers LEAVE, taking
+// their documents with them (the churn scenario the paper leaves open).
+// SearchEngine::ApplyMembership consumes a sequence of such events;
+// consecutive joins are coalesced into one indexing wave, departures are
+// applied one by one. Every backend guarantees that the churned engine is
+// posting-for-posting identical to a from-scratch build over the surviving
+// document ranges (see tests/engine/membership_churn_test.cc).
+#ifndef HDKP2P_ENGINE_MEMBERSHIP_H_
+#define HDKP2P_ENGINE_MEMBERSHIP_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/partition.h"
+
+namespace hdk::engine {
+
+/// One membership change of the peer network.
+struct MembershipEvent {
+  enum class Kind {
+    kJoin,   // a new peer joins, contributing `range`
+    kLeave,  // peer `peer` departs with its documents
+  };
+
+  Kind kind = Kind::kJoin;
+  /// kJoin: the joining peer's [first, last) documents. Join ranges must
+  /// continue contiguously from the engine's indexed document frontier
+  /// (departed ranges are not re-used).
+  DocRange range{0, 0};
+  /// kLeave: the departing peer's CURRENT id. Surviving peers with larger
+  /// ids are renumbered down by one, so a later event addresses peers by
+  /// their post-departure ids.
+  PeerId peer = kInvalidPeer;
+
+  static MembershipEvent Join(DocRange r) {
+    MembershipEvent e;
+    e.kind = Kind::kJoin;
+    e.range = r;
+    return e;
+  }
+  static MembershipEvent Leave(PeerId p) {
+    MembershipEvent e;
+    e.kind = Kind::kLeave;
+    e.peer = p;
+    return e;
+  }
+
+  std::string ToString() const;
+};
+
+/// One join event per range — AddPeers expressed as membership events.
+std::vector<MembershipEvent> JoinEvents(const std::vector<DocRange>& ranges);
+
+/// A join wave in the shape of the paper's evolution experiment:
+/// `num_new_peers` peers joining at document `first`, `docs_per_peer`
+/// documents each (see JoinRanges).
+std::vector<MembershipEvent> JoinWave(DocId first, uint32_t num_new_peers,
+                                      uint32_t docs_per_peer);
+
+/// The shared ApplyMembership precondition, dry-run against the engine's
+/// current state (`num_peers` live peers, join `frontier` = one past the
+/// highest ever indexed document, `store_size` documents available):
+/// joins must continue contiguously from the frontier, departures must
+/// address a live peer and may not empty the network, and the batch must
+/// be non-empty. Every backend validates the WHOLE batch through this
+/// before applying anything, so a rejected batch leaves the engine
+/// untouched.
+Status ValidateMembershipEvents(std::span<const MembershipEvent> events,
+                                size_t num_peers, DocId frontier,
+                                uint64_t store_size);
+
+}  // namespace hdk::engine
+
+#endif  // HDKP2P_ENGINE_MEMBERSHIP_H_

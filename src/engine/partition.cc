@@ -1,5 +1,7 @@
 #include "engine/partition.h"
 
+#include <algorithm>
+
 namespace hdk::engine {
 
 std::vector<DocRange> SplitEvenly(uint64_t num_docs, uint32_t num_peers) {
@@ -29,19 +31,45 @@ std::vector<DocRange> JoinRanges(DocId first, uint32_t num_new_peers,
   return ranges;
 }
 
+Status ValidateJoinRange(const DocRange& range, DocId frontier,
+                         uint64_t store_size) {
+  const auto& [first, last] = range;
+  if (first != frontier || last < first || last > store_size) {
+    return Status::OutOfRange(
+        "joining ranges must continue contiguously from the indexed "
+        "document frontier");
+  }
+  return Status::OK();
+}
+
 Status ValidateJoinRanges(DocId frontier,
                           const std::vector<DocRange>& new_ranges,
                           uint64_t store_size) {
   if (new_ranges.empty()) {
     return Status::InvalidArgument("AddPeers: need >= 1 joining peer");
   }
-  for (const auto& [first, last] : new_ranges) {
-    if (first != frontier || last < first || last > store_size) {
-      return Status::OutOfRange(
-          "AddPeers: joining ranges must continue contiguously from the "
-          "indexed document frontier");
+  for (const DocRange& range : new_ranges) {
+    HDK_RETURN_NOT_OK(ValidateJoinRange(range, frontier, store_size));
+    frontier = range.second;
+  }
+  return Status::OK();
+}
+
+Status ValidateDisjointRanges(const std::vector<DocRange>& ranges,
+                              uint64_t store_size) {
+  std::vector<DocRange> sorted = ranges;
+  std::sort(sorted.begin(), sorted.end());
+  DocId covered = 0;  // one past the highest document claimed so far
+  for (const auto& [first, last] : sorted) {
+    if (first > last || last > store_size) {
+      return Status::OutOfRange("invalid peer document range");
     }
-    frontier = last;
+    if (first == last) continue;  // empty ranges overlap nothing
+    if (first < covered) {
+      return Status::InvalidArgument(
+          "peer document ranges must be pairwise disjoint");
+    }
+    covered = last;
   }
   return Status::OK();
 }

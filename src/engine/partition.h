@@ -27,12 +27,26 @@ std::vector<DocRange> SplitEvenly(uint64_t num_docs, uint32_t num_peers);
 std::vector<DocRange> JoinRanges(DocId first, uint32_t num_new_peers,
                                  uint32_t docs_per_peer);
 
-/// Shared AddPeers precondition: `new_ranges` must be non-empty, continue
-/// contiguously from `frontier` (one past the highest indexed document),
-/// and stay within the store. Every engine backend enforces this.
+/// The per-range join precondition: a joining range must continue
+/// contiguously from `frontier` (one past the highest ever indexed
+/// document) and stay within the store. The one place the contiguity
+/// rule lives — shared by ValidateJoinRanges and the membership-event
+/// validation.
+Status ValidateJoinRange(const DocRange& range, DocId frontier,
+                         uint64_t store_size);
+
+/// Shared AddPeers precondition: `new_ranges` must be non-empty and each
+/// must satisfy ValidateJoinRange against the running frontier. Every
+/// engine backend enforces this.
 Status ValidateJoinRanges(DocId frontier,
                           const std::vector<DocRange>& new_ranges,
                           uint64_t store_size);
+
+/// Build-time precondition of every backend: peer ranges must be
+/// pairwise disjoint (overlaps would double-index shared documents and
+/// corrupt later departures) and stay within the store.
+Status ValidateDisjointRanges(const std::vector<DocRange>& ranges,
+                              uint64_t store_size);
 
 }  // namespace hdk::engine
 

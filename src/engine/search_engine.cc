@@ -2,6 +2,28 @@
 
 namespace hdk::engine {
 
+Status SearchEngine::DispatchMembershipEvents(
+    std::span<const MembershipEvent> events,
+    const std::function<Status(const std::vector<DocRange>&)>& join_wave,
+    const std::function<Status(PeerId)>& departure) {
+  size_t i = 0;
+  while (i < events.size()) {
+    if (events[i].kind == MembershipEvent::Kind::kJoin) {
+      std::vector<DocRange> wave;
+      while (i < events.size() &&
+             events[i].kind == MembershipEvent::Kind::kJoin) {
+        wave.push_back(events[i].range);
+        ++i;
+      }
+      HDK_RETURN_NOT_OK(join_wave(wave));
+    } else {
+      HDK_RETURN_NOT_OK(departure(events[i].peer));
+      ++i;
+    }
+  }
+  return Status::OK();
+}
+
 BatchResponse SearchEngine::SearchBatch(
     std::span<const corpus::Query> queries, size_t k) {
   BatchResponse batch;

@@ -5,9 +5,16 @@
 // implement this interface, so benches, examples and tests drive them
 // polymorphically: one result type (SearchResponse = ranked ScoredDocs +
 // QueryCost), one batch entry point for throughput workloads, and one
-// INCREMENTAL lifecycle — AddPeers() joins peers to the overlay and indexes
-// only the document delta, exactly matching the paper's evolution
-// experiment where peers join in waves of 4 with 5,000 documents each.
+// MEMBERSHIP lifecycle — ApplyMembership() consumes join AND departure
+// events, covering both the paper's evolution experiment (peers join in
+// waves with their documents) and the churn real overlays exhibit (peers
+// leave, taking their documents with them). Every backend keeps the
+// invariant that the churned engine is posting-for-posting identical to a
+// from-scratch build over the surviving document ranges.
+//
+// Engines can also be composed from a string spec through the decorator
+// registry, e.g. "cached(hdk)" for a result-cache front over the HDK
+// engine — see engine/engine_factory.h.
 //
 // Quickstart (see also examples/quickstart.cpp and README.md):
 //
@@ -16,11 +23,17 @@
 //   auto built = engine::MakeEngine(engine::EngineKind::kHdk, config,
 //                                   store, engine::SplitEvenly(store.size(), 4));
 //   auto response = (*built)->Search(query_terms, 20);
-//   // ... more documents arrive, four peers join with the delta:
-//   (*built)->AddPeers(store, engine::JoinRanges(old_size, 4, docs_per_peer));
+//   // ... more documents arrive, four peers join with the delta, and one
+//   // peer churns out:
+//   (*built)->ApplyMembership(store, {
+//       engine::MembershipEvent::Join({old_size, old_size + docs}),
+//       engine::MembershipEvent::Leave(/*peer=*/2)});
 #ifndef HDKP2P_ENGINE_SEARCH_ENGINE_H_
 #define HDKP2P_ENGINE_SEARCH_ENGINE_H_
 
+#include <atomic>
+#include <functional>
+#include <initializer_list>
 #include <span>
 #include <string_view>
 #include <utility>
@@ -32,6 +45,7 @@
 #include "common/types.h"
 #include "corpus/document.h"
 #include "corpus/query_gen.h"
+#include "engine/membership.h"
 #include "index/search_result.h"
 #include "net/traffic.h"
 
@@ -44,6 +58,35 @@ using index::SearchResponse;
 struct BatchResponse {
   std::vector<SearchResponse> responses;
   QueryCost total;
+};
+
+/// The query-origin rotation shared by the distributed backends. Atomic,
+/// so concurrent batches over a shared engine stay race-free (each batch
+/// still pre-assigns origins in query order); the stored value is kept
+/// reduced into [0, num_peers), matching the serial rotation's origin
+/// sequence across join waves exactly. Next() additionally reduces the
+/// returned origin through the LIVE peer count, so a stale rotation value
+/// can never address a departed peer; Clamp() restores the reduced-store
+/// invariant after a membership batch shrank the network.
+class OriginRotation {
+ public:
+  PeerId Next(size_t num_peers) {
+    PeerId current = next_.load(std::memory_order_relaxed);
+    while (!next_.compare_exchange_weak(
+        current, static_cast<PeerId>((current + 1) % num_peers),
+        std::memory_order_relaxed)) {
+    }
+    return static_cast<PeerId>(current % num_peers);
+  }
+
+  void Clamp(size_t num_peers) {
+    next_.store(static_cast<PeerId>(
+                    next_.load(std::memory_order_relaxed) % num_peers),
+                std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<PeerId> next_{0};
 };
 
 /// The unified engine interface.
@@ -72,13 +115,32 @@ class SearchEngine {
   virtual BatchResponse SearchBatch(std::span<const corpus::Query> queries,
                                     size_t k);
 
+  /// Applies a sequence of membership events — the general lifecycle
+  /// entry point. Joins index only the document delta (runs of
+  /// consecutive join events are coalesced into one indexing wave);
+  /// departures purge the departed peer's documents and contributions so
+  /// the engine is posting-for-posting identical to a from-scratch build
+  /// over the surviving ranges. The whole batch is validated up front: a
+  /// rejected batch leaves the engine untouched. `store` must be the same
+  /// (grown-in-place) store the engine was built on.
+  virtual Status ApplyMembership(const corpus::DocumentStore& store,
+                                 std::span<const MembershipEvent> events) = 0;
+
+  /// Convenience overload for brace-initialized event lists.
+  Status ApplyMembership(const corpus::DocumentStore& store,
+                         std::initializer_list<MembershipEvent> events) {
+    return ApplyMembership(
+        store, std::span<const MembershipEvent>(events.begin(),
+                                                events.size()));
+  }
+
   /// Joins peers holding `new_ranges` (contiguous continuation of the
-  /// indexed document prefix of `store`, one range per joining peer) and
-  /// runs the backend's indexing protocol over the delta only. `store`
-  /// must be the same (grown) store the engine was built on.
-  virtual Status AddPeers(
-      const corpus::DocumentStore& store,
-      const std::vector<std::pair<DocId, DocId>>& new_ranges) = 0;
+  /// indexed document frontier of `store`, one range per joining peer) —
+  /// the paper's evolution experiment, expressed as membership events.
+  Status AddPeers(const corpus::DocumentStore& store,
+                  const std::vector<std::pair<DocId, DocId>>& new_ranges) {
+    return ApplyMembership(store, JoinEvents(new_ranges));
+  }
 
   // -- observability ---------------------------------------------------
 
@@ -96,6 +158,16 @@ class SearchEngine {
   virtual const net::TrafficRecorder* traffic() const { return nullptr; }
 
  protected:
+  /// The shared ApplyMembership skeleton every backend dispatches
+  /// through: runs of consecutive join events coalesce into one wave
+  /// handed to `join_wave`, departures go to `departure` one by one.
+  /// The caller validates the whole batch first (see
+  /// ValidateMembershipEvents).
+  static Status DispatchMembershipEvents(
+      std::span<const MembershipEvent> events,
+      const std::function<Status(const std::vector<DocRange>&)>& join_wave,
+      const std::function<Status(PeerId)>& departure);
+
   /// Origin of the next auto-assigned query. Distributed backends override
   /// this with their peer rotation so that rotation state is mutated ONLY
   /// here (serially, before a batch fans out) and Search() with an

@@ -10,6 +10,7 @@ Result<std::unique_ptr<SingleTermEngine>> SingleTermEngine::Build(
   if (peer_ranges.empty()) {
     return Status::InvalidArgument("SingleTermEngine: need >= 1 peer");
   }
+  HDK_RETURN_NOT_OK(ValidateDisjointRanges(peer_ranges, store.size()));
   auto engine = std::unique_ptr<SingleTermEngine>(new SingleTermEngine());
   engine->store_ = &store;
   engine->pool_ = ThreadPool::MakeIfParallel(config.num_threads);
@@ -20,26 +21,57 @@ Result<std::unique_ptr<SingleTermEngine>> SingleTermEngine::Build(
       engine->overlay_.get(), engine->traffic_.get());
   HDK_RETURN_NOT_OK(engine->engine_->IndexPeers(
       /*first_peer=*/0, store, peer_ranges, engine->pool_.get()));
+  engine->ranges_ = std::move(peer_ranges);
+  for (const auto& [first, last] : engine->ranges_) {
+    engine->frontier_ = std::max(engine->frontier_, last);
+  }
   return engine;
 }
 
-Status SingleTermEngine::AddPeers(
+Status SingleTermEngine::ValidateEvents(
     const corpus::DocumentStore& store,
-    const std::vector<std::pair<DocId, DocId>>& new_ranges) {
+    std::span<const MembershipEvent> events) const {
   if (&store != store_) {
     return Status::InvalidArgument(
-        "AddPeers: must grow the store the engine was built on");
+        "ApplyMembership: must use the store the engine was built on");
   }
-  HDK_RETURN_NOT_OK(ValidateJoinRanges(
-      static_cast<DocId>(engine_->num_documents()), new_ranges,
-      store.size()));
+  return ValidateMembershipEvents(events, ranges_.size(), frontier_,
+                                  store.size());
+}
 
-  const PeerId first_new = static_cast<PeerId>(overlay_->num_peers());
-  for (size_t i = 0; i < new_ranges.size(); ++i) {
-    HDK_RETURN_NOT_OK(overlay_->AddPeer());
-  }
-  engine_->OnOverlayGrown();
-  return engine_->IndexPeers(first_new, store, new_ranges, pool_.get());
+Status SingleTermEngine::ApplyMembership(
+    const corpus::DocumentStore& store,
+    std::span<const MembershipEvent> events) {
+  HDK_RETURN_NOT_OK(ValidateEvents(store, events));
+
+  HDK_RETURN_NOT_OK(DispatchMembershipEvents(
+      events,
+      [&](const std::vector<DocRange>& wave) {
+        const PeerId first_new =
+            static_cast<PeerId>(overlay_->num_peers());
+        for (size_t j = 0; j < wave.size(); ++j) {
+          HDK_RETURN_NOT_OK(overlay_->AddPeer());
+        }
+        engine_->OnOverlayGrown();
+        HDK_RETURN_NOT_OK(
+            engine_->IndexPeers(first_new, store, wave, pool_.get()));
+        for (const DocRange& r : wave) {
+          ranges_.push_back(r);
+          frontier_ = std::max(frontier_, r.second);
+        }
+        return Status::OK();
+      },
+      [&](PeerId peer) {
+        const DocRange range = ranges_[peer];
+        ranges_.erase(ranges_.begin() + peer);
+        HDK_RETURN_NOT_OK(overlay_->RemovePeer(peer));
+        last_departure_ = engine_->OnPeerDeparted(
+            peer, store, range.first, range.second, ranges_);
+        return Status::OK();
+      }));
+  // Keep the query-origin rotation inside the live peer set.
+  next_origin_.Clamp(num_peers());
+  return Status::OK();
 }
 
 SearchResponse SingleTermEngine::Search(std::span<const TermId> query,

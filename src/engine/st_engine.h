@@ -1,8 +1,8 @@
 // SingleTermEngine — the naive distributed single-term baseline behind the
-// unified SearchEngine interface. Supports the same incremental AddPeers
-// lifecycle as the HDK engine: joining peers insert their local posting
-// lists and term fragments are handed over when key-space responsibility
-// moves.
+// unified SearchEngine interface. Supports the same membership lifecycle
+// as the HDK engine: joining peers insert their local posting lists,
+// departing peers' postings are dropped from the global term fragments
+// and their fragment is re-replicated to the surviving responsible peers.
 #ifndef HDKP2P_ENGINE_ST_ENGINE_H_
 #define HDKP2P_ENGINE_ST_ENGINE_H_
 
@@ -45,9 +45,9 @@ class SingleTermEngine : public SearchEngine {
   SearchResponse Search(std::span<const TermId> query, size_t k,
                         PeerId origin = kInvalidPeer) override;
 
-  Status AddPeers(
-      const corpus::DocumentStore& store,
-      const std::vector<std::pair<DocId, DocId>>& new_ranges) override;
+  Status ApplyMembership(const corpus::DocumentStore& store,
+                         std::span<const MembershipEvent> events) override;
+  using SearchEngine::ApplyMembership;
 
   size_t num_peers() const override { return overlay_->num_peers(); }
   uint64_t num_documents() const override {
@@ -64,30 +64,39 @@ class SingleTermEngine : public SearchEngine {
 
   const p2p::SingleTermP2PEngine& p2p_engine() const { return *engine_; }
 
+  /// What the most recent departure did.
+  const p2p::SingleTermP2PEngine::DepartureReport& last_departure() const {
+    return last_departure_;
+  }
+
+  /// The [first, last) document range of every current peer (holes after
+  /// churn) — the ranges a from-scratch reference build must cover.
+  const std::vector<DocRange>& peer_ranges() const { return ranges_; }
+
  protected:
-  /// Atomic rotation so concurrent batches over a shared engine stay
-  /// race-free (each batch still pre-assigns origins in query order). The
-  /// stored value stays reduced into [0, num_peers), matching the serial
-  /// rotation's origin sequence across AddPeers calls exactly.
+  /// See OriginRotation: race-free rotation, departure-safe origins.
   PeerId AcquireOrigin() override {
-    PeerId current = next_origin_.load(std::memory_order_relaxed);
-    while (!next_origin_.compare_exchange_weak(
-        current, static_cast<PeerId>((current + 1) % num_peers()),
-        std::memory_order_relaxed)) {
-    }
-    return current;
+    return next_origin_.Next(num_peers());
   }
   ThreadPool* batch_pool() const override { return pool_.get(); }
 
  private:
   SingleTermEngine() = default;
 
+  Status ValidateEvents(const corpus::DocumentStore& store,
+                        std::span<const MembershipEvent> events) const;
+
   const corpus::DocumentStore* store_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;  // nullptr = serial
   std::unique_ptr<dht::Overlay> overlay_;
   std::unique_ptr<net::TrafficRecorder> traffic_;
   std::unique_ptr<p2p::SingleTermP2PEngine> engine_;
-  std::atomic<PeerId> next_origin_{0};
+  /// Per-peer document ranges; `frontier_` is one past the highest ever
+  /// indexed document (departed ranges are not re-used).
+  std::vector<DocRange> ranges_;
+  DocId frontier_ = 0;
+  p2p::SingleTermP2PEngine::DepartureReport last_departure_;
+  OriginRotation next_origin_;
 };
 
 }  // namespace hdk::engine

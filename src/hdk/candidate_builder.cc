@@ -94,6 +94,14 @@ void EnumerateCandidates(const std::vector<TermId>& pool, TermId new_term,
 
 }  // namespace
 
+bool GenerableUnder(const TermKey& key, const NdkOracle& oracle) {
+  if (key.size() <= 1) return true;
+  for (TermId t : key.terms()) {
+    if (!oracle.IsExpandableTerm(t)) return false;
+  }
+  return AllSubKeysNdk(key, oracle);
+}
+
 CandidateBuilder::CandidateBuilder(const HdkParams& params)
     : params_(params) {
   assert(params_.Validate().ok());

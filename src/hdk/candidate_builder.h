@@ -88,10 +88,29 @@ class SetNdkOracle : public NdkOracle {
   size_t num_expandable_terms() const { return terms_.size(); }
   size_t num_ndks() const { return ndks_.size(); }
 
+  /// Fact iteration — the churn repair diffs a peer's pre-departure
+  /// knowledge against the replayed knowledge to find the facts that must
+  /// be forgotten (reverse reclassification notices).
+  const std::unordered_set<TermId>& expandable_terms() const {
+    return terms_;
+  }
+  const KeySet& ndks() const { return ndks_; }
+
  private:
   std::unordered_set<TermId> terms_;
   KeySet ndks_;
 };
+
+/// True when `key` can be generated as a candidate under `oracle`'s
+/// knowledge: every term is expandable and every (size-1)-sub-key is a
+/// known NDK (by df anti-monotonicity this covers all proper sub-keys).
+/// Size-1 keys are always generable (vocabulary filtering happens
+/// earlier). The churn repair uses this to decide which previously
+/// contributed keys a peer still produces once departed knowledge is
+/// gone — the kept keys' window events (and so their posting lists) are
+/// untouched, because every fact those events consume is a fact about the
+/// key's own sub-structure.
+bool GenerableUnder(const TermKey& key, const NdkOracle& oracle);
 
 /// The facts a peer learned SINCE IT LAST GENERATED candidates: newly
 /// expandable terms and newly non-discriminative keys. Incremental growth

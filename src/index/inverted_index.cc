@@ -53,6 +53,34 @@ void InvertedIndex::MergeDisjoint(const InvertedIndex& other) {
   total_tokens_ += other.total_tokens_;
 }
 
+uint64_t InvertedIndex::RemoveRange(const corpus::DocumentStore& store,
+                                    DocId first, DocId last) {
+  // One pass over the range collects the distinct terms and their
+  // collection-frequency share, then each affected posting list is
+  // range-erased ONCE (lists are doc-id sorted, so a single sweep drops
+  // every posting of the range).
+  std::unordered_map<TermId, Freq> cf_removed;
+  for (DocId d = first; d < last && d < store.size(); ++d) {
+    std::span<const TermId> tokens = store.Tokens(d);
+    --num_documents_;
+    total_tokens_ -= tokens.size();
+    for (TermId t : tokens) ++cf_removed[t];
+  }
+
+  uint64_t removed = 0;
+  for (const auto& [term, count] : cf_removed) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    removed += it->second.EraseDocRange(first, last);
+    if (it->second.empty()) postings_.erase(it);
+    auto cf_it = cf_.find(term);
+    if (cf_it != cf_.end() && (cf_it->second -= count) == 0) {
+      cf_.erase(cf_it);
+    }
+  }
+  return removed;
+}
+
 const PostingList& InvertedIndex::Postings(TermId term) const {
   auto it = postings_.find(term);
   return it == postings_.end() ? EmptyList() : it->second;

@@ -37,6 +37,14 @@ class InvertedIndex {
   /// serial AddRange result posting-for-posting.
   void MergeDisjoint(const InvertedIndex& other);
 
+  /// Drops documents [first, last) of `store` from the index — the churn
+  /// path of the centralized reference when a logical peer departs with
+  /// its documents. The result is posting-for-posting identical to an
+  /// index never containing those documents. Returns the number of
+  /// postings removed.
+  uint64_t RemoveRange(const corpus::DocumentStore& store, DocId first,
+                       DocId last);
+
   /// Posting list of a term; empty list for unknown terms.
   const PostingList& Postings(TermId term) const;
 

@@ -48,6 +48,20 @@ class PostingList {
   template <typename ScoreFn>
   void TruncateTopBy(size_t limit, ScoreFn score);
 
+  /// Removes every posting whose document id lies in [first, last) —
+  /// the churn path that drops a departed peer's documents. The list is
+  /// doc-id sorted, so the removed range is one contiguous block found by
+  /// binary search. Returns the number of postings removed.
+  size_t EraseDocRange(DocId first, DocId last) {
+    auto doc_less = [](const Posting& p, DocId d) { return p.doc < d; };
+    auto lo =
+        std::lower_bound(postings_.begin(), postings_.end(), first, doc_less);
+    auto hi = std::lower_bound(lo, postings_.end(), last, doc_less);
+    const size_t removed = static_cast<size_t>(hi - lo);
+    postings_.erase(lo, hi);
+    return removed;
+  }
+
   /// Number of postings (document frequency of the associated key).
   size_t size() const { return postings_.size(); }
   bool empty() const { return postings_.empty(); }

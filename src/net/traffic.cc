@@ -24,6 +24,8 @@ std::string_view MessageKindName(MessageKind kind) {
     case MessageKind::kStatsResponse: return "StatsResponse";
     case MessageKind::kMaintenance: return "Maintenance";
     case MessageKind::kBloomFilter: return "BloomFilter";
+    case MessageKind::kReclassifyNotification:
+      return "ReclassifyNotification";
   }
   return "Unknown";
 }

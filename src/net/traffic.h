@@ -40,8 +40,11 @@ enum class MessageKind : uint8_t {
   kStatsResponse = 5,
   kMaintenance = 6,      // overlay join/repair traffic
   kBloomFilter = 7,      // Bloom-filter payload (ST conjunctive chain)
+  kReclassifyNotification = 8,  // responsible peer -> contributor: a key
+                                // this peer contributed is discriminative
+                                // again after churn (forget + retract)
 };
-inline constexpr size_t kNumMessageKinds = 8;
+inline constexpr size_t kNumMessageKinds = 9;
 
 /// Human-readable kind name.
 std::string_view MessageKindName(MessageKind kind);

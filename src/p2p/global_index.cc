@@ -28,7 +28,8 @@ uint64_t DistributedGlobalIndex::InsertPostings(PeerId src,
                                                 const hdk::TermKey& key,
                                                 index::PostingList full_local,
                                                 const HdkParams& params,
-                                                double avg_doc_length) {
+                                                double avg_doc_length,
+                                                bool record_traffic) {
   EnsureFragments();
 
   // Sender-side truncation: a locally non-discriminative key is certainly
@@ -39,11 +40,13 @@ uint64_t DistributedGlobalIndex::InsertPostings(PeerId src,
     payload = std::min<uint64_t>(payload, params.EffectiveNdkTruncation());
   }
 
-  const RingId ring_key = key.Hash64();
-  const PeerId dst = overlay_->Responsible(ring_key);
-  const size_t hops = overlay_->Route(src, ring_key);
-  traffic_->Record(src, dst, net::MessageKind::kInsertPostings, payload,
-                   hops);
+  if (record_traffic) {
+    const RingId ring_key = key.Hash64();
+    const PeerId dst = overlay_->Responsible(ring_key);
+    const size_t hops = overlay_->Route(src, ring_key);
+    traffic_->Record(src, dst, net::MessageKind::kInsertPostings, payload,
+                     hops);
+  }
 
   pending_[key].push_back(Contribution{src, std::move(full_local)});
   (void)avg_doc_length;  // truncation choice is re-derived at publish time
@@ -101,7 +104,8 @@ bool DistributedGlobalIndex::Publish(const hdk::TermKey& key,
 
 LevelOutcome DistributedGlobalIndex::EndLevel(const HdkParams& params,
                                               double avg_doc_length,
-                                              bool notify_contributors) {
+                                              bool notify_contributors,
+                                              bool record_traffic) {
   EnsureFragments();
   LevelOutcome outcome;
 
@@ -166,9 +170,11 @@ LevelOutcome DistributedGlobalIndex::EndLevel(const HdkParams& params,
         // Notifications carry the key only, no postings. The owner knows
         // the contributor directly (source address of the insertion), so
         // this is a single overlay-external message: 1 hop.
-        traffic_->Record(owner, contributor,
-                         net::MessageKind::kNdkNotification,
-                         /*postings=*/0, /*hops=*/1);
+        if (record_traffic) {
+          traffic_->Record(owner, contributor,
+                           net::MessageKind::kNdkNotification,
+                           /*postings=*/0, /*hops=*/1);
+        }
         ++outcome.notification_messages;
       }
       outcome.notifications.emplace_back(key, std::move(recipients));
@@ -224,6 +230,110 @@ uint64_t DistributedGlobalIndex::OnOverlayGrown() {
     }
   }
   return migrated;
+}
+
+DistributedGlobalIndex::DepartureBaseline DistributedGlobalIndex::
+    BeginDeparture(PeerId departing, uint32_t s_max) {
+  DepartureBaseline baseline;
+  baseline.departed = departing;
+  assert(overlay_->num_peers() >= 2);
+  assert(departing < overlay_->num_peers());
+
+  // Snapshot the published state under the pre-departure placement.
+  for (PeerId owner = 0; owner < fragments_.size(); ++owner) {
+    for (auto& [key, entry] : fragments_[owner]) {
+      baseline.owners.emplace(key, owner);
+      baseline.published.emplace(key, std::move(entry));
+    }
+  }
+  fragments_.clear();
+
+  // The departed peer's ledger share vanishes with it (in the real
+  // network its data simply stops being re-served); surviving
+  // contributions — renumbered past the freed id — become the replay's
+  // scan-free candidate source.
+  const size_t survivors = overlay_->num_peers() - 1;
+  baseline.contributions.resize(survivors);
+  for (auto& per_level : baseline.contributions) {
+    per_level.resize(s_max);
+  }
+  for (auto& [key, ledger] : ledger_) {
+    assert(key.size() >= 1 && key.size() <= s_max);
+    for (Contribution& c : ledger.contributions) {
+      if (c.peer == departing) {
+        ++baseline.removed_contributions;
+        baseline.removed_postings += c.full.size();
+        continue;
+      }
+      const PeerId new_id = c.peer > departing ? c.peer - 1 : c.peer;
+      baseline.contributions[new_id][key.size() - 1].emplace(
+          key, std::move(c.full));
+    }
+  }
+  ledger_.clear();
+  pending_.clear();
+  return baseline;
+}
+
+DistributedGlobalIndex::DepartureOutcome DistributedGlobalIndex::
+    FinishDeparture(const DepartureBaseline& baseline) {
+  DepartureOutcome outcome;
+  const PeerId departed = baseline.departed;
+
+  for (PeerId owner = 0; owner < fragments_.size(); ++owner) {
+    for (const auto& [key, entry] : fragments_[owner]) {
+      auto old_it = baseline.published.find(key);
+      if (old_it == baseline.published.end()) {
+        // A key born from Ff re-admission — its insertion traffic was
+        // already recorded by the replay.
+        continue;
+      }
+      const hdk::KeyEntry& old_entry = old_it->second;
+      if (!old_entry.is_hdk && entry.is_hdk) ++outcome.reverse_reclassified;
+
+      const PeerId old_owner = baseline.owners.at(key);
+      const bool was_on_departed = old_owner == departed;
+      const PeerId old_owner_now =
+          old_owner > departed ? old_owner - 1 : old_owner;
+      if (was_on_departed || old_owner_now != owner) {
+        // Fragment handover: the new owner receives the published entry —
+        // from the old owner when it survives, re-pulled from the
+        // lowest-id surviving contributor when the departed peer hosted
+        // it (the contributors' data stays available, exactly what the
+        // contribution ledger models).
+        PeerId src = old_owner_now;
+        if (was_on_departed) {
+          const auto& contributions = ledger_.at(key).contributions;
+          assert(!contributions.empty());
+          src = contributions.front().peer;
+        }
+        traffic_->Record(src, owner, net::MessageKind::kMaintenance,
+                         entry.postings.size(), /*hops=*/1);
+        outcome.moved_postings += entry.postings.size();
+        ++outcome.migrated_keys;
+      } else if (entry.postings != old_entry.postings ||
+                 entry.global_df != old_entry.global_df ||
+                 entry.is_hdk != old_entry.is_hdk) {
+        // Re-derived in place: the owner re-pulls the changed entry from
+        // a surviving contributor (un-truncation restores postings the
+        // published fragment no longer carried).
+        const auto& contributions = ledger_.at(key).contributions;
+        assert(!contributions.empty());
+        traffic_->Record(contributions.front().peer, owner,
+                         net::MessageKind::kMaintenance,
+                         entry.postings.size(), /*hops=*/1);
+        outcome.moved_postings += entry.postings.size();
+        ++outcome.repaired_keys;
+      }
+    }
+  }
+
+  // Keys nobody re-contributed simply cease to exist: their fragments are
+  // dropped by the (old) owners without traffic.
+  for (const auto& [key, entry] : baseline.published) {
+    if (Peek(key) == nullptr) ++outcome.erased_keys;
+  }
+  return outcome;
 }
 
 const hdk::KeyEntry* DistributedGlobalIndex::FetchFrom(

@@ -59,6 +59,45 @@ struct LevelOutcome {
 /// The DHT-distributed global index.
 class DistributedGlobalIndex {
  public:
+  /// One contributor's full local posting list (local df == full.size()).
+  struct Contribution {
+    PeerId peer = kInvalidPeer;
+    index::PostingList full;
+  };
+
+  /// Snapshot taken when a departure repair begins (see BeginDeparture):
+  /// the pre-departure published state plus the surviving contribution
+  /// history, reorganized for the protocol's ledger-driven replay.
+  struct DepartureBaseline {
+    PeerId departed = kInvalidPeer;
+    /// Pre-departure published entries and their owners (old peer ids).
+    hdk::KeyMap<hdk::KeyEntry> published;
+    hdk::KeyMap<PeerId> owners;
+    /// contributions[p][s - 1]: surviving peer p's (renumbered id) full
+    /// local posting list per size-s key it had contributed.
+    std::vector<std::vector<hdk::KeyMap<index::PostingList>>> contributions;
+    /// The departed peer's dropped ledger share.
+    uint64_t removed_contributions = 0;
+    uint64_t removed_postings = 0;
+  };
+
+  /// What reconciling the replayed index against the baseline found/sent
+  /// (see FinishDeparture).
+  struct DepartureOutcome {
+    /// Keys published before that no surviving peer re-contributes.
+    uint64_t erased_keys = 0;
+    /// NDK -> HDK flips: the key's df fell back under DFmax, full postings
+    /// were restored from the surviving contributors.
+    uint64_t reverse_reclassified = 0;
+    /// Keys whose fragment moved to a different responsible peer (overlay
+    /// restructuring or the departed peer's fragment).
+    uint64_t migrated_keys = 0;
+    /// Keys re-derived in place because their published content changed.
+    uint64_t repaired_keys = 0;
+    /// Postings carried by the recorded churn messages.
+    uint64_t moved_postings = 0;
+  };
+
   /// \param overlay  peer placement/routing; must outlive the index.
   /// \param traffic  message accounting sink; must outlive the index.
   DistributedGlobalIndex(const dht::Overlay* overlay,
@@ -74,10 +113,13 @@ class DistributedGlobalIndex {
   /// recorded InsertPostings message carries only the truncated list,
   /// exactly as in the paper's protocol. The full list is retained in the
   /// contribution ledger (see the file comment). Returns the number of
-  /// postings actually transmitted.
+  /// postings actually transmitted. The departure replay re-feeds ledger
+  /// contributions that are already hosted in the network through this
+  /// path with `record_traffic = false` — nothing travels for them.
   uint64_t InsertPostings(PeerId src, const hdk::TermKey& key,
                           index::PostingList full_local,
-                          const HdkParams& params, double avg_doc_length);
+                          const HdkParams& params, double avg_doc_length,
+                          bool record_traffic = true);
 
   /// Classifies all keys that received contributions since the last
   /// EndLevel call: merges them into the ledger, re-derives the published
@@ -88,9 +130,31 @@ class DistributedGlobalIndex {
   /// contributors; a key that just crossed DFmax (HDK -> NDK, or a new
   /// key that is born non-discriminative) notifies ALL contributors.
   /// Notifications are pointless at the last level (size filtering stops
-  /// expansion), so the protocol disables them there.
+  /// expansion), so the protocol disables them there. The departure
+  /// replay passes `record_traffic = false` and accounts the genuinely
+  /// travelling notifications itself (most facts are already known).
   LevelOutcome EndLevel(const HdkParams& params, double avg_doc_length,
-                        bool notify_contributors = true);
+                        bool notify_contributors = true,
+                        bool record_traffic = true);
+
+  // -- departure (churn) support ---------------------------------------
+
+  /// Begins a departure repair: snapshots the published state, removes
+  /// peer `departing` from every ledger entry (renumbering surviving
+  /// contributor ids down past it) and resets the index to empty so the
+  /// protocol can replay the level-wise build from the surviving
+  /// contribution history. Must be called while the overlay still
+  /// contains the departing peer (owners are captured under the old
+  /// placement); the caller then shrinks the overlay and replays.
+  DepartureBaseline BeginDeparture(PeerId departing, uint32_t s_max);
+
+  /// Reconciles the replayed index against the pre-departure `baseline`
+  /// and records the churn traffic: one kMaintenance message per key
+  /// whose fragment moved (carrying the published postings, re-pulled
+  /// from a surviving contributor when the departed peer hosted it) or
+  /// whose published content changed in place (reverse reclassification,
+  /// avgdl re-truncation).
+  DepartureOutcome FinishDeparture(const DepartureBaseline& baseline);
 
   /// Removes every key containing term `t` from the ledger and the
   /// fragments — used when a term crosses the very-frequent threshold Ff
@@ -144,12 +208,6 @@ class DistributedGlobalIndex {
   const dht::Overlay& overlay() const { return *overlay_; }
 
  private:
-  /// One contributor's full local posting list (local df == full.size()).
-  struct Contribution {
-    PeerId peer = kInvalidPeer;
-    index::PostingList full;
-  };
-
   /// Everything ever contributed for one key, plus published-state flags
   /// and the incrementally maintained merge of the locally-truncated
   /// contributions (what publishing derives the fragment entry from —

@@ -143,6 +143,228 @@ Status HdkIndexingProtocol::Grow(
   return Status::OK();
 }
 
+std::vector<std::pair<DocId, DocId>> HdkIndexingProtocol::peer_ranges()
+    const {
+  std::vector<std::pair<DocId, DocId>> ranges;
+  ranges.reserve(peers_.size());
+  for (const Peer& peer : peers_) {
+    ranges.emplace_back(peer.first_doc(), peer.last_doc());
+  }
+  return ranges;
+}
+
+Status HdkIndexingProtocol::Depart(
+    PeerId departing, const corpus::CollectionStats& stats,
+    const std::function<Status()>& shrink_overlay,
+    DepartureStats* departure) {
+  if (global_ == nullptr) {
+    return Status::FailedPrecondition("Run() must succeed before Depart()");
+  }
+  if (departing >= peers_.size()) {
+    return Status::InvalidArgument("Depart: unknown peer");
+  }
+  if (peers_.size() == 1) {
+    return Status::FailedPrecondition(
+        "Depart: cannot remove the last peer");
+  }
+
+  DepartureStats stats_out;
+  stats_out.departed = departing;
+
+  // 1. Snapshot the published state and the surviving contribution
+  //    history under the pre-departure placement, then shrink the overlay.
+  DistributedGlobalIndex::DepartureBaseline baseline =
+      global_->BeginDeparture(departing, params_.s_max);
+  stats_out.removed_contributions = baseline.removed_contributions;
+  stats_out.removed_postings = baseline.removed_postings;
+  HDK_RETURN_NOT_OK(shrink_overlay());
+
+  // 2. The survivors' pre-departure knowledge (their oracles) moves aside:
+  //    the replay rebuilds each peer's knowledge from the surviving
+  //    classifications, and the pre/post diff tells which facts genuinely
+  //    travel (fresh) or must be forgotten (reverse notices).
+  std::vector<Peer> prior = std::move(peers_);
+  peers_.clear();
+  peers_.reserve(prior.size() - 1);
+  for (const Peer& old_peer : prior) {
+    if (old_peer.id() == departing) continue;
+    peers_.emplace_back(static_cast<PeerId>(peers_.size()),
+                        old_peer.first_doc(), old_peer.last_doc(), params_);
+  }
+  auto prior_of = [&](PeerId new_id) -> const Peer& {
+    return prior[new_id < departing ? new_id : new_id + 1];
+  };
+  auto prior_knows = [&](PeerId new_id, const hdk::TermKey& key) {
+    const hdk::SetNdkOracle& oracle = prior_of(new_id).oracle();
+    return key.size() == 1 ? oracle.IsExpandableTerm(key.term(0))
+                           : oracle.IsNdk(key);
+  };
+  report_.inserted_postings_per_peer.erase(
+      report_.inserted_postings_per_peer.begin() + departing);
+
+  // 3. The very-frequent set is recomputed from the surviving collection —
+  //    collection frequencies only shrank, so terms can only drop OUT of
+  //    it and re-enter the key vocabulary (the mirror image of the growth
+  //    path's purge).
+  std::unordered_set<TermId> readmitted;
+  {
+    std::unordered_set<TermId> vf_now;
+    for (TermId t :
+         stats.VeryFrequentTerms(params_.very_frequent_threshold)) {
+      vf_now.insert(t);
+    }
+    for (TermId t : very_frequent_) {
+      if (vf_now.count(t) == 0) readmitted.insert(t);
+    }
+    very_frequent_ = std::move(vf_now);
+    report_.excluded_very_frequent_terms = very_frequent_.size();
+    stats_out.readmitted_terms = readmitted.size();
+  }
+
+  // 4. Level-wise replay against the surviving ledger. A peer's level-s
+  //    candidate set is its surviving level-s contributions filtered by
+  //    generability under its REPLAYED knowledge (retraction of keys whose
+  //    basis left with the departed data), plus — only when terms were
+  //    re-admitted — the targeted delta scan over the freshly generable
+  //    candidates. Nothing already hosted in the network travels again;
+  //    only re-admission keys record insert traffic.
+  const double avgdl = stats.average_document_length();
+  std::vector<bool> rescan_counted(peers_.size(), false);
+  for (uint32_t s = 1; s <= params_.s_max; ++s) {
+    ProtocolLevelStats& level_stats = report_.levels[s - 1];
+    for (Peer& peer : peers_) {
+      hdk::KeyMap<index::PostingList> kept =
+          std::move(baseline.contributions[peer.id()][s - 1]);
+      hdk::KeyMap<index::PostingList> fresh;
+      if (s == 1) {
+        // Level-1 candidates only depend on the vocabulary, which never
+        // shrank for the survivors — everything is kept; re-admitted
+        // terms are scanned back in.
+        if (!readmitted.empty()) {
+          hdk::CandidateBuildStats generation;
+          auto full = peer.BuildLevel1(store_, very_frequent_, &generation);
+          level_stats.generation += generation;
+          if (!rescan_counted[peer.id()]) {
+            rescan_counted[peer.id()] = true;
+            ++stats_out.rescanned_peers;
+          }
+          for (auto& [key, pl] : full) {
+            if (readmitted.count(key.term(0)) > 0) {
+              fresh.emplace(key, std::move(pl));
+            }
+          }
+        }
+      } else {
+        for (auto it = kept.begin(); it != kept.end();) {
+          if (hdk::GenerableUnder(it->first, peer.oracle())) {
+            ++it;
+          } else {
+            ++stats_out.retracted_keys;
+            it = kept.erase(it);
+          }
+        }
+        if (peer.HasFreshKnowledge()) {
+          hdk::CandidateBuildStats generation;
+          fresh = peer.BuildLevelDelta(s, store_, &generation);
+          level_stats.generation += generation;
+          if (!rescan_counted[peer.id()]) {
+            rescan_counted[peer.id()] = true;
+            ++stats_out.rescanned_peers;
+          }
+        }
+      }
+
+      auto insert_all = [&](hdk::KeyMap<index::PostingList>& candidates,
+                            bool record_traffic) {
+        for (auto& [key, pl] : candidates) {
+          std::vector<DocId> key_docs;
+          if (s < params_.s_max) key_docs = pl.Documents();
+          const uint64_t payload = global_->InsertPostings(
+              peer.id(), key, std::move(pl), params_, avgdl,
+              record_traffic);
+          peer.MarkPublished(s, key, std::move(key_docs));
+          if (record_traffic) {
+            ++level_stats.keys_inserted;
+            level_stats.postings_inserted += payload;
+            report_.inserted_postings_per_peer[peer.id()] += payload;
+            ++stats_out.repair_insertions;
+            stats_out.repair_postings += payload;
+          }
+        }
+      };
+      insert_all(kept, /*record_traffic=*/false);
+      insert_all(fresh, /*record_traffic=*/true);
+    }
+
+    LevelOutcome outcome =
+        global_->EndLevel(params_, avgdl, /*notify_contributors=*/
+                          s < params_.s_max, /*record_traffic=*/false);
+    if (s < params_.s_max) {
+      for (const auto& [key, contributors] : outcome.notifications) {
+        const PeerId owner = global_->ResponsiblePeer(key);
+        for (PeerId contributor : contributors) {
+          if (prior_knows(contributor, key)) {
+            // Old news: the fact survives the churn; adopting it silently
+            // keeps the replay free of spurious delta scans and traffic.
+            peers_[contributor].AdoptNdk(key);
+          } else {
+            peers_[contributor].OnNdkNotification(key);
+            traffic_->Record(owner, contributor,
+                             net::MessageKind::kNdkNotification,
+                             /*postings=*/0, /*hops=*/1);
+            ++level_stats.notifications;
+          }
+        }
+      }
+    }
+  }
+  for (Peer& peer : peers_) peer.ClearFreshKnowledge();
+
+  // 5. Reverse notices: every fact a survivor held that the replay did
+  //    not reproduce (its key flipped back to discriminative or vanished)
+  //    is explicitly forgotten — one message from the key's owner.
+  for (Peer& peer : peers_) {
+    const hdk::SetNdkOracle& before = prior_of(peer.id()).oracle();
+    const hdk::SetNdkOracle& after = peer.oracle();
+    for (TermId t : before.expandable_terms()) {
+      if (!after.IsExpandableTerm(t)) {
+        traffic_->Record(global_->ResponsiblePeer(hdk::TermKey{t}),
+                         peer.id(),
+                         net::MessageKind::kReclassifyNotification,
+                         /*postings=*/0, /*hops=*/1);
+        ++stats_out.forget_notifications;
+      }
+    }
+    for (const hdk::TermKey& key : before.ndks()) {
+      if (!after.IsNdk(key)) {
+        traffic_->Record(global_->ResponsiblePeer(key), peer.id(),
+                         net::MessageKind::kReclassifyNotification,
+                         /*postings=*/0, /*hops=*/1);
+        ++stats_out.forget_notifications;
+      }
+    }
+  }
+
+  // 6. Reconcile against the pre-departure published state: fragment
+  //    handovers, in-place repairs and reverse reclassifications record
+  //    their churn traffic here.
+  DistributedGlobalIndex::DepartureOutcome outcome =
+      global_->FinishDeparture(baseline);
+  stats_out.erased_keys = outcome.erased_keys;
+  stats_out.reverse_reclassified = outcome.reverse_reclassified;
+  stats_out.migrated_keys = outcome.migrated_keys;
+  stats_out.repaired_keys = outcome.repaired_keys;
+  stats_out.moved_postings = outcome.moved_postings;
+
+  // Keep the published classification counts exact.
+  for (uint32_t s = 1; s <= params_.s_max; ++s) {
+    global_->CountKeys(s, &report_.levels[s - 1].hdks,
+                       &report_.levels[s - 1].ndks);
+  }
+  if (departure != nullptr) *departure = stats_out;
+  return Status::OK();
+}
+
 void HdkIndexingProtocol::RunLevels(const corpus::CollectionStats& stats,
                                     size_t first_new_peer,
                                     GrowthStats* growth) {

@@ -36,6 +36,7 @@
 #define HDKP2P_P2P_INDEXING_PROTOCOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -95,6 +96,36 @@ struct GrowthStats {
   uint64_t rescanned_peers = 0;
 };
 
+/// What one departure repair did (observability for benches and tests).
+struct DepartureStats {
+  PeerId departed = kInvalidPeer;
+  /// The departed peer's dropped ledger share.
+  uint64_t removed_contributions = 0;
+  uint64_t removed_postings = 0;
+  /// Keys that ceased to exist (no surviving contributor).
+  uint64_t erased_keys = 0;
+  /// Survivor contributions retracted because the knowledge that
+  /// generated them is gone (a sub-key flipped back to HDK).
+  uint64_t retracted_keys = 0;
+  /// NDK -> HDK reverse reclassifications (df fell back under DFmax).
+  uint64_t reverse_reclassified = 0;
+  /// Keys whose published entry was re-derived in place (un-truncation,
+  /// avgdl shift) / whose fragment moved to a new responsible peer.
+  uint64_t repaired_keys = 0;
+  uint64_t migrated_keys = 0;
+  /// Postings carried by the recorded churn messages.
+  uint64_t moved_postings = 0;
+  /// Terms that dropped back under Ff and re-entered the key vocabulary.
+  uint64_t readmitted_terms = 0;
+  /// Reverse notices: facts surviving contributors had to forget.
+  uint64_t forget_notifications = 0;
+  /// Genuinely new insertions the repair transmitted (re-admission keys).
+  uint64_t repair_insertions = 0;
+  uint64_t repair_postings = 0;
+  /// Survivors that ran targeted delta scans (re-admission only).
+  uint64_t rescanned_peers = 0;
+};
+
 /// Runs the indexing protocol over a growing set of peers.
 class HdkIndexingProtocol {
  public:
@@ -134,12 +165,38 @@ class HdkIndexingProtocol {
               const corpus::CollectionStats& stats,
               GrowthStats* growth = nullptr);
 
-  /// Cumulative report, current after every Run/Grow.
+  /// Departure (churn): peer `departing` leaves with its documents. The
+  /// repair is ledger-driven: the departed peer's contributions are
+  /// dropped, every surviving peer's candidate sets are re-derived level
+  /// by level FROM THE CONTRIBUTION LEDGER (no document re-scans — a
+  /// surviving peer's kept posting lists are bit-identical because every
+  /// fact their window events consume concerns the key's own
+  /// sub-structure), keys whose knowledge basis vanished are retracted,
+  /// keys whose df fell back under DFmax are reverse-reclassified to full
+  /// HDK postings, and terms that dropped back under Ff re-enter the key
+  /// vocabulary via targeted delta scans. The result is posting-for-
+  /// posting identical to a from-scratch build over the surviving
+  /// document ranges (asserted by the membership-churn tests).
+  ///
+  /// `stats` must describe the SURVIVING collection (ranges-based).
+  /// `shrink_overlay` is invoked exactly once, after the pre-departure
+  /// placement has been snapshotted — the caller owns the overlay, so it
+  /// performs the actual RemovePeer there. Fills `departure` when
+  /// non-null.
+  Status Depart(PeerId departing, const corpus::CollectionStats& stats,
+                const std::function<Status()>& shrink_overlay,
+                DepartureStats* departure = nullptr);
+
+  /// Cumulative report, current after every Run/Grow/Depart.
   const IndexingReport& report() const { return report_; }
 
   size_t num_peers() const { return peers_.size(); }
   /// One past the highest indexed document.
   DocId indexed_documents() const { return indexed_docs_; }
+  /// The [first, last) document range of every current peer, in peer-id
+  /// order. After departures the union has holes — exactly the surviving
+  /// collection a rebuild must cover.
+  std::vector<std::pair<DocId, DocId>> peer_ranges() const;
 
  private:
   /// Refreshes the very-frequent term set from `stats`; returns the terms

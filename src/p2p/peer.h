@@ -61,6 +61,18 @@ class Peer {
   /// peer's higher-level candidates only in that case).
   bool OnNdkNotification(const hdk::TermKey& key);
 
+  /// Adopts a fact the peer is known to have held before a departure
+  /// repair reset it: it enters the oracle WITHOUT becoming fresh
+  /// knowledge, so the replay does not trigger delta re-scans for facts
+  /// whose candidates the contribution ledger already carries.
+  void AdoptNdk(const hdk::TermKey& key) {
+    if (key.size() == 1) {
+      oracle_.AddExpandableTerm(key.term(0));
+    } else {
+      oracle_.AddNdk(key);
+    }
+  }
+
   /// Forgets a term that became very frequent as the collection grew (and
   /// every known NDK containing it). Returns true if the oracle changed.
   bool PurgeTerm(TermId t) {

@@ -101,6 +101,81 @@ uint64_t SingleTermP2PEngine::InsertedPostingsBy(PeerId peer) const {
   return peer < inserted_by_peer_.size() ? inserted_by_peer_[peer] : 0;
 }
 
+SingleTermP2PEngine::DepartureReport SingleTermP2PEngine::OnPeerDeparted(
+    PeerId p, const corpus::DocumentStore& store, DocId first, DocId last,
+    std::span<const std::pair<DocId, DocId>> survivor_ranges) {
+  DepartureReport report;
+
+  // The departed documents leave the collection statistics ...
+  for (DocId d = first; d < last && d < store.size(); ++d) {
+    --num_documents_;
+    total_tokens_ -= store.Tokens(d).size();
+  }
+  // ... and their postings leave every term fragment (owners identify the
+  // contributor by document id; deletion travels no postings).
+  for (auto& fragment : fragments_) {
+    for (auto it = fragment.begin(); it != fragment.end();) {
+      report.removed_postings += it->second.EraseDocRange(first, last);
+      it = it->second.empty() ? fragment.erase(it) : std::next(it);
+    }
+  }
+
+  // The departed peer's fragment needs new owners; surviving fragments
+  // may also shift under the shrunk overlay.
+  std::unordered_map<TermId, index::PostingList> orphaned =
+      std::move(fragments_[p]);
+  fragments_.erase(fragments_.begin() + p);
+  inserted_by_peer_.erase(inserted_by_peer_.begin() + p);
+
+  // The survivor hosting a document answers re-replication pulls for it.
+  auto peer_of_doc = [&](DocId d) -> PeerId {
+    for (PeerId q = 0; q < survivor_ranges.size(); ++q) {
+      if (d >= survivor_ranges[q].first && d < survivor_ranges[q].second) {
+        return q;
+      }
+    }
+    return 0;
+  };
+
+  for (PeerId owner = 0; owner < fragments_.size(); ++owner) {
+    auto& fragment = fragments_[owner];
+    for (auto it = fragment.begin(); it != fragment.end();) {
+      const PeerId new_owner = overlay_->Responsible(HashU64(it->first));
+      if (new_owner == owner) {
+        ++it;
+        continue;
+      }
+      traffic_->Record(owner, new_owner, net::MessageKind::kMaintenance,
+                       it->second.size(), /*hops=*/1);
+      report.moved_postings += it->second.size();
+      ++report.migrated_terms;
+      fragments_[new_owner][it->first].Merge(it->second);
+      it = fragment.erase(it);
+    }
+  }
+  for (auto& [term, pl] : orphaned) {
+    if (pl.empty()) continue;
+    const PeerId new_owner = overlay_->Responsible(HashU64(term));
+    traffic_->Record(peer_of_doc(pl[0].doc), new_owner,
+                     net::MessageKind::kMaintenance, pl.size(), /*hops=*/1);
+    report.moved_postings += pl.size();
+    ++report.migrated_terms;
+    fragments_[new_owner][term].Merge(pl);
+  }
+  return report;
+}
+
+std::unordered_map<TermId, index::PostingList>
+SingleTermP2PEngine::ExportContents() const {
+  std::unordered_map<TermId, index::PostingList> out;
+  for (const auto& fragment : fragments_) {
+    for (const auto& [term, pl] : fragment) {
+      out[term].Merge(pl);
+    }
+  }
+  return out;
+}
+
 uint64_t SingleTermP2PEngine::OnOverlayGrown() {
   if (fragments_.size() < overlay_->num_peers()) {
     fragments_.resize(overlay_->num_peers());

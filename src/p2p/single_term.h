@@ -56,6 +56,36 @@ class SingleTermP2PEngine {
   /// Returns the number of migrated terms.
   uint64_t OnOverlayGrown();
 
+  /// What one departure did (observability for benches and tests).
+  struct DepartureReport {
+    /// Postings of the departed peer's documents dropped from the global
+    /// term fragments.
+    uint64_t removed_postings = 0;
+    /// Terms whose fragment moved to a new responsible peer (including
+    /// the departed peer's whole fragment, re-replicated from survivors).
+    uint64_t migrated_terms = 0;
+    uint64_t moved_postings = 0;
+  };
+
+  /// Departure of peer `p`, which held documents [first, last) of
+  /// `store`: those postings are dropped from every term fragment (the
+  /// owners know the contributor of each posting by its document id — a
+  /// direct deletion, no traffic), the departed peer's own fragment is
+  /// re-replicated to the new responsible peers (kMaintenance from the
+  /// survivor holding the term's first posting), and fragments whose
+  /// responsibility moved under the shrunk overlay migrate. Must be
+  /// called AFTER the overlay dropped the peer; `survivor_ranges` are the
+  /// post-departure per-peer document ranges used to attribute
+  /// re-replication sources. The resulting fragments are posting-for-
+  /// posting identical to an index built over the survivors only.
+  DepartureReport OnPeerDeparted(
+      PeerId p, const corpus::DocumentStore& store, DocId first, DocId last,
+      std::span<const std::pair<DocId, DocId>> survivor_ranges);
+
+  /// Flattens the fragments into one logical term -> postings map
+  /// (identity assertions in tests).
+  std::unordered_map<TermId, index::PostingList> ExportContents() const;
+
   /// Postings stored on a peer's fragment / in total (Figure 3 ST curve).
   uint64_t StoredPostingsAt(PeerId peer) const;
   uint64_t TotalStoredPostings() const;

@@ -94,6 +94,53 @@ TEST_P(OverlayPropertyTest, GrowthPreservesTotalCoverage) {
   }
 }
 
+TEST_P(OverlayPropertyTest, RemovalPreservesTotalCoverage) {
+  auto overlay = Make();
+  Rng rng(6);
+  if (overlay->num_peers() == 1) {
+    // The last peer can never leave.
+    EXPECT_FALSE(overlay->RemovePeer(0).ok());
+    return;
+  }
+  EXPECT_FALSE(overlay->RemovePeer(
+                          static_cast<PeerId>(overlay->num_peers()))
+                   .ok());
+
+  // Churn peers out one by one — from the middle, the front and the back
+  // — down to a single survivor; the cover must stay complete and the
+  // routing convergent throughout.
+  while (overlay->num_peers() > 1) {
+    const PeerId victim =
+        static_cast<PeerId>(rng.NextBounded(overlay->num_peers()));
+    ASSERT_TRUE(overlay->RemovePeer(victim).ok());
+    for (int i = 0; i < 100; ++i) {
+      RingId key = rng.Next();
+      PeerId owner = overlay->Responsible(key);
+      EXPECT_LT(owner, overlay->num_peers());
+      for (PeerId src = 0; src < overlay->num_peers(); ++src) {
+        std::vector<PeerId> path;
+        overlay->Route(src, key, &path);
+        ASSERT_FALSE(path.empty());
+        EXPECT_EQ(path.back(), owner);
+      }
+    }
+  }
+  EXPECT_FALSE(overlay->RemovePeer(0).ok());
+}
+
+TEST_P(OverlayPropertyTest, RemovalAfterGrowthKeepsIdsDense) {
+  auto overlay = Make();
+  Rng rng(7);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(overlay->AddPeer().ok());
+  const size_t before = overlay->num_peers();
+  ASSERT_TRUE(overlay->RemovePeer(static_cast<PeerId>(before / 2)).ok());
+  EXPECT_EQ(overlay->num_peers(), before - 1);
+  for (int i = 0; i < 200; ++i) {
+    PeerId owner = overlay->Responsible(rng.Next());
+    EXPECT_LT(owner, overlay->num_peers());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     BothOverlays, OverlayPropertyTest,
     ::testing::Combine(::testing::Values(OverlayKind::kPGrid,

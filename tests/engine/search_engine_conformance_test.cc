@@ -2,7 +2,8 @@
 // EngineKind is driven through the same tiny corpus and query workload via
 // MakeEngine + the abstract interface, and must satisfy the same contract —
 // ranked deterministic results, coherent cost counters, batch == sum of
-// singles, and an incremental AddPeers lifecycle.
+// singles, and the membership lifecycle (join waves via the AddPeers
+// sugar, mixed join/leave batches via ApplyMembership).
 #include <memory>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "corpus/stats.h"
 #include "corpus/synthetic.h"
 #include "engine/engine_factory.h"
+#include "engine/membership.h"
 #include "engine/overlap.h"
 #include "engine/partition.h"
 #include "engine/search_engine.h"
@@ -146,6 +148,32 @@ TEST_P(ConformanceTest, BatchEqualsSumOfSingles) {
   EXPECT_EQ(batch.total.postings_fetched, summed.postings_fetched);
   EXPECT_EQ(batch.total.keys_fetched, summed.keys_fetched);
   EXPECT_EQ(batch.total.messages, summed.messages);
+}
+
+TEST_P(ConformanceTest, ApplyMembershipJoinsAndDeparts) {
+  auto engine = Make(/*docs=*/120, /*peers=*/3);
+  ASSERT_NE(engine, nullptr);
+
+  // One batch: a join wave plus a departure of a founding peer.
+  std::vector<MembershipEvent> events = JoinWave(120, 1, 40);
+  events.push_back(MembershipEvent::Leave(0));
+  ASSERT_TRUE(engine->ApplyMembership(store_, events).ok());
+  EXPECT_EQ(engine->num_documents(), 120u);  // +40 joined, -40 departed
+  if (GetParam() != EngineKind::kCentralized) {
+    EXPECT_EQ(engine->num_peers(), 3u);
+  }
+
+  // Queries keep working over the churned network, batch included.
+  BatchResponse batch = engine->SearchBatch(queries_, 10);
+  ASSERT_EQ(batch.responses.size(), queries_.size());
+  for (const auto& response : batch.responses) {
+    EXPECT_LE(response.results.size(), 10u);
+  }
+
+  // Departing an unknown peer is rejected and changes nothing.
+  EXPECT_FALSE(
+      engine->ApplyMembership(store_, {MembershipEvent::Leave(42)}).ok());
+  EXPECT_EQ(engine->num_documents(), 120u);
 }
 
 TEST_P(ConformanceTest, AddPeersGrowsTheEngine) {
