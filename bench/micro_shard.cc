@@ -1,0 +1,240 @@
+// Sharded global index: thread-scaling sweep of the HDK build's two
+// phases.
+//
+// PR 2 parallelized the per-peer candidate scans; this bench tracks what
+// the sharded DistributedGlobalIndex adds on top — the EndLevel merge
+// phase (classification + publication) now fans out over key-hash shards
+// and the insertions land in per-shard buffers during the scan waves. For
+// every thread count in the sweep the bench measures
+//
+//   * the full build wall-clock, split into its scan phase (parallel
+//     per-peer candidate scans incl. shard-buffered insertions) and its
+//     merge phase (shard-parallel EndLevel),
+//   * one growth wave (exercising the level-3 per-fresh-pair delta walk)
+//     against a from-scratch rebuild at the grown size — the delta-walk
+//     growth speedup,
+//
+// verifies that every configuration exports a bit-identical global index
+// (including grown == rebuilt), and emits BENCH_shard.json.
+//
+// Env knobs (see bench_common.h): HDKP2P_BENCH_SCALE=tiny,
+// HDKP2P_CORPUS_CACHE, and HDKP2P_SHARD_THREADS to override the
+// "1,2,4,8" sweep list.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/hash.h"
+#include "common/stopwatch.h"
+#include "engine/hdk_engine.h"
+#include "engine/membership.h"
+#include "engine/partition.h"
+#include "hdk/indexer.h"
+
+namespace {
+
+using namespace hdk;
+
+/// Order-independent bit-level fingerprint of the exported global index:
+/// per-key hashes over the exact classification and posting contents,
+/// folded with a commutative sum so the (unordered) export iteration
+/// order cannot perturb it.
+uint64_t FingerprintContents(const ::hdk::hdk::HdkIndexContents& contents) {
+  uint64_t sum = Mix64(contents.size());
+  for (const auto& [key, entry] : contents.entries()) {
+    uint64_t h = key.Hash64();
+    h = HashCombine(h, entry.global_df);
+    h = HashCombine(h, entry.is_hdk ? 1 : 0);
+    for (const auto& p : entry.postings.postings()) {
+      h = HashCombine(h, p.doc);
+      h = HashCombine(h, p.tf);
+      h = HashCombine(h, p.doc_length);
+    }
+    sum += h;  // commutative fold
+  }
+  return sum;
+}
+
+std::vector<size_t> ThreadSweep() {
+  std::vector<size_t> sweep;
+  const char* env = std::getenv("HDKP2P_SHARD_THREADS");
+  std::string spec = env != nullptr ? env : "1,2,4,8";
+  for (char* tok = std::strtok(spec.data(), ","); tok != nullptr;
+       tok = std::strtok(nullptr, ",")) {
+    const size_t n = std::strtoul(tok, nullptr, 10);
+    if (n >= 1) sweep.push_back(n);
+  }
+  if (sweep.empty() || sweep.front() != 1) {
+    sweep.insert(sweep.begin(), 1);  // thread count 1 anchors the speedups
+  }
+  return sweep;
+}
+
+struct Point {
+  size_t threads = 0;
+  size_t shards = 0;
+  double build_s = 0;
+  double scan_s = 0;
+  double merge_s = 0;
+  double grow_s = 0;
+  double rebuild_s = 0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main() {
+  auto setup = bench::SelectSetup();
+  bench::Banner(
+      "micro_shard: thread-scaling of the sharded global-index merge path",
+      "EndLevel/InsertPostings fan out over key-hash shards; output is "
+      "bit-identical at every thread count");
+  bench::PrintSetup(setup);
+
+  // Base network = all but one join wave; the held-back wave measures the
+  // growth path (the level-3 delta walk dominates its scan cost).
+  const uint32_t grow_peers =
+      setup.peer_step < setup.max_peers ? setup.peer_step : 0;
+  const uint32_t base_peers = setup.max_peers - grow_peers;
+  const uint64_t base_docs =
+      static_cast<uint64_t>(base_peers) * setup.docs_per_peer;
+  const uint64_t full_docs =
+      static_cast<uint64_t>(setup.max_peers) * setup.docs_per_peer;
+
+  engine::ExperimentContext ctx(setup);
+  const corpus::DocumentStore& store = ctx.GrowTo(full_docs);
+  const std::vector<size_t> sweep = ThreadSweep();
+
+  std::printf("hardware threads: %zu | base %u peers / %llu docs | growth "
+              "wave %u peers\n\n",
+              ThreadPool::HardwareThreads(), base_peers,
+              static_cast<unsigned long long>(base_docs), grow_peers);
+  std::printf("%8s %7s %10s %10s %10s %10s %10s %9s %9s %10s\n", "threads",
+              "shards", "build_s", "scan_s", "merge_s", "grow_s",
+              "rebuild_s", "merge_x", "grow_x", "identical");
+
+  std::vector<Point> points;
+  uint64_t serial_fingerprint = 0;
+  double serial_merge = 0;
+  for (size_t threads : sweep) {
+    engine::HdkEngineConfig config;
+    config.hdk = setup.MakeParams(setup.DfMaxLow());
+    config.overlay = setup.overlay;
+    config.overlay_seed = setup.overlay_seed;
+    config.num_threads = threads;
+
+    Stopwatch build_watch;
+    auto built = engine::HdkSearchEngine::Build(
+        config, store, engine::SplitEvenly(base_docs, base_peers));
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    auto engine = std::move(built).value();
+    const double build_s = build_watch.ElapsedSeconds();
+    const p2p::PhaseTimings build_phases = engine->phase_timings();
+
+    Stopwatch grow_watch;
+    const auto wave = engine::JoinWave(
+        static_cast<DocId>(base_docs), grow_peers, setup.docs_per_peer);
+    if (grow_peers > 0 && !engine->ApplyMembership(store, wave).ok()) {
+      std::fprintf(stderr, "growth wave failed\n");
+      return 1;
+    }
+    const double grow_s = grow_watch.ElapsedSeconds();
+
+    Stopwatch rebuild_watch;
+    auto rebuilt = engine::HdkSearchEngine::Build(
+        config, store, engine::SplitEvenly(full_docs, setup.max_peers));
+    if (!rebuilt.ok()) {
+      std::fprintf(stderr, "rebuild failed: %s\n",
+                   rebuilt.status().ToString().c_str());
+      return 1;
+    }
+    const double rebuild_s = rebuild_watch.ElapsedSeconds();
+
+    const uint64_t grown_fp =
+        FingerprintContents(engine->global_index().ExportContents());
+    const uint64_t rebuilt_fp =
+        FingerprintContents((*rebuilt)->global_index().ExportContents());
+
+    Point p;
+    p.threads = threads;
+    p.shards = engine->global_index().num_shards();
+    p.build_s = build_s;
+    p.scan_s = build_phases.scan_seconds;
+    p.merge_s = build_phases.merge_seconds;
+    p.grow_s = grow_s;
+    p.rebuild_s = rebuild_s;
+    if (threads == 1) {
+      serial_fingerprint = grown_fp;
+      serial_merge = p.merge_s;
+    }
+    // Identity: grown == rebuilt at this thread count AND == the serial
+    // reference — the hard determinism contract of the sharded path.
+    p.identical = grown_fp == rebuilt_fp && grown_fp == serial_fingerprint;
+    points.push_back(p);
+
+    std::printf("%8zu %7zu %10.3f %10.3f %10.3f %10.3f %10.3f %8.2fx "
+                "%8.2fx %10s\n",
+                p.threads, p.shards, p.build_s, p.scan_s, p.merge_s,
+                p.grow_s, p.rebuild_s,
+                p.merge_s > 0 ? serial_merge / p.merge_s : 0.0,
+                p.grow_s > 0 ? p.rebuild_s / p.grow_s : 0.0,
+                p.identical ? "yes" : "NO");
+    if (!p.identical) {
+      std::fprintf(stderr, "DETERMINISM VIOLATION at %zu threads\n",
+                   threads);
+      return 1;
+    }
+  }
+
+  const char* out_path = "BENCH_shard.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  const char* scale_env = std::getenv("HDKP2P_BENCH_SCALE");
+  std::fprintf(out, "{\n  \"bench\": \"micro_shard\",\n");
+  std::fprintf(out, "  \"scale\": \"%s\",\n",
+               scale_env != nullptr && std::strcmp(scale_env, "tiny") == 0
+                   ? "tiny"
+                   : "default");
+  std::fprintf(out, "  \"hardware_threads\": %zu,\n",
+               ThreadPool::HardwareThreads());
+  std::fprintf(out, "  \"base_peers\": %u,\n  \"base_docs\": %llu,\n",
+               base_peers, static_cast<unsigned long long>(base_docs));
+  std::fprintf(out, "  \"growth_peers\": %u,\n  \"full_docs\": %llu,\n",
+               grow_peers, static_cast<unsigned long long>(full_docs));
+  std::fprintf(out, "  \"points\": [\n");
+  const double merge1 = points.front().merge_s;
+  const double scan1 = points.front().scan_s;
+  const double build1 = points.front().build_s;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(
+        out,
+        "    {\"threads\": %zu, \"shards\": %zu, \"build_s\": %.6f, "
+        "\"scan_s\": %.6f, \"merge_s\": %.6f, \"build_speedup\": %.3f, "
+        "\"scan_speedup\": %.3f, \"merge_speedup\": %.3f, "
+        "\"grow_s\": %.6f, \"rebuild_s\": %.6f, "
+        "\"delta_growth_speedup\": %.3f, \"identical_to_serial\": %s}%s\n",
+        p.threads, p.shards, p.build_s, p.scan_s, p.merge_s,
+        p.build_s > 0 ? build1 / p.build_s : 0.0,
+        p.scan_s > 0 ? scan1 / p.scan_s : 0.0,
+        p.merge_s > 0 ? merge1 / p.merge_s : 0.0, p.grow_s, p.rebuild_s,
+        p.grow_s > 0 ? p.rebuild_s / p.grow_s : 0.0,
+        p.identical ? "true" : "false",
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path);
+  return 0;
+}

@@ -96,6 +96,12 @@ class HdkSearchEngine : public SearchEngine {
     return protocol_->report();
   }
 
+  /// Cumulative scan-vs-merge wall-clock split of the build and every
+  /// growth wave (the shard bench's per-phase metric).
+  const p2p::PhaseTimings& phase_timings() const {
+    return protocol_->phase_timings();
+  }
+
   /// What the most recent join wave did (reclassified keys, purged
   /// very-frequent terms, migrated fragments, delta traffic).
   const p2p::GrowthStats& last_growth() const { return last_growth_; }

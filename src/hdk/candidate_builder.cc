@@ -153,42 +153,29 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevelDelta(
   (void)first;
   (void)last;
   if (delta.empty() || docs.empty()) return {};
+  if (s == 3) return BuildLevel3Delta(store, docs, oracle, delta, stats);
   if (s > 3) {
     return BuildLevelDeltaGeneral(s, store, docs, oracle, delta, stats);
   }
 
+  // s == 2: only newly-expandable single terms create new pairs, and a
+  // new pair's fresh term must lie inside the candidate's window. The
+  // walk skips a position in O(1) whenever neither its trigger term nor
+  // its tail carries a fresh single — that skip is what makes the delta
+  // scan cheap.
   KeyMap<Accum> accums;
   text::WindowTail tail(params_.window);
   std::vector<TermId> pool;
-  std::vector<char> fresh_ish;  // parallel to pool (s == 3 only)
 
-  // Every NEW candidate has a fresh sub-key, and every fresh sub-key
-  // contributes a term that must lie inside the candidate's window. So a
-  // position can be skipped in O(1) whenever neither its trigger term nor
-  // its tail can touch fresh knowledge — that skip is what makes the
-  // delta scan cheap. The fresh vocabularies are LEVEL-SPECIFIC:
-  //   s == 2: only newly-expandable single terms create new pairs;
-  //   s == 3: newly-expandable terms, plus the terms of fresh NDK PAIRS
-  //           (a triple's sub-keys and gates all have size <= 2) — and a
-  //           fresh pair only helps when BOTH its terms are present.
   const std::unordered_set<TermId>& fresh_singles = delta.terms;
-  std::unordered_set<TermId> pair_terms;
-  if (s == 3) {
-    for (const TermKey& k : delta.ndk_pairs) {
-      pair_terms.insert(k.term(0));
-      pair_terms.insert(k.term(1));
-    }
-  }
-  if (fresh_singles.empty() && (s == 2 || pair_terms.empty())) return {};
+  if (fresh_singles.empty()) return {};
 
   // Ring mirroring the tail (w - 1 positions): per position, whether it
-  // carried a fresh single / a fresh-pair term, with running counts.
-  constexpr char kSingle = 1, kPairTerm = 2;
+  // carried a fresh single, with a running count.
   std::vector<char> relevant_ring(params_.window - 1, 0);
   size_t ring_pos = 0;
   size_t ring_filled = 0;
   uint32_t singles_in_tail = 0;
-  uint32_t pair_terms_in_tail = 0;
 
   auto visit = [&](const TermKey& candidate, DocId d, uint32_t len) {
     auto [it, inserted] = accums.try_emplace(candidate);
@@ -210,7 +197,6 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevelDelta(
     ring_pos = 0;
     ring_filled = 0;
     singles_in_tail = 0;
-    pair_terms_in_tail = 0;
     if (stats != nullptr) {
       ++stats->documents_scanned;
       stats->positions_scanned += tokens.size();
@@ -219,95 +205,215 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevelDelta(
     for (TermId t : tokens) {
       const bool eligible = oracle.IsExpandableTerm(t);
       const bool t_single = fresh_singles.count(t) > 0;
-      const bool t_pair_term = s == 3 && pair_terms.count(t) > 0;
-      // A new candidate needs a fresh single in its window, or (s == 3)
-      // BOTH terms of a fresh pair among {trigger, tail}.
-      const bool position_relevant =
-          t_single || singles_in_tail > 0 ||
-          (s == 3 &&
-           (t_pair_term ? 1u : 0u) + pair_terms_in_tail >= 2u);
-      if (eligible && !tail.distinct().empty() && position_relevant) {
+      if (eligible && !tail.distinct().empty() &&
+          (t_single || singles_in_tail > 0)) {
         const bool fresh_t = delta.FreshTerm(t);
         pool.clear();
         for (TermId x : tail.distinct()) {
-          if (x == t) continue;
-          if (s == 2 || oracle.IsNdk(TermKey{x, t})) {
-            pool.push_back(x);
-          }
+          if (x != t) pool.push_back(x);
         }
         std::sort(pool.begin(), pool.end());
 
-        if (s == 2) {
-          // A pair {x, t} is new iff one of its terms became expandable.
-          for (TermId x : pool) {
-            if (fresh_t || delta.FreshTerm(x)) {
-              visit(TermKey{x, t}, d, len);
-            }
-          }
-        } else {  // s == 3: candidate {x1, x2, t} with sub-key S = {x1,x2}
-          // A triple is new iff one of its sub-keys is fresh: a term
-          // became expandable, a gate pair {x, t} became an NDK, or the
-          // enumeration sub-key {x1, x2} became an NDK.
-          fresh_ish.assign(pool.size(), 0);
-          for (size_t i = 0; i < pool.size(); ++i) {
-            fresh_ish[i] = delta.FreshTerm(pool[i]) ||
-                           delta.FreshNdk(TermKey{pool[i], t});
-          }
-          if (fresh_t) {
-            // Every enumerable triple at this position is new.
-            for (size_t i = 0; i < pool.size(); ++i) {
-              for (size_t j = i + 1; j < pool.size(); ++j) {
-                TermKey sub{pool[i], pool[j]};
-                if (oracle.IsNdk(sub)) visit(sub.Extend(t), d, len);
-              }
-            }
-          } else {
-            // (a) pairs touching a fresh term or fresh gate;
-            for (size_t i = 0; i < pool.size(); ++i) {
-              for (size_t j = i + 1; j < pool.size(); ++j) {
-                if (!fresh_ish[i] && !fresh_ish[j]) continue;
-                TermKey sub{pool[i], pool[j]};
-                if (oracle.IsNdk(sub)) visit(sub.Extend(t), d, len);
-              }
-            }
-            // (b) all-old pairs whose sub-key itself freshly became an
-            // NDK (disjoint from (a) by the fresh_ish guards).
-            for (const TermKey& sub : delta.ndk_pairs) {
-              const TermId a = sub.term(0), b = sub.term(1);
-              if (a == t || b == t) continue;
-              auto ia = std::lower_bound(pool.begin(), pool.end(), a);
-              if (ia == pool.end() || *ia != a) continue;
-              auto ib = std::lower_bound(pool.begin(), pool.end(), b);
-              if (ib == pool.end() || *ib != b) continue;
-              if (fresh_ish[ia - pool.begin()] ||
-                  fresh_ish[ib - pool.begin()]) {
-                continue;  // already visited in (a)
-              }
-              visit(sub.Extend(t), d, len);
-            }
+        // A pair {x, t} is new iff one of its terms became expandable.
+        for (TermId x : pool) {
+          if (fresh_t || delta.FreshTerm(x)) {
+            visit(TermKey{x, t}, d, len);
           }
         }
       }
       tail.Push(eligible ? t : kInvalidTerm);
       // Mirror the tail window for the O(1) relevance skip. Only
       // non-hole (eligible) relevant terms can join candidates.
-      const char pushed = eligible ? static_cast<char>(
-                                         (t_single ? kSingle : 0) |
-                                         (t_pair_term ? kPairTerm : 0))
-                                   : 0;
+      const char pushed = eligible && t_single ? 1 : 0;
       if (!relevant_ring.empty()) {
         if (ring_filled == relevant_ring.size()) {
-          const char evicted = relevant_ring[ring_pos];
-          if (evicted & kSingle) --singles_in_tail;
-          if (evicted & kPairTerm) --pair_terms_in_tail;
+          singles_in_tail -= relevant_ring[ring_pos];
         } else {
           ++ring_filled;
         }
         relevant_ring[ring_pos] = pushed;
-        if (pushed & kSingle) ++singles_in_tail;
-        if (pushed & kPairTerm) ++pair_terms_in_tail;
+        singles_in_tail += pushed;
         ring_pos = (ring_pos + 1) % relevant_ring.size();
       }
+    }
+  }
+
+  KeyMap<index::PostingList> out;
+  for (auto& [key, accum] : accums) {
+    if (!accum.valid) continue;
+    accum.FlushDoc();
+    if (accum.postings.empty()) continue;
+    out.emplace(key, index::PostingList(std::move(accum.postings)));
+  }
+  return out;
+}
+
+KeyMap<index::PostingList> CandidateBuilder::BuildLevel3Delta(
+    const corpus::DocumentStore& store, std::span<const DocId> docs,
+    const NdkOracle& oracle, const OracleDelta& delta,
+    CandidateBuildStats* stats) const {
+  // A new triple event at trigger position p uses at least one fresh
+  // fact, and every such fact puts a fresh single into the window
+  // [p-w+1, p] or BOTH terms of one fresh NDK pair into it (a fresh gate
+  // {x, t} has x in the tail and t at p; a fresh enumeration sub-key
+  // {x1, x2} has both in the tail; a fresh trigger/pool term is a fresh
+  // single). So the walk is two-pass per document: a cheap prefilter
+  // marks exactly those trigger positions, then the tail/enumeration
+  // machinery — the expensive part — runs only there, rebuilding the
+  // window tail across gaps. Emitted events (and therefore the candidate
+  // map) are byte-identical to a full-position walk.
+  const std::unordered_set<TermId>& fresh_singles = delta.terms;
+  const std::vector<TermKey>& pairs = delta.ndk_pairs;
+  if (fresh_singles.empty() && pairs.empty()) return {};
+
+  // term -> fresh pairs it participates in (a term may sit in many).
+  std::unordered_map<TermId, std::vector<uint32_t>> pair_sides;
+  for (uint32_t j = 0; j < pairs.size(); ++j) {
+    pair_sides[pairs[j].term(0)].push_back(j);
+    pair_sides[pairs[j].term(1)].push_back(j);
+  }
+
+  KeyMap<Accum> accums;
+  text::WindowTail tail(params_.window);
+  std::vector<TermId> pool;
+  std::vector<char> fresh_ish;  // parallel to pool
+
+  auto visit = [&](const TermKey& candidate, DocId d, uint32_t len) {
+    auto [it, inserted] = accums.try_emplace(candidate);
+    Accum& a = it->second;
+    if (inserted) {
+      a.valid = AllSubKeysNdk(candidate, oracle);
+      if (!a.valid && stats != nullptr) ++stats->pruned_candidates;
+    }
+    if (!a.valid) return;
+    a.Touch(d, len);
+    if (stats != nullptr) ++stats->formations;
+  };
+
+  const int64_t w = static_cast<int64_t>(params_.window);
+  // Per-pair last occurrence position of each side in the current
+  // document, validity tracked by a document stamp (no O(pairs) reset per
+  // document).
+  std::vector<int64_t> last_side(2 * pairs.size(), -1);
+  std::vector<uint32_t> side_stamp(2 * pairs.size(), 0);
+  uint32_t doc_serial = 0;
+  std::vector<size_t> active;  // trigger positions needing enumeration
+
+  for (DocId d : docs) {
+    std::span<const TermId> tokens = store.Tokens(d);
+    const uint32_t len = static_cast<uint32_t>(tokens.size());
+    if (stats != nullptr) {
+      ++stats->documents_scanned;
+      stats->positions_scanned += tokens.size();
+    }
+    ++doc_serial;
+    active.clear();
+
+    // Pass 1 (prefilter, hash lookups only): extend the "active horizon"
+    // whenever a fresh single occurs (windows ending in [i, i+w-1]
+    // contain it) or a fresh pair completes (both sides within w
+    // positions: windows ending in [i, min_side + w - 1] contain both).
+    int64_t active_until = -1;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const TermId t = tokens[i];
+      const int64_t pos = static_cast<int64_t>(i);
+      if (fresh_singles.count(t) > 0) {
+        active_until = std::max(active_until, pos + w - 1);
+      }
+      auto sides = pair_sides.find(t);
+      if (sides != pair_sides.end()) {
+        for (uint32_t j : sides->second) {
+          const uint32_t self =
+              2 * j + (pairs[j].term(0) == t ? 0u : 1u);
+          const uint32_t other = self ^ 1u;
+          side_stamp[self] = doc_serial;
+          last_side[self] = pos;
+          if (side_stamp[other] == doc_serial &&
+              pos - last_side[other] <= w - 1) {
+            active_until =
+                std::max(active_until, last_side[other] + w - 1);
+          }
+        }
+      }
+      if (pos <= active_until) active.push_back(i);
+    }
+    if (active.empty()) continue;
+
+    // Pass 2: enumeration only at the active positions. The tail is the
+    // w-1 tokens preceding the trigger; across a gap it is rebuilt from
+    // the window start (cost <= w pushes), between adjacent active
+    // positions it advances incrementally — either way its state matches
+    // a full walk exactly.
+    tail.Reset();
+    size_t next_push = 0;  // first token position not yet pushed
+    for (size_t p : active) {
+      const size_t win_start =
+          p >= static_cast<size_t>(w - 1) ? p - (w - 1) : 0;
+      if (win_start > next_push) {
+        tail.Reset();
+        next_push = win_start;
+      }
+      for (; next_push < p; ++next_push) {
+        const TermId x = tokens[next_push];
+        tail.Push(oracle.IsExpandableTerm(x) ? x : kInvalidTerm);
+      }
+
+      const TermId t = tokens[p];
+      const bool eligible = oracle.IsExpandableTerm(t);
+      if (eligible && !tail.distinct().empty()) {
+        const bool fresh_t = delta.FreshTerm(t);
+        pool.clear();
+        for (TermId x : tail.distinct()) {
+          if (x == t) continue;
+          if (oracle.IsNdk(TermKey{x, t})) pool.push_back(x);
+        }
+        std::sort(pool.begin(), pool.end());
+
+        // Candidate {x1, x2, t} with enumeration sub-key S = {x1, x2}: a
+        // triple is new iff one of its sub-keys is fresh — a term became
+        // expandable, a gate pair {x, t} became an NDK, or S became an
+        // NDK.
+        fresh_ish.assign(pool.size(), 0);
+        for (size_t i = 0; i < pool.size(); ++i) {
+          fresh_ish[i] = delta.FreshTerm(pool[i]) ||
+                         delta.FreshNdk(TermKey{pool[i], t});
+        }
+        if (fresh_t) {
+          // Every enumerable triple at this position is new.
+          for (size_t i = 0; i < pool.size(); ++i) {
+            for (size_t j = i + 1; j < pool.size(); ++j) {
+              TermKey sub{pool[i], pool[j]};
+              if (oracle.IsNdk(sub)) visit(sub.Extend(t), d, len);
+            }
+          }
+        } else {
+          // (a) pairs touching a fresh term or fresh gate;
+          for (size_t i = 0; i < pool.size(); ++i) {
+            for (size_t j = i + 1; j < pool.size(); ++j) {
+              if (!fresh_ish[i] && !fresh_ish[j]) continue;
+              TermKey sub{pool[i], pool[j]};
+              if (oracle.IsNdk(sub)) visit(sub.Extend(t), d, len);
+            }
+          }
+          // (b) all-old pairs whose sub-key itself freshly became an
+          // NDK (disjoint from (a) by the fresh_ish guards).
+          for (const TermKey& sub : delta.ndk_pairs) {
+            const TermId a = sub.term(0), b = sub.term(1);
+            if (a == t || b == t) continue;
+            auto ia = std::lower_bound(pool.begin(), pool.end(), a);
+            if (ia == pool.end() || *ia != a) continue;
+            auto ib = std::lower_bound(pool.begin(), pool.end(), b);
+            if (ib == pool.end() || *ib != b) continue;
+            if (fresh_ish[ia - pool.begin()] ||
+                fresh_ish[ib - pool.begin()]) {
+              continue;  // already visited in (a)
+            }
+            visit(sub.Extend(t), d, len);
+          }
+        }
+      }
+      tail.Push(eligible ? t : kInvalidTerm);
+      next_push = p + 1;
     }
   }
 

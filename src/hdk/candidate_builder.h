@@ -200,10 +200,13 @@ class CandidateBuilder {
   /// in a document where one of its fresh sub-keys (co-)occurs, so the
   /// caller passes the union of the fresh facts' local document lists —
   /// tiny, because a fresh fact is a key that only just crossed DFmax.
-  /// s == 2 and s == 3 (the paper's smax) use hand-tuned walks; s >= 4
-  /// (the "larger keys" extension) uses the generalized fresh-key-targeted
-  /// walk, so growth cost stays delta-proportional at every level.
-  /// [first, last) is unused (kept for signature stability).
+  /// s == 2 uses a hand-tuned fresh-single walk; s == 3 (the paper's
+  /// smax, the dominant growth cost when many pairs cross DFmax per wave)
+  /// uses the per-fresh-pair window walk (see BuildLevel3Delta) that
+  /// enumerates only at windows actually containing a fresh fact; s >= 4
+  /// (the "larger keys" extension) uses the generalized
+  /// fresh-key-targeted walk, so growth cost stays delta-proportional at
+  /// every level. [first, last) is unused (kept for signature stability).
   KeyMap<index::PostingList> BuildLevelDelta(
       uint32_t s, const corpus::DocumentStore& store, DocId first,
       DocId last, std::span<const DocId> docs, const NdkOracle& oracle,
@@ -212,6 +215,19 @@ class CandidateBuilder {
   const HdkParams& params() const { return params_; }
 
  private:
+  /// The level-3 per-fresh-pair window walk: a cheap hash-lookup prefilter
+  /// pass first marks the trigger positions whose window contains a fresh
+  /// single or BOTH terms of one fresh NDK pair (the exact precondition
+  /// for any new triple event), then the expensive tail/enumeration
+  /// machinery runs only at those positions, rebuilding the window tail
+  /// across gaps. Candidate maps are byte-identical to the old
+  /// full-position walk; cost drops from O(positions) tail updates per
+  /// document to O(active positions * window).
+  KeyMap<index::PostingList> BuildLevel3Delta(
+      const corpus::DocumentStore& store, std::span<const DocId> docs,
+      const NdkOracle& oracle, const OracleDelta& delta,
+      CandidateBuildStats* stats) const;
+
   /// The generalized fresh-key-targeted delta walk used for s >= 4: at
   /// positions that can touch fresh knowledge, enumerate candidates as
   /// BuildLevel would and keep exactly the events whose generation uses a

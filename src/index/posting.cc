@@ -33,29 +33,46 @@ void PostingList::Upsert(const Posting& p) {
   }
 }
 
+void PostingList::MergeSorted(std::span<const Posting> other) {
+  // One reservation, elements moved into place (Posting is trivially
+  // copyable, so "move" and "copy" coincide — the win over the old loop
+  // is the single up-front reserve plus the steal paths of the callers).
+  std::vector<Posting> merged;
+  merged.reserve(postings_.size() + other.size());
+  size_t i = 0, j = 0;
+  while (i < postings_.size() && j < other.size()) {
+    if (postings_[i].doc < other[j].doc) {
+      merged.push_back(std::move(postings_[i++]));
+    } else if (postings_[i].doc > other[j].doc) {
+      merged.push_back(other[j++]);
+    } else {
+      Posting p = std::move(postings_[i++]);
+      p.tf += other[j++].tf;
+      merged.push_back(p);
+    }
+  }
+  for (; i < postings_.size(); ++i) merged.push_back(std::move(postings_[i]));
+  merged.insert(merged.end(), other.begin() + j, other.end());
+  postings_ = std::move(merged);
+}
+
 void PostingList::Merge(const PostingList& other) {
   if (other.empty()) return;
   if (empty()) {
     postings_ = other.postings_;
     return;
   }
-  std::vector<Posting> merged;
-  merged.reserve(postings_.size() + other.postings_.size());
-  size_t i = 0, j = 0;
-  while (i < postings_.size() && j < other.postings_.size()) {
-    if (postings_[i].doc < other.postings_[j].doc) {
-      merged.push_back(postings_[i++]);
-    } else if (postings_[i].doc > other.postings_[j].doc) {
-      merged.push_back(other.postings_[j++]);
-    } else {
-      Posting p = postings_[i++];
-      p.tf += other.postings_[j++].tf;
-      merged.push_back(p);
-    }
+  MergeSorted(other.postings_);
+}
+
+void PostingList::MergeFrom(PostingList&& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    postings_ = std::move(other.postings_);
+    return;
   }
-  while (i < postings_.size()) merged.push_back(postings_[i++]);
-  while (j < other.postings_.size()) merged.push_back(other.postings_[j++]);
-  postings_ = std::move(merged);
+  MergeSorted(other.postings_);
+  other.postings_.clear();
 }
 
 bool PostingList::Contains(DocId doc) const {

@@ -43,6 +43,12 @@ class PostingList {
   /// on duplicate documents).
   void Merge(const PostingList& other);
 
+  /// Merge overload consuming `other`: when this list is empty the
+  /// backing vector is stolen outright, otherwise the merge loop moves
+  /// postings out of `other`. The global index's ledger cache folds
+  /// freshly truncated (temporary) contribution lists through this path.
+  void MergeFrom(PostingList&& other);
+
   /// Keeps only the `limit` postings with the highest `score(posting)`,
   /// then restores doc-id order. Used for top-DFmax NDK truncation.
   template <typename ScoreFn>
@@ -78,6 +84,10 @@ class PostingList {
   bool operator==(const PostingList&) const = default;
 
  private:
+  /// Two-pointer union of the doc-id-sorted `postings_` and `other` into
+  /// a freshly reserved vector (one allocation, elements moved).
+  void MergeSorted(std::span<const Posting> other);
+
   std::vector<Posting> postings_;
 };
 

@@ -2,20 +2,48 @@
 
 #include <algorithm>
 #include <cassert>
+#include <tuple>
+
+#include "common/hash.h"
 
 namespace hdk::p2p {
 
 DistributedGlobalIndex::DistributedGlobalIndex(const dht::Overlay* overlay,
-                                               net::TrafficRecorder* traffic)
-    : overlay_(overlay), traffic_(traffic) {
+                                               net::TrafficRecorder* traffic,
+                                               ThreadPool* pool,
+                                               size_t num_shards)
+    : overlay_(overlay), traffic_(traffic), pool_(pool) {
   assert(overlay_ != nullptr);
   assert(traffic_ != nullptr);
-  EnsureFragments();
+  if (num_shards == 0) num_shards = DefaultShardCount(pool_);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  EnsureCapacity();
 }
 
-void DistributedGlobalIndex::EnsureFragments() {
-  if (fragments_.size() < overlay_->num_peers()) {
-    fragments_.resize(overlay_->num_peers());
+size_t DistributedGlobalIndex::DefaultShardCount(const ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1) return 1;
+  size_t shards = 1;
+  while (shards < 4 * pool->num_threads() && shards < 64) shards *= 2;
+  return shards;
+}
+
+size_t DistributedGlobalIndex::ShardOf(const hdk::TermKey& key) const {
+  // Remixed placement hash: the raw Hash64 also drives the overlay's
+  // Responsible() mapping, so remixing decorrelates shard choice from
+  // peer choice while keeping the shard stable across overlay changes.
+  return shards_.size() == 1
+             ? 0
+             : static_cast<size_t>(Mix64(key.Hash64()) % shards_.size());
+}
+
+void DistributedGlobalIndex::EnsureCapacity() {
+  if (shards_.front()->fragments.size() < overlay_->num_peers()) {
+    for (auto& shard : shards_) {
+      shard->fragments.resize(overlay_->num_peers());
+    }
     traffic_->EnsurePeers(overlay_->num_peers());
   }
 }
@@ -30,8 +58,6 @@ uint64_t DistributedGlobalIndex::InsertPostings(PeerId src,
                                                 const HdkParams& params,
                                                 double avg_doc_length,
                                                 bool record_traffic) {
-  EnsureFragments();
-
   // Sender-side truncation: a locally non-discriminative key is certainly
   // globally non-discriminative (paper Section 3: local NDK => global NDK),
   // so the peer only transmits its local top-DFmax postings for it.
@@ -48,7 +74,11 @@ uint64_t DistributedGlobalIndex::InsertPostings(PeerId src,
                      hops);
   }
 
-  pending_[key].push_back(Contribution{src, std::move(full_local)});
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.insert_mu);
+    shard.pending[key].push_back(Contribution{src, std::move(full_local)});
+  }
   (void)avg_doc_length;  // truncation choice is re-derived at publish time
   return payload;
 }
@@ -67,14 +97,14 @@ void DistributedGlobalIndex::RebuildCache(LedgerEntry& ledger,
     if (c.full.size() > params.df_max) {
       index::PostingList truncated = c.full;
       truncated.TruncateTopBy(trunc_limit, score);
-      ledger.merged_locals.Merge(truncated);
+      ledger.merged_locals.MergeFrom(std::move(truncated));
     } else {
       ledger.merged_locals.Merge(c.full);
     }
   }
 }
 
-bool DistributedGlobalIndex::Publish(const hdk::TermKey& key,
+bool DistributedGlobalIndex::Publish(Shard& shard, const hdk::TermKey& key,
                                      LedgerEntry& ledger,
                                      const HdkParams& params,
                                      double avg_doc_length) {
@@ -98,24 +128,33 @@ bool DistributedGlobalIndex::Publish(const hdk::TermKey& key,
       !entry.is_hdk || ledger.merged_locals.size() < ledger.global_df;
 
   const bool is_ndk = !entry.is_hdk;
-  fragments_[ResponsiblePeer(key)][key] = std::move(entry);
+  shard.fragments[ResponsiblePeer(key)][key] = std::move(entry);
   return is_ndk;
 }
 
-LevelOutcome DistributedGlobalIndex::EndLevel(const HdkParams& params,
-                                              double avg_doc_length,
-                                              bool notify_contributors,
-                                              bool record_traffic) {
-  EnsureFragments();
+LevelOutcome DistributedGlobalIndex::EndLevelShard(Shard& shard,
+                                                   const HdkParams& params,
+                                                   double avg_doc_length,
+                                                   bool notify_contributors,
+                                                   bool record_traffic) {
   LevelOutcome outcome;
+  if (shard.pending.empty()) return outcome;
 
   const Freq trunc_limit = params.EffectiveNdkTruncation();
   auto score = [avg_doc_length](const index::Posting& p) {
     return hdk::TruncationScore(p, avg_doc_length);
   };
 
-  for (auto& [key, contributions] : pending_) {
-    LedgerEntry& ledger = ledger_[key];
+  // Ascending-key order: shard- and thread-count independent, so the
+  // reduced outcome is deterministic everywhere.
+  std::vector<hdk::TermKey> keys;
+  keys.reserve(shard.pending.size());
+  for (const auto& [key, contributions] : shard.pending) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  for (const hdk::TermKey& key : keys) {
+    std::vector<Contribution>& contributions = shard.pending.at(key);
+    LedgerEntry& ledger = shard.ledger[key];
     const bool was_published = !ledger.contributions.empty();
     const bool was_ndk = ledger.published_ndk;
 
@@ -129,7 +168,7 @@ LevelOutcome DistributedGlobalIndex::EndLevel(const HdkParams& params,
       if (c.full.size() > params.df_max) {
         index::PostingList truncated = c.full;
         truncated.TruncateTopBy(trunc_limit, score);
-        ledger.merged_locals.Merge(truncated);
+        ledger.merged_locals.MergeFrom(std::move(truncated));
       } else {
         ledger.merged_locals.Merge(c.full);
       }
@@ -140,7 +179,7 @@ LevelOutcome DistributedGlobalIndex::EndLevel(const HdkParams& params,
                 return a.peer < b.peer;
               });
 
-    const bool is_ndk = Publish(key, ledger, params, avg_doc_length);
+    const bool is_ndk = Publish(shard, key, ledger, params, avg_doc_length);
     if (is_ndk) {
       ++outcome.ndks;
       if (was_published && !was_ndk) ++outcome.reclassified;
@@ -180,56 +219,110 @@ LevelOutcome DistributedGlobalIndex::EndLevel(const HdkParams& params,
       outcome.notifications.emplace_back(key, std::move(recipients));
     }
   }
-  pending_.clear();
+  shard.pending.clear();
+  return outcome;
+}
+
+LevelOutcome DistributedGlobalIndex::EndLevel(const HdkParams& params,
+                                              double avg_doc_length,
+                                              bool notify_contributors,
+                                              bool record_traffic) {
+  EnsureCapacity();
+
+  std::vector<LevelOutcome> partials(shards_.size());
+  ParallelForEach(pool_, shards_.size(), [&](size_t i) {
+    partials[i] = EndLevelShard(*shards_[i], params, avg_doc_length,
+                                notify_contributors, record_traffic);
+  });
+
+  // Deterministic reduce: counters are sums, and the notification list is
+  // globally re-sorted to ascending (key, then already-ascending peers) —
+  // independent of the shard and thread counts.
+  LevelOutcome outcome;
+  size_t total_notifications = 0;
+  for (const LevelOutcome& partial : partials) {
+    total_notifications += partial.notifications.size();
+  }
+  outcome.notifications.reserve(total_notifications);
+  for (LevelOutcome& partial : partials) {
+    outcome.hdks += partial.hdks;
+    outcome.ndks += partial.ndks;
+    outcome.notification_messages += partial.notification_messages;
+    outcome.reclassified += partial.reclassified;
+    std::move(partial.notifications.begin(), partial.notifications.end(),
+              std::back_inserter(outcome.notifications));
+  }
+  std::sort(outcome.notifications.begin(), outcome.notifications.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return outcome;
 }
 
 uint64_t DistributedGlobalIndex::EraseKeysContaining(TermId t) {
-  uint64_t erased = 0;
-  for (auto it = ledger_.begin(); it != ledger_.end();) {
-    if (it->first.Contains(t)) {
-      const PeerId owner = ResponsiblePeer(it->first);
-      if (owner < fragments_.size()) fragments_[owner].erase(it->first);
-      it = ledger_.erase(it);
-      ++erased;
-    } else {
-      ++it;
+  std::vector<uint64_t> erased(shards_.size(), 0);
+  ParallelForEach(pool_, shards_.size(), [&](size_t i) {
+    Shard& shard = *shards_[i];
+    for (auto it = shard.ledger.begin(); it != shard.ledger.end();) {
+      if (it->first.Contains(t)) {
+        const PeerId owner = ResponsiblePeer(it->first);
+        if (owner < shard.fragments.size()) {
+          shard.fragments[owner].erase(it->first);
+        }
+        it = shard.ledger.erase(it);
+        ++erased[i];
+      } else {
+        ++it;
+      }
     }
-  }
-  return erased;
+  });
+  uint64_t total = 0;
+  for (uint64_t e : erased) total += e;
+  return total;
 }
 
 void DistributedGlobalIndex::Retruncate(const HdkParams& params,
                                         double avg_doc_length) {
-  for (auto& [key, ledger] : ledger_) {
-    if (ledger.truncation_sensitive) {
-      RebuildCache(ledger, params, avg_doc_length);
-      Publish(key, ledger, params, avg_doc_length);
+  EnsureCapacity();
+  ParallelForEach(pool_, shards_.size(), [&](size_t i) {
+    Shard& shard = *shards_[i];
+    for (auto& [key, ledger] : shard.ledger) {
+      if (ledger.truncation_sensitive) {
+        RebuildCache(ledger, params, avg_doc_length);
+        Publish(shard, key, ledger, params, avg_doc_length);
+      }
     }
-  }
+  });
 }
 
 uint64_t DistributedGlobalIndex::OnOverlayGrown() {
-  EnsureFragments();
-  uint64_t migrated = 0;
-  for (PeerId old_owner = 0; old_owner < fragments_.size(); ++old_owner) {
-    auto& fragment = fragments_[old_owner];
-    for (auto it = fragment.begin(); it != fragment.end();) {
-      const PeerId new_owner = ResponsiblePeer(it->first);
-      if (new_owner == old_owner) {
-        ++it;
-        continue;
+  EnsureCapacity();
+  // Re-placement moves keys between PEER slots but never between shards
+  // (the shard is derived from the key's placement hash, not the peer),
+  // so each shard migrates independently.
+  std::vector<uint64_t> migrated(shards_.size(), 0);
+  ParallelForEach(pool_, shards_.size(), [&](size_t s) {
+    Shard& shard = *shards_[s];
+    for (PeerId old_owner = 0; old_owner < shard.fragments.size();
+         ++old_owner) {
+      auto& fragment = shard.fragments[old_owner];
+      for (auto it = fragment.begin(); it != fragment.end();) {
+        const PeerId new_owner = ResponsiblePeer(it->first);
+        if (new_owner == old_owner) {
+          ++it;
+          continue;
+        }
+        // Key-space handover to the joining (or re-responsible) peer: one
+        // direct message carrying the published postings.
+        traffic_->Record(old_owner, new_owner, net::MessageKind::kMaintenance,
+                         it->second.postings.size(), /*hops=*/1);
+        shard.fragments[new_owner][it->first] = std::move(it->second);
+        it = fragment.erase(it);
+        ++migrated[s];
       }
-      // Key-space handover to the joining (or re-responsible) peer: one
-      // direct message carrying the published postings.
-      traffic_->Record(old_owner, new_owner, net::MessageKind::kMaintenance,
-                       it->second.postings.size(), /*hops=*/1);
-      fragments_[new_owner][it->first] = std::move(it->second);
-      it = fragment.erase(it);
-      ++migrated;
     }
-  }
-  return migrated;
+  });
+  uint64_t total = 0;
+  for (uint64_t m : migrated) total += m;
+  return total;
 }
 
 DistributedGlobalIndex::DepartureBaseline DistributedGlobalIndex::
@@ -238,15 +331,6 @@ DistributedGlobalIndex::DepartureBaseline DistributedGlobalIndex::
   baseline.departed = departing;
   assert(overlay_->num_peers() >= 2);
   assert(departing < overlay_->num_peers());
-
-  // Snapshot the published state under the pre-departure placement.
-  for (PeerId owner = 0; owner < fragments_.size(); ++owner) {
-    for (auto& [key, entry] : fragments_[owner]) {
-      baseline.owners.emplace(key, owner);
-      baseline.published.emplace(key, std::move(entry));
-    }
-  }
-  fragments_.clear();
 
   // The departed peer's ledger share vanishes with it (in the real
   // network its data simply stops being re-served); surviving
@@ -257,75 +341,124 @@ DistributedGlobalIndex::DepartureBaseline DistributedGlobalIndex::
   for (auto& per_level : baseline.contributions) {
     per_level.resize(s_max);
   }
-  for (auto& [key, ledger] : ledger_) {
-    assert(key.size() >= 1 && key.size() <= s_max);
-    for (Contribution& c : ledger.contributions) {
-      if (c.peer == departing) {
-        ++baseline.removed_contributions;
-        baseline.removed_postings += c.full.size();
-        continue;
+
+  // Shard-parallel drain into per-shard partials (the published snapshot
+  // and ledger reorganization are pure moves; the expensive part is
+  // walking every entry).
+  struct Part {
+    std::vector<std::tuple<hdk::TermKey, PeerId, hdk::KeyEntry>> published;
+    std::vector<std::tuple<PeerId, uint32_t, hdk::TermKey,
+                           index::PostingList>>
+        survivors;
+    uint64_t removed_contributions = 0;
+    uint64_t removed_postings = 0;
+  };
+  std::vector<Part> parts(shards_.size());
+  ParallelForEach(pool_, shards_.size(), [&](size_t i) {
+    Shard& shard = *shards_[i];
+    Part& part = parts[i];
+    for (PeerId owner = 0; owner < shard.fragments.size(); ++owner) {
+      for (auto& [key, entry] : shard.fragments[owner]) {
+        part.published.emplace_back(key, owner, std::move(entry));
       }
-      const PeerId new_id = c.peer > departing ? c.peer - 1 : c.peer;
-      baseline.contributions[new_id][key.size() - 1].emplace(
-          key, std::move(c.full));
+    }
+    shard.fragments.clear();
+    for (auto& [key, ledger] : shard.ledger) {
+      assert(key.size() >= 1 && key.size() <= s_max);
+      for (Contribution& c : ledger.contributions) {
+        if (c.peer == departing) {
+          ++part.removed_contributions;
+          part.removed_postings += c.full.size();
+          continue;
+        }
+        const PeerId new_id = c.peer > departing ? c.peer - 1 : c.peer;
+        part.survivors.emplace_back(new_id, key.size() - 1, key,
+                                    std::move(c.full));
+      }
+    }
+    shard.ledger.clear();
+    shard.pending.clear();
+  });
+
+  // Serial reduce in shard order; the targets are maps, so the resulting
+  // state is independent of that order (and of the shard count).
+  for (Part& part : parts) {
+    baseline.removed_contributions += part.removed_contributions;
+    baseline.removed_postings += part.removed_postings;
+    for (auto& [key, owner, entry] : part.published) {
+      baseline.owners.emplace(key, owner);
+      baseline.published.emplace(key, std::move(entry));
+    }
+    for (auto& [new_id, level, key, full] : part.survivors) {
+      baseline.contributions[new_id][level].emplace(key, std::move(full));
     }
   }
-  ledger_.clear();
-  pending_.clear();
   return baseline;
 }
 
 DistributedGlobalIndex::DepartureOutcome DistributedGlobalIndex::
     FinishDeparture(const DepartureBaseline& baseline) {
-  DepartureOutcome outcome;
   const PeerId departed = baseline.departed;
 
-  for (PeerId owner = 0; owner < fragments_.size(); ++owner) {
-    for (const auto& [key, entry] : fragments_[owner]) {
-      auto old_it = baseline.published.find(key);
-      if (old_it == baseline.published.end()) {
-        // A key born from Ff re-admission — its insertion traffic was
-        // already recorded by the replay.
-        continue;
-      }
-      const hdk::KeyEntry& old_entry = old_it->second;
-      if (!old_entry.is_hdk && entry.is_hdk) ++outcome.reverse_reclassified;
-
-      const PeerId old_owner = baseline.owners.at(key);
-      const bool was_on_departed = old_owner == departed;
-      const PeerId old_owner_now =
-          old_owner > departed ? old_owner - 1 : old_owner;
-      if (was_on_departed || old_owner_now != owner) {
-        // Fragment handover: the new owner receives the published entry —
-        // from the old owner when it survives, re-pulled from the
-        // lowest-id surviving contributor when the departed peer hosted
-        // it (the contributors' data stays available, exactly what the
-        // contribution ledger models).
-        PeerId src = old_owner_now;
-        if (was_on_departed) {
-          const auto& contributions = ledger_.at(key).contributions;
-          assert(!contributions.empty());
-          src = contributions.front().peer;
+  std::vector<DepartureOutcome> parts(shards_.size());
+  ParallelForEach(pool_, shards_.size(), [&](size_t i) {
+    Shard& shard = *shards_[i];
+    DepartureOutcome& part = parts[i];
+    for (PeerId owner = 0; owner < shard.fragments.size(); ++owner) {
+      for (const auto& [key, entry] : shard.fragments[owner]) {
+        auto old_it = baseline.published.find(key);
+        if (old_it == baseline.published.end()) {
+          // A key born from Ff re-admission — its insertion traffic was
+          // already recorded by the replay.
+          continue;
         }
-        traffic_->Record(src, owner, net::MessageKind::kMaintenance,
-                         entry.postings.size(), /*hops=*/1);
-        outcome.moved_postings += entry.postings.size();
-        ++outcome.migrated_keys;
-      } else if (entry.postings != old_entry.postings ||
-                 entry.global_df != old_entry.global_df ||
-                 entry.is_hdk != old_entry.is_hdk) {
-        // Re-derived in place: the owner re-pulls the changed entry from
-        // a surviving contributor (un-truncation restores postings the
-        // published fragment no longer carried).
-        const auto& contributions = ledger_.at(key).contributions;
-        assert(!contributions.empty());
-        traffic_->Record(contributions.front().peer, owner,
-                         net::MessageKind::kMaintenance,
-                         entry.postings.size(), /*hops=*/1);
-        outcome.moved_postings += entry.postings.size();
-        ++outcome.repaired_keys;
+        const hdk::KeyEntry& old_entry = old_it->second;
+        if (!old_entry.is_hdk && entry.is_hdk) ++part.reverse_reclassified;
+
+        const PeerId old_owner = baseline.owners.at(key);
+        const bool was_on_departed = old_owner == departed;
+        const PeerId old_owner_now =
+            old_owner > departed ? old_owner - 1 : old_owner;
+        if (was_on_departed || old_owner_now != owner) {
+          // Fragment handover: the new owner receives the published entry —
+          // from the old owner when it survives, re-pulled from the
+          // lowest-id surviving contributor when the departed peer hosted
+          // it (the contributors' data stays available, exactly what the
+          // contribution ledger models).
+          PeerId src = old_owner_now;
+          if (was_on_departed) {
+            const auto& contributions = shard.ledger.at(key).contributions;
+            assert(!contributions.empty());
+            src = contributions.front().peer;
+          }
+          traffic_->Record(src, owner, net::MessageKind::kMaintenance,
+                           entry.postings.size(), /*hops=*/1);
+          part.moved_postings += entry.postings.size();
+          ++part.migrated_keys;
+        } else if (entry.postings != old_entry.postings ||
+                   entry.global_df != old_entry.global_df ||
+                   entry.is_hdk != old_entry.is_hdk) {
+          // Re-derived in place: the owner re-pulls the changed entry from
+          // a surviving contributor (un-truncation restores postings the
+          // published fragment no longer carried).
+          const auto& contributions = shard.ledger.at(key).contributions;
+          assert(!contributions.empty());
+          traffic_->Record(contributions.front().peer, owner,
+                           net::MessageKind::kMaintenance,
+                           entry.postings.size(), /*hops=*/1);
+          part.moved_postings += entry.postings.size();
+          ++part.repaired_keys;
+        }
       }
     }
+  });
+
+  DepartureOutcome outcome;
+  for (const DepartureOutcome& part : parts) {
+    outcome.reverse_reclassified += part.reverse_reclassified;
+    outcome.migrated_keys += part.migrated_keys;
+    outcome.repaired_keys += part.repaired_keys;
+    outcome.moved_postings += part.moved_postings;
   }
 
   // Keys nobody re-contributed simply cease to exist: their fragments are
@@ -356,49 +489,66 @@ const hdk::KeyEntry* DistributedGlobalIndex::FetchFrom(
 const hdk::KeyEntry* DistributedGlobalIndex::Peek(
     const hdk::TermKey& key) const {
   const PeerId owner = ResponsiblePeer(key);
-  if (owner >= fragments_.size()) return nullptr;
-  const auto& fragment = fragments_[owner];
+  const Shard& shard = ShardFor(key);
+  if (owner >= shard.fragments.size()) return nullptr;
+  const auto& fragment = shard.fragments[owner];
   auto it = fragment.find(key);
   return it == fragment.end() ? nullptr : &it->second;
 }
 
 uint64_t DistributedGlobalIndex::StoredPostingsAt(PeerId peer) const {
-  if (peer >= fragments_.size()) return 0;
   uint64_t total = 0;
-  for (const auto& [key, entry] : fragments_[peer]) {
-    total += entry.postings.size();
+  for (const auto& shard : shards_) {
+    if (peer >= shard->fragments.size()) continue;
+    for (const auto& [key, entry] : shard->fragments[peer]) {
+      total += entry.postings.size();
+    }
   }
   return total;
 }
 
 uint64_t DistributedGlobalIndex::TotalStoredPostings() const {
   uint64_t total = 0;
-  for (PeerId p = 0; p < fragments_.size(); ++p) {
-    total += StoredPostingsAt(p);
+  for (const auto& shard : shards_) {
+    for (const auto& fragment : shard->fragments) {
+      for (const auto& [key, entry] : fragment) {
+        total += entry.postings.size();
+      }
+    }
   }
   return total;
 }
 
 uint64_t DistributedGlobalIndex::KeysAt(PeerId peer) const {
-  return peer < fragments_.size() ? fragments_[peer].size() : 0;
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (peer < shard->fragments.size()) {
+      total += shard->fragments[peer].size();
+    }
+  }
+  return total;
 }
 
 uint64_t DistributedGlobalIndex::TotalKeys() const {
   uint64_t total = 0;
-  for (const auto& fragment : fragments_) total += fragment.size();
+  for (const auto& shard : shards_) {
+    for (const auto& fragment : shard->fragments) total += fragment.size();
+  }
   return total;
 }
 
 void DistributedGlobalIndex::CountKeys(uint32_t level, uint64_t* hdks,
                                        uint64_t* ndks) const {
   uint64_t h = 0, n = 0;
-  for (const auto& fragment : fragments_) {
-    for (const auto& [key, entry] : fragment) {
-      if (level != 0 && key.size() != level) continue;
-      if (entry.is_hdk) {
-        ++h;
-      } else {
-        ++n;
+  for (const auto& shard : shards_) {
+    for (const auto& fragment : shard->fragments) {
+      for (const auto& [key, entry] : fragment) {
+        if (level != 0 && key.size() != level) continue;
+        if (entry.is_hdk) {
+          ++h;
+        } else {
+          ++n;
+        }
       }
     }
   }
@@ -408,9 +558,11 @@ void DistributedGlobalIndex::CountKeys(uint32_t level, uint64_t* hdks,
 
 hdk::HdkIndexContents DistributedGlobalIndex::ExportContents() const {
   hdk::HdkIndexContents out;
-  for (const auto& fragment : fragments_) {
-    for (const auto& [key, entry] : fragment) {
-      out.Put(key, entry);
+  for (const auto& shard : shards_) {
+    for (const auto& fragment : shard->fragments) {
+      for (const auto& [key, entry] : fragment) {
+        out.Put(key, entry);
+      }
     }
   }
   return out;

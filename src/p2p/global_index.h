@@ -24,14 +24,35 @@
 // lets the simulator recompute any published entry deterministically. The
 // published per-peer fragments and all recorded traffic continue to model
 // exactly what the protocol transmits and stores.
+//
+// SHARDING: the index is internally partitioned into N shards by the key's
+// placement hash — the same hash that assigns the key to its responsible
+// peer, so a key's pending contributions, ledger entry and published
+// fragment slot all live on exactly one shard and never move between
+// shards (overlay growth re-places keys across PEERS, and that handover
+// happens within the key's shard). InsertPostings routes each
+// contribution to its shard under a per-shard mutex (the protocol's
+// parallel per-peer scan waves insert concurrently without a global
+// lock), and the heavy merge paths — EndLevel, Retruncate,
+// OnOverlayGrown, EraseKeysContaining and the departure snapshot/
+// reconcile — fan out shard-wise on the thread pool with zero cross-shard
+// contention. Every shard processes its keys in ascending-key order and
+// the per-shard partial outcomes are reduced in deterministic (ascending
+// key, then ascending peer) order, so published postings, notifications,
+// traffic counters and reclassification counts are identical for every
+// shard and thread count; with no pool the index runs one shard on the
+// caller — the exact serial path.
 #ifndef HDKP2P_P2P_GLOBAL_INDEX_H_
 #define HDKP2P_P2P_GLOBAL_INDEX_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/params.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "dht/overlay.h"
 #include "hdk/candidate_builder.h"
@@ -45,7 +66,7 @@ namespace hdk::p2p {
 /// Outcome of finishing one indexing level.
 struct LevelOutcome {
   /// Keys classified non-discriminative this level, with the contributors
-  /// that were notified.
+  /// that were notified. Ascending key order; recipients ascending.
   std::vector<std::pair<hdk::TermKey, std::vector<PeerId>>> notifications;
   uint64_t hdks = 0;
   uint64_t ndks = 0;
@@ -98,13 +119,35 @@ class DistributedGlobalIndex {
     uint64_t moved_postings = 0;
   };
 
-  /// \param overlay  peer placement/routing; must outlive the index.
-  /// \param traffic  message accounting sink; must outlive the index.
+  /// \param overlay    peer placement/routing; must outlive the index.
+  /// \param traffic    message accounting sink; must outlive the index.
+  /// \param pool       thread pool the shard-parallel merge paths fan out
+  ///                   on (may be nullptr: everything runs inline on the
+  ///                   caller — the exact serial path). Must outlive the
+  ///                   index.
+  /// \param num_shards shard count; 0 applies the heuristic
+  ///                   DefaultShardCount(pool). Any value produces
+  ///                   identical observable state (see file comment).
   DistributedGlobalIndex(const dht::Overlay* overlay,
-                         net::TrafficRecorder* traffic);
+                         net::TrafficRecorder* traffic,
+                         ThreadPool* pool = nullptr, size_t num_shards = 0);
+
+  /// The shard-count heuristic: 1 without a pool (serial path), otherwise
+  /// 4x the worker count rounded up to a power of two (static chunking
+  /// over an oversubscribed shard set smooths per-shard load imbalance),
+  /// capped at 64.
+  static size_t DefaultShardCount(const ThreadPool* pool);
+
+  size_t num_shards() const { return shards_.size(); }
 
   /// The peer responsible for a key.
   PeerId ResponsiblePeer(const hdk::TermKey& key) const;
+
+  /// Grows the per-peer fragment slots (and the traffic recorder's peer
+  /// counters) to the overlay's current size. Serial sections only; the
+  /// protocol calls it once before fanning insertions out, so that
+  /// concurrent InsertPostings never resizes.
+  void EnsureCapacity();
 
   /// Indexing-time insertion from peer `src`: the peer's FULL local
   /// posting list for `key` (the local document frequency is its size).
@@ -116,6 +159,10 @@ class DistributedGlobalIndex {
   /// postings actually transmitted. The departure replay re-feeds ledger
   /// contributions that are already hosted in the network through this
   /// path with `record_traffic = false` — nothing travels for them.
+  ///
+  /// THREAD SAFETY: may be called concurrently (the parallel scan waves
+  /// do) once EnsureCapacity() has run for the current overlay size; the
+  /// contribution is buffered on its key's shard under the shard mutex.
   uint64_t InsertPostings(PeerId src, const hdk::TermKey& key,
                           index::PostingList full_local,
                           const HdkParams& params, double avg_doc_length,
@@ -133,6 +180,8 @@ class DistributedGlobalIndex {
   /// expansion), so the protocol disables them there. The departure
   /// replay passes `record_traffic = false` and accounts the genuinely
   /// travelling notifications itself (most facts are already known).
+  /// Runs shard-parallel on the pool; see the file comment for the
+  /// determinism contract.
   LevelOutcome EndLevel(const HdkParams& params, double avg_doc_length,
                         bool notify_contributors = true,
                         bool record_traffic = true);
@@ -146,6 +195,7 @@ class DistributedGlobalIndex {
   /// contribution history. Must be called while the overlay still
   /// contains the departing peer (owners are captured under the old
   /// placement); the caller then shrinks the overlay and replays.
+  /// The snapshot scan runs shard-parallel.
   DepartureBaseline BeginDeparture(PeerId departing, uint32_t s_max);
 
   /// Reconciles the replayed index against the pre-departure `baseline`
@@ -153,7 +203,7 @@ class DistributedGlobalIndex {
   /// whose fragment moved (carrying the published postings, re-pulled
   /// from a surviving contributor when the departed peer hosted it) or
   /// whose published content changed in place (reverse reclassification,
-  /// avgdl re-truncation).
+  /// avgdl re-truncation). The reconcile scan runs shard-parallel.
   DepartureOutcome FinishDeparture(const DepartureBaseline& baseline);
 
   /// Removes every key containing term `t` from the ledger and the
@@ -169,13 +219,16 @@ class DistributedGlobalIndex {
   /// active). Called when the collection grew and avgdl shifted, so that
   /// the published state matches what a from-scratch build over the grown
   /// collection would produce. Simulation bookkeeping; no traffic.
+  /// Runs shard-parallel.
   void Retruncate(const HdkParams& params, double avg_doc_length);
 
   /// Re-places published entries after the overlay gained peers: every key
   /// whose responsible peer changed is handed over to its new owner, and
   /// the handover is recorded as one kMaintenance message carrying the
   /// published postings (1 hop: the old owner learns the new owner during
-  /// the join). Returns the number of migrated keys.
+  /// the join). A key's shard is placement-hash based, so every handover
+  /// stays within its shard and the scan runs shard-parallel. Returns the
+  /// number of migrated keys.
   uint64_t OnOverlayGrown();
 
   /// Retrieval probe from peer `src`: routes a KeyProbe message to the
@@ -223,7 +276,33 @@ class DistributedGlobalIndex {
     bool truncation_sensitive = false;
   };
 
-  void EnsureFragments();
+  /// One shard: the slice of the pending buffer, the ledger and the
+  /// per-peer fragment maps for the keys hashing to it. The mutex guards
+  /// `pending` against concurrent InsertPostings; everything else is
+  /// touched either from serial sections or by exactly one worker during
+  /// the shard-parallel merge paths.
+  struct Shard {
+    std::mutex insert_mu;
+    /// Contributions received since the last EndLevel call.
+    hdk::KeyMap<std::vector<Contribution>> pending;
+    /// Full contribution history per key.
+    hdk::KeyMap<LedgerEntry> ledger;
+    /// peer -> this shard's slice of the peer's published fragment.
+    std::vector<hdk::KeyMap<hdk::KeyEntry>> fragments;
+  };
+
+  size_t ShardOf(const hdk::TermKey& key) const;
+  Shard& ShardFor(const hdk::TermKey& key) {
+    return *shards_[ShardOf(key)];
+  }
+  const Shard& ShardFor(const hdk::TermKey& key) const {
+    return *shards_[ShardOf(key)];
+  }
+
+  /// EndLevel over one shard's pending keys, ascending-key order.
+  LevelOutcome EndLevelShard(Shard& shard, const HdkParams& params,
+                             double avg_doc_length, bool notify_contributors,
+                             bool record_traffic);
 
   /// Recomputes `merged_locals` / `global_df` from the full contribution
   /// history under (params, avg_doc_length) — needed when avgdl drift may
@@ -233,19 +312,17 @@ class DistributedGlobalIndex {
 
   /// Derives the published KeyEntry of `key` from the ledger cache —
   /// bit-identical to what a from-scratch build would publish — and
-  /// stores it on the responsible fragment. Returns whether the published
-  /// entry is an NDK.
-  bool Publish(const hdk::TermKey& key, LedgerEntry& ledger,
+  /// stores it on the responsible fragment slot of `shard` (which must be
+  /// the key's shard). Returns whether the published entry is an NDK.
+  bool Publish(Shard& shard, const hdk::TermKey& key, LedgerEntry& ledger,
                const HdkParams& params, double avg_doc_length);
 
   const dht::Overlay* overlay_;
   net::TrafficRecorder* traffic_;
-  /// Contributions received since the last EndLevel call.
-  hdk::KeyMap<std::vector<Contribution>> pending_;
-  /// Full contribution history per key.
-  hdk::KeyMap<LedgerEntry> ledger_;
-  /// peer -> published fragment of the global index.
-  std::vector<hdk::KeyMap<hdk::KeyEntry>> fragments_;
+  ThreadPool* pool_;
+  /// unique_ptr: Shard holds a mutex and must not move when the vector is
+  /// built. Fixed size after construction.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace hdk::p2p

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/stopwatch.h"
 #include "hdk/indexer.h"
 
 namespace hdk::p2p {
@@ -75,7 +76,8 @@ Result<std::unique_ptr<DistributedGlobalIndex>> HdkIndexingProtocol::Run(
                         params_);
   }
 
-  auto global = std::make_unique<DistributedGlobalIndex>(overlay_, traffic_);
+  auto global =
+      std::make_unique<DistributedGlobalIndex>(overlay_, traffic_, pool_);
   global_ = global.get();
 
   RunLevels(stats, /*first_new_peer=*/0, nullptr);
@@ -370,6 +372,10 @@ void HdkIndexingProtocol::RunLevels(const corpus::CollectionStats& stats,
                                     GrowthStats* growth) {
   const double avgdl = stats.average_document_length();
   std::vector<bool> rescan_counted(peers_.size(), false);
+  // Concurrent InsertPostings must never resize the fragment/traffic
+  // capacity; the overlay is stable for the whole pass, so one serial
+  // call up front covers every level.
+  global_->EnsureCapacity();
 
   for (uint32_t s = 1; s <= params_.s_max; ++s) {
     ProtocolLevelStats& level_stats = report_.levels[s - 1];
@@ -381,8 +387,9 @@ void HdkIndexingProtocol::RunLevels(const corpus::CollectionStats& stats,
     struct ScanTask {
       Peer* peer = nullptr;
       bool is_new = false;
-      hdk::KeyMap<index::PostingList> candidates;
       hdk::CandidateBuildStats generation;
+      uint64_t keys_inserted = 0;
+      uint64_t postings_inserted = 0;
     };
     std::vector<ScanTask> tasks;
     tasks.reserve(peers_.size());
@@ -399,66 +406,67 @@ void HdkIndexingProtocol::RunLevels(const corpus::CollectionStats& stats,
           ++growth->rescanned_peers;
         }
       }
-      tasks.push_back(ScanTask{&peer, is_new, {}, {}});
+      tasks.push_back(ScanTask{&peer, is_new, {}, 0, 0});
     }
 
-    // Phases 2 + 3, in waves of pool-width: scan `wave_size` peers
-    // concurrently (the protocol's hot path — the builders are
-    // const/reentrant and each task writes only its own slot, so the
-    // fan-out is race-free), then merge that wave into the global index
-    // serially in ascending peer order and free its candidate maps.
-    // Waves bound peak memory to ~num_threads candidate maps instead of
-    // one per peer; with no pool this degenerates to the serial loop.
-    // Each candidate map comes from a deterministic single-threaded scan,
-    // so its iteration order — and therefore every insertion and traffic
-    // record — matches the serial protocol regardless of wave shape.
-    const size_t wave_size =
-        pool_ != nullptr ? std::max<size_t>(pool_->num_threads(), 1) : 1;
-    for (size_t wave = 0; wave < tasks.size(); wave += wave_size) {
-      const size_t wave_end = std::min(tasks.size(), wave + wave_size);
-      ParallelForEach(pool_, wave_end - wave, [&](size_t i) {
-        ScanTask& task = tasks[wave + i];
-        task.candidates =
-            s == 1 ? task.peer->BuildLevel1(store_, very_frequent_,
-                                            &task.generation)
-            : task.is_new
-                ? task.peer->BuildLevel(s, store_, &task.generation)
-                : task.peer->BuildLevelDelta(s, store_, &task.generation);
-      });
+    // Phase 2 (parallel): each task scans its peer's candidates AND
+    // inserts them straight into the global index — InsertPostings
+    // buffers each contribution on its key's shard under the shard
+    // mutex, so the whole wave proceeds without a global lock, and each
+    // task frees its candidate map before scanning the next peer (peak
+    // memory ~num_threads maps). Every mutation is either task-local
+    // (peer state, per-task counters), per-key commutative (shard
+    // buffers: EndLevel sorts contributors and folds order-independent
+    // merges) or aggregate-only (sharded traffic counters) — so any
+    // insertion interleaving yields the same observable state, and with
+    // no pool the loop IS the serial protocol in ascending peer order.
+    Stopwatch scan_watch;
+    ParallelForEach(pool_, tasks.size(), [&](size_t i) {
+      ScanTask& task = tasks[i];
+      Peer& peer = *task.peer;
+      hdk::KeyMap<index::PostingList> candidates =
+          s == 1 ? peer.BuildLevel1(store_, very_frequent_, &task.generation)
+          : task.is_new
+              ? peer.BuildLevel(s, store_, &task.generation)
+              : peer.BuildLevelDelta(s, store_, &task.generation);
 
-      for (size_t t = wave; t < wave_end; ++t) {
-        ScanTask& task = tasks[t];
-        Peer& peer = *task.peer;
-        const bool is_new = task.is_new;
-        level_stats.generation += task.generation;
-        hdk::KeyMap<index::PostingList> candidates =
-            std::move(task.candidates);
+      for (auto& [key, pl] : candidates) {
+        if (!task.is_new && peer.HasPublished(s, key)) continue;
+        // Keys below the top level can become expansion material
+        // later; remember which local documents carry them (delta-scan
+        // targets).
+        std::vector<DocId> key_docs;
+        if (s < params_.s_max) key_docs = pl.Documents();
+        const uint64_t payload = global_->InsertPostings(
+            peer.id(), key, std::move(pl), params_, avgdl);
+        peer.MarkPublished(s, key, std::move(key_docs));
+        ++task.keys_inserted;
+        task.postings_inserted += payload;
+      }
+    });
+    phase_timings_.scan_seconds += scan_watch.ElapsedSeconds();
 
-        for (auto& [key, pl] : candidates) {
-          if (!is_new && peer.HasPublished(s, key)) continue;
-          // Keys below the top level can become expansion material
-          // later; remember which local documents carry them (delta-scan
-          // targets).
-          std::vector<DocId> key_docs;
-          if (s < params_.s_max) key_docs = pl.Documents();
-          const uint64_t payload = global_->InsertPostings(
-              peer.id(), key, std::move(pl), params_, avgdl);
-          peer.MarkPublished(s, key, std::move(key_docs));
-          ++level_stats.keys_inserted;
-          level_stats.postings_inserted += payload;
-          report_.inserted_postings_per_peer[peer.id()] += payload;
-          if (growth != nullptr) {
-            ++growth->delta_insertions;
-            growth->delta_postings += payload;
-          }
-        }
+    // Phase 3 (serial): reduce the per-task counters in ascending peer
+    // order.
+    for (const ScanTask& task : tasks) {
+      level_stats.generation += task.generation;
+      level_stats.keys_inserted += task.keys_inserted;
+      level_stats.postings_inserted += task.postings_inserted;
+      report_.inserted_postings_per_peer[task.peer->id()] +=
+          task.postings_inserted;
+      if (growth != nullptr) {
+        growth->delta_insertions += task.keys_inserted;
+        growth->delta_postings += task.postings_inserted;
       }
     }
 
     // Notifications are pointless at the last level (size filtering stops
-    // expansion), so the protocol disables them there.
+    // expansion), so the protocol disables them there. EndLevel fans out
+    // over the index shards and reduces in ascending-key order.
+    Stopwatch merge_watch;
     LevelOutcome outcome = global_->EndLevel(
         params_, avgdl, /*notify_contributors=*/s < params_.s_max);
+    phase_timings_.merge_seconds += merge_watch.ElapsedSeconds();
     level_stats.notifications += outcome.notification_messages;
     if (growth != nullptr) growth->reclassified_keys += outcome.reclassified;
 

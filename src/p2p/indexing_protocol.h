@@ -96,6 +96,17 @@ struct GrowthStats {
   uint64_t rescanned_peers = 0;
 };
 
+/// Cumulative wall-clock split of the protocol's two build phases
+/// (observability for the shard bench; never feeds results, so timing
+/// noise cannot perturb determinism):
+///   * scan  — the parallel per-peer candidate scans including their
+///             shard-buffered insertions,
+///   * merge — the shard-parallel EndLevel classification/publication.
+struct PhaseTimings {
+  double scan_seconds = 0;
+  double merge_seconds = 0;
+};
+
 /// What one departure repair did (observability for benches and tests).
 struct DepartureStats {
   PeerId departed = kInvalidPeer;
@@ -135,12 +146,14 @@ class HdkIndexingProtocol {
   /// \param overlay DHT overlay (outlives the protocol; grown by the
   ///                caller before Grow is invoked).
   /// \param traffic traffic sink (outlives the protocol).
-  /// \param pool    thread pool the per-peer candidate scans fan out on
-  ///                within each protocol level (outlives the protocol);
-  ///                nullptr runs the exact serial path. Candidate sets
-  ///                are merged into the global index in ascending peer
-  ///                order either way, so parallel builds are
-  ///                posting-for-posting identical to serial ones.
+  /// \param pool    thread pool the per-peer candidate scans (with their
+  ///                shard-buffered insertions) and the sharded global
+  ///                index's merge paths fan out on (outlives the
+  ///                protocol); nullptr runs the exact serial path.
+  ///                Contributions land in per-key shard buffers and every
+  ///                level is classified in ascending-key order, so
+  ///                parallel builds are posting-for-posting identical to
+  ///                serial ones at any thread count.
   HdkIndexingProtocol(const HdkParams& params,
                       const corpus::DocumentStore& store,
                       const dht::Overlay* overlay,
@@ -190,6 +203,9 @@ class HdkIndexingProtocol {
   /// Cumulative report, current after every Run/Grow/Depart.
   const IndexingReport& report() const { return report_; }
 
+  /// Cumulative scan/merge wall-clock split across Run and every Grow.
+  const PhaseTimings& phase_timings() const { return phase_timings_; }
+
   size_t num_peers() const { return peers_.size(); }
   /// One past the highest indexed document.
   DocId indexed_documents() const { return indexed_docs_; }
@@ -219,6 +235,7 @@ class HdkIndexingProtocol {
   std::vector<Peer> peers_;
   std::unordered_set<TermId> very_frequent_;
   IndexingReport report_;
+  PhaseTimings phase_timings_;
   DocId indexed_docs_ = 0;
 };
 

@@ -109,5 +109,30 @@ TEST(PostingListTest, EqualityIsStructural) {
   EXPECT_FALSE(a == c);
 }
 
+TEST(PostingListTest, MergeFromMatchesMerge) {
+  PostingList reference({{1, 1, 5}, {3, 2, 5}});
+  PostingList other({{2, 1, 5}, {3, 4, 5}});
+  reference.Merge(other);
+
+  PostingList moved_into({{1, 1, 5}, {3, 2, 5}});
+  moved_into.MergeFrom(PostingList({{2, 1, 5}, {3, 4, 5}}));
+  EXPECT_EQ(moved_into, reference);
+}
+
+TEST(PostingListTest, MergeFromStealsWhenEmpty) {
+  PostingList target;
+  target.MergeFrom(PostingList({{7, 1, 9}, {2, 3, 9}}));
+  ASSERT_EQ(target.size(), 2u);
+  EXPECT_EQ(target[0].doc, 2u);
+  EXPECT_EQ(target[1].doc, 7u);
+}
+
+TEST(PostingListTest, MergeFromEmptyIsNoOp) {
+  PostingList target({{1, 1, 5}});
+  target.MergeFrom(PostingList());
+  ASSERT_EQ(target.size(), 1u);
+  EXPECT_EQ(target[0].doc, 1u);
+}
+
 }  // namespace
 }  // namespace hdk::index

@@ -268,5 +268,132 @@ TEST_F(GlobalIndexTest, ExportContainsEverything) {
   EXPECT_NE(contents.Find(hdk::TermKey{2, 3}), nullptr);
 }
 
+TEST(ShardedGlobalIndexTest, DefaultShardCountHeuristic) {
+  // No pool (or a single-thread pool) = the serial path: one shard.
+  EXPECT_EQ(DistributedGlobalIndex::DefaultShardCount(nullptr), 1u);
+  ThreadPool serial(1);
+  EXPECT_EQ(DistributedGlobalIndex::DefaultShardCount(&serial), 1u);
+  // Workers get a pow2 >= 4x oversubscription, capped at 64.
+  ThreadPool two(2);
+  EXPECT_EQ(DistributedGlobalIndex::DefaultShardCount(&two), 8u);
+  ThreadPool three(3);
+  EXPECT_EQ(DistributedGlobalIndex::DefaultShardCount(&three), 16u);
+  ThreadPool many(32);
+  EXPECT_EQ(DistributedGlobalIndex::DefaultShardCount(&many), 64u);
+}
+
+/// Feeds the same mixed HDK/NDK workload into two indexes.
+void FeedWorkload(DistributedGlobalIndex& index, const HdkParams& params) {
+  for (TermId t = 0; t < 30; ++t) {
+    for (PeerId p = 0; p < 3; ++p) {
+      std::vector<index::Posting> postings;
+      for (DocId d = p * 10; d < p * 10 + (t % 3) + 2; ++d) {
+        postings.push_back({d, 1, 10});
+      }
+      index.InsertPostings(p, hdk::TermKey{t},
+                           index::PostingList(postings), params, 10.0);
+    }
+  }
+}
+
+TEST(ShardedGlobalIndexTest, ShardCountDoesNotAffectObservableState) {
+  // The same workload through 1 shard, 7 shards (inline) and 16 shards
+  // driven by a pool must yield identical published entries, identical
+  // (ascending-key) notifications and identical traffic.
+  HdkParams params;
+  params.df_max = 8;  // global df in {6, 9, 12} -> HDK/NDK mix, varying
+  params.s_max = 3;   // truncation choices
+  dht::PGridOverlay overlay(4, 42);
+
+  net::TrafficRecorder traffic_one;
+  DistributedGlobalIndex one(&overlay, &traffic_one, nullptr,
+                             /*num_shards=*/1);
+  FeedWorkload(one, params);
+  const LevelOutcome base = one.EndLevel(params, 10.0);
+
+  ThreadPool pool(4);
+  std::vector<std::unique_ptr<DistributedGlobalIndex>> others;
+  std::vector<std::unique_ptr<net::TrafficRecorder>> recorders;
+  recorders.push_back(std::make_unique<net::TrafficRecorder>());
+  others.push_back(std::make_unique<DistributedGlobalIndex>(
+      &overlay, recorders.back().get(), nullptr, /*num_shards=*/7));
+  recorders.push_back(std::make_unique<net::TrafficRecorder>());
+  others.push_back(std::make_unique<DistributedGlobalIndex>(
+      &overlay, recorders.back().get(), &pool, /*num_shards=*/0));
+  EXPECT_EQ(others.back()->num_shards(), 16u);
+
+  for (size_t i = 0; i < others.size(); ++i) {
+    DistributedGlobalIndex& other = *others[i];
+    FeedWorkload(other, params);
+    const LevelOutcome outcome = other.EndLevel(params, 10.0);
+    EXPECT_EQ(outcome.hdks, base.hdks);
+    EXPECT_EQ(outcome.ndks, base.ndks);
+    EXPECT_EQ(outcome.notification_messages, base.notification_messages);
+    EXPECT_EQ(outcome.reclassified, base.reclassified);
+    // The reduced notification list is ascending-key deterministic.
+    ASSERT_EQ(outcome.notifications.size(), base.notifications.size());
+    for (size_t n = 0; n < base.notifications.size(); ++n) {
+      EXPECT_EQ(outcome.notifications[n].first, base.notifications[n].first);
+      EXPECT_EQ(outcome.notifications[n].second,
+                base.notifications[n].second);
+    }
+    for (TermId t = 0; t < 30; ++t) {
+      const hdk::KeyEntry* a = one.Peek(hdk::TermKey{t});
+      const hdk::KeyEntry* b = other.Peek(hdk::TermKey{t});
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      EXPECT_EQ(a->global_df, b->global_df);
+      EXPECT_EQ(a->is_hdk, b->is_hdk);
+      EXPECT_EQ(a->postings, b->postings);
+    }
+    EXPECT_EQ(recorders[i]->total(), traffic_one.total());
+    EXPECT_EQ(other.TotalKeys(), one.TotalKeys());
+    EXPECT_EQ(other.TotalStoredPostings(), one.TotalStoredPostings());
+  }
+}
+
+TEST(ShardedGlobalIndexTest, NotificationsAscendingByKeyAcrossShards) {
+  HdkParams params;
+  params.df_max = 3;
+  dht::PGridOverlay overlay(4, 42);
+  net::TrafficRecorder traffic;
+  DistributedGlobalIndex index(&overlay, &traffic, nullptr,
+                               /*num_shards=*/5);
+  FeedWorkload(index, params);
+  const LevelOutcome outcome = index.EndLevel(params, 10.0);
+  ASSERT_GT(outcome.notifications.size(), 1u);
+  for (size_t i = 1; i < outcome.notifications.size(); ++i) {
+    EXPECT_TRUE(outcome.notifications[i - 1].first <
+                outcome.notifications[i].first);
+  }
+}
+
+TEST(ShardedGlobalIndexTest, OverlayGrowthMigratesWithinShards) {
+  // Re-placement after joins must keep every key findable with a
+  // many-shard index too (handovers are shard-local by construction).
+  HdkParams params;
+  params.df_max = 10;
+  dht::PGridOverlay overlay(4, 42);
+  net::TrafficRecorder traffic;
+  DistributedGlobalIndex index(&overlay, &traffic, nullptr,
+                               /*num_shards=*/7);
+  for (TermId t = 0; t < 40; ++t) {
+    index.InsertPostings(0, hdk::TermKey{t},
+                         index::PostingList({{0, 1, 5}}), params, 5.0);
+  }
+  index.EndLevel(params, 5.0);
+
+  ASSERT_TRUE(overlay.AddPeer().ok());
+  ASSERT_TRUE(overlay.AddPeer().ok());
+  const uint64_t migrated = index.OnOverlayGrown();
+  EXPECT_GT(migrated, 0u);
+  EXPECT_EQ(traffic.ByKind(net::MessageKind::kMaintenance).messages,
+            migrated);
+  EXPECT_EQ(index.TotalKeys(), 40u);
+  for (TermId t = 0; t < 40; ++t) {
+    EXPECT_NE(index.Peek(hdk::TermKey{t}), nullptr);
+  }
+}
+
 }  // namespace
 }  // namespace hdk::p2p
