@@ -9,8 +9,14 @@
 
 #include "common/logging.h"
 #include "engine/experiment.h"
+#include "engine/fingerprint.h"
 
 namespace hdk::bench {
+
+// The determinism-asserting fingerprints (shared with the test suite).
+using engine::FingerprintBatch;
+using engine::FingerprintContents;
+using engine::FingerprintTraffic;
 
 /// Selects the experiment scale: HDKP2P_BENCH_SCALE=tiny for smoke runs,
 /// anything else (or unset) for the scaled-default reproduction. Two more

@@ -1,0 +1,205 @@
+// Hot-path container bench: serial HDK build + 1000-query batch.
+//
+// PR 5 replaced the node-based std::unordered_map key/score containers on
+// the three hottest paths — candidate-generation accumulation, the global
+// index's shard state, and query scoring — with flat open-addressing
+// tables plus per-scan key interning (see README "Hot-path containers").
+// This bench is the before/after record of that swap:
+//
+//   * one SERIAL build (num_threads = 1: the exact single-thread path, no
+//     parallel fan-out masking per-operation container cost), split into
+//     its scan and merge phases via PhaseTimings,
+//   * a 1000-query serial batch over the built index,
+//   * fingerprints of the published index and of the full batch, asserted
+//     against fixtures captured on the unordered_map-era code — the swap
+//     must be invisible in every posting, score bit and cost counter.
+//
+// The baseline_* numbers in the fixture table were measured on the
+// single-core dev container immediately before the container swap; the
+// printed/JSON speedups compare against them, so run-to-run noise on
+// other machines only perturbs the speedup column, never the identity
+// verdict.
+//
+// Env knobs (see bench_common.h): HDKP2P_BENCH_SCALE=tiny,
+// HDKP2P_CORPUS_CACHE.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "engine/hdk_engine.h"
+#include "engine/partition.h"
+
+namespace {
+
+using namespace hdk;
+
+/// Expected fingerprints + unordered_map-era wall-clock, per bench scale.
+struct Fixture {
+  const char* scale;
+  uint64_t contents_fp;
+  uint64_t batch_fp;
+  double baseline_build_s;
+  double baseline_scan_s;
+  double baseline_merge_s;
+  double baseline_query_s;
+};
+
+// Captured with the pre-flat-map code (PR 4 tree) on the dev container;
+// the fingerprints are machine-independent, the baseline seconds are not.
+constexpr Fixture kFixtures[] = {
+    {"tiny", 9975936348412760733ULL, 12651378162075581717ULL, 0.439837,
+     0.222642, 0.172160, 0.007627},
+    {"default", 1306709421011575129ULL, 18029302406425560166ULL, 27.554249,
+     16.212203, 9.194887, 0.365539},
+};
+
+const Fixture* FindFixture(const std::string& scale) {
+  for (const Fixture& f : kFixtures) {
+    if (scale == f.scale && (f.contents_fp != 0 || f.batch_fp != 0)) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  auto setup = bench::SelectSetup();
+  bench::Banner(
+      "micro_hotpath: serial build + 1000-query batch on flat key tables",
+      "flat open-addressing containers on the hot paths; byte-identical "
+      "to the unordered_map-era output");
+  bench::PrintSetup(setup);
+
+  const char* scale_env = std::getenv("HDKP2P_BENCH_SCALE");
+  const std::string scale =
+      scale_env != nullptr && std::strcmp(scale_env, "tiny") == 0
+          ? "tiny"
+          : "default";
+
+  const uint32_t peers = setup.max_peers;
+  const uint64_t docs = static_cast<uint64_t>(peers) * setup.docs_per_peer;
+  engine::ExperimentContext ctx(setup);
+  const corpus::DocumentStore& store = ctx.GrowTo(docs);
+  const std::vector<corpus::Query> queries = ctx.MakeQueries(docs, 1000);
+
+  engine::HdkEngineConfig config;
+  config.hdk = setup.MakeParams(setup.DfMaxLow());
+  config.overlay = setup.overlay;
+  config.overlay_seed = setup.overlay_seed;
+  config.num_threads = 1;  // the serial hot path is what this bench times
+
+  std::printf("peers %u | docs %llu | batch %zu queries | serial\n\n",
+              peers, static_cast<unsigned long long>(docs), queries.size());
+
+  Stopwatch build_watch;
+  auto built = engine::HdkSearchEngine::Build(
+      config, store, engine::SplitEvenly(docs, peers));
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(built).value();
+  const double build_s = build_watch.ElapsedSeconds();
+  const p2p::PhaseTimings phases = engine->phase_timings();
+
+  Stopwatch query_watch;
+  const engine::BatchResponse batch = engine->SearchBatch(queries, setup.top_k);
+  const double query_s = query_watch.ElapsedSeconds();
+
+  const uint64_t contents_fp =
+      bench::FingerprintContents(engine->global_index().ExportContents());
+  const uint64_t batch_fp = bench::FingerprintBatch(batch);
+
+  std::printf("%12s %12s %12s %12s\n", "build_s", "scan_s", "merge_s",
+              "query_s");
+  std::printf("%12.3f %12.3f %12.3f %12.3f\n\n", build_s,
+              phases.scan_seconds, phases.merge_seconds, query_s);
+  std::printf("contents_fp %llu | batch_fp %llu\n",
+              static_cast<unsigned long long>(contents_fp),
+              static_cast<unsigned long long>(batch_fp));
+
+  const Fixture* fixture = FindFixture(scale);
+  bool identical = true;
+  double build_speedup = 0, scan_speedup = 0, merge_speedup = 0,
+         query_speedup = 0;
+  if (fixture == nullptr) {
+    // Capture mode: print the fixture row to bake into kFixtures.
+    std::printf("\nno fixture for scale '%s'; capture row:\n"
+                "    {\"%s\", %lluULL, %lluULL, %.6f, %.6f, %.6f, %.6f},\n",
+                scale.c_str(), scale.c_str(),
+                static_cast<unsigned long long>(contents_fp),
+                static_cast<unsigned long long>(batch_fp), build_s,
+                phases.scan_seconds, phases.merge_seconds, query_s);
+  } else {
+    identical = contents_fp == fixture->contents_fp &&
+                batch_fp == fixture->batch_fp;
+    build_speedup = build_s > 0 ? fixture->baseline_build_s / build_s : 0;
+    scan_speedup =
+        phases.scan_seconds > 0 ? fixture->baseline_scan_s / phases.scan_seconds
+                                : 0;
+    merge_speedup = phases.merge_seconds > 0
+                        ? fixture->baseline_merge_s / phases.merge_seconds
+                        : 0;
+    query_speedup = query_s > 0 ? fixture->baseline_query_s / query_s : 0;
+    std::printf("\nvs unordered_map-era baseline (dev container): build "
+                "%.2fx, scan %.2fx, merge %.2fx, query %.2fx | identical: "
+                "%s\n",
+                build_speedup, scan_speedup, merge_speedup, query_speedup,
+                identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FINGERPRINT MISMATCH vs unordered_map-era fixtures "
+                   "(contents %llu want %llu, batch %llu want %llu)\n",
+                   static_cast<unsigned long long>(contents_fp),
+                   static_cast<unsigned long long>(fixture->contents_fp),
+                   static_cast<unsigned long long>(batch_fp),
+                   static_cast<unsigned long long>(fixture->batch_fp));
+      return 1;
+    }
+  }
+
+  const char* out_path = "BENCH_hotpath.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"micro_hotpath\",\n");
+  std::fprintf(out, "  \"scale\": \"%s\",\n", scale.c_str());
+  std::fprintf(out, "  \"num_peers\": %u,\n  \"num_docs\": %llu,\n", peers,
+               static_cast<unsigned long long>(docs));
+  std::fprintf(out, "  \"batch_queries\": %zu,\n", queries.size());
+  std::fprintf(out, "  \"build_s\": %.6f,\n  \"scan_s\": %.6f,\n"
+               "  \"merge_s\": %.6f,\n  \"query_s\": %.6f,\n",
+               build_s, phases.scan_seconds, phases.merge_seconds, query_s);
+  if (fixture != nullptr) {
+    std::fprintf(out,
+                 "  \"baseline_build_s\": %.6f,\n"
+                 "  \"baseline_scan_s\": %.6f,\n"
+                 "  \"baseline_merge_s\": %.6f,\n"
+                 "  \"baseline_query_s\": %.6f,\n"
+                 "  \"build_speedup\": %.3f,\n  \"scan_speedup\": %.3f,\n"
+                 "  \"merge_speedup\": %.3f,\n  \"query_speedup\": %.3f,\n",
+                 fixture->baseline_build_s, fixture->baseline_scan_s,
+                 fixture->baseline_merge_s, fixture->baseline_query_s,
+                 build_speedup, scan_speedup, merge_speedup, query_speedup);
+  }
+  std::fprintf(out, "  \"contents_fingerprint\": %llu,\n",
+               static_cast<unsigned long long>(contents_fp));
+  std::fprintf(out, "  \"batch_fingerprint\": %llu,\n",
+               static_cast<unsigned long long>(batch_fp));
+  std::fprintf(out, "  \"identical_to_unordered_era\": %s\n}\n",
+               identical && fixture != nullptr ? "true"
+               : fixture == nullptr            ? "null"
+                                               : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

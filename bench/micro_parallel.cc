@@ -26,29 +26,6 @@ namespace {
 
 using namespace hdk;
 
-/// Bit-level fingerprint of a whole batch: every ranked doc, the exact
-/// score bit pattern, and every cost counter of every response. Any
-/// nondeterminism — reordered results, perturbed scores, drifted
-/// message/hop accounting — changes this value.
-uint64_t FingerprintBatch(const engine::BatchResponse& batch) {
-  uint64_t h = Mix64(batch.responses.size());
-  for (const auto& response : batch.responses) {
-    for (const auto& scored : response.results) {
-      h = HashCombine(h, scored.doc);
-      uint64_t score_bits = 0;
-      static_assert(sizeof(score_bits) == sizeof(scored.score));
-      std::memcpy(&score_bits, &scored.score, sizeof(score_bits));
-      h = HashCombine(h, score_bits);
-    }
-    const QueryCost& c = response.cost;
-    for (uint64_t v : {c.keys_fetched, c.postings_fetched, c.probes,
-                       c.pruned, c.messages, c.hops}) {
-      h = HashCombine(h, v);
-    }
-  }
-  return h;
-}
-
 std::vector<size_t> ThreadSweep() {
   std::vector<size_t> sweep;
   const char* env = std::getenv("HDKP2P_PARALLEL_THREADS");
@@ -140,7 +117,7 @@ int main() {
       const double batch_s = batch_watch.ElapsedSeconds();
 
       const double stored = (*built)->StoredPostingsPerPeer();
-      const uint64_t fingerprint = FingerprintBatch(batch);
+      const uint64_t fingerprint = bench::FingerprintBatch(batch);
       if (threads == 1) {
         serial_build = build_s;
         serial_batch = batch_s;

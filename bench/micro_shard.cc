@@ -39,26 +39,6 @@ namespace {
 
 using namespace hdk;
 
-/// Order-independent bit-level fingerprint of the exported global index:
-/// per-key hashes over the exact classification and posting contents,
-/// folded with a commutative sum so the (unordered) export iteration
-/// order cannot perturb it.
-uint64_t FingerprintContents(const ::hdk::hdk::HdkIndexContents& contents) {
-  uint64_t sum = Mix64(contents.size());
-  for (const auto& [key, entry] : contents.entries()) {
-    uint64_t h = key.Hash64();
-    h = HashCombine(h, entry.global_df);
-    h = HashCombine(h, entry.is_hdk ? 1 : 0);
-    for (const auto& p : entry.postings.postings()) {
-      h = HashCombine(h, p.doc);
-      h = HashCombine(h, p.tf);
-      h = HashCombine(h, p.doc_length);
-    }
-    sum += h;  // commutative fold
-  }
-  return sum;
-}
-
 std::vector<size_t> ThreadSweep() {
   std::vector<size_t> sweep;
   const char* env = std::getenv("HDKP2P_SHARD_THREADS");
@@ -159,9 +139,9 @@ int main() {
     const double rebuild_s = rebuild_watch.ElapsedSeconds();
 
     const uint64_t grown_fp =
-        FingerprintContents(engine->global_index().ExportContents());
+        bench::FingerprintContents(engine->global_index().ExportContents());
     const uint64_t rebuilt_fp =
-        FingerprintContents((*rebuilt)->global_index().ExportContents());
+        bench::FingerprintContents((*rebuilt)->global_index().ExportContents());
 
     Point p;
     p.threads = threads;

@@ -1,0 +1,76 @@
+// Bit-level fingerprints of engine-observable state, shared by the
+// determinism-asserting benches and tests: one definition, so golden
+// fixture values and bench fixtures can never drift apart on what
+// "identical output" means.
+#ifndef HDKP2P_ENGINE_FINGERPRINT_H_
+#define HDKP2P_ENGINE_FINGERPRINT_H_
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "engine/search_engine.h"
+#include "hdk/indexer.h"
+#include "net/traffic.h"
+
+namespace hdk::engine {
+
+/// Order-independent fingerprint of an exported global index: per-key
+/// hashes over the exact classification and posting contents, folded
+/// with a commutative sum so the map iteration order cannot perturb it.
+inline uint64_t FingerprintContents(const ::hdk::hdk::HdkIndexContents& c) {
+  uint64_t sum = Mix64(c.size());
+  for (const auto& [key, entry] : c.entries()) {
+    uint64_t h = key.Hash64();
+    h = HashCombine(h, entry.global_df);
+    h = HashCombine(h, entry.is_hdk ? 1 : 0);
+    for (const auto& p : entry.postings.postings()) {
+      h = HashCombine(h, p.doc);
+      h = HashCombine(h, p.tf);
+      h = HashCombine(h, p.doc_length);
+    }
+    sum += h;  // commutative fold
+  }
+  return sum;
+}
+
+/// Fingerprint of a whole batch: every ranked doc, the exact score bit
+/// pattern, and every cost counter of every response. Any nondeterminism
+/// — reordered results, perturbed scores, drifted message/hop accounting
+/// — changes this value.
+inline uint64_t FingerprintBatch(const BatchResponse& batch) {
+  uint64_t h = Mix64(batch.responses.size());
+  for (const auto& response : batch.responses) {
+    for (const auto& scored : response.results) {
+      h = HashCombine(h, scored.doc);
+      uint64_t score_bits = 0;
+      static_assert(sizeof(score_bits) == sizeof(scored.score));
+      std::memcpy(&score_bits, &scored.score, sizeof(score_bits));
+      h = HashCombine(h, score_bits);
+    }
+    const QueryCost& c = response.cost;
+    for (uint64_t v : {c.keys_fetched, c.postings_fetched, c.probes,
+                       c.pruned, c.messages, c.hops}) {
+      h = HashCombine(h, v);
+    }
+  }
+  return h;
+}
+
+/// Fingerprint of a recorder's per-kind traffic totals (messages,
+/// postings, hops, bytes for every MessageKind, in kind order).
+inline uint64_t FingerprintTraffic(const net::TrafficRecorder& traffic) {
+  uint64_t h = 0;
+  for (size_t k = 0; k < net::kNumMessageKinds; ++k) {
+    const net::TrafficCounters c =
+        traffic.ByKind(static_cast<net::MessageKind>(k));
+    h = HashCombine(h, c.messages);
+    h = HashCombine(h, c.postings);
+    h = HashCombine(h, c.hops);
+    h = HashCombine(h, c.bytes);
+  }
+  return h;
+}
+
+}  // namespace hdk::engine
+
+#endif  // HDKP2P_ENGINE_FINGERPRINT_H_

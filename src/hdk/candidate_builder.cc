@@ -5,6 +5,7 @@
 #include <cassert>
 #include <span>
 
+#include "hdk/key_table.h"
 #include "text/window.h"
 
 namespace hdk::hdk {
@@ -40,6 +41,102 @@ struct Accum {
     current_tf = 0;
   }
 };
+
+// Per-scan cache of NDK-oracle verdicts, keyed by interned term set: the
+// oracle is frozen for the lifetime of one candidate scan (knowledge
+// updates arrive only after EndLevel), so each distinct gate pair and
+// sub-key consults the oracle — and builds a TermKey with its canonical
+// hash — exactly once; every repeat is one flat probe by the precomputed
+// commutative set hash.
+class NdkVerdictCache {
+ public:
+  explicit NdkVerdictCache(const NdkOracle& oracle) : oracle_(oracle) {}
+
+  // Verdict for a canonical term set: IsExpandableTerm for singles,
+  // IsNdk otherwise. `set_hash` must equal SetHashOf(sorted_terms).
+  bool Check(uint64_t set_hash, std::span<const TermId> sorted_terms) {
+    bool inserted = false;
+    const KeyId id = table_.Intern(set_hash, sorted_terms, &inserted);
+    if (inserted) {
+      verdicts_.push_back(
+          sorted_terms.size() == 1
+              ? oracle_.IsExpandableTerm(sorted_terms[0])
+              : oracle_.IsNdk(table_.key(id)));
+    }
+    return verdicts_[id] != 0;
+  }
+
+ private:
+  const NdkOracle& oracle_;
+  KeyTable table_;
+  std::vector<char> verdicts_;  // parallel to table_ ids
+};
+
+// The flat KeyId -> Accum accumulator of one candidate scan: candidates
+// are interned by their incremental set hash (no TermKey construction and
+// no canonical-hash chain on repeat formations) and their posting-list
+// accumulators live in one dense vector indexed by KeyId. One instance is
+// reused across every position and document of the scan.
+class CandidateAccum {
+ public:
+  explicit CandidateAccum(size_t expected_candidates) {
+    if (expected_candidates > 0) {
+      table_.reserve(expected_candidates);
+      accums_.reserve(expected_candidates);
+    }
+  }
+
+  // The accumulator of `sorted_terms`, created on first formation.
+  // `inserted` tells the caller to run the once-per-candidate validity
+  // check. `set_hash` must equal SetHashOf(sorted_terms).
+  Accum& GetOrCreate(uint64_t set_hash, std::span<const TermId> sorted_terms,
+                     bool* inserted) {
+    const KeyId id = table_.Intern(set_hash, sorted_terms, inserted);
+    if (*inserted) accums_.emplace_back();
+    return accums_[id];
+  }
+
+  // Flushes every accumulator and emits the candidate map (valid,
+  // non-empty candidates only) in first-formation order.
+  KeyMap<index::PostingList> Take() {
+    KeyMap<index::PostingList> out;
+    out.reserve(table_.size());
+    for (KeyId id = 0; id < table_.size(); ++id) {
+      Accum& accum = accums_[id];
+      if (!accum.valid) continue;
+      accum.FlushDoc();
+      if (accum.postings.empty()) continue;
+      out.try_emplace(table_.key(id),
+                      index::PostingList(std::move(accum.postings)));
+    }
+    return out;
+  }
+
+ private:
+  KeyTable table_;
+  std::vector<Accum> accums_;  // parallel to table_ ids
+};
+
+// The once-per-distinct-candidate Apriori validity check, hashed
+// incrementally: every (s-1)-sub-key's set hash is the candidate's hash
+// minus one term mix, and its verdict comes from (or fills) the shared
+// per-scan cache. Equivalent to AllSubKeysNdk below, term for term.
+bool AllSubKeysNdkCached(std::span<const TermId> candidate,
+                         uint64_t cand_hash, NdkVerdictCache& cache) {
+  if (candidate.size() == 1) return true;
+  std::array<TermId, TermKey::kMaxTerms> buf;
+  for (size_t drop = 0; drop < candidate.size(); ++drop) {
+    size_t n = 0;
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      if (i != drop) buf[n++] = candidate[i];
+    }
+    const uint64_t sub_hash = cand_hash - TermSetHash(candidate[drop]);
+    if (!cache.Check(sub_hash, std::span<const TermId>(buf.data(), n))) {
+      return false;
+    }
+  }
+  return true;
+}
 
 // Validates the intrinsic-discriminativeness precondition for a candidate:
 // every (s-1)-sub-key must be a known NDK. By df anti-monotonicity this
@@ -110,10 +207,9 @@ CandidateBuilder::CandidateBuilder(const HdkParams& params)
 
 KeyMap<index::PostingList> CandidateBuilder::BuildLevel1(
     const corpus::DocumentStore& store, DocId first, DocId last,
-    const std::unordered_set<TermId>& excluded,
-    CandidateBuildStats* stats) const {
-  KeyMap<Accum> accums;
-  std::unordered_map<TermId, uint32_t> tf;
+    const TermIdSet& excluded, CandidateBuildStats* stats) const {
+  CandidateAccum accums(/*expected_candidates=*/0);
+  FlatMap<TermId, uint32_t, IdHasher> tf;  // per-doc, capacity persists
   for (DocId d = first; d < last; ++d) {
     std::span<const TermId> tokens = store.Tokens(d);
     if (stats != nullptr) {
@@ -127,7 +223,10 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevel1(
     }
     const uint32_t len = static_cast<uint32_t>(tokens.size());
     for (const auto& [term, count] : tf) {
-      Accum& a = accums[TermKey(term)];
+      bool inserted = false;
+      Accum& a = accums.GetOrCreate(TermSetHash(term),
+                                    std::span<const TermId>(&term, 1),
+                                    &inserted);
       a.current_doc = d;
       a.current_tf = count;
       a.current_len = len;
@@ -136,13 +235,7 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevel1(
       if (stats != nullptr) ++stats->formations;
     }
   }
-
-  KeyMap<index::PostingList> out;
-  out.reserve(accums.size());
-  for (auto& [key, accum] : accums) {
-    out.emplace(key, index::PostingList(std::move(accum.postings)));
-  }
-  return out;
+  return accums.Take();
 }
 
 KeyMap<index::PostingList> CandidateBuilder::BuildLevelDelta(
@@ -167,7 +260,7 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevelDelta(
   text::WindowTail tail(params_.window);
   std::vector<TermId> pool;
 
-  const std::unordered_set<TermId>& fresh_singles = delta.terms;
+  const TermIdSet& fresh_singles = delta.terms;
   if (fresh_singles.empty()) return {};
 
   // Ring mirroring the tail (w - 1 positions): per position, whether it
@@ -262,12 +355,12 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevel3Delta(
   // machinery — the expensive part — runs only there, rebuilding the
   // window tail across gaps. Emitted events (and therefore the candidate
   // map) are byte-identical to a full-position walk.
-  const std::unordered_set<TermId>& fresh_singles = delta.terms;
+  const TermIdSet& fresh_singles = delta.terms;
   const std::vector<TermKey>& pairs = delta.ndk_pairs;
   if (fresh_singles.empty() && pairs.empty()) return {};
 
   // term -> fresh pairs it participates in (a term may sit in many).
-  std::unordered_map<TermId, std::vector<uint32_t>> pair_sides;
+  FlatMap<TermId, std::vector<uint32_t>, IdHasher> pair_sides;
   for (uint32_t j = 0; j < pairs.size(); ++j) {
     pair_sides[pairs[j].term(0)].push_back(j);
     pair_sides[pairs[j].term(1)].push_back(j);
@@ -448,8 +541,8 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevelDeltaGeneral(
   // Fresh vocabularies for the O(1) position-relevance skip: newly
   // expandable singles, and the terms of fresh NDKs of the sizes
   // generation consults (gate pairs, (s-1)-sub-keys).
-  const std::unordered_set<TermId>& fresh_singles = delta.terms;
-  std::unordered_set<TermId> fresh_key_terms;
+  const TermIdSet& fresh_singles = delta.terms;
+  TermIdSet fresh_key_terms;
   for (const TermKey& k : delta.ndks) {
     if (k.size() == 2 || k.size() == s - 1) {
       for (TermId t : k.terms()) fresh_key_terms.insert(t);
@@ -560,13 +653,27 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevelDeltaGeneral(
 
 KeyMap<index::PostingList> CandidateBuilder::BuildLevel(
     uint32_t s, const corpus::DocumentStore& store, DocId first, DocId last,
-    const NdkOracle& oracle, CandidateBuildStats* stats) const {
+    const NdkOracle& oracle, CandidateBuildStats* stats,
+    size_t expected_candidates) const {
   assert(s >= 2);
   assert(s <= params_.s_max);
 
-  KeyMap<Accum> accums;
+  // The interned hot path: every window subset is hashed incrementally
+  // from its parent (one add per extension), repeated formations and
+  // oracle probes are single flat-table lookups, and the per-candidate
+  // accumulators live densely by KeyId. Output is candidate-for-candidate
+  // identical to the historical unordered_map walk: the enumeration
+  // order, the oracle answers and the per-event accumulation are
+  // unchanged — only the container mechanics moved.
+  CandidateAccum accums(expected_candidates);
+  NdkVerdictCache ndk_cache(oracle);
   text::WindowTail tail(params_.window);
   std::vector<TermId> pool;  // eligible tail terms compatible with new term
+  std::vector<uint64_t> pool_mix;  // TermSetHash of each pool term
+  std::array<TermId, TermKey::kMaxTerms> sub_buf;
+  std::array<TermId, TermKey::kMaxTerms> cand_buf;
+  std::array<TermId, 2> pair_buf;
+  const uint32_t k = s - 1;  // enumeration sub-key size
 
   for (DocId d = first; d < last; ++d) {
     std::span<const TermId> tokens = store.Tokens(d);
@@ -580,49 +687,94 @@ KeyMap<index::PostingList> CandidateBuilder::BuildLevel(
     for (TermId t : tokens) {
       const bool eligible = oracle.IsExpandableTerm(t);
       if (eligible && !tail.distinct().empty()) {
+        const uint64_t t_mix = TermSetHash(t);
         // Pool = distinct tail terms x such that {x, t} can appear together
         // in a non-discriminative context: for s == 2 the pair {x, t} IS
         // the candidate; for s >= 3, {x, t} being discriminative (or never
         // co-occurring globally) would make any superset redundant, so x
-        // must satisfy IsNdk({x, t}).
+        // must satisfy IsNdk({x, t}) — checked once per distinct pair via
+        // the verdict cache.
         pool.clear();
         for (TermId x : tail.distinct()) {
           if (x == t) continue;
-          if (s == 2 || oracle.IsNdk(TermKey{x, t})) {
+          if (s == 2) {
+            pool.push_back(x);
+            continue;
+          }
+          pair_buf[0] = std::min(x, t);
+          pair_buf[1] = std::max(x, t);
+          if (ndk_cache.Check(TermSetHash(x) + t_mix, pair_buf)) {
             pool.push_back(x);
           }
         }
         // Deterministic enumeration order regardless of hash-map internals.
         std::sort(pool.begin(), pool.end());
+        pool_mix.resize(pool.size());
+        for (size_t i = 0; i < pool.size(); ++i) {
+          pool_mix[i] = TermSetHash(pool[i]);
+        }
 
-        EnumerateCandidates(
-            pool, t, s - 1, oracle,
-            [&](const TermKey& /*sub*/, const TermKey& candidate) {
-              auto [it, inserted] = accums.try_emplace(candidate);
-              Accum& a = it->second;
-              if (inserted) {
-                a.valid = AllSubKeysNdk(candidate, oracle);
-                if (!a.valid && stats != nullptr) {
-                  ++stats->pruned_candidates;
-                }
-              }
-              if (!a.valid) return;
-              a.Touch(d, len);
-              if (stats != nullptr) ++stats->formations;
-            });
+        auto visit = [&](std::span<const TermId> sub, uint64_t sub_hash) {
+          // candidate = sub + {t}: sorted insert of t, hash composed from
+          // the parent sub-key's hash.
+          size_t n = 0;
+          size_t i = 0;
+          for (; i < sub.size() && sub[i] < t; ++i) cand_buf[n++] = sub[i];
+          cand_buf[n++] = t;
+          for (; i < sub.size(); ++i) cand_buf[n++] = sub[i];
+          const uint64_t cand_hash = sub_hash + t_mix;
+          const std::span<const TermId> cand(cand_buf.data(), n);
+
+          bool inserted = false;
+          Accum& a = accums.GetOrCreate(cand_hash, cand, &inserted);
+          if (inserted) {
+            a.valid = AllSubKeysNdkCached(cand, cand_hash, ndk_cache);
+            if (!a.valid && stats != nullptr) ++stats->pruned_candidates;
+          }
+          if (!a.valid) return;
+          a.Touch(d, len);
+          if (stats != nullptr) ++stats->formations;
+        };
+
+        if (k == 1) {
+          // s == 2: every pool term forms the pair candidate directly
+          // (pool terms are tail survivors, hence expandable by
+          // construction — the historical sub-key check was a tautology).
+          for (size_t i = 0; i < pool.size(); ++i) {
+            visit(std::span<const TermId>(&pool[i], 1), pool_mix[i]);
+          }
+        } else if (pool.size() >= k) {
+          // Canonical index-combination walk over strictly increasing
+          // tuples ix[0] < ... < ix[k-1]; the sub-key's set hash is the
+          // sum of the pool-term mixes, and only known-NDK sub-keys
+          // (verdict cache) expand into candidates.
+          const uint32_t n = static_cast<uint32_t>(pool.size());
+          std::array<uint32_t, TermKey::kMaxTerms> ix;
+          for (uint32_t i = 0; i < k; ++i) ix[i] = i;
+          while (true) {
+            uint64_t sub_hash = 0;
+            for (uint32_t i = 0; i < k; ++i) {
+              sub_buf[i] = pool[ix[i]];
+              sub_hash += pool_mix[ix[i]];
+            }
+            const std::span<const TermId> sub(sub_buf.data(), k);
+            if (ndk_cache.Check(sub_hash, sub)) visit(sub, sub_hash);
+            // Advance to the next combination.
+            int i = static_cast<int>(k) - 1;
+            while (i >= 0 && ix[i] == static_cast<uint32_t>(i) + n - k) --i;
+            if (i < 0) break;
+            ++ix[i];
+            for (uint32_t j = static_cast<uint32_t>(i) + 1; j < k; ++j) {
+              ix[j] = ix[j - 1] + 1;
+            }
+          }
+        }
       }
       tail.Push(eligible ? t : kInvalidTerm);
     }
   }
 
-  KeyMap<index::PostingList> out;
-  for (auto& [key, accum] : accums) {
-    if (!accum.valid) continue;
-    accum.FlushDoc();
-    if (accum.postings.empty()) continue;
-    out.emplace(key, index::PostingList(std::move(accum.postings)));
-  }
-  return out;
+  return accums.Take();
 }
 
 }  // namespace hdk::hdk

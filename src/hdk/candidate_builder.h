@@ -16,11 +16,10 @@
 #ifndef HDKP2P_HDK_CANDIDATE_BUILDER_H_
 #define HDKP2P_HDK_CANDIDATE_BUILDER_H_
 
-#include <unordered_map>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/params.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -30,10 +29,13 @@
 
 namespace hdk::hdk {
 
-/// Hash set / map keyed by TermKey.
-using KeySet = std::unordered_set<TermKey, TermKey::Hasher>;
+/// Hash set / map keyed by TermKey — flat open-addressing tables (see
+/// common/flat_map.h) with the canonical Hash64 identity. Iteration is in
+/// (deterministic) insertion order, and every entry caches its Hash64, so
+/// long-lived tables never re-hash a term array.
+using KeySet = FlatSet<TermKey, TermKey::Hasher>;
 template <typename V>
-using KeyMap = std::unordered_map<TermKey, V, TermKey::Hasher>;
+using KeyMap = FlatMap<TermKey, V, TermKey::Hasher>;
 
 /// Global knowledge needed to generate level-s candidates: which terms may
 /// participate in key building and which keys of smaller sizes are
@@ -91,13 +93,11 @@ class SetNdkOracle : public NdkOracle {
   /// Fact iteration — the churn repair diffs a peer's pre-departure
   /// knowledge against the replayed knowledge to find the facts that must
   /// be forgotten (reverse reclassification notices).
-  const std::unordered_set<TermId>& expandable_terms() const {
-    return terms_;
-  }
+  const TermIdSet& expandable_terms() const { return terms_; }
   const KeySet& ndks() const { return ndks_; }
 
  private:
-  std::unordered_set<TermId> terms_;
+  TermIdSet terms_;
   KeySet ndks_;
 };
 
@@ -118,9 +118,9 @@ bool GenerableUnder(const TermKey& key, const NdkOracle& oracle);
 /// generation uses exclusively old facts was already produced by the
 /// previous (deterministic) scan over the same documents.
 struct OracleDelta {
-  std::unordered_set<TermId> terms;  // newly expandable single terms
-  KeySet ndks;                       // newly non-discriminative keys
-  std::vector<TermKey> ndk_pairs;    // the size-2 subset of `ndks`
+  TermIdSet terms;                 // newly expandable single terms
+  KeySet ndks;                     // newly non-discriminative keys
+  std::vector<TermKey> ndk_pairs;  // the size-2 subset of `ndks`
 
   bool FreshTerm(TermId t) const { return terms.count(t) > 0; }
   bool FreshNdk(const TermKey& k) const { return ndks.count(k) > 0; }
@@ -177,17 +177,20 @@ class CandidateBuilder {
   /// keys with plain term posting lists.
   KeyMap<index::PostingList> BuildLevel1(
       const corpus::DocumentStore& store, DocId first, DocId last,
-      const std::unordered_set<TermId>& excluded,
-      CandidateBuildStats* stats) const;
+      const TermIdSet& excluded, CandidateBuildStats* stats) const;
 
   /// Level s >= 2: size-s candidates over documents [first, last).
   /// The returned posting lists carry, per document, the number of window
-  /// co-occurrence events as tf.
+  /// co-occurrence events as tf. `expected_candidates` pre-sizes the
+  /// accumulator tables (callers pass the level-(s-1) candidate count —
+  /// an upper-bound-ish proxy that eliminates mid-scan rehashes; 0 means
+  /// "grow on demand").
   KeyMap<index::PostingList> BuildLevel(uint32_t s,
                                         const corpus::DocumentStore& store,
                                         DocId first, DocId last,
                                         const NdkOracle& oracle,
-                                        CandidateBuildStats* stats) const;
+                                        CandidateBuildStats* stats,
+                                        size_t expected_candidates = 0) const;
 
   /// Level-s candidates that could NOT have been generated before `delta`
   /// was learned — the incremental-growth work list. A candidate is new

@@ -98,7 +98,7 @@ Result<HdkIndexContents> CentralizedHdkIndexer::Build(
   SetNdkOracle oracle;
 
   // Very frequent terms (cf > Ff) are excluded from the key vocabulary.
-  std::unordered_set<TermId> excluded;
+  TermIdSet excluded;
   for (TermId t : stats.VeryFrequentTerms(params_.very_frequent_threshold)) {
     excluded.insert(t);
   }
@@ -106,6 +106,7 @@ Result<HdkIndexContents> CentralizedHdkIndexer::Build(
     report->excluded_very_frequent_terms = excluded.size();
   }
 
+  size_t prev_candidates = 0;  // level-(s-1) count: accumulator pre-size
   for (uint32_t s = 1; s <= params_.s_max; ++s) {
     LevelBuildStats level_stats;
     level_stats.level = s;
@@ -116,8 +117,10 @@ Result<HdkIndexContents> CentralizedHdkIndexer::Build(
                                        &level_stats.generation);
     } else {
       candidates = builder.BuildLevel(s, store, 0, num_docs, oracle,
-                                      &level_stats.generation);
+                                      &level_stats.generation,
+                                      prev_candidates);
     }
+    prev_candidates = candidates.size();
 
     level_stats.candidates = candidates.size();
     for (auto& [key, pl] : candidates) {

@@ -7,6 +7,7 @@
 #define HDKP2P_HDK_KEY_H_
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <span>
@@ -34,6 +35,19 @@ class TermKey {
   /// Requires the distinct-term count to be <= kMaxTerms.
   TermKey(std::initializer_list<TermId> terms);
   explicit TermKey(std::span<const TermId> terms);
+
+  /// Fast path for terms ALREADY in canonical (ascending, distinct)
+  /// order — the hot candidate-generation loops only ever hold sorted
+  /// term sets, so they skip the sort/dedup of the checked constructors.
+  static TermKey FromSorted(std::span<const TermId> sorted_terms) {
+    TermKey key;
+    key.size_ = static_cast<uint32_t>(sorted_terms.size());
+    for (uint32_t i = 0; i < key.size_; ++i) {
+      key.terms_[i] = sorted_terms[i];
+      assert(i == 0 || sorted_terms[i - 1] < sorted_terms[i]);
+    }
+    return key;
+  }
 
   /// Number of terms (the paper's key size s).
   uint32_t size() const { return size_; }
@@ -74,11 +88,12 @@ class TermKey {
   /// iteration order for experiments.
   bool operator<(const TermKey& other) const;
 
-  /// Hash functor for unordered containers.
+  /// Hash functor for hash containers. Returns the full 64-bit identity
+  /// hash: the flat tables cache it per entry and the hash-carrying call
+  /// sites reuse it as the DHT ring id, so it must never be truncated
+  /// through size_t (std containers convert on their side).
   struct Hasher {
-    size_t operator()(const TermKey& k) const {
-      return static_cast<size_t>(k.Hash64());
-    }
+    uint64_t operator()(const TermKey& k) const { return k.Hash64(); }
   };
 
  private:

@@ -1,0 +1,121 @@
+// KeyTable: per-scan interning of TermKeys into dense KeyIds.
+//
+// The candidate-generation loops form the same term sets over and over —
+// every window co-occurrence event of a candidate, every gate-pair and
+// sub-key probe of the Apriori check. Interning gives each distinct set a
+// dense KeyId on first sight; every later occurrence is one probe of a
+// flat open-addressing table keyed by an INCREMENTAL set hash, with no
+// TermKey construction and no canonical Hash64 chain.
+//
+// The set hash is commutative (a sum of per-term mixes), so it composes
+// incrementally along the enumeration walk: the hash of a candidate is
+// its parent sub-key's hash plus one term mix, and the hash of an
+// (s-1)-sub-key is the candidate's hash minus one term mix. That is the
+// "incremental window hashing" the scan loops rely on — a window subset
+// is hashed in O(1) from its neighbors instead of O(s) from scratch.
+// Collisions between distinct sets with equal sums are resolved by the
+// exact term comparison in Intern (they only cost a probe, never
+// correctness). The commutative hash is NOT the DHT placement hash:
+// TermKey::Hash64() keeps its order-dependent chain so key placement —
+// and therefore every published fingerprint — is unchanged.
+//
+// KeyIds index caller-side parallel arrays (accumulators, cached oracle
+// verdicts). A table lives for one scan: knowledge is frozen between
+// EndLevel calls, so per-key facts cached under a KeyId stay valid for
+// exactly the table's lifetime.
+#ifndef HDKP2P_HDK_KEY_TABLE_H_
+#define HDKP2P_HDK_KEY_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/hash.h"
+#include "common/types.h"
+#include "hdk/key.h"
+
+namespace hdk::hdk {
+
+/// Dense id of an interned key, valid for the lifetime of its KeyTable.
+using KeyId = uint32_t;
+
+/// Per-term contribution to the commutative set hash.
+inline uint64_t TermSetHash(TermId t) {
+  return Mix64(static_cast<uint64_t>(t) + 0x9e3779b97f4a7c15ULL);
+}
+
+/// Commutative set hash of a term set: the sum of the per-term mixes.
+inline uint64_t SetHashOf(std::span<const TermId> terms) {
+  uint64_t h = 0;
+  for (TermId t : terms) h += TermSetHash(t);
+  return h;
+}
+
+/// Interns canonical (sorted, distinct) term sets into dense KeyIds.
+class KeyTable {
+ public:
+  KeyTable() = default;
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  /// The interned keys in id order (= first-sight order, deterministic
+  /// for a deterministic scan).
+  const std::vector<TermKey>& keys() const { return keys_; }
+  const TermKey& key(KeyId id) const { return keys_[id]; }
+
+  void reserve(size_t n) {
+    keys_.reserve(n);
+    hashes_.reserve(n);
+    if (index_.NeedsGrowth(n)) index_.Rebuild(hashes_, n);
+  }
+
+  /// Keeps capacity, like FlatMap::clear().
+  void clear() {
+    keys_.clear();
+    hashes_.clear();
+    index_.Clear();
+  }
+
+  /// Returns the id of `sorted_terms`, interning it on first sight.
+  /// `set_hash` must equal SetHashOf(sorted_terms); `inserted` reports
+  /// whether the key was new (callers grow their parallel arrays then).
+  KeyId Intern(uint64_t set_hash, std::span<const TermId> sorted_terms,
+               bool* inserted) {
+    if (index_.NeedsGrowth(keys_.size())) {
+      index_.Rebuild(hashes_, keys_.size() + 1);
+    }
+    const size_t slot = FindSlot(set_hash, sorted_terms);
+    if (index_.slot(slot).pos_plus1 != 0) {
+      *inserted = false;
+      return static_cast<KeyId>(index_.slot(slot).pos_plus1 - 1);
+    }
+    keys_.push_back(TermKey::FromSorted(sorted_terms));
+    hashes_.push_back(set_hash);
+    index_.Place(slot, set_hash, keys_.size() - 1);
+    *inserted = true;
+    return static_cast<KeyId>(keys_.size() - 1);
+  }
+
+ private:
+  size_t FindSlot(uint64_t set_hash,
+                  std::span<const TermId> sorted_terms) const {
+    return index_.FindSlot(set_hash, [&](size_t pos) {
+      const TermKey& k = keys_[pos];
+      if (k.size() != sorted_terms.size()) return false;
+      for (uint32_t i = 0; i < k.size(); ++i) {
+        if (k.term(i) != sorted_terms[i]) return false;
+      }
+      return true;
+    });
+  }
+
+  std::vector<TermKey> keys_;
+  std::vector<uint64_t> hashes_;  // commutative set hashes, id order
+  internal::FlatIndex index_;
+};
+
+}  // namespace hdk::hdk
+
+#endif  // HDKP2P_HDK_KEY_TABLE_H_

@@ -1,7 +1,8 @@
 #include "hdk/query_lattice.h"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "common/flat_map.h"
 
 namespace hdk::hdk {
 
@@ -96,7 +97,16 @@ std::vector<index::ScoredDoc> RankFetchedKeys(
     std::span<const FetchedKey> fetched, uint64_t collection_size,
     double avg_doc_length, size_t k, index::Bm25Params params) {
   index::Bm25Scorer scorer(collection_size, avg_doc_length, params);
-  std::unordered_map<DocId, double> scores;
+  // Flat accumulation table sized from the candidate posting lists: the
+  // summed list lengths upper-bound the union, so scoring never rehashes.
+  // (TopK's score-then-doc-id ordering is total, so the accumulation
+  // order cannot perturb the ranked results.)
+  size_t total_postings = 0;
+  for (const FetchedKey& f : fetched) {
+    if (f.postings != nullptr) total_postings += f.postings->size();
+  }
+  FlatMap<DocId, double, IdHasher> scores;
+  scores.reserve(total_postings);
   for (const FetchedKey& f : fetched) {
     if (f.postings == nullptr) continue;
     for (const index::Posting& p : f.postings->postings()) {

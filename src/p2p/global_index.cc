@@ -30,13 +30,13 @@ size_t DistributedGlobalIndex::DefaultShardCount(const ThreadPool* pool) {
   return shards;
 }
 
-size_t DistributedGlobalIndex::ShardOf(const hdk::TermKey& key) const {
+size_t DistributedGlobalIndex::ShardOf(uint64_t key_hash) const {
   // Remixed placement hash: the raw Hash64 also drives the overlay's
   // Responsible() mapping, so remixing decorrelates shard choice from
   // peer choice while keeping the shard stable across overlay changes.
   return shards_.size() == 1
              ? 0
-             : static_cast<size_t>(Mix64(key.Hash64()) % shards_.size());
+             : static_cast<size_t>(Mix64(key_hash) % shards_.size());
 }
 
 void DistributedGlobalIndex::EnsureCapacity() {
@@ -52,8 +52,13 @@ PeerId DistributedGlobalIndex::ResponsiblePeer(const hdk::TermKey& key) const {
   return overlay_->Responsible(key.Hash64());
 }
 
+PeerId DistributedGlobalIndex::ResponsiblePeerHashed(uint64_t key_hash) const {
+  return overlay_->Responsible(key_hash);
+}
+
 uint64_t DistributedGlobalIndex::InsertPostings(PeerId src,
                                                 const hdk::TermKey& key,
+                                                uint64_t key_hash,
                                                 index::PostingList full_local,
                                                 const HdkParams& params,
                                                 double avg_doc_length,
@@ -67,17 +72,19 @@ uint64_t DistributedGlobalIndex::InsertPostings(PeerId src,
   }
 
   if (record_traffic) {
-    const RingId ring_key = key.Hash64();
-    const PeerId dst = overlay_->Responsible(ring_key);
-    const size_t hops = overlay_->Route(src, ring_key);
+    // key_hash IS the key's ring id: one hash drives routing, the
+    // destination lookup, the shard choice and the pending-buffer probe.
+    const PeerId dst = overlay_->Responsible(key_hash);
+    const size_t hops = overlay_->Route(src, key_hash);
     traffic_->Record(src, dst, net::MessageKind::kInsertPostings, payload,
                      hops);
   }
 
-  Shard& shard = ShardFor(key);
+  Shard& shard = *shards_[ShardOf(key_hash)];
   {
     std::lock_guard<std::mutex> lock(shard.insert_mu);
-    shard.pending[key].push_back(Contribution{src, std::move(full_local)});
+    shard.pending.try_emplace_hashed(key_hash, key)
+        .first->second.push_back(Contribution{src, std::move(full_local)});
   }
   (void)avg_doc_length;  // truncation choice is re-derived at publish time
   return payload;
@@ -105,7 +112,7 @@ void DistributedGlobalIndex::RebuildCache(LedgerEntry& ledger,
 }
 
 bool DistributedGlobalIndex::Publish(Shard& shard, const hdk::TermKey& key,
-                                     LedgerEntry& ledger,
+                                     uint64_t key_hash, LedgerEntry& ledger,
                                      const HdkParams& params,
                                      double avg_doc_length) {
   const Freq trunc_limit = params.EffectiveNdkTruncation();
@@ -128,7 +135,8 @@ bool DistributedGlobalIndex::Publish(Shard& shard, const hdk::TermKey& key,
       !entry.is_hdk || ledger.merged_locals.size() < ledger.global_df;
 
   const bool is_ndk = !entry.is_hdk;
-  shard.fragments[ResponsiblePeer(key)][key] = std::move(entry);
+  auto& fragment = shard.fragments[overlay_->Responsible(key_hash)];
+  fragment.try_emplace_hashed(key_hash, key).first->second = std::move(entry);
   return is_ndk;
 }
 
@@ -146,15 +154,25 @@ LevelOutcome DistributedGlobalIndex::EndLevelShard(Shard& shard,
   };
 
   // Ascending-key order: shard- and thread-count independent, so the
-  // reduced outcome is deterministic everywhere.
-  std::vector<hdk::TermKey> keys;
+  // reduced outcome is deterministic everywhere. The pending table's
+  // cached hashes ride along — every downstream probe (ledger, fragment,
+  // overlay routing) reuses them instead of re-hashing the term array.
+  std::vector<std::pair<hdk::TermKey, uint64_t>> keys;
   keys.reserve(shard.pending.size());
-  for (const auto& [key, contributions] : shard.pending) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
+  for (size_t i = 0; i < shard.pending.size(); ++i) {
+    keys.emplace_back(shard.pending.entry(i).first, shard.pending.hash_at(i));
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // One reserve sized from this wave keeps the ledger rehash out of the
+  // per-key merge loop.
+  shard.ledger.reserve(shard.ledger.size() + keys.size());
 
-  for (const hdk::TermKey& key : keys) {
-    std::vector<Contribution>& contributions = shard.pending.at(key);
-    LedgerEntry& ledger = shard.ledger[key];
+  for (const auto& [key, key_hash] : keys) {
+    std::vector<Contribution>& contributions =
+        shard.pending.find_hashed(key_hash, key)->second;
+    LedgerEntry& ledger =
+        shard.ledger.try_emplace_hashed(key_hash, key).first->second;
     const bool was_published = !ledger.contributions.empty();
     const bool was_ndk = ledger.published_ndk;
 
@@ -179,7 +197,8 @@ LevelOutcome DistributedGlobalIndex::EndLevelShard(Shard& shard,
                 return a.peer < b.peer;
               });
 
-    const bool is_ndk = Publish(shard, key, ledger, params, avg_doc_length);
+    const bool is_ndk =
+        Publish(shard, key, key_hash, ledger, params, avg_doc_length);
     if (is_ndk) {
       ++outcome.ndks;
       if (was_published && !was_ndk) ++outcome.reclassified;
@@ -204,7 +223,7 @@ LevelOutcome DistributedGlobalIndex::EndLevelShard(Shard& shard,
       std::sort(recipients.begin(), recipients.end());
       recipients.erase(std::unique(recipients.begin(), recipients.end()),
                        recipients.end());
-      const PeerId owner = ResponsiblePeer(key);
+      const PeerId owner = ResponsiblePeerHashed(key_hash);
       for (PeerId contributor : recipients) {
         // Notifications carry the key only, no postings. The owner knows
         // the contributor directly (source address of the insertion), so
@@ -261,17 +280,23 @@ uint64_t DistributedGlobalIndex::EraseKeysContaining(TermId t) {
   std::vector<uint64_t> erased(shards_.size(), 0);
   ParallelForEach(pool_, shards_.size(), [&](size_t i) {
     Shard& shard = *shards_[i];
-    for (auto it = shard.ledger.begin(); it != shard.ledger.end();) {
-      if (it->first.Contains(t)) {
-        const PeerId owner = ResponsiblePeer(it->first);
-        if (owner < shard.fragments.size()) {
-          shard.fragments[owner].erase(it->first);
-        }
-        it = shard.ledger.erase(it);
-        ++erased[i];
-      } else {
-        ++it;
+    size_t pos = 0;
+    while (pos < shard.ledger.size()) {
+      const hdk::TermKey& key = shard.ledger.entry(pos).first;
+      if (!key.Contains(t)) {
+        ++pos;
+        continue;
       }
+      const uint64_t key_hash = shard.ledger.hash_at(pos);
+      const PeerId owner = overlay_->Responsible(key_hash);
+      if (owner < shard.fragments.size()) {
+        auto& fragment = shard.fragments[owner];
+        auto it = fragment.find_hashed(key_hash, key);
+        if (it != fragment.end()) fragment.erase(it);
+      }
+      // Swap-remove: the entry moved into `pos` is examined next.
+      shard.ledger.erase(shard.ledger.begin() + pos);
+      ++erased[i];
     }
   });
   uint64_t total = 0;
@@ -284,10 +309,12 @@ void DistributedGlobalIndex::Retruncate(const HdkParams& params,
   EnsureCapacity();
   ParallelForEach(pool_, shards_.size(), [&](size_t i) {
     Shard& shard = *shards_[i];
-    for (auto& [key, ledger] : shard.ledger) {
+    for (size_t pos = 0; pos < shard.ledger.size(); ++pos) {
+      auto& [key, ledger] = shard.ledger.entry(pos);
       if (ledger.truncation_sensitive) {
         RebuildCache(ledger, params, avg_doc_length);
-        Publish(shard, key, ledger, params, avg_doc_length);
+        Publish(shard, key, shard.ledger.hash_at(pos), ledger, params,
+                avg_doc_length);
       }
     }
   });
@@ -304,18 +331,24 @@ uint64_t DistributedGlobalIndex::OnOverlayGrown() {
     for (PeerId old_owner = 0; old_owner < shard.fragments.size();
          ++old_owner) {
       auto& fragment = shard.fragments[old_owner];
-      for (auto it = fragment.begin(); it != fragment.end();) {
-        const PeerId new_owner = ResponsiblePeer(it->first);
+      size_t pos = 0;
+      while (pos < fragment.size()) {
+        const uint64_t key_hash = fragment.hash_at(pos);
+        const PeerId new_owner = overlay_->Responsible(key_hash);
         if (new_owner == old_owner) {
-          ++it;
+          ++pos;
           continue;
         }
         // Key-space handover to the joining (or re-responsible) peer: one
         // direct message carrying the published postings.
+        auto& [key, entry] = fragment.entry(pos);
         traffic_->Record(old_owner, new_owner, net::MessageKind::kMaintenance,
-                         it->second.postings.size(), /*hops=*/1);
-        shard.fragments[new_owner][it->first] = std::move(it->second);
-        it = fragment.erase(it);
+                         entry.postings.size(), /*hops=*/1);
+        shard.fragments[new_owner]
+            .try_emplace_hashed(key_hash, key)
+            .first->second = std::move(entry);
+        // Swap-remove: the entry moved into `pos` is examined next.
+        fragment.erase(fragment.begin() + pos);
         ++migrated[s];
       }
     }
@@ -471,13 +504,15 @@ DistributedGlobalIndex::DepartureOutcome DistributedGlobalIndex::
 
 const hdk::KeyEntry* DistributedGlobalIndex::FetchFrom(
     PeerId src, const hdk::TermKey& key) const {
+  // One Hash64 serves routing, the responsible-peer lookup, the shard
+  // choice and the fragment probe.
   const RingId ring_key = key.Hash64();
   const PeerId dst = overlay_->Responsible(ring_key);
   const size_t hops = overlay_->Route(src, ring_key);
   traffic_->Record(src, dst, net::MessageKind::kKeyProbe, /*postings=*/0,
                    hops);
 
-  const hdk::KeyEntry* entry = Peek(key);
+  const hdk::KeyEntry* entry = PeekHashed(ring_key, key);
   // The response travels back directly (the probe carried the requester's
   // address): 1 hop, carrying the posting payload if the key exists.
   traffic_->Record(dst, src, net::MessageKind::kPostingsResponse,
@@ -488,11 +523,16 @@ const hdk::KeyEntry* DistributedGlobalIndex::FetchFrom(
 
 const hdk::KeyEntry* DistributedGlobalIndex::Peek(
     const hdk::TermKey& key) const {
-  const PeerId owner = ResponsiblePeer(key);
-  const Shard& shard = ShardFor(key);
+  return PeekHashed(key.Hash64(), key);
+}
+
+const hdk::KeyEntry* DistributedGlobalIndex::PeekHashed(
+    uint64_t key_hash, const hdk::TermKey& key) const {
+  const PeerId owner = overlay_->Responsible(key_hash);
+  const Shard& shard = *shards_[ShardOf(key_hash)];
   if (owner >= shard.fragments.size()) return nullptr;
   const auto& fragment = shard.fragments[owner];
-  auto it = fragment.find(key);
+  auto it = fragment.find_hashed(key_hash, key);
   return it == fragment.end() ? nullptr : &it->second;
 }
 

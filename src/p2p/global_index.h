@@ -140,8 +140,11 @@ class DistributedGlobalIndex {
 
   size_t num_shards() const { return shards_.size(); }
 
-  /// The peer responsible for a key.
+  /// The peer responsible for a key. The overload taking the key's
+  /// Hash64 (= its DHT ring id) lets hash-carrying call sites route
+  /// without re-hashing the term array.
   PeerId ResponsiblePeer(const hdk::TermKey& key) const;
+  PeerId ResponsiblePeerHashed(uint64_t key_hash) const;
 
   /// Grows the per-peer fragment slots (and the traffic recorder's peer
   /// counters) to the overlay's current size. Serial sections only; the
@@ -163,10 +166,22 @@ class DistributedGlobalIndex {
   /// THREAD SAFETY: may be called concurrently (the parallel scan waves
   /// do) once EnsureCapacity() has run for the current overlay size; the
   /// contribution is buffered on its key's shard under the shard mutex.
+  ///
+  /// The hash-carrying overload takes `key_hash` = key.Hash64(): the scan
+  /// wave reads it out of the candidate map's hash cache, so overlay
+  /// routing, shard choice and the pending-buffer probe all reuse one
+  /// hash computation. The convenience overload hashes the key itself.
+  uint64_t InsertPostings(PeerId src, const hdk::TermKey& key,
+                          uint64_t key_hash, index::PostingList full_local,
+                          const HdkParams& params, double avg_doc_length,
+                          bool record_traffic = true);
   uint64_t InsertPostings(PeerId src, const hdk::TermKey& key,
                           index::PostingList full_local,
                           const HdkParams& params, double avg_doc_length,
-                          bool record_traffic = true);
+                          bool record_traffic = true) {
+    return InsertPostings(src, key, key.Hash64(), std::move(full_local),
+                          params, avg_doc_length, record_traffic);
+  }
 
   /// Classifies all keys that received contributions since the last
   /// EndLevel call: merges them into the ledger, re-derives the published
@@ -237,8 +252,12 @@ class DistributedGlobalIndex {
   /// Returns nullptr (response with zero postings) when the key is absent.
   const hdk::KeyEntry* FetchFrom(PeerId src, const hdk::TermKey& key) const;
 
-  /// Traffic-free lookup (tests, diagnostics).
+  /// Traffic-free lookup (tests, diagnostics). The hashed variant takes
+  /// the key's precomputed Hash64 (the query path probes many keys and
+  /// already holds their hashes).
   const hdk::KeyEntry* Peek(const hdk::TermKey& key) const;
+  const hdk::KeyEntry* PeekHashed(uint64_t key_hash,
+                                  const hdk::TermKey& key) const;
 
   /// Stored postings on one peer's fragment / across all fragments
   /// (the paper's Figure 3 metric).
@@ -277,10 +296,14 @@ class DistributedGlobalIndex {
   };
 
   /// One shard: the slice of the pending buffer, the ledger and the
-  /// per-peer fragment maps for the keys hashing to it. The mutex guards
-  /// `pending` against concurrent InsertPostings; everything else is
-  /// touched either from serial sections or by exactly one worker during
-  /// the shard-parallel merge paths.
+  /// per-peer fragment maps for the keys hashing to it — all flat tables
+  /// (hdk::KeyMap) whose entries cache the key's Hash64, so the merge
+  /// paths never re-hash a term array. The mutex guards `pending` against
+  /// concurrent InsertPostings; everything else is touched either from
+  /// serial sections or by exactly one worker during the shard-parallel
+  /// merge paths. `pending` is cleared (capacity kept) at the end of
+  /// every level: the table stays pre-sized at the prior wave's key
+  /// count, so later waves insert without mid-wave rehashes.
   struct Shard {
     std::mutex insert_mu;
     /// Contributions received since the last EndLevel call.
@@ -291,13 +314,7 @@ class DistributedGlobalIndex {
     std::vector<hdk::KeyMap<hdk::KeyEntry>> fragments;
   };
 
-  size_t ShardOf(const hdk::TermKey& key) const;
-  Shard& ShardFor(const hdk::TermKey& key) {
-    return *shards_[ShardOf(key)];
-  }
-  const Shard& ShardFor(const hdk::TermKey& key) const {
-    return *shards_[ShardOf(key)];
-  }
+  size_t ShardOf(uint64_t key_hash) const;
 
   /// EndLevel over one shard's pending keys, ascending-key order.
   LevelOutcome EndLevelShard(Shard& shard, const HdkParams& params,
@@ -313,9 +330,11 @@ class DistributedGlobalIndex {
   /// Derives the published KeyEntry of `key` from the ledger cache —
   /// bit-identical to what a from-scratch build would publish — and
   /// stores it on the responsible fragment slot of `shard` (which must be
-  /// the key's shard). Returns whether the published entry is an NDK.
-  bool Publish(Shard& shard, const hdk::TermKey& key, LedgerEntry& ledger,
-               const HdkParams& params, double avg_doc_length);
+  /// the key's shard). `key_hash` = key.Hash64(), carried by the caller.
+  /// Returns whether the published entry is an NDK.
+  bool Publish(Shard& shard, const hdk::TermKey& key, uint64_t key_hash,
+               LedgerEntry& ledger, const HdkParams& params,
+               double avg_doc_length);
 
   const dht::Overlay* overlay_;
   net::TrafficRecorder* traffic_;

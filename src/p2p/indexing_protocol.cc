@@ -208,9 +208,9 @@ Status HdkIndexingProtocol::Depart(
   //    collection frequencies only shrank, so terms can only drop OUT of
   //    it and re-enter the key vocabulary (the mirror image of the growth
   //    path's purge).
-  std::unordered_set<TermId> readmitted;
+  TermIdSet readmitted;
   {
-    std::unordered_set<TermId> vf_now;
+    TermIdSet vf_now;
     for (TermId t :
          stats.VeryFrequentTerms(params_.very_frequent_threshold)) {
       vf_now.insert(t);
@@ -278,13 +278,15 @@ Status HdkIndexingProtocol::Depart(
 
       auto insert_all = [&](hdk::KeyMap<index::PostingList>& candidates,
                             bool record_traffic) {
-        for (auto& [key, pl] : candidates) {
+        for (size_t ci = 0; ci < candidates.size(); ++ci) {
+          auto& [key, pl] = candidates.entry(ci);
+          const uint64_t key_hash = candidates.hash_at(ci);
           std::vector<DocId> key_docs;
           if (s < params_.s_max) key_docs = pl.Documents();
           const uint64_t payload = global_->InsertPostings(
-              peer.id(), key, std::move(pl), params_, avgdl,
+              peer.id(), key, key_hash, std::move(pl), params_, avgdl,
               record_traffic);
-          peer.MarkPublished(s, key, std::move(key_docs));
+          peer.MarkPublished(s, key, key_hash, std::move(key_docs));
           if (record_traffic) {
             ++level_stats.keys_inserted;
             level_stats.postings_inserted += payload;
@@ -372,6 +374,10 @@ void HdkIndexingProtocol::RunLevels(const corpus::CollectionStats& stats,
                                     GrowthStats* growth) {
   const double avgdl = stats.average_document_length();
   std::vector<bool> rescan_counted(peers_.size(), false);
+  // Per-peer candidate count of the previous level: the reserve hint that
+  // pre-sizes the next level's accumulator tables (a level's candidate
+  // set shrinks as s grows, so the previous count upper-bounds the next).
+  std::vector<size_t> prev_candidates(peers_.size(), 0);
   // Concurrent InsertPostings must never resize the fragment/traffic
   // capacity; the overlay is stable for the whole pass, so one serial
   // call up front covers every level.
@@ -387,6 +393,8 @@ void HdkIndexingProtocol::RunLevels(const corpus::CollectionStats& stats,
     struct ScanTask {
       Peer* peer = nullptr;
       bool is_new = false;
+      size_t reserve_hint = 0;
+      size_t candidates = 0;
       hdk::CandidateBuildStats generation;
       uint64_t keys_inserted = 0;
       uint64_t postings_inserted = 0;
@@ -406,7 +414,8 @@ void HdkIndexingProtocol::RunLevels(const corpus::CollectionStats& stats,
           ++growth->rescanned_peers;
         }
       }
-      tasks.push_back(ScanTask{&peer, is_new, {}, 0, 0});
+      tasks.push_back(
+          ScanTask{&peer, is_new, prev_candidates[peer.id()], 0, {}, 0, 0});
     }
 
     // Phase 2 (parallel): each task scans its peer's candidates AND
@@ -427,19 +436,26 @@ void HdkIndexingProtocol::RunLevels(const corpus::CollectionStats& stats,
       hdk::KeyMap<index::PostingList> candidates =
           s == 1 ? peer.BuildLevel1(store_, very_frequent_, &task.generation)
           : task.is_new
-              ? peer.BuildLevel(s, store_, &task.generation)
+              ? peer.BuildLevel(s, store_, &task.generation,
+                                task.reserve_hint)
               : peer.BuildLevelDelta(s, store_, &task.generation);
+      task.candidates = candidates.size();
 
-      for (auto& [key, pl] : candidates) {
-        if (!task.is_new && peer.HasPublished(s, key)) continue;
+      // Hash-carrying insert wave: the candidate map caches each key's
+      // Hash64, so the published-set probe, overlay routing, shard choice
+      // and pending-buffer probe all reuse it.
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        auto& [key, pl] = candidates.entry(ci);
+        const uint64_t key_hash = candidates.hash_at(ci);
+        if (!task.is_new && peer.HasPublished(s, key, key_hash)) continue;
         // Keys below the top level can become expansion material
         // later; remember which local documents carry them (delta-scan
         // targets).
         std::vector<DocId> key_docs;
         if (s < params_.s_max) key_docs = pl.Documents();
         const uint64_t payload = global_->InsertPostings(
-            peer.id(), key, std::move(pl), params_, avgdl);
-        peer.MarkPublished(s, key, std::move(key_docs));
+            peer.id(), key, key_hash, std::move(pl), params_, avgdl);
+        peer.MarkPublished(s, key, key_hash, std::move(key_docs));
         ++task.keys_inserted;
         task.postings_inserted += payload;
       }
@@ -449,6 +465,7 @@ void HdkIndexingProtocol::RunLevels(const corpus::CollectionStats& stats,
     // Phase 3 (serial): reduce the per-task counters in ascending peer
     // order.
     for (const ScanTask& task : tasks) {
+      prev_candidates[task.peer->id()] = task.candidates;
       level_stats.generation += task.generation;
       level_stats.keys_inserted += task.keys_inserted;
       level_stats.postings_inserted += task.postings_inserted;

@@ -38,7 +38,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "common/params.h"
@@ -233,7 +232,7 @@ class HdkIndexingProtocol {
   ThreadPool* pool_;
   DistributedGlobalIndex* global_ = nullptr;  // borrowed after Run
   std::vector<Peer> peers_;
-  std::unordered_set<TermId> very_frequent_;
+  TermIdSet very_frequent_;
   IndexingReport report_;
   PhaseTimings phase_timings_;
   DocId indexed_docs_ = 0;

@@ -10,15 +10,16 @@ Peer::Peer(PeerId id, DocId first, DocId last, const HdkParams& params)
 
 hdk::KeyMap<index::PostingList> Peer::BuildLevel1(
     const corpus::DocumentStore& store,
-    const std::unordered_set<TermId>& very_frequent,
+    const TermIdSet& very_frequent,
     hdk::CandidateBuildStats* stats) const {
   return builder_.BuildLevel1(store, first_, last_, very_frequent, stats);
 }
 
 hdk::KeyMap<index::PostingList> Peer::BuildLevel(
     uint32_t s, const corpus::DocumentStore& store,
-    hdk::CandidateBuildStats* stats) const {
-  return builder_.BuildLevel(s, store, first_, last_, oracle_, stats);
+    hdk::CandidateBuildStats* stats, size_t expected_candidates) const {
+  return builder_.BuildLevel(s, store, first_, last_, oracle_, stats,
+                             expected_candidates);
 }
 
 hdk::KeyMap<index::PostingList> Peer::BuildLevelDelta(

@@ -10,9 +10,9 @@
 #ifndef HDKP2P_P2P_PEER_H_
 #define HDKP2P_P2P_PEER_H_
 
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/params.h"
 #include "common/types.h"
 #include "corpus/document.h"
@@ -38,14 +38,17 @@ class Peer {
   /// documents with its local posting list.
   hdk::KeyMap<index::PostingList> BuildLevel1(
       const corpus::DocumentStore& store,
-      const std::unordered_set<TermId>& very_frequent,
+      const TermIdSet& very_frequent,
       hdk::CandidateBuildStats* stats = nullptr) const;
 
   /// Local level-s candidates (s >= 2) under the peer's current global
-  /// knowledge (NDK notifications received so far).
+  /// knowledge (NDK notifications received so far). `expected_candidates`
+  /// pre-sizes the scan's accumulator tables (the protocol passes the
+  /// peer's level-(s-1) candidate count; 0 grows on demand).
   hdk::KeyMap<index::PostingList> BuildLevel(
       uint32_t s, const corpus::DocumentStore& store,
-      hdk::CandidateBuildStats* stats = nullptr) const;
+      hdk::CandidateBuildStats* stats = nullptr,
+      size_t expected_candidates = 0) const;
 
   /// Only the level-s candidates that the peer's FRESH knowledge (facts
   /// learned since the last protocol pass, see fresh_knowledge()) makes
@@ -94,15 +97,22 @@ class Peer {
   /// top level the peer also remembers WHICH local documents carried the
   /// key: when such a key later becomes expansion material (it crossed
   /// DFmax), the delta scan only has to revisit those documents.
-  bool HasPublished(uint32_t level, const hdk::TermKey& key) const {
+  /// `key_hash` is the key's Hash64 — the scan wave already carries it
+  /// (cached in the candidate map), so the bookkeeping probes never
+  /// re-hash the term array.
+  bool HasPublished(uint32_t level, const hdk::TermKey& key,
+                    uint64_t key_hash) const {
     return level - 1 < published_.size() &&
-           published_[level - 1].count(key) > 0;
+           published_[level - 1].count_hashed(key_hash, key) > 0;
   }
   void MarkPublished(uint32_t level, const hdk::TermKey& key,
-                     std::vector<DocId> docs) {
+                     uint64_t key_hash, std::vector<DocId> docs) {
     if (published_.size() < level) published_.resize(level);
-    published_[level - 1].insert(key);
-    if (!docs.empty()) published_docs_[key] = std::move(docs);
+    published_[level - 1].insert_hashed(key_hash, key);
+    if (!docs.empty()) {
+      published_docs_.try_emplace_hashed(key_hash, key).first->second =
+          std::move(docs);
+    }
   }
 
   /// The peer's accumulated global knowledge.

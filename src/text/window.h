@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace hdk::text {
@@ -56,8 +56,10 @@ class WindowTail {
   std::vector<TermId> ring_;        // last w-1 pushed terms (ring buffer)
   size_t ring_pos_ = 0;             // next slot to overwrite
   size_t filled_ = 0;               // number of valid slots
-  std::unordered_map<TermId, uint32_t> counts_;      // term -> multiplicity
-  std::unordered_map<TermId, uint32_t> distinct_ix_; // term -> index
+  // Flat maps: Push/Evict run once per scanned token — the innermost
+  // loop of every candidate scan. clear() keeps capacity across docs.
+  FlatMap<TermId, uint32_t, IdHasher> counts_;       // term -> multiplicity
+  FlatMap<TermId, uint32_t, IdHasher> distinct_ix_;  // term -> index
   std::vector<TermId> distinct_;
 };
 

@@ -1,0 +1,337 @@
+// FlatMap/FlatSet/KeyTable property tests, plus the hot-path swap's
+// end-to-end identity contract: golden build/growth/churn fingerprints
+// captured on the std::unordered_map-era code, asserted against the flat
+// containers at 1 and 4 threads on both overlays — the container swap
+// must be invisible in every posting and every traffic counter.
+#include "common/flat_map.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "corpus/synthetic.h"
+#include "engine/fingerprint.h"
+#include "engine/hdk_engine.h"
+#include "engine/membership.h"
+#include "engine/partition.h"
+#include "hdk/indexer.h"
+#include "hdk/key_table.h"
+#include "net/traffic.h"
+
+namespace hdk {
+namespace {
+
+// ---------------------------------------------------------------------
+// Randomized cross-check against std::unordered_map.
+
+TEST(FlatMapTest, RandomOpsMatchUnorderedMap) {
+  for (uint64_t seed : {1u, 7u, 1234u}) {
+    std::mt19937_64 rng(seed);
+    FlatMap<uint64_t, int, IdHasher> flat;
+    std::unordered_map<uint64_t, int> ref;
+
+    for (int op = 0; op < 20000; ++op) {
+      // Small key universe so inserts, hits and erases all happen often.
+      const uint64_t key = rng() % 700;
+      switch (rng() % 5) {
+        case 0:
+        case 1: {  // upsert
+          const int value = static_cast<int>(rng() % 1000);
+          flat[key] = value;
+          ref[key] = value;
+          break;
+        }
+        case 2: {  // accumulate (the scoring pattern)
+          flat[key] += 3;
+          ref[key] += 3;
+          break;
+        }
+        case 3: {  // erase
+          EXPECT_EQ(flat.erase(key), ref.erase(key));
+          break;
+        }
+        case 4: {  // find
+          auto fit = flat.find(key);
+          auto rit = ref.find(key);
+          ASSERT_EQ(fit != flat.end(), rit != ref.end());
+          if (rit != ref.end()) {
+            EXPECT_EQ(fit->second, rit->second);
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(flat.size(), ref.size());
+    }
+
+    // Full-content equality in both directions.
+    for (const auto& [key, value] : ref) {
+      auto it = flat.find(key);
+      ASSERT_NE(it, flat.end()) << key;
+      EXPECT_EQ(it->second, value);
+    }
+    for (const auto& [key, value] : flat) {
+      auto it = ref.find(key);
+      ASSERT_NE(it, ref.end()) << key;
+      EXPECT_EQ(it->second, value);
+    }
+    // The cached hashes are exactly the hasher's output.
+    for (size_t i = 0; i < flat.size(); ++i) {
+      EXPECT_EQ(flat.hash_at(i), IdHasher{}(flat.entry(i).first));
+    }
+  }
+}
+
+TEST(FlatMapTest, RehashSurvivesEraseHeavyWorkload) {
+  // Interleaved growth and shrinkage across several rehash boundaries.
+  std::mt19937_64 rng(99);
+  FlatMap<uint64_t, uint64_t, IdHasher> flat;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  for (int round = 0; round < 20; ++round) {
+    for (uint64_t i = 0; i < 500; ++i) {
+      const uint64_t key = rng() % 5000;
+      flat.try_emplace(key, key * 2);
+      ref.try_emplace(key, key * 2);
+    }
+    for (uint64_t i = 0; i < 400; ++i) {
+      const uint64_t key = rng() % 5000;
+      flat.erase(key);
+      ref.erase(key);
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  for (const auto& [key, value] : ref) {
+    auto it = flat.find(key);
+    ASSERT_NE(it, flat.end());
+    EXPECT_EQ(it->second, value);
+  }
+}
+
+TEST(FlatMapTest, EraseWhileIteratingVisitsEveryEntryOnce) {
+  FlatMap<uint64_t, int, IdHasher> flat;
+  for (uint64_t k = 0; k < 1000; ++k) flat[k] = static_cast<int>(k);
+
+  // The repo-wide pattern: drop odd keys, keep even ones.
+  size_t visited = 0;
+  for (auto it = flat.begin(); it != flat.end();) {
+    ++visited;
+    it = (it->first % 2 == 1) ? flat.erase(it) : std::next(it);
+  }
+  EXPECT_EQ(visited, 1000u);
+  EXPECT_EQ(flat.size(), 500u);
+  for (const auto& [key, value] : flat) {
+    EXPECT_EQ(key % 2, 0u);
+    EXPECT_EQ(value, static_cast<int>(key));
+  }
+}
+
+TEST(FlatMapTest, HashedEntryPointsMatchPlainOnes) {
+  FlatMap<uint64_t, int, IdHasher> flat;
+  for (uint64_t k = 0; k < 300; ++k) {
+    const uint64_t h = IdHasher{}(k);
+    auto [it, inserted] = flat.try_emplace_hashed(h, k, static_cast<int>(k));
+    EXPECT_TRUE(inserted);
+    EXPECT_FALSE(flat.try_emplace_hashed(h, k, -1).second);
+    EXPECT_EQ(flat.find_hashed(h, k), flat.find(k));
+  }
+  EXPECT_EQ(flat.find_hashed(IdHasher{}(999), 999), flat.end());
+}
+
+TEST(FlatMapTest, ClearKeepsContentsEmptyAndReusable) {
+  FlatMap<uint64_t, int, IdHasher> flat;
+  for (uint64_t k = 0; k < 100; ++k) flat[k] = 1;
+  flat.clear();
+  EXPECT_TRUE(flat.empty());
+  EXPECT_EQ(flat.find(5), flat.end());
+  for (uint64_t k = 50; k < 150; ++k) flat[k] = 2;
+  EXPECT_EQ(flat.size(), 100u);
+  EXPECT_EQ(flat.at(149), 2);
+}
+
+TEST(FlatSetTest, RandomOpsMatchUnorderedSet) {
+  std::mt19937_64 rng(5);
+  FlatSet<uint64_t, IdHasher> flat;
+  std::unordered_set<uint64_t> ref;
+  for (int op = 0; op < 20000; ++op) {
+    const uint64_t key = rng() % 600;
+    switch (rng() % 3) {
+      case 0:
+        EXPECT_EQ(flat.insert(key).second, ref.insert(key).second);
+        break;
+      case 1:
+        EXPECT_EQ(flat.erase(key), ref.erase(key));
+        break;
+      case 2:
+        EXPECT_EQ(flat.count(key), ref.count(key));
+        break;
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  for (uint64_t key : ref) EXPECT_TRUE(flat.contains(key));
+  for (uint64_t key : flat) EXPECT_TRUE(ref.count(key) > 0);
+}
+
+TEST(FlatSetTest, InitializerListAndEraseWhileIterating) {
+  FlatSet<uint32_t, IdHasher> set{1u, 2u, 3u, 4u, 5u};
+  EXPECT_EQ(set.size(), 5u);
+  for (auto it = set.begin(); it != set.end();) {
+    it = (*it > 3) ? set.erase(it) : std::next(it);
+  }
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(1u) && set.contains(2u) && set.contains(3u));
+}
+
+// ---------------------------------------------------------------------
+// KeyTable: interning and the incremental set hash.
+
+TEST(KeyTableTest, InternsDistinctSetsToDenseStableIds) {
+  hdk::KeyTable table;
+  std::vector<std::vector<TermId>> sets = {
+      {1}, {2}, {1, 2}, {1, 3}, {1, 2, 3}, {7, 9, 11}};
+  std::vector<hdk::KeyId> ids;
+  for (const auto& terms : sets) {
+    bool inserted = false;
+    ids.push_back(
+        table.Intern(hdk::SetHashOf(terms), terms, &inserted));
+    EXPECT_TRUE(inserted);
+  }
+  // Dense, in first-sight order.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<hdk::KeyId>(i));
+  }
+  // Re-interning returns the same id without inserting.
+  for (size_t i = 0; i < sets.size(); ++i) {
+    bool inserted = true;
+    EXPECT_EQ(table.Intern(hdk::SetHashOf(sets[i]), sets[i], &inserted),
+              ids[i]);
+    EXPECT_FALSE(inserted);
+  }
+  // Round-trip through the stored canonical keys.
+  for (size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(table.key(ids[i]),
+              hdk::TermKey(std::span<const TermId>(sets[i])));
+  }
+}
+
+TEST(KeyTableTest, SetHashComposesIncrementally) {
+  // The candidate walk's invariant: hash(sub + {t}) == hash(sub) +
+  // TermSetHash(t), independent of where t lands in the sorted order.
+  const std::vector<TermId> sub = {3, 8, 20};
+  const uint64_t sub_hash = hdk::SetHashOf(sub);
+  for (TermId t : {1u, 5u, 12u, 99u}) {
+    std::vector<TermId> extended = sub;
+    extended.push_back(t);
+    std::sort(extended.begin(), extended.end());
+    EXPECT_EQ(hdk::SetHashOf(extended), sub_hash + hdk::TermSetHash(t));
+    // And dropping any term undoes its contribution.
+    for (TermId drop : extended) {
+      std::vector<TermId> reduced;
+      for (TermId x : extended) {
+        if (x != drop) reduced.push_back(x);
+      }
+      EXPECT_EQ(hdk::SetHashOf(reduced),
+                hdk::SetHashOf(extended) - hdk::TermSetHash(drop));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end iteration-order independence of every call site: the HDK
+// lifecycle (fresh build, growth wave, join/leave/join churn) must
+// reproduce the unordered_map-era output bit for bit — published
+// postings AND per-kind traffic — at 1 and 4 threads on both overlays.
+
+struct GoldenStage {
+  const char* stage;
+  uint64_t contents_fp;
+  uint64_t traffic_fp;
+};
+
+// Captured on the std::unordered_map-era code (PR 4 tree), serial run,
+// with the exact corpus/config below. The traffic fingerprint differs
+// per overlay (routing hops differ); the contents fingerprint does not.
+constexpr GoldenStage kPGridGolden[] = {
+    {"build", 9975991081778628371ULL, 16212035531686091244ULL},
+    {"growth", 9700216810796061095ULL, 6496342764924968117ULL},
+    {"churn", 14486594499870366185ULL, 11468514289923526864ULL},
+};
+constexpr GoldenStage kChordGolden[] = {
+    {"build", 9975991081778628371ULL, 14220470939784932197ULL},
+    {"growth", 9700216810796061095ULL, 15853442102898601742ULL},
+    {"churn", 14486594499870366185ULL, 16695967409570467369ULL},
+};
+
+class FlatSwapGoldenTest
+    : public ::testing::TestWithParam<engine::OverlayKind> {};
+
+TEST_P(FlatSwapGoldenTest, LifecycleMatchesUnorderedEraFingerprints) {
+  corpus::SyntheticConfig cfg;
+  cfg.seed = 4242;
+  cfg.vocabulary_size = 2500;
+  cfg.num_topics = 10;
+  cfg.topic_width = 30;
+  cfg.mean_doc_length = 45.0;
+  cfg.topic_share = 0.7;
+  corpus::SyntheticCorpus corpus(cfg);
+  corpus::DocumentStore store;
+  corpus.FillStore(320, &store);
+
+  const GoldenStage* golden = GetParam() == engine::OverlayKind::kPGrid
+                                  ? kPGridGolden
+                                  : kChordGolden;
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    engine::HdkEngineConfig config;
+    config.hdk.df_max = 9;
+    config.hdk.very_frequent_threshold = 450;
+    config.hdk.window = 8;
+    config.hdk.s_max = 3;
+    config.overlay = GetParam();
+    config.num_threads = threads;
+
+    auto built = engine::HdkSearchEngine::Build(
+        config, store, engine::SplitEvenly(160, 4));
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    auto engine = std::move(built).value();
+
+    auto expect_stage = [&](const GoldenStage& want) {
+      SCOPED_TRACE(want.stage);
+      EXPECT_EQ(engine::FingerprintContents(
+                    engine->global_index().ExportContents()),
+                want.contents_fp);
+      EXPECT_EQ(engine::FingerprintTraffic(*engine->traffic()),
+                want.traffic_fp);
+    };
+    expect_stage(golden[0]);
+
+    ASSERT_TRUE(
+        engine->ApplyMembership(store, engine::JoinWave(160, 2, 40)).ok());
+    expect_stage(golden[1]);
+
+    std::vector<engine::MembershipEvent> churn;
+    churn.push_back(
+        engine::MembershipEvent::Join(engine::DocRange{240, 280}));
+    churn.push_back(engine::MembershipEvent::Leave(1));
+    churn.push_back(
+        engine::MembershipEvent::Join(engine::DocRange{280, 320}));
+    ASSERT_TRUE(engine->ApplyMembership(store, churn).ok());
+    expect_stage(golden[2]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothOverlays, FlatSwapGoldenTest,
+    ::testing::Values(engine::OverlayKind::kPGrid,
+                      engine::OverlayKind::kChord),
+    [](const ::testing::TestParamInfo<engine::OverlayKind>& info) {
+      return info.param == engine::OverlayKind::kPGrid ? "pgrid" : "chord";
+    });
+
+}  // namespace
+}  // namespace hdk

@@ -1,5 +1,7 @@
 #include "hdk/indexer.h"
 
+#include <unordered_set>
+
 #include <gtest/gtest.h>
 
 #include "corpus/synthetic.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <tuple>
+#include <unordered_set>
 
 #include <gtest/gtest.h>
 
