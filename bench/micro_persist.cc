@@ -1,0 +1,167 @@
+// Persistence bench: snapshot save + mmap cold load vs from-scratch
+// rebuild.
+//
+// The snapshot store (src/store/, engine/engine_snapshot.h) persists the
+// complete built state of the HDK engine as flat-table raw images plus
+// cached hash arrays, so a cold start is mmap + bulk copy + one linear
+// slot-index rebuild per table — no protocol run, no re-hashing. This
+// bench is the record of what that buys:
+//
+//   * one full engine build at the selected scale (the cost a process
+//     pays on every start WITHOUT persistence), timed,
+//   * SaveSnapshot of the built engine, timed, with the file size,
+//   * LoadEngineSnapshot into a fresh engine (the cost WITH persistence),
+//     timed,
+//   * fingerprints of the published index and of a query batch on both
+//     instances, asserted identical — a fast load that answers queries
+//     differently would be worthless.
+//
+// The headline number is rebuild_s / load_s; the snapshot design targets
+// >= 10x at the default scale (sub-second cold start vs a multi-second
+// protocol rebuild).
+//
+// Env knobs (see bench_common.h): HDKP2P_BENCH_SCALE=tiny,
+// HDKP2P_THREADS, HDKP2P_CORPUS_CACHE.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "engine/engine_snapshot.h"
+#include "engine/hdk_engine.h"
+#include "engine/partition.h"
+
+int main() {
+  using namespace hdk;
+
+  auto setup = bench::SelectSetup();
+  bench::Banner(
+      "micro_persist: snapshot save + mmap cold load vs full rebuild",
+      "flat-table snapshot store; restored engine is posting-for-posting "
+      "identical to the rebuilt one");
+  bench::PrintSetup(setup);
+
+  const char* scale_env = std::getenv("HDKP2P_BENCH_SCALE");
+  const std::string scale =
+      scale_env != nullptr && std::strcmp(scale_env, "tiny") == 0
+          ? "tiny"
+          : "default";
+
+  const uint32_t peers = setup.max_peers;
+  const uint64_t docs = static_cast<uint64_t>(peers) * setup.docs_per_peer;
+  engine::ExperimentContext ctx(setup);
+  const corpus::DocumentStore& store = ctx.GrowTo(docs);
+  const std::vector<corpus::Query> queries = ctx.MakeQueries(docs, 200);
+
+  engine::HdkEngineConfig config;
+  config.hdk = setup.MakeParams(setup.DfMaxLow());
+  config.overlay = setup.overlay;
+  config.overlay_seed = setup.overlay_seed;
+  config.num_threads = setup.num_threads;
+
+  std::printf("peers %u | docs %llu | batch %zu queries\n\n", peers,
+              static_cast<unsigned long long>(docs), queries.size());
+
+  // The cost every process start pays without persistence.
+  Stopwatch rebuild_watch;
+  auto built = engine::HdkSearchEngine::Build(
+      config, store, engine::SplitEvenly(docs, peers));
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(built).value();
+  const double rebuild_s = rebuild_watch.ElapsedSeconds();
+
+  const std::string path = "snapshot_persist.hdks";
+  Stopwatch save_watch;
+  if (Status st = engine->SaveSnapshot(path); !st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double save_s = save_watch.ElapsedSeconds();
+  std::error_code ec;
+  const uint64_t snapshot_bytes = std::filesystem::file_size(path, ec);
+
+  // Fingerprint the built engine (published index and ranked batch) and
+  // tear it down BEFORE timing the load: a cold-starting process loads
+  // into an empty heap, not alongside a second fully built engine, and
+  // keeping the builder resident would charge the load with hundreds of
+  // megabytes of fresh-page faults no real cold start pays.
+  const uint64_t built_contents_fp =
+      bench::FingerprintContents(engine->global_index().ExportContents());
+  const uint64_t built_batch_fp =
+      bench::FingerprintBatch(engine->SearchBatch(queries, setup.top_k));
+  engine.reset();
+
+  // The cost with persistence: mmap + adopt, no protocol run.
+  Stopwatch load_watch;
+  auto loaded = engine::LoadEngineSnapshot(config, store, path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const double load_s = load_watch.ElapsedSeconds();
+  const double speedup = load_s > 0 ? rebuild_s / load_s : 0;
+
+  // Identity: published index and ranked batch, bit for bit.
+  const uint64_t loaded_contents_fp =
+      bench::FingerprintContents((*loaded)->global_index().ExportContents());
+  const uint64_t loaded_batch_fp =
+      bench::FingerprintBatch((*loaded)->SearchBatch(queries, setup.top_k));
+  const bool identical = built_contents_fp == loaded_contents_fp &&
+                         built_batch_fp == loaded_batch_fp;
+
+  std::printf("%12s %12s %12s %12s %14s\n", "rebuild_s", "save_s",
+              "load_s", "speedup", "snapshot_MB");
+  std::printf("%12.3f %12.3f %12.6f %11.1fx %14.2f\n\n", rebuild_s, save_s,
+              load_s, speedup,
+              static_cast<double>(snapshot_bytes) / (1024.0 * 1024.0));
+  std::printf("contents_fp %llu | batch_fp %llu | identical: %s\n",
+              static_cast<unsigned long long>(loaded_contents_fp),
+              static_cast<unsigned long long>(loaded_batch_fp),
+              identical ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "RESTORED ENGINE DIVERGES (contents %llu want %llu, "
+                 "batch %llu want %llu)\n",
+                 static_cast<unsigned long long>(loaded_contents_fp),
+                 static_cast<unsigned long long>(built_contents_fp),
+                 static_cast<unsigned long long>(loaded_batch_fp),
+                 static_cast<unsigned long long>(built_batch_fp));
+    return 1;
+  }
+
+  const char* out_path = "BENCH_persist.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"micro_persist\",\n");
+  std::fprintf(out, "  \"scale\": \"%s\",\n", scale.c_str());
+  std::fprintf(out, "  \"num_peers\": %u,\n  \"num_docs\": %llu,\n", peers,
+               static_cast<unsigned long long>(docs));
+  std::fprintf(out, "  \"batch_queries\": %zu,\n", queries.size());
+  std::fprintf(out,
+               "  \"rebuild_s\": %.6f,\n  \"save_s\": %.6f,\n"
+               "  \"load_s\": %.6f,\n  \"load_speedup\": %.1f,\n",
+               rebuild_s, save_s, load_s, speedup);
+  std::fprintf(out, "  \"snapshot_bytes\": %llu,\n",
+               static_cast<unsigned long long>(snapshot_bytes));
+  std::fprintf(out, "  \"contents_fingerprint\": %llu,\n",
+               static_cast<unsigned long long>(loaded_contents_fp));
+  std::fprintf(out, "  \"batch_fingerprint\": %llu,\n",
+               static_cast<unsigned long long>(loaded_batch_fp));
+  std::fprintf(out, "  \"identical_to_rebuild\": %s\n}\n",
+               identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

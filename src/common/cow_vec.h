@@ -1,0 +1,59 @@
+// CowVec: a read-mostly vector that can borrow its elements from foreign
+// memory instead of owning them.
+//
+// The snapshot loader restores millions of small arrays (per-key
+// published document lists); materializing each as a std::vector costs
+// an allocation plus a copy apiece. A CowVec instead takes a read-only
+// span straight into the mmapped snapshot — zero allocations — and only
+// copies if a caller replaces the value. The borrowed memory must
+// outlive the CowVec (the engine keeps its snapshot mapping alive).
+#ifndef HDKP2P_COMMON_COW_VEC_H_
+#define HDKP2P_COMMON_COW_VEC_H_
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace hdk {
+
+template <typename T>
+class CowVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "CowVec borrows raw memory; elements must be trivially "
+                "copyable");
+
+ public:
+  CowVec() = default;
+
+  /// Owning constructor (implicit so call sites can keep assigning a
+  /// freshly built std::vector).
+  CowVec(std::vector<T> values) : owned_(std::move(values)) {}
+
+  /// Borrowing constructor: `view` must stay valid for the CowVec's
+  /// lifetime.
+  static CowVec Borrowed(std::span<const T> view) {
+    CowVec v;
+    v.view_ = view;
+    return v;
+  }
+
+  std::span<const T> span() const {
+    return view_.data() != nullptr ? view_ : std::span<const T>(owned_);
+  }
+  const T* begin() const { return span().data(); }
+  const T* end() const { return span().data() + span().size(); }
+  size_t size() const { return span().size(); }
+  bool empty() const { return span().empty(); }
+  const T& operator[](size_t i) const { return span()[i]; }
+
+ private:
+  /// Invariant: when `view_.data()` is non-null the value is borrowed
+  /// and `owned_` is empty; otherwise `owned_` is authoritative.
+  std::vector<T> owned_;
+  std::span<const T> view_;
+};
+
+}  // namespace hdk
+
+#endif  // HDKP2P_COMMON_COW_VEC_H_

@@ -146,7 +146,17 @@ class FlatIndex {
     while (cap < 2 * want_entries) cap *= 2;
     slots_.assign(cap, Slot{});
     mask_ = cap - 1;
-    for (size_t pos = 0; pos < hashes.size(); ++pos) {
+    // Each placement lands on a random slot of a table far larger than
+    // cache, so the insert loop is bound by dependent cache misses.
+    // Prefetching the home slot a fixed distance ahead overlaps those
+    // misses; for million-key tables (the snapshot load path rebuilds
+    // every index of the global ledger) this is a 2x-3x faster rebuild.
+    constexpr size_t kPrefetchAhead = 16;
+    const size_t n = hashes.size();
+    for (size_t pos = 0; pos < n; ++pos) {
+      if (pos + kPrefetchAhead < n) {
+        __builtin_prefetch(&slots_[Home(hashes[pos + kPrefetchAhead])], 1, 0);
+      }
       size_t i = Home(hashes[pos]);
       while (slots_[i].pos_plus1 != 0) i = Next(i);
       Place(i, hashes[pos], pos);
@@ -187,6 +197,23 @@ class FlatMap {
   value_type& entry(size_t i) { return entries_[i]; }
   const value_type& entry(size_t i) const { return entries_[i]; }
   uint64_t hash_at(size_t i) const { return hashes_[i]; }
+
+  /// Raw dense-storage views (snapshot wire layout, see store/): the
+  /// parallel entry/hash arrays ARE the serialized form of the table.
+  const std::vector<value_type>& raw_entries() const { return entries_; }
+  const std::vector<uint64_t>& raw_hashes() const { return hashes_; }
+
+  /// Adopts parallel dense arrays wholesale and rebuilds the slot index
+  /// from the CACHED hashes in one linear pass — the snapshot load path;
+  /// no key is ever re-hashed. Preconditions (snapshot writer guarantees
+  /// both): hashes[i] == Hash{}(entries[i].first) and keys are distinct.
+  void AdoptRaw(std::vector<value_type> entries,
+                std::vector<uint64_t> hashes) {
+    assert(entries.size() == hashes.size());
+    entries_ = std::move(entries);
+    hashes_ = std::move(hashes);
+    index_.Rebuild(hashes_, entries_.size());
+  }
 
   void reserve(size_t n) {
     entries_.reserve(n);
@@ -352,6 +379,17 @@ class FlatSet {
 
   const K& entry(size_t i) const { return keys_[i]; }
   uint64_t hash_at(size_t i) const { return hashes_[i]; }
+
+  /// Raw dense-storage views / wholesale adoption — same snapshot
+  /// contract as FlatMap::raw_entries/raw_hashes/AdoptRaw.
+  const std::vector<K>& raw_keys() const { return keys_; }
+  const std::vector<uint64_t>& raw_hashes() const { return hashes_; }
+  void AdoptRaw(std::vector<K> keys, std::vector<uint64_t> hashes) {
+    assert(keys.size() == hashes.size());
+    keys_ = std::move(keys);
+    hashes_ = std::move(hashes);
+    index_.Rebuild(hashes_, keys_.size());
+  }
 
   void reserve(size_t n) {
     keys_.reserve(n);

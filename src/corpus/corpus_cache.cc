@@ -16,13 +16,22 @@ namespace hdk::corpus {
 namespace {
 
 constexpr char kMagic[4] = {'H', 'D', 'K', 'C'};
-constexpr uint32_t kFormatVersion = 1;
+// v2: the config hash is a pure parameter hash (the format version used to
+// leak into it, which changed the file NAME on every format bump — so an
+// old-layout file at the key's path was never actually inspected and
+// rejected). The header now carries the version and the token layout, and
+// a mismatch of either is rejected in place and the file rewritten.
+constexpr uint32_t kFormatVersion = 2;
 
 struct Header {
   char magic[4];
   uint32_t version = 0;
   uint64_t config_hash = 0;
   uint64_t num_documents = 0;
+  // On-disk token layout; reading a cache written with a different TermId
+  // width would splice token streams. Checked like the version.
+  uint32_t term_id_bytes = 0;
+  uint32_t reserved = 0;
 };
 
 uint64_t HashDouble(uint64_t seed, double v) {
@@ -44,8 +53,10 @@ struct File {
 }  // namespace
 
 uint64_t SyntheticConfigHash(const SyntheticConfig& c) {
-  uint64_t h = Mix64(kFormatVersion);
-  h = HashCombine(h, c.seed);
+  // Pure parameter hash — deliberately independent of kFormatVersion, so
+  // that a format bump keeps the file NAME stable and the header check
+  // below gets to reject (and rewrite) the old-layout file in place.
+  uint64_t h = Mix64(c.seed);
   h = HashCombine(h, c.vocabulary_size);
   h = HashDouble(h, c.zipf_skew);
   h = HashCombine(h, c.stopword_head_ranks);
@@ -98,6 +109,7 @@ CacheState LoadFromCache(const std::string& path, uint64_t config_hash,
       std::fread(&header, sizeof(header), 1, file.f) != 1 ||
       std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0 ||
       header.version != kFormatVersion ||
+      header.term_id_bytes != sizeof(TermId) ||
       header.config_hash != config_hash) {
     HDK_LOG(Warning) << "corpus cache " << path
                      << " has a stale or foreign header; regenerating";
@@ -155,6 +167,7 @@ Status WriteHeader(std::FILE* f, uint64_t config_hash, uint64_t n) {
   header.version = kFormatVersion;
   header.config_hash = config_hash;
   header.num_documents = n;
+  header.term_id_bytes = sizeof(TermId);
   if (std::fseek(f, 0, SEEK_SET) != 0 ||
       std::fwrite(&header, sizeof(header), 1, f) != 1) {
     return Status::IOError("cannot write corpus cache header");

@@ -4,14 +4,18 @@
 // engines grow incrementally, and every bench regenerates the exact same
 // deterministic documents. This cache persists the token streams after the
 // first generation and reloads them on later runs. Cache files are keyed
-// by ALL generation parameters plus the seed (a config hash baked into the
-// file name and the header), so a changed setup never reads a stale cache,
-// and prefix stability of the generator means a cache produced at a larger
-// collection size serves every smaller run.
+// by ALL generation parameters plus the seed (a pure-parameter config hash
+// baked into the file name and the header), so a changed setup never reads
+// a stale cache, and prefix stability of the generator means a cache
+// produced at a larger collection size serves every smaller run.
 //
 // Format (little-endian, version-checked): magic "HDKC", format version,
-// config hash, document count, then per document a token count followed by
-// the raw TermId stream.
+// config hash, document count, token layout, then per document a token
+// count followed by the raw TermId stream. The format version and token
+// layout live ONLY in the header — never in the file-naming hash — so a
+// format bump finds the old file at the same path, rejects it in place,
+// and rewrites it (a version baked into the name would orphan the stale
+// file forever instead).
 #ifndef HDKP2P_CORPUS_CORPUS_CACHE_H_
 #define HDKP2P_CORPUS_CORPUS_CACHE_H_
 

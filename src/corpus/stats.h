@@ -28,6 +28,18 @@ class CollectionStats {
   CollectionStats(const DocumentStore& store,
                   std::span<const std::pair<DocId, DocId>> ranges);
 
+  /// Restores previously computed statistics verbatim (snapshot load, see
+  /// engine/engine_snapshot) — no document scan.
+  CollectionStats(uint64_t num_documents, uint64_t total_tokens,
+                  uint64_t vocabulary_size, std::vector<Freq> cf,
+                  std::vector<Freq> df, std::vector<Freq> rank_freq)
+      : num_documents_(num_documents),
+        total_tokens_(total_tokens),
+        vocabulary_size_(vocabulary_size),
+        cf_(std::move(cf)),
+        df_(std::move(df)),
+        rank_freq_(std::move(rank_freq)) {}
+
   /// Number of documents M.
   uint64_t num_documents() const { return num_documents_; }
 

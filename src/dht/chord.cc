@@ -19,6 +19,15 @@ ChordOverlay::ChordOverlay(size_t initial_peers, uint64_t seed)
   Rebuild();
 }
 
+ChordOverlay::ChordOverlay(uint64_t seed, uint64_t next_placement,
+                           std::vector<RingId> node_ids)
+    : seed_(seed),
+      next_placement_(next_placement),
+      node_ids_(std::move(node_ids)) {
+  assert(!node_ids_.empty());
+  Rebuild();
+}
+
 bool ChordOverlay::InInterval(RingId x, RingId a, RingId b) {
   // Half-open (a, b] on the wrapping ring; empty when a == b is treated as
   // the FULL ring (standard Chord convention for single-node intervals).

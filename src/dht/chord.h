@@ -21,6 +21,13 @@ class ChordOverlay : public Overlay {
   /// \param seed          determines node placement on the ring.
   ChordOverlay(size_t initial_peers, uint64_t seed);
 
+  /// Restores a previously evolved ring (snapshot load, see
+  /// engine/engine_snapshot): adopts the placement counter and the ring
+  /// positions verbatim and re-derives the routing structures. Subsequent
+  /// AddPeer/RemovePeer calls behave exactly as on the original instance.
+  ChordOverlay(uint64_t seed, uint64_t next_placement,
+               std::vector<RingId> node_ids);
+
   PeerId Responsible(RingId key) const override;
   PeerId NextHop(PeerId from, RingId key) const override;
   Status AddPeer() override;
@@ -29,6 +36,10 @@ class ChordOverlay : public Overlay {
 
   /// Ring position of a peer.
   RingId NodeId(PeerId p) const { return node_ids_[p]; }
+
+  /// The monotone placement counter (persisted by snapshots so restored
+  /// rings keep drawing fresh placements).
+  uint64_t next_placement() const { return next_placement_; }
 
  private:
   void Rebuild();

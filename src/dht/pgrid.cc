@@ -28,6 +28,12 @@ PGridOverlay::PGridOverlay(size_t initial_peers, uint64_t seed)
   RebuildIntervals();
 }
 
+PGridOverlay::PGridOverlay(uint64_t seed, std::vector<TriePath> paths)
+    : seed_(seed), paths_(std::move(paths)) {
+  assert(!paths_.empty());
+  RebuildIntervals();
+}
+
 Status PGridOverlay::AddPeer() {
   // Split the leftmost shallowest leaf: old peer appends 0, the new peer
   // takes the 1-branch. Keeps the trie balanced, mirroring what P-Grid's

@@ -51,6 +51,12 @@ class PGridOverlay : public Overlay {
   /// \param seed          seeds the deterministic lazy routing references.
   PGridOverlay(size_t initial_peers, uint64_t seed);
 
+  /// Restores a previously evolved trie (snapshot load, see
+  /// engine/engine_snapshot): adopts the per-peer paths verbatim and
+  /// re-derives the interval lookup. Subsequent AddPeer/RemovePeer calls
+  /// behave exactly as on the original instance.
+  PGridOverlay(uint64_t seed, std::vector<TriePath> paths);
+
   PeerId Responsible(RingId key) const override;
   PeerId NextHop(PeerId from, RingId key) const override;
   Status AddPeer() override;

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "engine/centralized.h"
+#include "engine/engine_snapshot.h"
 #include "engine/hdk_engine.h"
 #include "engine/result_cache.h"
 #include "engine/st_engine.h"
@@ -189,13 +190,9 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
   return Status::InvalidArgument("unknown engine kind");
 }
 
-Result<std::unique_ptr<SearchEngine>> MakeEngine(
+Result<std::unique_ptr<SearchEngine>> ApplyEngineDecorators(
     const EngineSpec& spec, const EngineConfig& config,
-    const corpus::DocumentStore& store,
-    std::vector<std::pair<DocId, DocId>> peer_ranges) {
-  HDK_ASSIGN_OR_RETURN(
-      std::unique_ptr<SearchEngine> engine,
-      MakeEngine(spec.kind, config, store, std::move(peer_ranges)));
+    std::unique_ptr<SearchEngine> engine) {
   // Innermost decorator wraps first.
   for (auto it = spec.decorators.rbegin(); it != spec.decorators.rend();
        ++it) {
@@ -217,11 +214,48 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
 }
 
 Result<std::unique_ptr<SearchEngine>> MakeEngine(
+    const EngineSpec& spec, const EngineConfig& config,
+    const corpus::DocumentStore& store,
+    std::vector<std::pair<DocId, DocId>> peer_ranges) {
+  HDK_ASSIGN_OR_RETURN(
+      std::unique_ptr<SearchEngine> engine,
+      MakeEngine(spec.kind, config, store, std::move(peer_ranges)));
+  return ApplyEngineDecorators(spec, config, std::move(engine));
+}
+
+Result<std::unique_ptr<SearchEngine>> MakeEngine(
     std::string_view spec, const EngineConfig& config,
     const corpus::DocumentStore& store,
     std::vector<std::pair<DocId, DocId>> peer_ranges) {
   HDK_ASSIGN_OR_RETURN(EngineSpec parsed, EngineSpec::Parse(spec));
   return MakeEngine(parsed, config, store, std::move(peer_ranges));
+}
+
+Result<std::unique_ptr<SearchEngine>> MakeEngine(
+    const EngineSpec& spec, const EngineConfig& config,
+    const corpus::DocumentStore& store, const SnapshotFile& snapshot) {
+  if (spec.kind != EngineKind::kHdk) {
+    return Status::Unimplemented(
+        "snapshots are only supported by the 'hdk' backend, not '" +
+        std::string(EngineKindName(spec.kind)) + "'");
+  }
+  HdkEngineConfig hdk;
+  hdk.hdk = config.hdk;
+  hdk.overlay = config.overlay;
+  hdk.overlay_seed = config.overlay_seed;
+  hdk.num_threads = config.num_threads;
+  HDK_ASSIGN_OR_RETURN(std::unique_ptr<HdkSearchEngine> engine,
+                       LoadEngineSnapshot(hdk, store, snapshot.path));
+  return ApplyEngineDecorators(spec, config,
+                               std::unique_ptr<SearchEngine>(
+                                   std::move(engine)));
+}
+
+Result<std::unique_ptr<SearchEngine>> MakeEngine(
+    std::string_view spec, const EngineConfig& config,
+    const corpus::DocumentStore& store, const SnapshotFile& snapshot) {
+  HDK_ASSIGN_OR_RETURN(EngineSpec parsed, EngineSpec::Parse(spec));
+  return MakeEngine(parsed, config, store, snapshot);
 }
 
 }  // namespace hdk::engine

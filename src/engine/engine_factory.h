@@ -126,6 +126,31 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
     const corpus::DocumentStore& store,
     std::vector<std::pair<DocId, DocId>> peer_ranges);
 
+/// Wraps an already-built engine in `spec`'s decorator stack (innermost
+/// decorator applied first) — the shared tail of every MakeEngine
+/// overload, exposed so snapshot loads compose decorators identically.
+Result<std::unique_ptr<SearchEngine>> ApplyEngineDecorators(
+    const EngineSpec& spec, const EngineConfig& config,
+    std::unique_ptr<SearchEngine> engine);
+
+/// Tag type selecting the snapshot-restoring MakeEngine overloads:
+/// MakeEngine("cached(hdk)", config, store, SnapshotFile{path}).
+struct SnapshotFile {
+  std::string path;
+};
+
+/// Restores the backend from a snapshot written by SearchEngine::
+/// SaveSnapshot instead of rebuilding it, then applies the decorator
+/// stack. Only the "hdk" backend supports snapshots (Unimplemented for
+/// the others); `config` must hash-match the writer's and `store` must be
+/// the corpus the snapshot was built over (see engine/engine_snapshot.h).
+Result<std::unique_ptr<SearchEngine>> MakeEngine(
+    const EngineSpec& spec, const EngineConfig& config,
+    const corpus::DocumentStore& store, const SnapshotFile& snapshot);
+Result<std::unique_ptr<SearchEngine>> MakeEngine(
+    std::string_view spec, const EngineConfig& config,
+    const corpus::DocumentStore& store, const SnapshotFile& snapshot);
+
 }  // namespace hdk::engine
 
 #endif  // HDKP2P_ENGINE_ENGINE_FACTORY_H_

@@ -141,4 +141,8 @@ double HdkSearchEngine::InsertedPostingsPerPeer() const {
   return static_cast<double>(total) / static_cast<double>(per_peer.size());
 }
 
+Status HdkSearchEngine::SaveSnapshot(const std::string& path) const {
+  return SaveEngineSnapshot(*this, path);
+}
+
 }  // namespace hdk::engine

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <memory>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -31,7 +32,23 @@
 #include "p2p/indexing_protocol.h"
 #include "p2p/retrieval.h"
 
+namespace hdk::store {
+class SnapshotReader;
+}
+
 namespace hdk::engine {
+
+class HdkSearchEngine;
+struct HdkEngineConfig;
+
+/// Snapshot codec entry points (defined in engine/engine_snapshot.cc;
+/// friends of HdkSearchEngine so they can serialize its built state and
+/// assemble a restored instance).
+Status SaveEngineSnapshot(const HdkSearchEngine& engine,
+                          const std::string& path);
+Result<std::unique_ptr<HdkSearchEngine>> LoadEngineSnapshot(
+    const HdkEngineConfig& config, const corpus::DocumentStore& store,
+    const std::string& path);
 
 /// Configuration of an HDK search engine instance.
 struct HdkEngineConfig {
@@ -88,6 +105,12 @@ class HdkSearchEngine : public SearchEngine {
     return traffic_.get();
   }
 
+  /// Persists the complete built state (key tables, global index shards,
+  /// per-peer knowledge, overlay, traffic) to a single snapshot file;
+  /// LoadEngineSnapshot restores a fingerprint-identical engine from it
+  /// in milliseconds. Delegates to SaveEngineSnapshot.
+  Status SaveSnapshot(const std::string& path) const override;
+
   // -- HDK-specific observability --------------------------------------
 
   /// The indexing run's statistics (per-level candidates/HDKs/NDKs,
@@ -142,6 +165,12 @@ class HdkSearchEngine : public SearchEngine {
   ThreadPool* batch_pool() const override { return pool_.get(); }
 
  private:
+  friend Status SaveEngineSnapshot(const HdkSearchEngine& engine,
+                                   const std::string& path);
+  friend Result<std::unique_ptr<HdkSearchEngine>> LoadEngineSnapshot(
+      const HdkEngineConfig& config, const corpus::DocumentStore& store,
+      const std::string& path);
+
   HdkSearchEngine() = default;
 
   /// Pre-validates a whole event batch against the current state — a
@@ -153,6 +182,11 @@ class HdkSearchEngine : public SearchEngine {
   Status ApplyDeparture(PeerId peer);
 
   HdkEngineConfig config_;
+  /// Set only on snapshot-restored engines: keeps the snapshot's mmap
+  /// alive, because restored posting lists and published-doc lists
+  /// borrow their elements straight from the mapped file until first
+  /// mutation (see index::PostingList / CowVec).
+  std::shared_ptr<store::SnapshotReader> snapshot_backing_;
   const corpus::DocumentStore* store_ = nullptr;
   std::unique_ptr<corpus::CollectionStats> stats_;
   std::unique_ptr<ThreadPool> pool_;  // nullptr = serial

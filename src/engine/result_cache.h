@@ -76,6 +76,10 @@ class ResultCacheEngine : public SearchEngine {
   const net::TrafficRecorder* traffic() const override {
     return inner_->traffic();
   }
+  /// The cache is derived state; a snapshot persists the inner engine.
+  Status SaveSnapshot(const std::string& path) const override {
+    return inner_->SaveSnapshot(path);
+  }
 
   // -- cache observability ---------------------------------------------
 

@@ -35,6 +35,7 @@
 #include <functional>
 #include <initializer_list>
 #include <span>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -83,6 +84,13 @@ class OriginRotation {
     next_.store(static_cast<PeerId>(
                     next_.load(std::memory_order_relaxed) % num_peers),
                 std::memory_order_relaxed);
+  }
+
+  /// Snapshot support: the raw rotation position, and its wholesale
+  /// replacement on load (serial sections only).
+  PeerId value() const { return next_.load(std::memory_order_relaxed); }
+  void Restore(PeerId next) {
+    next_.store(next, std::memory_order_relaxed);
   }
 
  private:
@@ -156,6 +164,17 @@ class SearchEngine {
   /// Network traffic recorder; nullptr for backends without a network
   /// (the centralized reference).
   virtual const net::TrafficRecorder* traffic() const { return nullptr; }
+
+  /// Persists the engine's complete built state to a single snapshot file
+  /// (see engine/engine_snapshot.h and the README's "Persistence &
+  /// snapshots" section). Backends without snapshot support return
+  /// Unimplemented. Serial sections only (no concurrent Search/membership
+  /// calls).
+  virtual Status SaveSnapshot(const std::string& path) const {
+    (void)path;
+    return Status::Unimplemented(
+        "this engine backend does not support snapshots");
+  }
 
  protected:
   /// The shared ApplyMembership skeleton every backend dispatches

@@ -96,6 +96,14 @@ class SetNdkOracle : public NdkOracle {
   const TermIdSet& expandable_terms() const { return terms_; }
   const KeySet& ndks() const { return ndks_; }
 
+  /// Wholesale fact adoption (snapshot load, see
+  /// engine/engine_snapshot.h): replaces the oracle's knowledge with a
+  /// previously saved fact set.
+  void Adopt(TermIdSet terms, KeySet ndks) {
+    terms_ = std::move(terms);
+    ndks_ = std::move(ndks);
+  }
+
  private:
   TermIdSet terms_;
   KeySet ndks_;

@@ -65,6 +65,18 @@ class KeyTable {
   const std::vector<TermKey>& keys() const { return keys_; }
   const TermKey& key(KeyId id) const { return keys_[id]; }
 
+  /// Raw dense-storage view / wholesale adoption (snapshot wire layout,
+  /// see store/): keys() plus the parallel cached set hashes are the
+  /// serialized form; AdoptRaw rebuilds the slot index from the cached
+  /// hashes in one linear pass without re-hashing a term set.
+  const std::vector<uint64_t>& raw_hashes() const { return hashes_; }
+  void AdoptRaw(std::vector<TermKey> keys, std::vector<uint64_t> hashes) {
+    assert(keys.size() == hashes.size());
+    keys_ = std::move(keys);
+    hashes_ = std::move(hashes);
+    index_.Rebuild(hashes_, keys_.size());
+  }
+
   void reserve(size_t n) {
     keys_.reserve(n);
     hashes_.reserve(n);

@@ -22,6 +22,7 @@ PostingList::PostingList(std::vector<Posting> postings)
 }
 
 void PostingList::Upsert(const Posting& p) {
+  EnsureOwned();
   auto it = std::lower_bound(
       postings_.begin(), postings_.end(), p.doc,
       [](const Posting& a, DocId d) { return a.doc < d; });
@@ -59,33 +60,45 @@ void PostingList::MergeSorted(std::span<const Posting> other) {
 void PostingList::Merge(const PostingList& other) {
   if (other.empty()) return;
   if (empty()) {
-    postings_ = other.postings_;
+    const std::span<const Posting> view = other.postings();
+    postings_.assign(view.begin(), view.end());
+    view_ = {};
     return;
   }
-  MergeSorted(other.postings_);
+  EnsureOwned();
+  MergeSorted(other.postings());
 }
 
 void PostingList::MergeFrom(PostingList&& other) {
   if (other.empty()) return;
   if (empty()) {
+    // Steal the vector when `other` owns one; a borrowed view must be
+    // copied (stealing a span would tie this list to foreign memory the
+    // caller expects to be done with).
+    other.EnsureOwned();
     postings_ = std::move(other.postings_);
+    view_ = {};
     return;
   }
-  MergeSorted(other.postings_);
+  EnsureOwned();
+  MergeSorted(other.postings());
   other.postings_.clear();
+  other.view_ = {};
 }
 
 bool PostingList::Contains(DocId doc) const {
+  const std::span<const Posting> view = postings();
   auto it = std::lower_bound(
-      postings_.begin(), postings_.end(), doc,
+      view.begin(), view.end(), doc,
       [](const Posting& a, DocId d) { return a.doc < d; });
-  return it != postings_.end() && it->doc == doc;
+  return it != view.end() && it->doc == doc;
 }
 
 std::vector<DocId> PostingList::Documents() const {
+  const std::span<const Posting> view = postings();
   std::vector<DocId> out;
-  out.reserve(postings_.size());
-  for (const auto& p : postings_) out.push_back(p.doc);
+  out.reserve(view.size());
+  for (const auto& p : view) out.push_back(p.doc);
   return out;
 }
 

@@ -31,10 +31,28 @@ struct Posting {
 };
 
 /// A posting list sorted by ascending document id, without duplicates.
+///
+/// A list either owns its postings (the default) or borrows them as a
+/// read-only span of someone else's memory — the snapshot loader hands
+/// out views straight into the mmapped file, so restoring millions of
+/// lists costs zero allocations and zero copies. Reads are oblivious to
+/// the representation; every mutating operation first materializes the
+/// borrowed span into an owned vector (copy-on-write), so a restored
+/// engine behaves identically under Grow/churn. The borrowed memory must
+/// outlive the list (the engine keeps its snapshot mapping alive).
 class PostingList {
  public:
   PostingList() = default;
   explicit PostingList(std::vector<Posting> postings);
+
+  /// Borrowing constructor: `view` must already be doc-id sorted and
+  /// duplicate-free (it was written from an owned list) and must stay
+  /// valid until the list is destroyed or first mutated.
+  static PostingList Borrowed(std::span<const Posting> view) {
+    PostingList list;
+    list.view_ = view;
+    return list;
+  }
 
   /// Inserts or merges a posting (tf accumulates if the doc is present).
   void Upsert(const Posting& p);
@@ -59,6 +77,7 @@ class PostingList {
   /// doc-id sorted, so the removed range is one contiguous block found by
   /// binary search. Returns the number of postings removed.
   size_t EraseDocRange(DocId first, DocId last) {
+    EnsureOwned();
     auto doc_less = [](const Posting& p, DocId d) { return p.doc < d; };
     auto lo =
         std::lower_bound(postings_.begin(), postings_.end(), first, doc_less);
@@ -69,33 +88,54 @@ class PostingList {
   }
 
   /// Number of postings (document frequency of the associated key).
-  size_t size() const { return postings_.size(); }
-  bool empty() const { return postings_.empty(); }
+  size_t size() const { return postings().size(); }
+  bool empty() const { return postings().empty(); }
 
   /// True if `doc` is present.
   bool Contains(DocId doc) const;
 
-  std::span<const Posting> postings() const { return postings_; }
-  const Posting& operator[](size_t i) const { return postings_[i]; }
+  std::span<const Posting> postings() const {
+    return view_.data() != nullptr ? view_
+                                   : std::span<const Posting>(postings_);
+  }
+  const Posting& operator[](size_t i) const { return postings()[i]; }
 
   /// The document ids of this list, in ascending order.
   std::vector<DocId> Documents() const;
 
-  bool operator==(const PostingList&) const = default;
+  /// Content equality, regardless of owned/borrowed representation.
+  bool operator==(const PostingList& other) const {
+    const std::span<const Posting> a = postings();
+    const std::span<const Posting> b = other.postings();
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
 
  private:
   /// Two-pointer union of the doc-id-sorted `postings_` and `other` into
   /// a freshly reserved vector (one allocation, elements moved).
   void MergeSorted(std::span<const Posting> other);
 
+  /// Copies a borrowed view into the owned vector; precedes every
+  /// mutation. No-op for owned lists.
+  void EnsureOwned() {
+    if (view_.data() != nullptr) {
+      postings_.assign(view_.begin(), view_.end());
+      view_ = {};
+    }
+  }
+
+  /// Invariant: when `view_.data()` is non-null the list is borrowed and
+  /// `postings_` is empty; otherwise `postings_` is authoritative.
   std::vector<Posting> postings_;
+  std::span<const Posting> view_;
 };
 
 // --- implementation of the template member ---------------------------------
 
 template <typename ScoreFn>
 void PostingList::TruncateTopBy(size_t limit, ScoreFn score) {
-  if (postings_.size() <= limit) return;
+  if (size() <= limit) return;
+  EnsureOwned();
   std::vector<std::pair<double, size_t>> ranked;
   ranked.reserve(postings_.size());
   for (size_t i = 0; i < postings_.size(); ++i) {

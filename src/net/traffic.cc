@@ -149,4 +149,22 @@ void TrafficRecorder::Reset() {
   }
 }
 
+void TrafficRecorder::Restore(
+    const TrafficCounters& total,
+    const std::array<TrafficCounters, kNumMessageKinds>& by_kind,
+    std::vector<TrafficCounters> sent,
+    std::vector<TrafficCounters> received) {
+  assert(sent.size() == received.size());
+  Reset();
+  EnsurePeers(sent.size());
+  // All restored volume lands on shard 0; the aggregate reads fold shards
+  // anyway, so the split across shards is unobservable.
+  Shard& shard = shards_[0];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.total = total;
+  shard.by_kind = by_kind;
+  shard.sent = std::move(sent);
+  shard.received = std::move(received);
+}
+
 }  // namespace hdk::net

@@ -140,6 +140,15 @@ class TrafficRecorder {
   /// serial sections; inside parallel regions use ScopedTally instead).
   TrafficCounters Snapshot() const;
 
+  /// Replaces all counters with previously saved aggregates (snapshot
+  /// load, see engine/engine_snapshot). `sent` and `received` must have
+  /// the same size; peers are registered up to that size. Serial sections
+  /// only.
+  void Restore(const TrafficCounters& total,
+               const std::array<TrafficCounters, kNumMessageKinds>& by_kind,
+               std::vector<TrafficCounters> sent,
+               std::vector<TrafficCounters> received);
+
  private:
   /// One shard of the write side. Threads hash to a shard; every mutation
   /// holds the shard mutex, so colliding threads stay correct and

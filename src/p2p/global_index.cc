@@ -608,4 +608,49 @@ hdk::HdkIndexContents DistributedGlobalIndex::ExportContents() const {
   return out;
 }
 
+bool DistributedGlobalIndex::HasPendingContributions() const {
+  for (const auto& shard : shards_) {
+    if (!shard->pending.empty()) return true;
+  }
+  return false;
+}
+
+const hdk::KeyMap<DistributedGlobalIndex::LedgerEntry>&
+DistributedGlobalIndex::ShardLedger(size_t shard) const {
+  return shards_[shard]->ledger;
+}
+
+const hdk::KeyMap<hdk::KeyEntry>& DistributedGlobalIndex::ShardFragment(
+    size_t shard, PeerId owner) const {
+  return shards_[shard]->fragments[owner];
+}
+
+void DistributedGlobalIndex::AdoptShardState(
+    size_t shard, hdk::KeyMap<LedgerEntry> ledger,
+    std::vector<hdk::KeyMap<hdk::KeyEntry>> fragments) {
+  Shard& s = *shards_[shard];
+  assert(s.ledger.empty() && s.pending.empty());
+  assert(fragments.size() <= s.fragments.size());
+  s.ledger = std::move(ledger);
+  for (size_t owner = 0; owner < fragments.size(); ++owner) {
+    s.fragments[owner] = std::move(fragments[owner]);
+  }
+}
+
+void DistributedGlobalIndex::AdoptLedgerEntry(const hdk::TermKey& key,
+                                              uint64_t key_hash,
+                                              LedgerEntry entry) {
+  Shard& s = *shards_[ShardOf(key_hash)];
+  s.ledger.try_emplace_hashed(key_hash, key).first->second = std::move(entry);
+}
+
+void DistributedGlobalIndex::AdoptFragmentEntry(PeerId owner,
+                                                const hdk::TermKey& key,
+                                                uint64_t key_hash,
+                                                hdk::KeyEntry entry) {
+  Shard& s = *shards_[ShardOf(key_hash)];
+  s.fragments[owner].try_emplace_hashed(key_hash, key).first->second =
+      std::move(entry);
+}
+
 }  // namespace hdk::p2p

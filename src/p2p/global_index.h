@@ -86,6 +86,22 @@ class DistributedGlobalIndex {
     index::PostingList full;
   };
 
+  /// Everything ever contributed for one key, plus published-state flags
+  /// and the incrementally maintained merge of the locally-truncated
+  /// contributions (what publishing derives the fragment entry from —
+  /// caching it makes EndLevel cost proportional to the NEW contributions
+  /// instead of the key's whole history). Public because the snapshot
+  /// codec (engine/engine_snapshot) persists ledger entries verbatim.
+  struct LedgerEntry {
+    std::vector<Contribution> contributions;  // ascending peer id
+    Freq global_df = 0;
+    index::PostingList merged_locals;
+    bool published_ndk = false;
+    /// True when some truncation (local or global) shapes the published
+    /// entry — only those entries depend on avgdl.
+    bool truncation_sensitive = false;
+  };
+
   /// Snapshot taken when a departure repair begins (see BeginDeparture):
   /// the pre-departure published state plus the surviving contribution
   /// history, reorganized for the protocol's ledger-driven replay.
@@ -279,22 +295,37 @@ class DistributedGlobalIndex {
 
   const dht::Overlay& overlay() const { return *overlay_; }
 
- private:
-  /// Everything ever contributed for one key, plus published-state flags
-  /// and the incrementally maintained merge of the locally-truncated
-  /// contributions (what publishing derives the fragment entry from —
-  /// caching it makes EndLevel cost proportional to the NEW contributions
-  /// instead of the key's whole history).
-  struct LedgerEntry {
-    std::vector<Contribution> contributions;  // ascending peer id
-    Freq global_df = 0;
-    index::PostingList merged_locals;
-    bool published_ndk = false;
-    /// True when some truncation (local or global) shapes the published
-    /// entry — only those entries depend on avgdl.
-    bool truncation_sensitive = false;
-  };
+  // -- snapshot support (engine/engine_snapshot) -----------------------
 
+  /// True while contributions inserted since the last EndLevel call are
+  /// still buffered — a snapshot taken then would lose them, so saving is
+  /// refused.
+  bool HasPendingContributions() const;
+
+  /// Read access to one shard's ledger / one peer's fragment slice on one
+  /// shard (serial sections only). The snapshot writer walks shards in
+  /// order, so the per-shard flat tables' deterministic insertion order
+  /// is the wire order.
+  const hdk::KeyMap<LedgerEntry>& ShardLedger(size_t shard) const;
+  const hdk::KeyMap<hdk::KeyEntry>& ShardFragment(size_t shard,
+                                                  PeerId owner) const;
+
+  /// Bulk state adoption for shard `shard` (snapshot load when the saved
+  /// shard count matches this index's): the tables are installed verbatim
+  /// — cached hashes included, so nothing re-hashes. EnsureCapacity()
+  /// must have run; the shard must still be empty.
+  void AdoptShardState(size_t shard, hdk::KeyMap<LedgerEntry> ledger,
+                       std::vector<hdk::KeyMap<hdk::KeyEntry>> fragments);
+
+  /// Per-entry adoption (snapshot load when the saved shard count differs:
+  /// entries are re-routed to this index's shard of `key_hash`, still
+  /// without re-hashing any term array).
+  void AdoptLedgerEntry(const hdk::TermKey& key, uint64_t key_hash,
+                        LedgerEntry entry);
+  void AdoptFragmentEntry(PeerId owner, const hdk::TermKey& key,
+                          uint64_t key_hash, hdk::KeyEntry entry);
+
+ private:
   /// One shard: the slice of the pending buffer, the ledger and the
   /// per-peer fragment maps for the keys hashing to it — all flat tables
   /// (hdk::KeyMap) whose entries cache the key's Hash64, so the merge

@@ -155,6 +155,23 @@ std::vector<std::pair<DocId, DocId>> HdkIndexingProtocol::peer_ranges()
   return ranges;
 }
 
+Status HdkIndexingProtocol::RestoreFromSnapshot(
+    std::vector<Peer> peers, TermIdSet very_frequent, IndexingReport report,
+    PhaseTimings timings, DocId indexed_docs,
+    DistributedGlobalIndex* global) {
+  if (!peers_.empty() || global_ != nullptr) {
+    return Status::FailedPrecondition(
+        "protocol already ran; snapshots restore onto a fresh protocol");
+  }
+  peers_ = std::move(peers);
+  very_frequent_ = std::move(very_frequent);
+  report_ = std::move(report);
+  phase_timings_ = timings;
+  indexed_docs_ = indexed_docs;
+  global_ = global;
+  return Status::OK();
+}
+
 Status HdkIndexingProtocol::Depart(
     PeerId departing, const corpus::CollectionStats& stats,
     const std::function<Status()>& shrink_overlay,

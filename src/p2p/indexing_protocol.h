@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/params.h"
@@ -212,6 +213,25 @@ class HdkIndexingProtocol {
   /// order. After departures the union has holes — exactly the surviving
   /// collection a rebuild must cover.
   std::vector<std::pair<DocId, DocId>> peer_ranges() const;
+
+  // -- snapshot support (engine/engine_snapshot) -----------------------
+
+  /// Read access for the snapshot writer (serial sections only).
+  std::span<const Peer> peers() const { return peers_; }
+  const TermIdSet& very_frequent() const { return very_frequent_; }
+
+  /// Restores a previously built protocol state on a freshly constructed
+  /// protocol (snapshot load): adopts the peers with their local
+  /// knowledge, the cumulative report/timings, the indexed-document
+  /// frontier and the already-populated global index. After restoration
+  /// Grow() and Depart() behave exactly as on the original instance.
+  /// FailedPrecondition when Run() or a previous restore already
+  /// populated this protocol.
+  Status RestoreFromSnapshot(std::vector<Peer> peers,
+                             TermIdSet very_frequent,
+                             IndexingReport report, PhaseTimings timings,
+                             DocId indexed_docs,
+                             DistributedGlobalIndex* global);
 
  private:
   /// Refreshes the very-frequent term set from `stats`; returns the terms

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/cow_vec.h"
 #include "common/flat_map.h"
 #include "common/params.h"
 #include "common/types.h"
@@ -118,6 +119,30 @@ class Peer {
   /// The peer's accumulated global knowledge.
   const hdk::SetNdkOracle& oracle() const { return oracle_; }
 
+  // -- snapshot support (engine/engine_snapshot) -----------------------
+
+  /// The published-key bookkeeping, read side: published_keys()[s - 1]
+  /// holds the level-s keys this peer inserted; published_docs() the
+  /// local documents remembered per published key.
+  const std::vector<hdk::KeySet>& published_keys() const {
+    return published_;
+  }
+  const hdk::KeyMap<CowVec<DocId>>& published_docs() const {
+    return published_docs_;
+  }
+
+  /// Restores the accumulated local state on a freshly constructed peer
+  /// (snapshot load). Fresh knowledge is intentionally absent: the
+  /// protocol consumes every delta before a pass ends, so a snapshot
+  /// never carries one.
+  void RestoreLocalState(hdk::SetNdkOracle oracle,
+                         std::vector<hdk::KeySet> published,
+                         hdk::KeyMap<CowVec<DocId>> published_docs) {
+    oracle_ = std::move(oracle);
+    published_ = std::move(published);
+    published_docs_ = std::move(published_docs);
+  }
+
  private:
   PeerId id_;
   DocId first_;
@@ -129,7 +154,7 @@ class Peer {
   /// published_[s - 1] = keys this peer inserted at level s.
   std::vector<hdk::KeySet> published_;
   /// Local documents carrying each published key (levels below smax).
-  hdk::KeyMap<std::vector<DocId>> published_docs_;
+  hdk::KeyMap<CowVec<DocId>> published_docs_;
 };
 
 }  // namespace hdk::p2p

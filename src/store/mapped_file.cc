@@ -1,0 +1,78 @@
+#include "store/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hdk::store {
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("MappedFile: cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("MappedFile: cannot stat '" + path +
+                           "': " + std::strerror(err));
+  }
+  MappedFile mapped;
+  mapped.size_ = static_cast<size_t>(st.st_size);
+  if (mapped.size_ > 0) {
+    void* addr = ::mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("MappedFile: cannot mmap '" + path +
+                             "': " + std::strerror(err));
+    }
+    mapped.addr_ = addr;
+    // Snapshot-sized mappings are read start to finish (checksum
+    // verification on open touches every byte) and then served from
+    // repeatedly, so ask for transparent huge pages first — a 2 MiB-page
+    // mapping takes ~500x fewer faults to populate and far less TLB
+    // pressure on the zero-copy read path — and then pre-fault the whole
+    // range in one batched kernel pass instead of hundreds of thousands
+    // of demand faults. Both calls are best-effort hints; on kernels
+    // without them the mapping simply demand-faults.
+#ifdef MADV_HUGEPAGE
+    ::madvise(addr, mapped.size_, MADV_HUGEPAGE);
+#endif
+#ifdef MADV_POPULATE_READ
+    if (::madvise(addr, mapped.size_, MADV_POPULATE_READ) != 0)
+#endif
+    {
+      ::madvise(addr, mapped.size_, MADV_WILLNEED);
+    }
+  }
+  // The mapping keeps its own reference to the file.
+  ::close(fd);
+  return mapped;
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace hdk::store

@@ -1,0 +1,42 @@
+// Read-only memory mapping of a whole file — the zero-copy substrate the
+// snapshot reader bulk-copies section payloads out of.
+#ifndef HDKP2P_STORE_MAPPED_FILE_H_
+#define HDKP2P_STORE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace hdk::store {
+
+/// A file mapped read-only into the address space. Move-only; unmaps on
+/// destruction.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. IOError when the file cannot be opened,
+  /// stat'ed or mapped; an empty file maps to (nullptr, 0) successfully.
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const {
+    return static_cast<const uint8_t*>(addr_);
+  }
+  size_t size() const { return size_; }
+
+ private:
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace hdk::store
+
+#endif  // HDKP2P_STORE_MAPPED_FILE_H_

@@ -1,0 +1,87 @@
+#include "store/snapshot_writer.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace hdk::store {
+
+std::string_view SectionIdName(SectionId id) {
+  switch (id) {
+    case SectionId::kConfig: return "config";
+    case SectionId::kStats: return "stats";
+    case SectionId::kOverlay: return "overlay";
+    case SectionId::kTraffic: return "traffic";
+    case SectionId::kProtocol: return "protocol";
+    case SectionId::kGlobalIndex: return "global-index";
+    case SectionId::kEngine: return "engine";
+  }
+  return "unknown";
+}
+
+Status SnapshotWriter::Commit(uint64_t config_hash, uint64_t store_hash,
+                              const std::string& path) const {
+  assert(!open_ && "Commit: a section is still open");
+
+  SnapshotHeader header;
+  std::memcpy(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.format_version = kSnapshotFormatVersion;
+  header.config_hash = config_hash;
+  header.store_hash = store_hash;
+  header.num_sections = static_cast<uint32_t>(sections_.size());
+
+  std::vector<SectionEntry> table(sections_.size());
+  uint64_t offset =
+      sizeof(SnapshotHeader) + table.size() * sizeof(SectionEntry);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    offset = (offset + 7) & ~uint64_t{7};  // 8-byte-align every payload
+    table[i].id = static_cast<uint32_t>(sections_[i].id);
+    table[i].offset = offset;
+    table[i].length = sections_[i].bytes.size();
+    table[i].checksum = SnapshotChecksum(sections_[i].bytes.data(),
+                                         sections_[i].bytes.size());
+    offset += table[i].length;
+  }
+  header.table_checksum =
+      SnapshotChecksum(table.data(), table.size() * sizeof(SectionEntry));
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("SnapshotWriter: cannot create '" + tmp + "'");
+  }
+  auto write_all = [&](const void* data, size_t n) {
+    return n == 0 || std::fwrite(data, 1, n, f) == n;
+  };
+  bool ok = write_all(&header, sizeof(header)) &&
+            write_all(table.data(), table.size() * sizeof(SectionEntry));
+  uint64_t written =
+      sizeof(SnapshotHeader) + table.size() * sizeof(SectionEntry);
+  for (size_t i = 0; ok && i < sections_.size(); ++i) {
+    static constexpr char kPad[8] = {};
+    const uint64_t padding = table[i].offset - written;
+    ok = write_all(kPad, padding) &&
+         write_all(sections_[i].bytes.data(), sections_[i].bytes.size());
+    written = table[i].offset + table[i].length;
+  }
+  // Flush and fsync BEFORE the rename: tmp+rename only guarantees
+  // readers never see a half-written file if the data reaches the disk
+  // before the name does. Without the fsync a crash could leave the
+  // final name pointing at garbage — and the deferred writeback of
+  // hundreds of dirty megabytes would silently tax whatever runs next.
+  ok = ok && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("SnapshotWriter: write to '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("SnapshotWriter: cannot rename '" + tmp +
+                           "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace hdk::store

@@ -1,5 +1,6 @@
 #include "corpus/corpus_cache.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -86,6 +87,54 @@ TEST(CorpusCacheTest, KeyedByGenerationParameters) {
   EXPECT_NE(SyntheticConfigHash(a), SyntheticConfigHash(c));
   EXPECT_EQ(SyntheticConfigHash(a), SyntheticConfigHash(SmallConfig()));
   EXPECT_NE(CorpusCachePath("d", a), CorpusCachePath("d", b));
+}
+
+TEST(CorpusCacheTest, RejectsOldFormatVersionInPlaceAndRewrites) {
+  const std::string dir = FreshCacheDir("corpus_cache_old_version");
+  SyntheticCorpus corpus(SmallConfig());
+  const std::string path = CorpusCachePath(dir, corpus.config());
+
+  // Plant a file with the right magic and config hash but an outdated
+  // format version at the key's path — exactly what a format bump leaves
+  // behind. Because the config hash is a pure parameter hash (the version
+  // is NOT baked into the file name), the loader must find this file,
+  // reject it, and rewrite it.
+  std::filesystem::create_directories(dir);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char magic[4] = {'H', 'D', 'K', 'C'};
+    const uint32_t old_version = 1;
+    const uint64_t config_hash = SyntheticConfigHash(corpus.config());
+    const uint64_t bogus_docs = 1'000'000;  // must never be trusted
+    std::fwrite(magic, sizeof(magic), 1, f);
+    std::fwrite(&old_version, sizeof(old_version), 1, f);
+    std::fwrite(&config_hash, sizeof(config_hash), 1, f);
+    std::fwrite(&bogus_docs, sizeof(bogus_docs), 1, f);
+    std::fclose(f);
+  }
+
+  DocumentStore store;
+  FillStoreCached(corpus, 20, &store, dir);
+  DocumentStore reference;
+  corpus.FillStore(20, &reference);
+  ExpectSameStores(reference, store);
+
+  // The stale file was rewritten under the current format, not orphaned:
+  // the header now carries the new version and a later load succeeds.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char magic[4];
+    uint32_t version = 0;
+    ASSERT_EQ(std::fread(magic, sizeof(magic), 1, f), 1u);
+    ASSERT_EQ(std::fread(&version, sizeof(version), 1, f), 1u);
+    std::fclose(f);
+    EXPECT_GE(version, 2u);
+  }
+  DocumentStore loaded;
+  FillStoreCached(corpus, 20, &loaded, dir);
+  ExpectSameStores(reference, loaded);
 }
 
 TEST(CorpusCacheTest, StaleOrForeignCacheDegradesToGeneration) {
