@@ -29,6 +29,16 @@ struct QueryCost {
   /// the wrapped engine. Both stay 0 on undecorated engines.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Failure-handling counters (all zero on a fault-free run): send
+  /// attempts beyond the first, key fetches answered by a replica holder
+  /// after the responsible peer failed, lattice keys unreachable after
+  /// every holder failed (the query degrades; see
+  /// SearchResponse::degraded), and simulated latency accrued from
+  /// injected delay plus retry backoff.
+  uint64_t retries = 0;
+  uint64_t failovers = 0;
+  uint64_t keys_unreachable = 0;
+  uint64_t latency_ticks = 0;
 
   QueryCost& operator+=(const QueryCost& other) {
     keys_fetched += other.keys_fetched;
@@ -39,6 +49,10 @@ struct QueryCost {
     hops += other.hops;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
+    retries += other.retries;
+    failovers += other.failovers;
+    keys_unreachable += other.keys_unreachable;
+    latency_ticks += other.latency_ticks;
     return *this;
   }
 

@@ -43,11 +43,30 @@ Result<std::unique_ptr<SearchEngine>> MakeCached(
       std::make_unique<ResultCacheEngine>(std::move(inner), capacity));
 }
 
+/// Built-in "faulty" decorator: installs a fault plan on the wrapped
+/// engine's transport and returns the engine itself (the layer carries
+/// no state — fault injection lives in the backend). The argument is a
+/// net::FaultPlan spec ("faulty:seed=7,loss=0.01(hdk)"); with no
+/// argument the EngineConfig plan is (re-)installed.
+Result<std::unique_ptr<SearchEngine>> MakeFaulty(
+    std::unique_ptr<SearchEngine> inner, std::string_view arg,
+    const EngineConfig& config) {
+  net::FaultPlan plan = config.faults;
+  if (!arg.empty()) {
+    HDK_ASSIGN_OR_RETURN(plan, net::FaultPlan::Parse(arg));
+  }
+  HDK_RETURN_NOT_OK(inner->InstallFaultPlan(plan));
+  return inner;
+}
+
 struct DecoratorRegistry {
   std::mutex mu;
   std::map<std::string, EngineDecoratorFactory, std::less<>> factories;
 
-  DecoratorRegistry() { factories.emplace("cached", MakeCached); }
+  DecoratorRegistry() {
+    factories.emplace("cached", MakeCached);
+    factories.emplace("faulty", MakeFaulty);
+  }
 };
 
 DecoratorRegistry& Registry() {
@@ -163,6 +182,9 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
       hdk.overlay = config.overlay;
       hdk.overlay_seed = config.overlay_seed;
       hdk.num_threads = config.num_threads;
+      hdk.faults = config.faults;
+      hdk.retry = config.retry;
+      hdk.replication = config.replication;
       HDK_ASSIGN_OR_RETURN(
           std::unique_ptr<HdkSearchEngine> engine,
           HdkSearchEngine::Build(hdk, store, std::move(peer_ranges)));
@@ -173,6 +195,8 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
       st.overlay = config.overlay;
       st.overlay_seed = config.overlay_seed;
       st.num_threads = config.num_threads;
+      st.faults = config.faults;
+      st.retry = config.retry;
       HDK_ASSIGN_OR_RETURN(
           std::unique_ptr<SingleTermEngine> engine,
           SingleTermEngine::Build(st, store, std::move(peer_ranges)));
@@ -244,6 +268,9 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
   hdk.overlay = config.overlay;
   hdk.overlay_seed = config.overlay_seed;
   hdk.num_threads = config.num_threads;
+  hdk.faults = config.faults;
+  hdk.retry = config.retry;
+  hdk.replication = config.replication;
   HDK_ASSIGN_OR_RETURN(std::unique_ptr<HdkSearchEngine> engine,
                        LoadEngineSnapshot(hdk, store, snapshot.path));
   return ApplyEngineDecorators(spec, config,

@@ -30,6 +30,7 @@
 #include "engine/overlay_factory.h"
 #include "engine/search_engine.h"
 #include "index/bm25.h"
+#include "net/fault.h"
 
 namespace hdk::engine {
 
@@ -68,6 +69,19 @@ struct EngineConfig {
   /// Default capacity of the "cached" decorator's LRU (overridable per
   /// spec: "cached:256(hdk)").
   size_t result_cache_capacity = 1024;
+  /// Fault-injection plan installed on the distributed backends'
+  /// transport at build time (see net/fault.h for the grammar; the
+  /// "faulty:seed=7,loss=0.01(hdk)" spec decorator overrides it). The
+  /// default plan is inactive: the engine is byte-identical to a
+  /// perfect-transport build.
+  net::FaultPlan faults;
+  /// Retry/backoff budget of failure-aware query messages.
+  net::RetryPolicy retry;
+  /// Key replication factor of the HDK global index (1 = primary only).
+  /// Values > 1 let queries fail over to replica holders when the
+  /// responsible peer is dead; the single-term baseline stays
+  /// single-homed.
+  uint32_t replication = 1;
 };
 
 /// A parsed composition: the concrete backend plus the decorator stack

@@ -1011,14 +1011,25 @@ Result<std::unique_ptr<HdkSearchEngine>> LoadEngineSnapshot(
   engine->traffic_ = std::make_unique<net::TrafficRecorder>();
   HDK_RETURN_NOT_OK(ReadTrafficSection(reader, engine->traffic_.get()));
 
+  // Fault/retry/replication state is engine-local runtime configuration,
+  // not indexed state: it is rebuilt from `config`, never persisted (and
+  // deliberately excluded from SnapshotConfigHash — a snapshot ports
+  // across fault plans).
+  engine->injector_.Install(config.faults);
+  const net::Resilience resilience{&engine->injector_, &engine->health_,
+                                   config.retry, config.replication};
   engine->protocol_ = std::make_unique<p2p::HdkIndexingProtocol>(
       config.hdk, store, engine->overlay_.get(), engine->traffic_.get(),
-      engine->pool_.get());
+      engine->pool_.get(), resilience);
   engine->global_ = std::make_unique<p2p::DistributedGlobalIndex>(
-      engine->overlay_.get(), engine->traffic_.get(), engine->pool_.get());
+      engine->overlay_.get(), engine->traffic_.get(), engine->pool_.get(),
+      /*num_shards=*/0, resilience);
   engine->global_->EnsureCapacity();
   HDK_RETURN_NOT_OK(
       ReadGlobalIndexSection(reader, num_peers, engine->global_.get()));
+  // Replicas are derived state: rebuilt traffic-free from the restored
+  // primary fragments.
+  engine->global_->RebuildReplicas();
   HDK_RETURN_NOT_OK(ReadProtocolSection(reader, config, num_peers,
                                         engine->protocol_.get(),
                                         engine->global_.get()));

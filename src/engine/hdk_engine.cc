@@ -26,9 +26,15 @@ Result<std::unique_ptr<HdkSearchEngine>> HdkSearchEngine::Build(
       MakeOverlay(config.overlay, peer_ranges.size(), config.overlay_seed);
   engine->traffic_ = std::make_unique<net::TrafficRecorder>();
 
+  // The fault plan is live from the first indexing message: losses are
+  // absorbed by the protocol's redelivery path, so the published index
+  // is identical to a fault-free build whenever no peer dies for good.
+  engine->injector_.Install(config.faults);
+  const net::Resilience resilience{&engine->injector_, &engine->health_,
+                                   config.retry, config.replication};
   engine->protocol_ = std::make_unique<p2p::HdkIndexingProtocol>(
       config.hdk, store, engine->overlay_.get(), engine->traffic_.get(),
-      engine->pool_.get());
+      engine->pool_.get(), resilience);
   HDK_ASSIGN_OR_RETURN(engine->global_,
                        engine->protocol_->Run(peer_ranges, *engine->stats_));
 
@@ -84,11 +90,42 @@ Status HdkSearchEngine::ApplyDeparture(PeerId peer) {
 
   p2p::DepartureStats departure;
   HDK_RETURN_NOT_OK(protocol_->Depart(
-      peer, *stats, [this, peer] { return overlay_->RemovePeer(peer); },
+      peer, *stats,
+      [this, peer] {
+        Status status = overlay_->RemovePeer(peer);
+        // The overlay just renumbered ids above `peer` down by one; the
+        // fault state must follow in the same instant, BEFORE the repair
+        // replay that Depart runs next — otherwise the survivor that
+        // inherited a dead peer's id would swallow the re-homed
+        // contributions (evicting a dead peer must clear its death, and
+        // a scripted death of peer 7 now concerns peer 6).
+        injector_.OnPeerRemoved(peer);
+        health_.OnPeerRemoved(peer);
+        return status;
+      },
       &departure));
   stats_ = std::move(stats);
   last_departure_ = departure;
   return Status::OK();
+}
+
+Result<size_t> HdkSearchEngine::EvictDeadPeers(
+    const corpus::DocumentStore& store) {
+  std::vector<MembershipEvent> leaves;
+  for (PeerId p = 0; p < num_peers(); ++p) {
+    if (injector_.PeerDead(p)) leaves.push_back(MembershipEvent::Leave(p));
+  }
+  if (leaves.empty()) return size_t{0};
+  if (leaves.size() >= num_peers()) {
+    return Status::FailedPrecondition(
+        "EvictDeadPeers: every peer is dead — nothing can host the "
+        "repaired index");
+  }
+  // Descending id: each departure renumbers only ids above it, so the
+  // remaining events stay addressed correctly.
+  std::reverse(leaves.begin(), leaves.end());
+  HDK_RETURN_NOT_OK(ApplyMembership(store, leaves));
+  return leaves.size();
 }
 
 Status HdkSearchEngine::ApplyMembership(

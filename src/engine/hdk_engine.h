@@ -27,6 +27,7 @@
 #include "engine/overlay_factory.h"
 #include "engine/partition.h"
 #include "engine/search_engine.h"
+#include "net/fault.h"
 #include "net/traffic.h"
 #include "p2p/global_index.h"
 #include "p2p/indexing_protocol.h"
@@ -59,6 +60,16 @@ struct HdkEngineConfig {
   /// fan-out. 0 = hardware concurrency, 1 = exact serial path. Results
   /// are identical for every value (see README "Threading").
   size_t num_threads = 0;
+  /// Transport fault plan installed at build time (see net/fault.h);
+  /// inactive by default — the engine is byte-identical to a
+  /// perfect-transport build. Excluded from the snapshot config hash:
+  /// faults perturb transport, never the published index.
+  net::FaultPlan faults;
+  /// Retry/backoff budget of failure-aware query messages.
+  net::RetryPolicy retry;
+  /// Key replication factor of the global index (1 = primary only);
+  /// > 1 lets queries fail over when the responsible peer is dead.
+  uint32_t replication = 1;
 };
 
 /// The assembled HDK P2P retrieval engine.
@@ -103,6 +114,13 @@ class HdkSearchEngine : public SearchEngine {
 
   const net::TrafficRecorder* traffic() const override {
     return traffic_.get();
+  }
+
+  /// Installs (or replaces) the transport fault plan on the engine's
+  /// own injector — the "faulty:..." spec decorator routes here.
+  Status InstallFaultPlan(const net::FaultPlan& plan) override {
+    injector_.Install(plan);
+    return Status::OK();
   }
 
   /// Persists the complete built state (key tables, global index shards,
@@ -152,6 +170,23 @@ class HdkSearchEngine : public SearchEngine {
     return protocol_->peer_ranges();
   }
 
+  // -- fault tolerance -------------------------------------------------
+
+  /// The engine's own fault injector (tests/benches kill peers or
+  /// install plans through it) and the strain tracker that orders
+  /// replica failover.
+  net::FaultInjector& fault_injector() { return injector_; }
+  const net::FaultInjector& fault_injector() const { return injector_; }
+  const net::PeerHealth& peer_health() const { return health_; }
+
+  /// Converts every hard-failed peer (the injector reports it dead)
+  /// into a standard departure: evicted through ApplyMembership Leave
+  /// events in descending peer-id order (so earlier removals don't
+  /// renumber later ones), which runs the ledger-driven repair and
+  /// leaves an index posting-for-posting identical to a fault-free
+  /// build over the survivors. Returns the number of evicted peers.
+  Result<size_t> EvictDeadPeers(const corpus::DocumentStore& store);
+
   net::TrafficRecorder& mutable_traffic() { return *traffic_; }
   const p2p::DistributedGlobalIndex& global_index() const { return *global_; }
   const corpus::CollectionStats& collection_stats() const { return *stats_; }
@@ -182,6 +217,11 @@ class HdkSearchEngine : public SearchEngine {
   Status ApplyDeparture(PeerId peer);
 
   HdkEngineConfig config_;
+  /// Transport fault state, owned by the engine and handed to the
+  /// protocol/index as a net::Resilience bundle. Inert (and free) until
+  /// a plan is installed.
+  net::FaultInjector injector_;
+  net::PeerHealth health_;
   /// Set only on snapshot-restored engines: keeps the snapshot's mmap
   /// alive, because restored posting lists and published-doc lists
   /// borrow their elements straight from the mapped file until first

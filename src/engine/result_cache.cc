@@ -47,7 +47,9 @@ SearchResponse ResultCacheEngine::Search(std::span<const TermId> query,
   }
   SearchResponse response = inner_->Search(query, k, origin);
   response.cost.cache_misses = 1;
-  {
+  // Never cache a degraded response: its ranking is missing unreachable
+  // keys, and serving it as a hit would outlive the outage.
+  if (!response.degraded) {
     std::lock_guard<std::mutex> lock(mu_);
     InsertLocked(std::move(key), response);
   }
@@ -101,15 +103,22 @@ BatchResponse ResultCacheEngine::SearchBatch(
       batch.responses[position].results =
           inner_batch.responses[miss].results;
       batch.responses[position].cost.cache_hits = 1;
+      // A duplicate of a degraded miss shares its partial ranking —
+      // surface that honestly.
+      batch.responses[position].degraded =
+          inner_batch.responses[miss].degraded;
     }
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t j = 0; j < miss_index.size(); ++j) {
       SearchResponse& response = inner_batch.responses[j];
       response.cost.cache_misses = 1;
-      CacheKey key{std::vector<TermId>(miss_queries[j].terms.begin(),
-                                       miss_queries[j].terms.end()),
-                   k};
-      InsertLocked(std::move(key), response);
+      // Never cache a degraded response (see Search).
+      if (!response.degraded) {
+        CacheKey key{std::vector<TermId>(miss_queries[j].terms.begin(),
+                                         miss_queries[j].terms.end()),
+                     k};
+        InsertLocked(std::move(key), response);
+      }
       batch.responses[miss_index[j]] = std::move(response);
     }
   }

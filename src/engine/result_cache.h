@@ -76,6 +76,10 @@ class ResultCacheEngine : public SearchEngine {
   const net::TrafficRecorder* traffic() const override {
     return inner_->traffic();
   }
+  /// Fault injection lives in the backend; forward.
+  Status InstallFaultPlan(const net::FaultPlan& plan) override {
+    return inner_->InstallFaultPlan(plan);
+  }
   /// The cache is derived state; a snapshot persists the inner engine.
   Status SaveSnapshot(const std::string& path) const override {
     return inner_->SaveSnapshot(path);

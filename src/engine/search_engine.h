@@ -48,6 +48,7 @@
 #include "corpus/query_gen.h"
 #include "engine/membership.h"
 #include "index/search_result.h"
+#include "net/fault.h"
 #include "net/traffic.h"
 
 namespace hdk::engine {
@@ -164,6 +165,18 @@ class SearchEngine {
   /// Network traffic recorder; nullptr for backends without a network
   /// (the centralized reference).
   virtual const net::TrafficRecorder* traffic() const { return nullptr; }
+
+  /// Installs (or replaces) a fault-injection plan on the engine's
+  /// transport — the "faulty:seed=7,loss=0.01(hdk)" spec decorator
+  /// routes here (see net/fault.h for the plan grammar). An inactive
+  /// plan restores perfect transport. Backends without an injectable
+  /// transport return Unimplemented; decorators forward to the wrapped
+  /// engine.
+  virtual Status InstallFaultPlan(const net::FaultPlan& plan) {
+    (void)plan;
+    return Status::Unimplemented(
+        "this engine backend does not support fault injection");
+  }
 
   /// Persists the engine's complete built state to a single snapshot file
   /// (see engine/engine_snapshot.h and the README's "Persistence &

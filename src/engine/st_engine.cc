@@ -17,8 +17,11 @@ Result<std::unique_ptr<SingleTermEngine>> SingleTermEngine::Build(
   engine->overlay_ =
       MakeOverlay(config.overlay, peer_ranges.size(), config.overlay_seed);
   engine->traffic_ = std::make_unique<net::TrafficRecorder>();
+  engine->injector_.Install(config.faults);
   engine->engine_ = std::make_unique<p2p::SingleTermP2PEngine>(
-      engine->overlay_.get(), engine->traffic_.get());
+      engine->overlay_.get(), engine->traffic_.get(),
+      net::Resilience{&engine->injector_, &engine->health_, config.retry,
+                      /*replication=*/1});
   HDK_RETURN_NOT_OK(engine->engine_->IndexPeers(
       /*first_peer=*/0, store, peer_ranges, engine->pool_.get()));
   engine->ranges_ = std::move(peer_ranges);
@@ -65,6 +68,10 @@ Status SingleTermEngine::ApplyMembership(
         const DocRange range = ranges_[peer];
         ranges_.erase(ranges_.begin() + peer);
         HDK_RETURN_NOT_OK(overlay_->RemovePeer(peer));
+        // The overlay renumbered ids above `peer` down by one; the
+        // fault state must follow before the repair republication.
+        injector_.OnPeerRemoved(peer);
+        health_.OnPeerRemoved(peer);
         last_departure_ = engine_->OnPeerDeparted(
             peer, store, range.first, range.second, ranges_);
         return Status::OK();

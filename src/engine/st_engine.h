@@ -17,6 +17,7 @@
 #include "corpus/document.h"
 #include "engine/overlay_factory.h"
 #include "engine/search_engine.h"
+#include "net/fault.h"
 #include "net/traffic.h"
 #include "p2p/single_term.h"
 
@@ -29,6 +30,13 @@ struct StEngineConfig {
   /// Worker threads for the per-peer indexing scans and SearchBatch
   /// fan-out. 0 = hardware concurrency, 1 = exact serial path.
   size_t num_threads = 0;
+  /// Transport fault plan installed at build time (see net/fault.h);
+  /// inactive by default. Faults touch the QUERY path only — terms are
+  /// single-homed here, so an unreachable owner degrades the response
+  /// instead of failing over.
+  net::FaultPlan faults;
+  /// Retry/backoff budget of failure-aware query messages.
+  net::RetryPolicy retry;
 };
 
 /// Distributed single-term indexing + BM25 retrieval baseline.
@@ -62,6 +70,17 @@ class SingleTermEngine : public SearchEngine {
     return traffic_.get();
   }
 
+  /// Installs (or replaces) the transport fault plan on the engine's
+  /// own injector — the "faulty:..." spec decorator routes here.
+  Status InstallFaultPlan(const net::FaultPlan& plan) override {
+    injector_.Install(plan);
+    return Status::OK();
+  }
+
+  /// The engine's own fault injector (tests kill peers through it).
+  net::FaultInjector& fault_injector() { return injector_; }
+  const net::PeerHealth& peer_health() const { return health_; }
+
   const p2p::SingleTermP2PEngine& p2p_engine() const { return *engine_; }
 
   /// What the most recent departure did.
@@ -86,6 +105,11 @@ class SingleTermEngine : public SearchEngine {
   Status ValidateEvents(const corpus::DocumentStore& store,
                         std::span<const MembershipEvent> events) const;
 
+  /// Transport fault state, owned by the engine and handed to the P2P
+  /// engine as a net::Resilience bundle. Inert until a plan is
+  /// installed.
+  net::FaultInjector injector_;
+  net::PeerHealth health_;
   const corpus::DocumentStore* store_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;  // nullptr = serial
   std::unique_ptr<dht::Overlay> overlay_;

@@ -16,6 +16,11 @@ namespace hdk::index {
 struct SearchResponse {
   std::vector<ScoredDoc> results;
   QueryCost cost;
+  /// True when at least one lattice key (or query term) was unreachable
+  /// after retries and replica failover — the results cover only the
+  /// surviving keys (cost.keys_unreachable counts the missing ones).
+  /// Always false on a healthy network.
+  bool degraded = false;
 };
 
 }  // namespace hdk::index

@@ -11,10 +11,12 @@ namespace hdk::p2p {
 DistributedGlobalIndex::DistributedGlobalIndex(const dht::Overlay* overlay,
                                                net::TrafficRecorder* traffic,
                                                ThreadPool* pool,
-                                               size_t num_shards)
-    : overlay_(overlay), traffic_(traffic), pool_(pool) {
+                                               size_t num_shards,
+                                               net::Resilience resilience)
+    : overlay_(overlay), traffic_(traffic), pool_(pool), res_(resilience) {
   assert(overlay_ != nullptr);
   assert(traffic_ != nullptr);
+  if (res_.replication == 0) res_.replication = 1;
   if (num_shards == 0) num_shards = DefaultShardCount(pool_);
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
@@ -43,9 +45,14 @@ void DistributedGlobalIndex::EnsureCapacity() {
   if (shards_.front()->fragments.size() < overlay_->num_peers()) {
     for (auto& shard : shards_) {
       shard->fragments.resize(overlay_->num_peers());
+      if (res_.replication > 1) {
+        shard->replicas.resize(overlay_->num_peers());
+      }
     }
     traffic_->EnsurePeers(overlay_->num_peers());
   }
+  if (res_.injector != nullptr) res_.injector->EnsurePeers(overlay_->num_peers());
+  if (res_.health != nullptr) res_.health->EnsurePeers(overlay_->num_peers());
 }
 
 PeerId DistributedGlobalIndex::ResponsiblePeer(const hdk::TermKey& key) const {
@@ -76,8 +83,31 @@ uint64_t DistributedGlobalIndex::InsertPostings(PeerId src,
     // destination lookup, the shard choice and the pending-buffer probe.
     const PeerId dst = overlay_->Responsible(key_hash);
     const size_t hops = overlay_->Route(src, key_hash);
-    traffic_->Record(src, dst, net::MessageKind::kInsertPostings, payload,
-                     hops);
+    if (!FaultsActive()) {
+      traffic_->Record(src, dst, net::MessageKind::kInsertPostings, payload,
+                       hops);
+    } else {
+      net::Channel channel(traffic_, res_);
+      const net::SendOutcome sent = channel.SendAssured(
+          src, dst, net::MessageKind::kInsertPostings, payload, hops,
+          key_hash);
+      if (!sent.delivered) {
+        if (channel.PeerDead(dst)) {
+          // The responsible peer died unannounced: the contribution is
+          // gone until eviction + departure repair replays the ledger.
+          lost_contributions_.fetch_add(1, std::memory_order_relaxed);
+          return payload;
+        }
+        // Retry budget exhausted against a live peer: park the
+        // contribution for the level barrier, whose redelivery records
+        // the final (delivered) message.
+        Shard& shard = *shards_[ShardOf(key_hash)];
+        std::lock_guard<std::mutex> lock(shard.insert_mu);
+        shard.redelivery.push_back(Shard::Redelivery{
+            src, key, key_hash, std::move(full_local), payload});
+        return payload;
+      }
+    }
   }
 
   Shard& shard = *shards_[ShardOf(key_hash)];
@@ -114,7 +144,8 @@ void DistributedGlobalIndex::RebuildCache(LedgerEntry& ledger,
 bool DistributedGlobalIndex::Publish(Shard& shard, const hdk::TermKey& key,
                                      uint64_t key_hash, LedgerEntry& ledger,
                                      const HdkParams& params,
-                                     double avg_doc_length) {
+                                     double avg_doc_length,
+                                     bool record_traffic) {
   const Freq trunc_limit = params.EffectiveNdkTruncation();
 
   hdk::KeyEntry entry;
@@ -136,8 +167,81 @@ bool DistributedGlobalIndex::Publish(Shard& shard, const hdk::TermKey& key,
 
   const bool is_ndk = !entry.is_hdk;
   auto& fragment = shard.fragments[overlay_->Responsible(key_hash)];
-  fragment.try_emplace_hashed(key_hash, key).first->second = std::move(entry);
+  hdk::KeyEntry& stored =
+      fragment.try_emplace_hashed(key_hash, key).first->second;
+  stored = std::move(entry);
+  PublishReplicas(shard, key, key_hash, stored, record_traffic);
   return is_ndk;
+}
+
+void DistributedGlobalIndex::PublishReplicas(Shard& shard,
+                                             const hdk::TermKey& key,
+                                             uint64_t key_hash,
+                                             const hdk::KeyEntry& entry,
+                                             bool record_traffic) {
+  if (res_.replication <= 1) return;
+  if (shard.replicas.size() < shard.fragments.size()) {
+    shard.replicas.resize(shard.fragments.size());
+  }
+  const std::vector<PeerId> holders = HoldersFor(key_hash);
+  for (size_t i = 1; i < holders.size(); ++i) {
+    const PeerId holder = holders[i];
+    shard.replicas[holder].try_emplace_hashed(key_hash, key).first->second =
+        entry;
+    if (record_traffic) {
+      // Primary pushes the fresh entry to its replica holder directly (it
+      // knows the holder from the salted placement): 1 hop. The push is
+      // barrier-maintained like the publishes themselves, so it is not
+      // subject to injected loss.
+      traffic_->Record(holders[0], holder, net::MessageKind::kMaintenance,
+                       entry.postings.size(), /*hops=*/1);
+    }
+  }
+}
+
+std::vector<PeerId> DistributedGlobalIndex::HoldersFor(
+    uint64_t key_hash) const {
+  std::vector<PeerId> holders;
+  holders.push_back(overlay_->Responsible(key_hash));
+  const size_t want = std::min<size_t>(res_.replication, overlay_->num_peers());
+  uint64_t h = key_hash;
+  // Salted re-hash walk; the guard bounds the walk when the overlay has
+  // few peers and the hash keeps landing on holders we already have.
+  for (int guard = 0; holders.size() < want && guard < 64; ++guard) {
+    h = Mix64(h ^ 0x5245504c49434133ULL);  // "REPLICA3"
+    const PeerId candidate = overlay_->Responsible(h);
+    if (std::find(holders.begin(), holders.end(), candidate) ==
+        holders.end()) {
+      holders.push_back(candidate);
+    }
+  }
+  return holders;
+}
+
+void DistributedGlobalIndex::DrainRedelivery(Shard& shard,
+                                             bool record_traffic) {
+  if (shard.redelivery.empty()) return;
+  // The queue order depends on the insert wave's thread interleaving;
+  // sort so the barrier processes items in a reproducible sequence.
+  std::sort(shard.redelivery.begin(), shard.redelivery.end(),
+            [](const Shard::Redelivery& a, const Shard::Redelivery& b) {
+              return std::tie(a.key, a.src) < std::tie(b.key, b.src);
+            });
+  for (Shard::Redelivery& item : shard.redelivery) {
+    const PeerId dst = overlay_->Responsible(item.key_hash);
+    if (res_.injector != nullptr && res_.injector->PeerDead(dst)) {
+      lost_contributions_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (record_traffic) {
+      traffic_->Record(item.src, dst, net::MessageKind::kInsertPostings,
+                       item.payload, overlay_->Route(item.src, item.key_hash));
+    }
+    shard.pending.try_emplace_hashed(item.key_hash, item.key)
+        .first->second.push_back(
+            Contribution{item.src, std::move(item.full)});
+  }
+  shard.redelivery.clear();
 }
 
 LevelOutcome DistributedGlobalIndex::EndLevelShard(Shard& shard,
@@ -146,6 +250,11 @@ LevelOutcome DistributedGlobalIndex::EndLevelShard(Shard& shard,
                                                    bool notify_contributors,
                                                    bool record_traffic) {
   LevelOutcome outcome;
+  // The level barrier stands in for an ack protocol: contributions whose
+  // transmission ran out of retries are redelivered here, BEFORE the
+  // classification scan, so the published index never misses a
+  // contribution that wasn't addressed to a dead peer.
+  DrainRedelivery(shard, record_traffic);
   if (shard.pending.empty()) return outcome;
 
   const Freq trunc_limit = params.EffectiveNdkTruncation();
@@ -197,8 +306,8 @@ LevelOutcome DistributedGlobalIndex::EndLevelShard(Shard& shard,
                 return a.peer < b.peer;
               });
 
-    const bool is_ndk =
-        Publish(shard, key, key_hash, ledger, params, avg_doc_length);
+    const bool is_ndk = Publish(shard, key, key_hash, ledger, params,
+                                avg_doc_length, record_traffic);
     if (is_ndk) {
       ++outcome.ndks;
       if (was_published && !was_ndk) ++outcome.reclassified;
@@ -224,18 +333,46 @@ LevelOutcome DistributedGlobalIndex::EndLevelShard(Shard& shard,
       recipients.erase(std::unique(recipients.begin(), recipients.end()),
                        recipients.end());
       const PeerId owner = ResponsiblePeerHashed(key_hash);
-      for (PeerId contributor : recipients) {
-        // Notifications carry the key only, no postings. The owner knows
-        // the contributor directly (source address of the insertion), so
-        // this is a single overlay-external message: 1 hop.
-        if (record_traffic) {
-          traffic_->Record(owner, contributor,
-                           net::MessageKind::kNdkNotification,
-                           /*postings=*/0, /*hops=*/1);
+      if (!record_traffic || !FaultsActive()) {
+        for (PeerId contributor : recipients) {
+          // Notifications carry the key only, no postings. The owner
+          // knows the contributor directly (source address of the
+          // insertion), so this is a single overlay-external message:
+          // 1 hop.
+          if (record_traffic) {
+            traffic_->Record(owner, contributor,
+                             net::MessageKind::kNdkNotification,
+                             /*postings=*/0, /*hops=*/1);
+          }
+          ++outcome.notification_messages;
         }
-        ++outcome.notification_messages;
+        outcome.notifications.emplace_back(key, std::move(recipients));
+      } else {
+        // Faulty transport: notifications are barrier-assured — a lost
+        // burst against a live contributor is redelivered right here
+        // (we ARE at the barrier), only a hard-dead contributor misses
+        // its expansion (repaired by eviction + departure replay).
+        net::Channel channel(traffic_, res_);
+        std::vector<PeerId> reached;
+        reached.reserve(recipients.size());
+        for (PeerId contributor : recipients) {
+          const net::SendOutcome sent = channel.SendAssured(
+              owner, contributor, net::MessageKind::kNdkNotification,
+              /*postings=*/0, /*hops=*/1, key_hash);
+          if (!sent.delivered) {
+            if (channel.PeerDead(contributor)) {
+              lost_notifications_.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            traffic_->Record(owner, contributor,
+                             net::MessageKind::kNdkNotification,
+                             /*postings=*/0, /*hops=*/1);
+          }
+          reached.push_back(contributor);
+          ++outcome.notification_messages;
+        }
+        outcome.notifications.emplace_back(key, std::move(reached));
       }
-      outcome.notifications.emplace_back(key, std::move(recipients));
     }
   }
   shard.pending.clear();
@@ -293,6 +430,11 @@ uint64_t DistributedGlobalIndex::EraseKeysContaining(TermId t) {
         auto& fragment = shard.fragments[owner];
         auto it = fragment.find_hashed(key_hash, key);
         if (it != fragment.end()) fragment.erase(it);
+      }
+      // Replica copies of the erased key disappear with it.
+      for (auto& replica : shard.replicas) {
+        auto it = replica.find_hashed(key_hash, key);
+        if (it != replica.end()) replica.erase(it);
       }
       // Swap-remove: the entry moved into `pos` is examined next.
       shard.ledger.erase(shard.ledger.begin() + pos);
@@ -352,6 +494,10 @@ uint64_t DistributedGlobalIndex::OnOverlayGrown() {
         ++migrated[s];
       }
     }
+    // The salted replica placement changed with the overlay: re-derive
+    // this shard's copies from the migrated primaries (placement
+    // bookkeeping, no extra traffic beyond the handovers above).
+    RebuildReplicasShard(shard);
   });
   uint64_t total = 0;
   for (uint64_t m : migrated) total += m;
@@ -396,6 +542,7 @@ DistributedGlobalIndex::DepartureBaseline DistributedGlobalIndex::
       }
     }
     shard.fragments.clear();
+    shard.replicas.clear();  // replay publishes re-derive the copies
     for (auto& [key, ledger] : shard.ledger) {
       assert(key.size() >= 1 && key.size() <= s_max);
       for (Contribution& c : ledger.contributions) {
@@ -504,21 +651,109 @@ DistributedGlobalIndex::DepartureOutcome DistributedGlobalIndex::
 
 const hdk::KeyEntry* DistributedGlobalIndex::FetchFrom(
     PeerId src, const hdk::TermKey& key) const {
+  return FetchFromResilient(src, key).entry;
+}
+
+DistributedGlobalIndex::FetchResult DistributedGlobalIndex::FetchFromResilient(
+    PeerId src, const hdk::TermKey& key) const {
+  FetchResult result;
   // One Hash64 serves routing, the responsible-peer lookup, the shard
   // choice and the fragment probe.
   const RingId ring_key = key.Hash64();
-  const PeerId dst = overlay_->Responsible(ring_key);
-  const size_t hops = overlay_->Route(src, ring_key);
-  traffic_->Record(src, dst, net::MessageKind::kKeyProbe, /*postings=*/0,
-                   hops);
+  if (!FaultsActive()) {
+    // Perfect transport: the pre-fault fetch, message for message. (The
+    // primary always answers, so replication never enters the path.)
+    const PeerId dst = overlay_->Responsible(ring_key);
+    const size_t hops = overlay_->Route(src, ring_key);
+    traffic_->Record(src, dst, net::MessageKind::kKeyProbe, /*postings=*/0,
+                     hops);
+    result.entry = PeekHashed(ring_key, key);
+    // The response travels back directly (the probe carried the
+    // requester's address): 1 hop, carrying the posting payload if the
+    // key exists.
+    traffic_->Record(dst, src, net::MessageKind::kPostingsResponse,
+                     result.entry != nullptr ? result.entry->postings.size()
+                                             : 0,
+                     /*hops=*/1);
+    return result;
+  }
 
-  const hdk::KeyEntry* entry = PeekHashed(ring_key, key);
-  // The response travels back directly (the probe carried the requester's
-  // address): 1 hop, carrying the posting payload if the key exists.
-  traffic_->Record(dst, src, net::MessageKind::kPostingsResponse,
-                   entry != nullptr ? entry->postings.size() : 0,
-                   /*hops=*/1);
-  return entry;
+  net::Channel channel(traffic_, res_);
+  const PeerId primary = overlay_->Responsible(ring_key);
+  std::vector<PeerId> holders = HoldersFor(ring_key);
+  // Health-driven failover order: suspects (strained peers) last,
+  // relative order otherwise preserved — the primary leads on a healthy
+  // network.
+  if (res_.health != nullptr && holders.size() > 1) {
+    std::stable_partition(
+        holders.begin(), holders.end(),
+        [&](PeerId p) { return !res_.health->Suspect(p); });
+  }
+  bool attempted_any = false;
+  for (PeerId holder : holders) {
+    if (attempted_any) ++result.failovers;
+    attempted_any = true;
+    // The probe routes through the overlay (replica probes are billed
+    // the same route: the salted placement is resolved the same way).
+    const size_t hops = overlay_->Route(src, ring_key);
+    const net::SendOutcome probe = channel.SendReliable(
+        src, holder, net::MessageKind::kKeyProbe, /*postings=*/0, hops,
+        ring_key);
+    result.retries += probe.retries;
+    result.latency_ticks += probe.latency_ticks;
+    if (!probe.delivered) continue;
+    const hdk::KeyEntry* entry = holder == primary
+                                     ? PeekHashed(ring_key, key)
+                                     : PeekReplica(holder, ring_key, key);
+    const net::SendOutcome response = channel.SendReliable(
+        holder, src, net::MessageKind::kPostingsResponse,
+        entry != nullptr ? entry->postings.size() : 0, /*hops=*/1, ring_key);
+    result.retries += response.retries;
+    result.latency_ticks += response.latency_ticks;
+    if (!response.delivered) continue;
+    // A delivered round trip is an authoritative answer — nullptr means
+    // the key is ABSENT, not unreachable.
+    result.entry = entry;
+    return result;
+  }
+  result.unreachable = true;
+  return result;
+}
+
+const hdk::KeyEntry* DistributedGlobalIndex::PeekReplica(
+    PeerId holder, uint64_t key_hash, const hdk::TermKey& key) const {
+  const Shard& shard = *shards_[ShardOf(key_hash)];
+  if (holder >= shard.replicas.size()) return nullptr;
+  const auto& replica = shard.replicas[holder];
+  auto it = replica.find_hashed(key_hash, key);
+  return it == replica.end() ? nullptr : &it->second;
+}
+
+void DistributedGlobalIndex::RebuildReplicasShard(Shard& shard) {
+  if (res_.replication <= 1) return;
+  shard.replicas.clear();
+  shard.replicas.resize(shard.fragments.size());
+  for (PeerId owner = 0; owner < shard.fragments.size(); ++owner) {
+    const auto& fragment = shard.fragments[owner];
+    for (size_t pos = 0; pos < fragment.size(); ++pos) {
+      const auto& [key, entry] = fragment.entry(pos);
+      const uint64_t key_hash = fragment.hash_at(pos);
+      const std::vector<PeerId> holders = HoldersFor(key_hash);
+      for (size_t i = 1; i < holders.size(); ++i) {
+        shard.replicas[holders[i]]
+            .try_emplace_hashed(key_hash, key)
+            .first->second = entry;
+      }
+    }
+  }
+}
+
+void DistributedGlobalIndex::RebuildReplicas() {
+  if (res_.replication <= 1) return;
+  EnsureCapacity();
+  ParallelForEach(pool_, shards_.size(), [&](size_t i) {
+    RebuildReplicasShard(*shards_[i]);
+  });
 }
 
 const hdk::KeyEntry* DistributedGlobalIndex::Peek(
@@ -610,7 +845,7 @@ hdk::HdkIndexContents DistributedGlobalIndex::ExportContents() const {
 
 bool DistributedGlobalIndex::HasPendingContributions() const {
   for (const auto& shard : shards_) {
-    if (!shard->pending.empty()) return true;
+    if (!shard->pending.empty() || !shard->redelivery.empty()) return true;
   }
   return false;
 }

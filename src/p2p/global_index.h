@@ -45,6 +45,7 @@
 #ifndef HDKP2P_P2P_GLOBAL_INDEX_H_
 #define HDKP2P_P2P_GLOBAL_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -59,6 +60,7 @@
 #include "hdk/indexer.h"
 #include "hdk/key.h"
 #include "index/posting.h"
+#include "net/fault.h"
 #include "net/traffic.h"
 
 namespace hdk::p2p {
@@ -144,9 +146,16 @@ class DistributedGlobalIndex {
   /// \param num_shards shard count; 0 applies the heuristic
   ///                   DefaultShardCount(pool). Any value produces
   ///                   identical observable state (see file comment).
+  /// \param resilience fault injector / health tracker / retry policy /
+  ///                   replication factor (see net/fault.h). The default
+  ///                   — no injector, replication 1 — reproduces the
+  ///                   perfect-transport engine byte for byte. The
+  ///                   injector and health pointers, when set, must
+  ///                   outlive the index.
   DistributedGlobalIndex(const dht::Overlay* overlay,
                          net::TrafficRecorder* traffic,
-                         ThreadPool* pool = nullptr, size_t num_shards = 0);
+                         ThreadPool* pool = nullptr, size_t num_shards = 0,
+                         net::Resilience resilience = {});
 
   /// The shard-count heuristic: 1 without a pool (serial path), otherwise
   /// 4x the worker count rounded up to a power of two (static chunking
@@ -268,6 +277,49 @@ class DistributedGlobalIndex {
   /// Returns nullptr (response with zero postings) when the key is absent.
   const hdk::KeyEntry* FetchFrom(PeerId src, const hdk::TermKey& key) const;
 
+  /// Outcome of one failure-aware key fetch (see FetchFromResilient).
+  struct FetchResult {
+    /// The published entry; nullptr when the key is ABSENT (a valid,
+    /// delivered answer) or unreachable.
+    const hdk::KeyEntry* entry = nullptr;
+    /// True when every holder's round trip failed after retries — the
+    /// query must degrade (entry is nullptr but the key may exist).
+    bool unreachable = false;
+    uint32_t retries = 0;
+    uint32_t failovers = 0;
+    uint64_t latency_ticks = 0;
+  };
+
+  /// Failure-aware FetchFrom: probes the responsible peer with bounded
+  /// retry + exponential backoff (the Resilience retry policy); when its
+  /// round trip fails, fails over to the key's replica holders in
+  /// health order (non-suspect holders first). With an inactive injector
+  /// this records exactly the two messages FetchFrom records.
+  FetchResult FetchFromResilient(PeerId src, const hdk::TermKey& key) const;
+
+  /// The key's fragment holders under the current overlay: the
+  /// responsible peer first, then `replication - 1` distinct peers
+  /// derived by salted re-hashing of the placement hash. Deterministic
+  /// for a fixed overlay.
+  std::vector<PeerId> HoldersFor(uint64_t key_hash) const;
+
+  /// Re-derives every replica map from the primary fragments (no
+  /// traffic). Called after bulk state adoption (snapshot load) and
+  /// overlay restructuring; a no-op when replication == 1.
+  void RebuildReplicas();
+
+  /// Indexing-side losses that became permanent: contributions /
+  /// NDK notifications addressed to a hard-dead peer (dropped, the
+  /// published index degrades until the peer is evicted and repaired).
+  uint64_t lost_contributions() const {
+    return lost_contributions_.load(std::memory_order_relaxed);
+  }
+  uint64_t lost_notifications() const {
+    return lost_notifications_.load(std::memory_order_relaxed);
+  }
+
+  const net::Resilience& resilience() const { return res_; }
+
   /// Traffic-free lookup (tests, diagnostics). The hashed variant takes
   /// the key's precomputed Hash64 (the query path probes many keys and
   /// already holds their hashes).
@@ -343,9 +395,49 @@ class DistributedGlobalIndex {
     hdk::KeyMap<LedgerEntry> ledger;
     /// peer -> this shard's slice of the peer's published fragment.
     std::vector<hdk::KeyMap<hdk::KeyEntry>> fragments;
+    /// peer -> this shard's slice of the peer's REPLICA copies (separate
+    /// from the primary fragments so ExportContents / StoredPostingsAt
+    /// keep their primary-only semantics). Empty when replication == 1.
+    std::vector<hdk::KeyMap<hdk::KeyEntry>> replicas;
+    /// Contributions whose transmission exhausted the retry budget
+    /// against a live peer — redelivered (one recorded message each) at
+    /// the next level barrier, where the published index catches up.
+    /// Guarded by insert_mu.
+    struct Redelivery {
+      PeerId src = kInvalidPeer;
+      hdk::TermKey key;
+      uint64_t key_hash = 0;
+      index::PostingList full;
+      uint64_t payload = 0;
+    };
+    std::vector<Redelivery> redelivery;
   };
 
   size_t ShardOf(uint64_t key_hash) const;
+
+  /// True when the injector can currently perturb traffic.
+  bool FaultsActive() const {
+    return res_.injector != nullptr && res_.injector->active();
+  }
+
+  /// Drains the shard's barrier redelivery queue into `pending`: each
+  /// surviving item records its final delivery message; items addressed
+  /// to a peer that has died meanwhile are dropped and counted.
+  void DrainRedelivery(Shard& shard, bool record_traffic);
+
+  /// Copies the freshly published `entry` of `key` to its replica
+  /// holders (no-op when replication == 1). Each copy is recorded as one
+  /// direct kMaintenance push from the owner when `record_traffic`.
+  void PublishReplicas(Shard& shard, const hdk::TermKey& key,
+                       uint64_t key_hash, const hdk::KeyEntry& entry,
+                       bool record_traffic);
+
+  /// RebuildReplicas over one shard (traffic-free).
+  void RebuildReplicasShard(Shard& shard);
+
+  /// Replica-map lookup on `holder` (nullptr when absent).
+  const hdk::KeyEntry* PeekReplica(PeerId holder, uint64_t key_hash,
+                                   const hdk::TermKey& key) const;
 
   /// EndLevel over one shard's pending keys, ascending-key order.
   LevelOutcome EndLevelShard(Shard& shard, const HdkParams& params,
@@ -365,11 +457,14 @@ class DistributedGlobalIndex {
   /// Returns whether the published entry is an NDK.
   bool Publish(Shard& shard, const hdk::TermKey& key, uint64_t key_hash,
                LedgerEntry& ledger, const HdkParams& params,
-               double avg_doc_length);
+               double avg_doc_length, bool record_traffic = false);
 
   const dht::Overlay* overlay_;
   net::TrafficRecorder* traffic_;
   ThreadPool* pool_;
+  net::Resilience res_;
+  std::atomic<uint64_t> lost_contributions_{0};
+  std::atomic<uint64_t> lost_notifications_{0};
   /// unique_ptr: Shard holds a mutex and must not move when the vector is
   /// built. Fixed size after construction.
   std::vector<std::unique_ptr<Shard>> shards_;

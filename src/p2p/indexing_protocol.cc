@@ -17,12 +17,14 @@ HdkIndexingProtocol::HdkIndexingProtocol(const HdkParams& params,
                                          const corpus::DocumentStore& store,
                                          const dht::Overlay* overlay,
                                          net::TrafficRecorder* traffic,
-                                         ThreadPool* pool)
+                                         ThreadPool* pool,
+                                         net::Resilience resilience)
     : params_(params),
       store_(store),
       overlay_(overlay),
       traffic_(traffic),
-      pool_(pool) {}
+      pool_(pool),
+      resilience_(resilience) {}
 
 std::vector<TermId> HdkIndexingProtocol::RefreshVeryFrequent(
     const corpus::CollectionStats& stats) {
@@ -76,8 +78,8 @@ Result<std::unique_ptr<DistributedGlobalIndex>> HdkIndexingProtocol::Run(
                         params_);
   }
 
-  auto global =
-      std::make_unique<DistributedGlobalIndex>(overlay_, traffic_, pool_);
+  auto global = std::make_unique<DistributedGlobalIndex>(
+      overlay_, traffic_, pool_, /*num_shards=*/0, resilience_);
   global_ = global.get();
 
   RunLevels(stats, /*first_new_peer=*/0, nullptr);

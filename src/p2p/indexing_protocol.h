@@ -154,11 +154,16 @@ class HdkIndexingProtocol {
   ///                level is classified in ascending-key order, so
   ///                parallel builds are posting-for-posting identical to
   ///                serial ones at any thread count.
+  /// \param resilience fault injector / health / retry / replication
+  ///                bundle handed to the DistributedGlobalIndex this
+  ///                protocol creates in Run(). The default reproduces
+  ///                the perfect-transport protocol byte for byte.
   HdkIndexingProtocol(const HdkParams& params,
                       const corpus::DocumentStore& store,
                       const dht::Overlay* overlay,
                       net::TrafficRecorder* traffic,
-                      ThreadPool* pool = nullptr);
+                      ThreadPool* pool = nullptr,
+                      net::Resilience resilience = {});
 
   /// Executes the full protocol for peers holding the given [first, last)
   /// doc ranges (one entry per peer; peer ids are positional). `stats`
@@ -250,6 +255,7 @@ class HdkIndexingProtocol {
   const dht::Overlay* overlay_;
   net::TrafficRecorder* traffic_;
   ThreadPool* pool_;
+  net::Resilience resilience_;
   DistributedGlobalIndex* global_ = nullptr;  // borrowed after Run
   std::vector<Peer> peers_;
   TermIdSet very_frequent_;

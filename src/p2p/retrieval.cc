@@ -24,7 +24,22 @@ index::SearchResponse HdkRetriever::Search(PeerId origin,
   hdk::RetrievalPlan plan = hdk::PlanRetrieval(
       query, params_.s_max, [&](const hdk::TermKey& key)
           -> std::optional<hdk::ProbeOutcome> {
-        const hdk::KeyEntry* entry = global_->FetchFrom(origin, key);
+        const DistributedGlobalIndex::FetchResult fetch =
+            global_->FetchFromResilient(origin, key);
+        exec.cost.retries += fetch.retries;
+        exec.cost.failovers += fetch.failovers;
+        exec.cost.latency_ticks += fetch.latency_ticks;
+        if (fetch.unreachable) {
+          // Every holder of the key failed: degrade — the query answers
+          // from the surviving lattice keys. The planner treats the key
+          // as absent, which also skips its superset subtree (those keys
+          // may exist on reachable peers; skipping them keeps the
+          // degraded query cheap rather than exhaustive).
+          exec.degraded = true;
+          ++exec.cost.keys_unreachable;
+          return std::nullopt;
+        }
+        const hdk::KeyEntry* entry = fetch.entry;
         if (entry == nullptr) return std::nullopt;
         fetched.push_back(hdk::FetchedKey{key, entry->global_df,
                                           entry->is_hdk, &entry->postings});

@@ -9,11 +9,14 @@
 namespace hdk::p2p {
 
 SingleTermP2PEngine::SingleTermP2PEngine(const dht::Overlay* overlay,
-                                         net::TrafficRecorder* traffic)
-    : overlay_(overlay), traffic_(traffic) {
+                                         net::TrafficRecorder* traffic,
+                                         net::Resilience resilience)
+    : overlay_(overlay), traffic_(traffic), res_(resilience) {
   fragments_.resize(overlay_->num_peers());
   inserted_by_peer_.resize(overlay_->num_peers(), 0);
   traffic_->EnsurePeers(overlay_->num_peers());
+  if (res_.injector != nullptr) res_.injector->EnsurePeers(overlay_->num_peers());
+  if (res_.health != nullptr) res_.health->EnsurePeers(overlay_->num_peers());
 }
 
 SingleTermP2PEngine::LocalIndex SingleTermP2PEngine::BuildLocal(
@@ -215,11 +218,13 @@ index::SearchResponse SingleTermP2PEngine::Search(
   index::Bm25Scorer scorer(num_documents_, average_document_length());
   std::unordered_map<DocId, double> scores;
 
+  net::Channel channel(traffic_, res_);
+  const bool faulty = FaultsActive();
+
   for (TermId term : terms) {
     const RingId ring_key = HashU64(term);
     const PeerId dst = overlay_->Responsible(ring_key);
     const size_t hops = overlay_->Route(origin, ring_key);
-    traffic_->Record(origin, dst, net::MessageKind::kKeyProbe, 0, hops);
     ++exec.cost.probes;
 
     const auto& fragment = fragments_[dst];
@@ -227,8 +232,36 @@ index::SearchResponse SingleTermP2PEngine::Search(
     const index::PostingList* pl =
         it == fragment.end() ? nullptr : &it->second;
     const uint64_t payload = pl != nullptr ? pl->size() : 0;
-    traffic_->Record(dst, origin, net::MessageKind::kPostingsResponse,
-                     payload, /*hops=*/1);
+
+    if (!faulty) {
+      traffic_->Record(origin, dst, net::MessageKind::kKeyProbe, 0, hops);
+      traffic_->Record(dst, origin, net::MessageKind::kPostingsResponse,
+                       payload, /*hops=*/1);
+    } else {
+      // Terms are single-homed in this baseline: when the owner stays
+      // unreachable after retries the term cannot contribute — the query
+      // degrades to the reachable terms.
+      const net::SendOutcome probe = channel.SendReliable(
+          origin, dst, net::MessageKind::kKeyProbe, 0, hops, ring_key);
+      exec.cost.retries += probe.retries;
+      exec.cost.latency_ticks += probe.latency_ticks;
+      if (!probe.delivered) {
+        exec.degraded = true;
+        ++exec.cost.keys_unreachable;
+        continue;
+      }
+      const net::SendOutcome resp =
+          channel.SendReliable(dst, origin,
+                               net::MessageKind::kPostingsResponse, payload,
+                               /*hops=*/1, ring_key);
+      exec.cost.retries += resp.retries;
+      exec.cost.latency_ticks += resp.latency_ticks;
+      if (!resp.delivered) {
+        exec.degraded = true;
+        ++exec.cost.keys_unreachable;
+        continue;
+      }
+    }
     exec.cost.postings_fetched += payload;
     if (pl != nullptr) ++exec.cost.keys_fetched;
 
@@ -259,6 +292,29 @@ SingleTermP2PEngine::SearchConjunctive(PeerId origin,
   ConjunctiveExecution exec;
   const net::ScopedTally tally(traffic_);
 
+  net::Channel channel(traffic_, res_);
+  const bool faulty = FaultsActive();
+  auto finalize = [&] {
+    exec.messages = tally.counters().messages;
+    exec.hops = tally.counters().hops;
+  };
+  // One protocol message; on a faulty transport it retries with backoff.
+  // false = the hop stayed unreachable — the caller aborts the
+  // conjunction degraded (chain protocols have no replica to fail over
+  // to).
+  auto send = [&](PeerId src, PeerId dst, net::MessageKind kind,
+                  uint64_t postings, uint64_t hops, uint64_t salt) {
+    if (!faulty) {
+      traffic_->Record(src, dst, kind, postings, hops);
+      return true;
+    }
+    const net::SendOutcome out =
+        channel.SendReliable(src, dst, kind, postings, hops, salt);
+    exec.retries += out.retries;
+    if (!out.delivered) exec.degraded = true;
+    return out.delivered;
+  };
+
   // Resolve each distinct term to (owner, posting list), ascending df.
   std::vector<TermId> terms(query.begin(), query.end());
   std::sort(terms.begin(), terms.end());
@@ -281,12 +337,12 @@ SingleTermP2PEngine::SearchConjunctive(PeerId origin,
     if (locs.back().postings == nullptr) {
       // A missing term empties the conjunction; one probe settles it.
       const size_t hops = overlay_->Route(origin, HashU64(t));
-      traffic_->Record(origin, owner, net::MessageKind::kKeyProbe, 0,
-                       hops);
-      traffic_->Record(owner, origin, net::MessageKind::kPostingsResponse,
-                       0, 1);
-      exec.messages = tally.counters().messages;
-      exec.hops = tally.counters().hops;
+      if (send(origin, owner, net::MessageKind::kKeyProbe, 0, hops,
+               HashU64(t))) {
+        send(owner, origin, net::MessageKind::kPostingsResponse, 0, 1,
+             HashU64(t));
+      }
+      finalize();
       return exec;
     }
   }
@@ -301,11 +357,13 @@ SingleTermP2PEngine::SearchConjunctive(PeerId origin,
     // Naive: every full list travels to the origin.
     for (const TermLoc& loc : locs) {
       const size_t hops = overlay_->Route(origin, HashU64(loc.term));
-      traffic_->Record(origin, loc.owner, net::MessageKind::kKeyProbe, 0,
-                       hops);
-      traffic_->Record(loc.owner, origin,
-                       net::MessageKind::kPostingsResponse,
-                       loc.postings->size(), 1);
+      if (!send(origin, loc.owner, net::MessageKind::kKeyProbe, 0, hops,
+                HashU64(loc.term)) ||
+          !send(loc.owner, origin, net::MessageKind::kPostingsResponse,
+                loc.postings->size(), 1, HashU64(loc.term))) {
+        finalize();
+        return exec;
+      }
       exec.postings_transferred += loc.postings->size();
     }
     for (size_t i = 1; i < locs.size(); ++i) {
@@ -329,9 +387,12 @@ SingleTermP2PEngine::SearchConjunctive(PeerId origin,
       const PeerId next_owner = locs[i + 1].owner;
       const size_t hops =
           overlay_->Route(locs[i].owner, HashU64(locs[i + 1].term));
-      traffic_->Record(
-          locs[i].owner, next_owner, net::MessageKind::kBloomFilter,
-          (bloom.SizeBytes() + kPostingBytes - 1) / kPostingBytes, hops);
+      if (!send(locs[i].owner, next_owner, net::MessageKind::kBloomFilter,
+                (bloom.SizeBytes() + kPostingBytes - 1) / kPostingBytes,
+                hops, HashU64(locs[i + 1].term))) {
+        finalize();
+        return exec;
+      }
       // The next owner intersects its list against the filter (keeping
       // Bloom false positives).
       std::vector<DocId> next;
@@ -341,9 +402,12 @@ SingleTermP2PEngine::SearchConjunctive(PeerId origin,
       candidates = std::move(next);
     }
     // Last owner ships the surviving candidates to the origin.
-    traffic_->Record(locs.back().owner, origin,
-                     net::MessageKind::kPostingsResponse,
-                     candidates.size(), 1);
+    if (!send(locs.back().owner, origin,
+              net::MessageKind::kPostingsResponse, candidates.size(), 1,
+              HashU64(locs.back().term))) {
+      finalize();
+      return exec;
+    }
     exec.postings_transferred += candidates.size();
     // Verification/scoring: every other owner ships its postings
     // restricted to the candidate set (also prunes false positives).
@@ -356,8 +420,12 @@ SingleTermP2PEngine::SearchConjunctive(PeerId origin,
           verified.push_back(d);
         }
       }
-      traffic_->Record(locs[i].owner, origin,
-                       net::MessageKind::kPostingsResponse, shipped, 1);
+      if (!send(locs[i].owner, origin,
+                net::MessageKind::kPostingsResponse, shipped, 1,
+                HashU64(locs[i].term))) {
+        finalize();
+        return exec;
+      }
       exec.postings_transferred += shipped;
       candidates = std::move(verified);
     }
@@ -382,8 +450,7 @@ SingleTermP2PEngine::SearchConjunctive(PeerId origin,
   }
   exec.results = topk.Take();
 
-  exec.messages = tally.counters().messages;
-  exec.hops = tally.counters().hops;
+  finalize();
   return exec;
 }
 

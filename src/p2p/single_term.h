@@ -25,6 +25,7 @@
 #include "index/posting.h"
 #include "index/search_result.h"
 #include "index/topk.h"
+#include "net/fault.h"
 #include "net/traffic.h"
 
 namespace hdk::p2p {
@@ -32,8 +33,14 @@ namespace hdk::p2p {
 /// Distributed single-term index + BM25 retrieval.
 class SingleTermP2PEngine {
  public:
+  /// `resilience` (see net/fault.h) makes retrieval failure-aware: query
+  /// messages retry with backoff, and a term whose owner stays
+  /// unreachable degrades the response (terms are single-homed in this
+  /// baseline — no replica failover). The default reproduces the
+  /// perfect-transport engine byte for byte.
   SingleTermP2PEngine(const dht::Overlay* overlay,
-                      net::TrafficRecorder* traffic);
+                      net::TrafficRecorder* traffic,
+                      net::Resilience resilience = {});
 
   /// Indexes documents [first, last) of `store` as peer `src`'s local
   /// collection: one insertion message per distinct local term, carrying
@@ -121,6 +128,12 @@ class SingleTermP2PEngine {
     uint64_t bloom_bytes = 0;
     uint64_t messages = 0;
     uint64_t hops = 0;
+    /// Failure handling (zero on a healthy network): send attempts
+    /// beyond the first, and whether a chain hop stayed unreachable
+    /// after retries — the conjunction then aborts with the results
+    /// computed so far (usually empty).
+    uint64_t retries = 0;
+    bool degraded = false;
   };
   ConjunctiveExecution SearchConjunctive(PeerId origin,
                                          std::span<const TermId> query,
@@ -150,8 +163,13 @@ class SingleTermP2PEngine {
   /// Serial merge of one peer's scan into the DHT fragments + traffic.
   void InsertLocal(PeerId src, LocalIndex local);
 
+  bool FaultsActive() const {
+    return res_.injector != nullptr && res_.injector->active();
+  }
+
   const dht::Overlay* overlay_;
   net::TrafficRecorder* traffic_;
+  net::Resilience res_;
   /// peer -> (term -> global posting list fragment).
   std::vector<std::unordered_map<TermId, index::PostingList>> fragments_;
   std::vector<uint64_t> inserted_by_peer_;

@@ -1,0 +1,164 @@
+// Error paths of the membership lifecycle: ValidateMembershipEvents is
+// the shared ApplyMembership precondition, every backend dry-runs the
+// WHOLE batch through it before touching anything — so a rejected batch
+// must leave the engine byte-for-byte untouched, even when the batch has
+// a valid prefix.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/synthetic.h"
+#include "engine/engine_factory.h"
+#include "engine/membership.h"
+#include "engine/partition.h"
+
+namespace hdk::engine {
+namespace {
+
+using Kind = MembershipEvent::Kind;
+
+TEST(ValidateMembershipEventsTest, EmptyBatchIsInvalid) {
+  Status status = ValidateMembershipEvents({}, /*num_peers=*/3,
+                                           /*frontier=*/120,
+                                           /*store_size=*/120);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "ApplyMembership: need >= 1 membership event");
+}
+
+TEST(ValidateMembershipEventsTest, JoinsMustContinueFromFrontier) {
+  // Gap, overlap with the indexed prefix, backwards range, past the
+  // store: all violate the contiguity rule.
+  for (DocRange bad : {DocRange{130, 160}, DocRange{100, 160},
+                       DocRange{120, 110}, DocRange{120, 9999}}) {
+    std::vector<MembershipEvent> events = {MembershipEvent::Join(bad)};
+    Status status =
+        ValidateMembershipEvents(events, 3, /*frontier=*/120,
+                                 /*store_size=*/240);
+    EXPECT_EQ(status.code(), StatusCode::kOutOfRange) << bad.first;
+  }
+  // The frontier advances across the batch: two contiguous joins pass,
+  // a repeat of the first range (now behind the frontier) fails.
+  std::vector<MembershipEvent> good = {
+      MembershipEvent::Join({120, 180}), MembershipEvent::Join({180, 240})};
+  EXPECT_TRUE(ValidateMembershipEvents(good, 3, 120, 240).ok());
+  good.push_back(MembershipEvent::Join({120, 180}));
+  EXPECT_EQ(ValidateMembershipEvents(good, 3, 120, 240).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ValidateMembershipEventsTest, DepartureOfUnknownPeer) {
+  std::vector<MembershipEvent> events = {MembershipEvent::Leave(7)};
+  Status status = ValidateMembershipEvents(events, /*num_peers=*/3, 120, 120);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "ApplyMembership: departure of unknown peer 7");
+  // Ids are validated against the RUNNING peer count: a join admits one
+  // more id, an earlier leave retires the highest one.
+  std::vector<MembershipEvent> grown = {MembershipEvent::Join({120, 160}),
+                                        MembershipEvent::Leave(3)};
+  EXPECT_TRUE(ValidateMembershipEvents(grown, 3, 120, 160).ok());
+  std::vector<MembershipEvent> shrunk = {MembershipEvent::Leave(2),
+                                         MembershipEvent::Leave(2)};
+  EXPECT_EQ(ValidateMembershipEvents(shrunk, 3, 120, 120).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateMembershipEventsTest, CannotDepartTheLastPeer) {
+  std::vector<MembershipEvent> events = {MembershipEvent::Leave(0)};
+  Status status = ValidateMembershipEvents(events, /*num_peers=*/1, 40, 40);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(status.message(), "ApplyMembership: cannot depart the last peer");
+  // A batch that drains a 3-peer network peer by peer trips the same
+  // guard on its final event.
+  std::vector<MembershipEvent> drain = {MembershipEvent::Leave(0),
+                                        MembershipEvent::Leave(0),
+                                        MembershipEvent::Leave(0)};
+  EXPECT_EQ(ValidateMembershipEvents(drain, 3, 120, 120).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Engine-level contract, on every backend: an invalid batch is rejected
+// with the validator's status and applies NOTHING — peer count, document
+// count and rankings stay exactly as before, including batches whose
+// first events would have been individually valid.
+class MembershipRejectionTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(MembershipRejectionTest, RejectedBatchLeavesEngineUntouched) {
+  corpus::SyntheticConfig ccfg;
+  ccfg.seed = 99;
+  ccfg.vocabulary_size = 1500;
+  ccfg.num_topics = 8;
+  ccfg.topic_width = 30;
+  ccfg.mean_doc_length = 40.0;
+  ccfg.topic_share = 0.7;
+  corpus::DocumentStore store;
+  corpus::SyntheticCorpus(ccfg).FillStore(240, &store);
+
+  EngineConfig config;
+  config.hdk.df_max = 6;
+  config.hdk.very_frequent_threshold = 400;
+  config.num_threads = 1;
+  // Index only the first half: [120, ...) stays available for joins.
+  auto engine = MakeEngine(GetParam(), config, store, SplitEvenly(120, 3));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  const std::vector<TermId> probe = store.Tokens(5).size() >= 3
+                                        ? std::vector<TermId>{
+                                              store.Tokens(5)[0],
+                                              store.Tokens(5)[1],
+                                              store.Tokens(5)[2]}
+                                        : std::vector<TermId>{1, 2, 3};
+  const auto baseline = (*engine)->Search(probe, 10, /*origin=*/0);
+  const size_t peers_before = (*engine)->num_peers();
+  const uint64_t docs_before = (*engine)->num_documents();
+
+  const std::vector<std::pair<std::vector<MembershipEvent>, StatusCode>>
+      rejected = {
+          {{}, StatusCode::kInvalidArgument},
+          {{MembershipEvent::Leave(99)}, StatusCode::kInvalidArgument},
+          {{MembershipEvent::Join({200, 240})}, StatusCode::kOutOfRange},
+          // Valid join prefix + invalid departure: the whole batch must
+          // be rejected up front, the join must NOT be applied.
+          {{MembershipEvent::Join({120, 180}), MembershipEvent::Leave(57)},
+           StatusCode::kInvalidArgument},
+          // Valid departures that would drain the network.
+          {{MembershipEvent::Leave(0), MembershipEvent::Leave(0),
+            MembershipEvent::Leave(0)},
+           StatusCode::kFailedPrecondition},
+      };
+  for (const auto& [events, code] : rejected) {
+    Status status = (*engine)->ApplyMembership(store, events);
+    EXPECT_EQ(status.code(), code) << status.ToString();
+    EXPECT_EQ((*engine)->num_peers(), peers_before);
+    EXPECT_EQ((*engine)->num_documents(), docs_before);
+    auto response = (*engine)->Search(probe, 10, /*origin=*/0);
+    ASSERT_EQ(response.results.size(), baseline.results.size());
+    for (size_t i = 0; i < response.results.size(); ++i) {
+      EXPECT_EQ(response.results[i].doc, baseline.results[i].doc);
+      EXPECT_DOUBLE_EQ(response.results[i].score, baseline.results[i].score);
+    }
+  }
+
+  // The same events in a well-formed batch still work afterwards — the
+  // rejections left no poisoned state behind.
+  std::vector<MembershipEvent> good = {MembershipEvent::Join({120, 180}),
+                                       MembershipEvent::Leave(0)};
+  Status status = (*engine)->ApplyMembership(store, good);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ((*engine)->num_peers(), peers_before);  // +1 join, -1 leave
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, MembershipRejectionTest,
+                         ::testing::Values("hdk", "single-term", "bm25"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace hdk::engine
