@@ -21,6 +21,7 @@
 #include "engine/membership.h"
 #include "engine/partition.h"
 #include "engine/result_cache.h"
+#include "sync/sync.h"
 
 namespace {
 
@@ -82,31 +83,47 @@ int main() {
     for (size_t i = 0; i < base; ++i) queries.push_back(queries[i]);
   }
 
-  const std::vector<std::string> specs = {"hdk", "single-term",
-                                          "cached(hdk)"};
+  // The last row is the replicated repair baseline: churn-time replica
+  // maintenance routed through the IBF sync protocol, so its waves price
+  // messages-per-repair and postings-shipped-per-repair against the
+  // unreplicated engines (micro_antientropy covers the sweep itself).
+  struct RunSpec {
+    const char* label;
+    const char* spec;
+    uint32_t replication;
+    sync::SyncMode sync_mode;
+  };
+  const std::vector<RunSpec> specs = {
+      {"hdk", "hdk", 1, sync::SyncMode::kOff},
+      {"single-term", "single-term", 1, sync::SyncMode::kOff},
+      {"cached(hdk)", "cached(hdk)", 1, sync::SyncMode::kOff},
+      {"hdk-r2-ibf", "hdk", 2, sync::SyncMode::kIbf},
+  };
   std::vector<EngineRun> runs;
 
-  for (const std::string& spec : specs) {
+  for (const RunSpec& spec : specs) {
     engine::EngineConfig config;
     config.hdk = setup.MakeParams(setup.DfMaxLow());
     config.overlay = setup.overlay;
     config.overlay_seed = setup.overlay_seed;
     config.num_threads = setup.num_threads;
+    config.replication = spec.replication;
+    config.sync.mode = spec.sync_mode;
 
     auto built = engine::MakeEngine(
-        std::string_view(spec), config, store,
+        std::string_view(spec.spec), config, store,
         engine::SplitEvenly(initial_peers * setup.docs_per_peer,
                             initial_peers));
     if (!built.ok()) {
-      std::fprintf(stderr, "build failed for %s: %s\n", spec.c_str(),
+      std::fprintf(stderr, "build failed for %s: %s\n", spec.label,
                    built.status().ToString().c_str());
       return 1;
     }
     engine::SearchEngine& engine = **built;
     EngineRun run;
-    run.spec = spec;
+    run.spec = spec.label;
 
-    std::printf("%-14s %-6s %7s %10s %12s %14s %16s\n", spec.c_str(),
+    std::printf("%-14s %-6s %7s %10s %12s %14s %16s\n", spec.label,
                 "wave", "events", "peers", "seconds", "messages",
                 "postings_moved");
 
@@ -209,20 +226,26 @@ int main() {
                  run.spec.c_str());
     for (size_t i = 0; i < run.waves.size(); ++i) {
       const WavePoint& p = run.waves[i];
-      const double per_event =
+      const double postings_per_event =
           p.events > 0
               ? static_cast<double>(p.postings_moved) /
                     static_cast<double>(p.events)
               : 0.0;
+      const double messages_per_event =
+          p.events > 0 ? static_cast<double>(p.messages) /
+                             static_cast<double>(p.events)
+                       : 0.0;
       std::fprintf(out,
                    "      {\"kind\": \"%s\", \"events\": %zu, "
                    "\"peers_after\": %zu, \"seconds\": %.6f, "
                    "\"messages\": %llu, \"postings_moved\": %llu, "
-                   "\"postings_per_event\": %.1f}%s\n",
+                   "\"postings_per_event\": %.1f, "
+                   "\"messages_per_event\": %.1f}%s\n",
                    p.kind.c_str(), p.events, p.peers_after, p.seconds,
                    static_cast<unsigned long long>(p.messages),
                    static_cast<unsigned long long>(p.postings_moved),
-                   per_event, i + 1 < run.waves.size() ? "," : "");
+                   postings_per_event, messages_per_event,
+                   i + 1 < run.waves.size() ? "," : "");
     }
     std::fprintf(out,
                  "    ], \"batch_cold_s\": %.6f, \"batch_warm_s\": %.6f, "

@@ -1,8 +1,31 @@
 #include "dht/overlay.h"
 
+#include <algorithm>
 #include <cassert>
 
+#include "common/hash.h"
+
 namespace hdk::dht {
+
+std::vector<PeerId> ReplicaHolders(const Overlay& overlay, uint64_t key_hash,
+                                   uint32_t replication) {
+  std::vector<PeerId> holders;
+  holders.push_back(overlay.Responsible(key_hash));
+  const size_t want =
+      std::min<size_t>(std::max<uint32_t>(replication, 1), overlay.num_peers());
+  uint64_t h = key_hash;
+  // Salted re-hash walk; the guard bounds the walk when the overlay has
+  // few peers and the hash keeps landing on holders we already have.
+  for (int guard = 0; holders.size() < want && guard < 64; ++guard) {
+    h = Mix64(h ^ 0x5245504c49434133ULL);  // "REPLICA3"
+    const PeerId candidate = overlay.Responsible(h);
+    if (std::find(holders.begin(), holders.end(), candidate) ==
+        holders.end()) {
+      holders.push_back(candidate);
+    }
+  }
+  return holders;
+}
 
 size_t Overlay::Route(PeerId from, RingId key,
                       std::vector<PeerId>* path) const {

@@ -49,6 +49,15 @@ class Overlay {
                std::vector<PeerId>* path = nullptr) const;
 };
 
+/// The fragment holders of `key_hash` under `overlay`: the responsible
+/// peer first, then `replication - 1` distinct peers derived by salted
+/// re-hashing of the placement hash. Deterministic for a fixed overlay —
+/// this is THE replica placement: the global index, the anti-entropy
+/// reconciler and the snapshot inspector all derive holder sets through
+/// this one function.
+std::vector<PeerId> ReplicaHolders(const Overlay& overlay, uint64_t key_hash,
+                                   uint32_t replication);
+
 }  // namespace hdk::dht
 
 #endif  // HDKP2P_DHT_OVERLAY_H_

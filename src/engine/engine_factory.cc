@@ -185,6 +185,7 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
       hdk.faults = config.faults;
       hdk.retry = config.retry;
       hdk.replication = config.replication;
+      hdk.sync = config.sync;
       HDK_ASSIGN_OR_RETURN(
           std::unique_ptr<HdkSearchEngine> engine,
           HdkSearchEngine::Build(hdk, store, std::move(peer_ranges)));
@@ -271,6 +272,7 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
   hdk.faults = config.faults;
   hdk.retry = config.retry;
   hdk.replication = config.replication;
+  hdk.sync = config.sync;
   HDK_ASSIGN_OR_RETURN(std::unique_ptr<HdkSearchEngine> engine,
                        LoadEngineSnapshot(hdk, store, snapshot.path));
   return ApplyEngineDecorators(spec, config,

@@ -82,6 +82,9 @@ struct EngineConfig {
   /// responsible peer is dead; the single-term baseline stays
   /// single-homed.
   uint32_t replication = 1;
+  /// Replica maintenance / anti-entropy reconciliation of the HDK
+  /// backend (see sync/sync.h; kOff default = pre-sync behaviour).
+  sync::SyncConfig sync;
 };
 
 /// A parsed composition: the concrete backend plus the decorator stack

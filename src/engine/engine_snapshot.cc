@@ -554,6 +554,9 @@ Status ReadOverlaySection(const SnapshotReader& reader,
 void WriteTrafficSection(SnapshotWriter& w,
                          const net::TrafficRecorder& traffic) {
   w.BeginSection(SectionId::kTraffic);
+  // Self-describing kind axis (format v2): the per-kind array is prefixed
+  // with its length so a snapshot stays readable when MessageKind grows.
+  w.WritePod(static_cast<uint64_t>(net::kNumMessageKinds));
   w.WritePod(traffic.total());
   for (size_t k = 0; k < net::kNumMessageKinds; ++k) {
     w.WritePod(traffic.ByKind(static_cast<net::MessageKind>(k)));
@@ -579,9 +582,16 @@ Status ReadTrafficSection(const SnapshotReader& reader,
   std::array<net::TrafficCounters, net::kNumMessageKinds> by_kind{};
   std::vector<net::TrafficCounters> sent;
   std::vector<net::TrafficCounters> received;
+  uint64_t num_kinds = 0;
+  HDK_RETURN_NOT_OK(cur.ReadPod(&num_kinds));
+  if (num_kinds > net::kNumMessageKinds) {
+    return Status::IOError(
+        "snapshot: traffic section records more message kinds than this "
+        "build knows");
+  }
   HDK_RETURN_NOT_OK(cur.ReadPod(&total));
-  for (auto& counters : by_kind) {
-    HDK_RETURN_NOT_OK(cur.ReadPod(&counters));
+  for (uint64_t k = 0; k < num_kinds; ++k) {
+    HDK_RETURN_NOT_OK(cur.ReadPod(&by_kind[k]));
   }
   HDK_RETURN_NOT_OK(cur.ReadArray(&sent));
   HDK_RETURN_NOT_OK(cur.ReadArray(&received));
@@ -857,7 +867,9 @@ uint64_t SnapshotConfigHash(const HdkEngineConfig& config) {
   h = HashCombine(h, static_cast<uint64_t>(config.overlay));
   h = HashCombine(h, config.overlay_seed);
   // num_threads is deliberately excluded: results are thread-count
-  // invariant, so snapshots port across parallelism settings.
+  // invariant, so snapshots port across parallelism settings. The sync
+  // config is excluded like `faults`: sync modes shape repair transport,
+  // never the persisted index, so snapshots port across sync settings.
   return h;
 }
 
@@ -912,8 +924,8 @@ Status SaveEngineSnapshot(const HdkSearchEngine& engine,
                   SnapshotStoreHash(*engine.store_), path);
 }
 
-Result<SnapshotDescription> DescribeEngineSnapshot(
-    const std::string& path) {
+Result<SnapshotDescription> DescribeEngineSnapshot(const std::string& path,
+                                                   uint32_t replication) {
   HDK_ASSIGN_OR_RETURN(SnapshotReader reader, SnapshotReader::Open(path));
   SnapshotDescription desc;
   desc.format_version = reader.format_version();
@@ -944,6 +956,20 @@ Result<SnapshotDescription> DescribeEngineSnapshot(
     HDK_RETURN_NOT_OK(cur.ExpectEnd());
   }
 
+  // Replica accounting wants the writer's exact overlay (post-churn
+  // placements differ from a fresh build); reconstruct it from the
+  // overlay section using the kind/seed the config section decoded.
+  desc.replication = replication;
+  std::unique_ptr<dht::Overlay> overlay;
+  if (replication > 1) {
+    HdkEngineConfig overlay_config;
+    overlay_config.overlay = static_cast<OverlayKind>(desc.overlay_kind);
+    overlay_config.overlay_seed = desc.overlay_seed;
+    HDK_RETURN_NOT_OK(ReadOverlaySection(reader, overlay_config,
+                                         desc.num_peers, &overlay));
+    desc.replica_keys_per_peer.assign(desc.num_peers, 0);
+  }
+
   {
     HDK_ASSIGN_OR_RETURN(SectionCursor cur,
                          reader.Find(SectionId::kGlobalIndex));
@@ -971,6 +997,15 @@ Result<SnapshotDescription> DescribeEngineSnapshot(
         info.fragment_keys += fragment.size();
         for (const auto& [key, entry] : fragment) {
           info.fragment_postings += entry.postings.size();
+        }
+        if (overlay != nullptr) {
+          for (size_t pos = 0; pos < fragment.size(); ++pos) {
+            const std::vector<PeerId> holders = dht::ReplicaHolders(
+                *overlay, fragment.hash_at(pos), replication);
+            for (size_t i = 1; i < holders.size(); ++i) {
+              ++desc.replica_keys_per_peer[holders[i]];
+            }
+          }
         }
       }
       desc.shards.push_back(info);
@@ -1017,7 +1052,8 @@ Result<std::unique_ptr<HdkSearchEngine>> LoadEngineSnapshot(
   // across fault plans).
   engine->injector_.Install(config.faults);
   const net::Resilience resilience{&engine->injector_, &engine->health_,
-                                   config.retry, config.replication};
+                                   config.retry, config.replication,
+                                   config.sync};
   engine->protocol_ = std::make_unique<p2p::HdkIndexingProtocol>(
       config.hdk, store, engine->overlay_.get(), engine->traffic_.get(),
       engine->pool_.get(), resilience);

@@ -95,12 +95,24 @@ struct SnapshotDescription {
 
   // Decoded from the global-index section (writer's shard layout).
   std::vector<Shard> shards;
+
+  // Replica-holder accounting, filled only when DescribeEngineSnapshot
+  // was given a replication factor > 1 (replication is runtime config,
+  // not persisted): element p counts the published keys whose salted
+  // placement makes peer p a replica holder. Recomputed from the
+  // restored overlay exactly as the engine derives its replicas.
+  uint32_t replication = 1;
+  std::vector<uint64_t> replica_keys_per_peer;
 };
 
 /// Opens and fully checksum-validates `path`, then decodes the metadata
 /// sections into a description. Never needs the writer's config or
-/// corpus; corrupt files fail with the same statuses as a load.
-Result<SnapshotDescription> DescribeEngineSnapshot(const std::string& path);
+/// corpus; corrupt files fail with the same statuses as a load. Passing
+/// `replication` > 1 additionally reconstructs the overlay and fills
+/// replica_keys_per_peer — what each peer would hold as a replica under
+/// that factor (tools/snapshot_inspect's -r flag).
+Result<SnapshotDescription> DescribeEngineSnapshot(const std::string& path,
+                                                   uint32_t replication = 1);
 
 /// Restores an engine from a snapshot written by SaveEngineSnapshot.
 /// `config` must hash-match the writer's (IOError otherwise); `store`

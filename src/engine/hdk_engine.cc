@@ -31,7 +31,8 @@ Result<std::unique_ptr<HdkSearchEngine>> HdkSearchEngine::Build(
   // is identical to a fault-free build whenever no peer dies for good.
   engine->injector_.Install(config.faults);
   const net::Resilience resilience{&engine->injector_, &engine->health_,
-                                   config.retry, config.replication};
+                                   config.retry, config.replication,
+                                   config.sync};
   engine->protocol_ = std::make_unique<p2p::HdkIndexingProtocol>(
       config.hdk, store, engine->overlay_.get(), engine->traffic_.get(),
       engine->pool_.get(), resilience);
@@ -107,6 +108,11 @@ Status HdkSearchEngine::ApplyDeparture(PeerId peer) {
   stats_ = std::move(stats);
   last_departure_ = departure;
   return Status::OK();
+}
+
+Result<sync::SyncStats> HdkSearchEngine::RunAntiEntropy() {
+  if (config_.replication <= 1) return sync::SyncStats{};
+  return global_->ReconcileReplicas(/*record_traffic=*/true);
 }
 
 Result<size_t> HdkSearchEngine::EvictDeadPeers(

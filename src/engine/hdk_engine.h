@@ -70,6 +70,13 @@ struct HdkEngineConfig {
   /// Key replication factor of the global index (1 = primary only);
   /// > 1 lets queries fail over when the responsible peer is dead.
   uint32_t replication = 1;
+  /// Replica maintenance / anti-entropy reconciliation (see sync/sync.h).
+  /// kOff (default) keeps the silent wholesale-rebuild behaviour —
+  /// byte-identical to the pre-sync engine; kIbf/kFull route repair
+  /// through the recorded sketch-exchange protocol. Excluded from the
+  /// snapshot config hash for the same reason as `faults`: sync modes
+  /// perturb repair transport, never the published index.
+  sync::SyncConfig sync;
 };
 
 /// The assembled HDK P2P retrieval engine.
@@ -128,6 +135,12 @@ class HdkSearchEngine : public SearchEngine {
   /// LoadEngineSnapshot restores a fingerprint-identical engine from it
   /// in milliseconds. Delegates to SaveEngineSnapshot.
   Status SaveSnapshot(const std::string& path) const override;
+
+  /// One anti-entropy sweep over the replica pairs (all-zero stats when
+  /// replication == 1). Delegates to
+  /// DistributedGlobalIndex::ReconcileReplicas with recorded traffic; on
+  /// a SyncMode::kOff engine the sweep reconciles via the kIbf protocol.
+  Result<sync::SyncStats> RunAntiEntropy() override;
 
   // -- HDK-specific observability --------------------------------------
 

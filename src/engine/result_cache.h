@@ -84,6 +84,13 @@ class ResultCacheEngine : public SearchEngine {
   Status SaveSnapshot(const std::string& path) const override {
     return inner_->SaveSnapshot(path);
   }
+  /// A sweep that healed divergence may change replica-served answers;
+  /// drop the cached responses alongside.
+  Result<sync::SyncStats> RunAntiEntropy() override {
+    auto result = inner_->RunAntiEntropy();
+    if (result.ok()) Invalidate();
+    return result;
+  }
 
   // -- cache observability ---------------------------------------------
 

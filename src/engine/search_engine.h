@@ -50,6 +50,7 @@
 #include "index/search_result.h"
 #include "net/fault.h"
 #include "net/traffic.h"
+#include "sync/sync.h"
 
 namespace hdk::engine {
 
@@ -187,6 +188,18 @@ class SearchEngine {
     (void)path;
     return Status::Unimplemented(
         "this engine backend does not support snapshots");
+  }
+
+  /// Runs one anti-entropy sweep over the replica pairs of the engine's
+  /// distributed index (see sync/sync.h): detects divergence — lost
+  /// replica pushes / forget notices, killed-then-revived holders — and
+  /// self-heals it, returning what the sweep found and shipped. A no-op
+  /// returning all-zero stats when the engine runs unreplicated;
+  /// backends without a replicated distributed index return
+  /// Unimplemented. Serial sections only.
+  virtual Result<sync::SyncStats> RunAntiEntropy() {
+    return Status::Unimplemented(
+        "this engine backend does not support anti-entropy sync");
   }
 
  protected:

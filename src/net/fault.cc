@@ -310,8 +310,9 @@ void PeerHealth::EnsurePeers(size_t n) {
 
 bool Channel::Attempt(PeerId src, PeerId dst, MessageKind kind,
                       uint64_t postings, uint64_t hops, uint64_t salt,
-                      uint32_t attempt, uint64_t* latency_ticks) const {
-  traffic_->Record(src, dst, kind, postings, hops);
+                      uint32_t attempt, uint64_t* latency_ticks,
+                      uint64_t extra_bytes) const {
+  traffic_->Record(src, dst, kind, postings, hops, extra_bytes);
   const FaultInjector* inj = res_.injector;
   if (inj == nullptr || !inj->active()) return true;
   res_.injector->CountMessageTo(dst);
@@ -322,17 +323,17 @@ bool Channel::Attempt(PeerId src, PeerId dst, MessageKind kind,
 }
 
 SendOutcome Channel::Send(PeerId src, PeerId dst, MessageKind kind,
-                          uint64_t postings, uint64_t hops,
-                          uint64_t salt) const {
+                          uint64_t postings, uint64_t hops, uint64_t salt,
+                          uint64_t extra_bytes) const {
   SendOutcome out;
-  out.delivered =
-      Attempt(src, dst, kind, postings, hops, salt, 0, &out.latency_ticks);
+  out.delivered = Attempt(src, dst, kind, postings, hops, salt, 0,
+                          &out.latency_ticks, extra_bytes);
   return out;
 }
 
 SendOutcome Channel::SendReliable(PeerId src, PeerId dst, MessageKind kind,
                                   uint64_t postings, uint64_t hops,
-                                  uint64_t salt) const {
+                                  uint64_t salt, uint64_t extra_bytes) const {
   SendOutcome out;
   const uint32_t max_attempts = std::max<uint32_t>(1, res_.retry.max_attempts);
   for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
@@ -342,7 +343,7 @@ SendOutcome Channel::SendReliable(PeerId src, PeerId dst, MessageKind kind,
                            << (attempt - 1);
     }
     if (Attempt(src, dst, kind, postings, hops, salt, attempt,
-                &out.latency_ticks)) {
+                &out.latency_ticks, extra_bytes)) {
       out.delivered = true;
       break;
     }

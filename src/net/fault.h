@@ -46,6 +46,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "net/traffic.h"
+#include "sync/sync.h"
 
 namespace hdk::net {
 
@@ -221,6 +222,9 @@ struct Resilience {
   /// Number of fragment holders per key (primary + replication-1
   /// salted replicas). 1 = no replication (default).
   uint32_t replication = 1;
+  /// How replica divergence is repaired (see sync/sync.h). kOff keeps
+  /// the silent wholesale-rebuild behaviour.
+  sync::SyncConfig sync;
 };
 
 /// Outcome of one resilient send.
@@ -241,15 +245,17 @@ class Channel {
       : traffic_(traffic), res_(res) {}
 
   /// One attempt: records the message (lost messages still consume
-  /// bandwidth) and reports whether it was delivered.
+  /// bandwidth) and reports whether it was delivered. `extra_bytes`
+  /// bills non-posting payload (sketches, key lists) per attempt.
   SendOutcome Send(PeerId src, PeerId dst, MessageKind kind,
-                   uint64_t postings, uint64_t hops, uint64_t salt) const;
+                   uint64_t postings, uint64_t hops, uint64_t salt,
+                   uint64_t extra_bytes = 0) const;
 
   /// Bounded retry with exponential backoff; updates PeerHealth. Query
   /// path: a round trip that exhausts the budget fails over or degrades.
   SendOutcome SendReliable(PeerId src, PeerId dst, MessageKind kind,
-                           uint64_t postings, uint64_t hops,
-                           uint64_t salt) const;
+                           uint64_t postings, uint64_t hops, uint64_t salt,
+                           uint64_t extra_bytes = 0) const;
 
   /// Barrier-reliable: delivery is guaranteed unless `dst` is hard-dead
   /// (the level barrier stands in for an ack/timeout protocol), but only
@@ -270,7 +276,7 @@ class Channel {
  private:
   bool Attempt(PeerId src, PeerId dst, MessageKind kind, uint64_t postings,
                uint64_t hops, uint64_t salt, uint32_t attempt,
-               uint64_t* latency_ticks) const;
+               uint64_t* latency_ticks, uint64_t extra_bytes = 0) const;
 
   const TrafficRecorder* traffic_;
   Resilience res_;  // by value: call sites may pass a temporary bundle

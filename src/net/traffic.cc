@@ -26,6 +26,12 @@ std::string_view MessageKindName(MessageKind kind) {
     case MessageKind::kBloomFilter: return "BloomFilter";
     case MessageKind::kReclassifyNotification:
       return "ReclassifyNotification";
+    case MessageKind::kReplicaPush: return "ReplicaPush";
+    case MessageKind::kReplicaForget: return "ReplicaForget";
+    case MessageKind::kSyncStrata: return "SyncStrata";
+    case MessageKind::kSyncIbf: return "SyncIbf";
+    case MessageKind::kSyncDelta: return "SyncDelta";
+    case MessageKind::kSyncFull: return "SyncFull";
   }
   return "Unknown";
 }
@@ -56,14 +62,15 @@ TrafficRecorder::Shard& TrafficRecorder::ShardForThisThread() const {
 }
 
 void TrafficRecorder::Record(PeerId src, PeerId dst, MessageKind kind,
-                             uint64_t postings, uint64_t hops) const {
+                             uint64_t postings, uint64_t hops,
+                             uint64_t extra_bytes) const {
   EnsurePeers(static_cast<size_t>(std::max(src, dst)) + 1);
   TrafficCounters delta;
   delta.messages = 1;
   delta.postings = postings;
   delta.hops = hops;
   delta.bytes = model_.header_bytes + postings * model_.posting_bytes +
-                hops * model_.per_hop_overhead;
+                hops * model_.per_hop_overhead + extra_bytes;
 
   for (ScopedTally* tally = tls_active_tally; tally != nullptr;
        tally = tally->prev_) {

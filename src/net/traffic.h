@@ -43,8 +43,19 @@ enum class MessageKind : uint8_t {
   kReclassifyNotification = 8,  // responsible peer -> contributor: a key
                                 // this peer contributed is discriminative
                                 // again after churn (forget + retract)
+  kReplicaPush = 9,     // primary -> replica holder: replicate a fragment
+                        // entry (best-effort under sync modes; lossable)
+  kReplicaForget = 10,  // primary -> replica holder: drop a retracted key
+                        // (best-effort; a lost notice leaves the replica
+                        // stale until anti-entropy heals it)
+  kSyncStrata = 11,     // replica -> primary: strata-estimator sketch
+  kSyncIbf = 12,        // primary -> replica: invertible Bloom filter
+  kSyncDelta = 13,      // decoded-difference exchange: key list one way,
+                        // missing postings the other
+  kSyncFull = 14,       // IBF decode failed (or full mode): whole-bucket
+                        // re-replication fallback
 };
-inline constexpr size_t kNumMessageKinds = 9;
+inline constexpr size_t kNumMessageKinds = 15;
 
 /// Human-readable kind name.
 std::string_view MessageKindName(MessageKind kind);
@@ -112,9 +123,11 @@ class TrafficRecorder {
   void EnsurePeers(size_t n) const;
 
   /// Records one message of `kind` from `src` to `dst` carrying `postings`
-  /// postings and routed over `hops` overlay hops. Thread-safe.
+  /// postings and routed over `hops` overlay hops. `extra_bytes` bills
+  /// non-posting payload (sketches, key lists) on top of the cost model.
+  /// Thread-safe.
   void Record(PeerId src, PeerId dst, MessageKind kind, uint64_t postings,
-              uint64_t hops) const;
+              uint64_t hops, uint64_t extra_bytes = 0) const;
 
   // -- aggregate reads (serial sections only; see file comment) ---------
 

@@ -5,8 +5,30 @@
 #include <tuple>
 
 #include "common/hash.h"
+#include "sync/reconcile.h"
+#include "sync/sketch.h"
 
 namespace hdk::p2p {
+
+namespace {
+
+/// Content digest of one replica slot: covers the key's placement hash
+/// AND the published entry's content (df, classification, postings), so
+/// reconciliation detects stale copies — same key, outdated postings —
+/// not just membership differences.
+uint64_t EntryDigest(uint64_t key_hash, const hdk::KeyEntry& entry) {
+  uint64_t h = Mix64(key_hash ^ 0x53594e43ULL);  // "SYNC"
+  h = HashCombine(h, entry.global_df);
+  h = HashCombine(h, entry.is_hdk ? 1 : 2);
+  for (size_t i = 0; i < entry.postings.size(); ++i) {
+    const index::Posting& p = entry.postings[i];
+    h = HashCombine(h, (static_cast<uint64_t>(p.doc) << 32) ^
+                           (static_cast<uint64_t>(p.tf) << 8) ^ p.doc_length);
+  }
+  return Mix64(h);
+}
+
+}  // namespace
 
 DistributedGlobalIndex::DistributedGlobalIndex(const dht::Overlay* overlay,
                                                net::TrafficRecorder* traffic,
@@ -180,42 +202,47 @@ void DistributedGlobalIndex::PublishReplicas(Shard& shard,
                                              const hdk::KeyEntry& entry,
                                              bool record_traffic) {
   if (res_.replication <= 1) return;
+  if (replica_defer_) return;  // departure replay: FinishDeparture reconciles
   if (shard.replicas.size() < shard.fragments.size()) {
     shard.replicas.resize(shard.fragments.size());
   }
   const std::vector<PeerId> holders = HoldersFor(key_hash);
+  const bool best_effort =
+      res_.sync.mode != sync::SyncMode::kOff && record_traffic;
   for (size_t i = 1; i < holders.size(); ++i) {
     const PeerId holder = holders[i];
+    if (!best_effort) {
+      shard.replicas[holder].try_emplace_hashed(key_hash, key).first->second =
+          entry;
+      if (record_traffic) {
+        // Primary pushes the fresh entry to its replica holder directly (it
+        // knows the holder from the salted placement): 1 hop. The push is
+        // barrier-maintained like the publishes themselves, so it is not
+        // subject to injected loss.
+        traffic_->Record(holders[0], holder, net::MessageKind::kMaintenance,
+                         entry.postings.size(), /*hops=*/1);
+      }
+      continue;
+    }
+    // Sync modes: the push is one best-effort direct message. A lost push
+    // leaves the holder stale — exactly the divergence the anti-entropy
+    // sweep detects and heals — instead of being barrier-maintained.
+    net::Channel channel(traffic_, res_);
+    const net::SendOutcome sent =
+        channel.Send(holders[0], holder, net::MessageKind::kReplicaPush,
+                     entry.postings.size(), /*hops=*/1, key_hash);
+    if (!sent.delivered) {
+      missed_replica_pushes_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     shard.replicas[holder].try_emplace_hashed(key_hash, key).first->second =
         entry;
-    if (record_traffic) {
-      // Primary pushes the fresh entry to its replica holder directly (it
-      // knows the holder from the salted placement): 1 hop. The push is
-      // barrier-maintained like the publishes themselves, so it is not
-      // subject to injected loss.
-      traffic_->Record(holders[0], holder, net::MessageKind::kMaintenance,
-                       entry.postings.size(), /*hops=*/1);
-    }
   }
 }
 
 std::vector<PeerId> DistributedGlobalIndex::HoldersFor(
     uint64_t key_hash) const {
-  std::vector<PeerId> holders;
-  holders.push_back(overlay_->Responsible(key_hash));
-  const size_t want = std::min<size_t>(res_.replication, overlay_->num_peers());
-  uint64_t h = key_hash;
-  // Salted re-hash walk; the guard bounds the walk when the overlay has
-  // few peers and the hash keeps landing on holders we already have.
-  for (int guard = 0; holders.size() < want && guard < 64; ++guard) {
-    h = Mix64(h ^ 0x5245504c49434133ULL);  // "REPLICA3"
-    const PeerId candidate = overlay_->Responsible(h);
-    if (std::find(holders.begin(), holders.end(), candidate) ==
-        holders.end()) {
-      holders.push_back(candidate);
-    }
-  }
-  return holders;
+  return dht::ReplicaHolders(*overlay_, key_hash, res_.replication);
 }
 
 void DistributedGlobalIndex::DrainRedelivery(Shard& shard,
@@ -431,10 +458,34 @@ uint64_t DistributedGlobalIndex::EraseKeysContaining(TermId t) {
         auto it = fragment.find_hashed(key_hash, key);
         if (it != fragment.end()) fragment.erase(it);
       }
-      // Replica copies of the erased key disappear with it.
-      for (auto& replica : shard.replicas) {
-        auto it = replica.find_hashed(key_hash, key);
-        if (it != replica.end()) replica.erase(it);
+      if (res_.replication > 1 &&
+          res_.sync.mode != sync::SyncMode::kOff) {
+        // Sync modes: dropping a replica copy takes one best-effort
+        // forget notice per holder. A LOST notice leaves the copy stale
+        // — the classic silent-divergence source the anti-entropy sweep
+        // exists to heal.
+        net::Channel channel(traffic_, res_);
+        const std::vector<PeerId> holders = HoldersFor(key_hash);
+        for (size_t h = 1; h < holders.size(); ++h) {
+          const PeerId holder = holders[h];
+          if (holder >= shard.replicas.size()) continue;
+          const net::SendOutcome sent =
+              channel.Send(owner, holder, net::MessageKind::kReplicaForget,
+                           /*postings=*/0, /*hops=*/1, key_hash);
+          if (!sent.delivered) {
+            missed_replica_forgets_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          auto& replica = shard.replicas[holder];
+          auto it = replica.find_hashed(key_hash, key);
+          if (it != replica.end()) replica.erase(it);
+        }
+      } else {
+        // Replica copies of the erased key disappear with it.
+        for (auto& replica : shard.replicas) {
+          auto it = replica.find_hashed(key_hash, key);
+          if (it != replica.end()) replica.erase(it);
+        }
       }
       // Swap-remove: the entry moved into `pos` is examined next.
       shard.ledger.erase(shard.ledger.begin() + pos);
@@ -464,6 +515,8 @@ void DistributedGlobalIndex::Retruncate(const HdkParams& params,
 
 uint64_t DistributedGlobalIndex::OnOverlayGrown() {
   EnsureCapacity();
+  const bool sync_mode =
+      res_.replication > 1 && res_.sync.mode != sync::SyncMode::kOff;
   // Re-placement moves keys between PEER slots but never between shards
   // (the shard is derived from the key's placement hash, not the peer),
   // so each shard migrates independently.
@@ -494,11 +547,15 @@ uint64_t DistributedGlobalIndex::OnOverlayGrown() {
         ++migrated[s];
       }
     }
-    // The salted replica placement changed with the overlay: re-derive
-    // this shard's copies from the migrated primaries (placement
-    // bookkeeping, no extra traffic beyond the handovers above).
-    RebuildReplicasShard(shard);
+    // The salted replica placement changed with the overlay: under kOff
+    // re-derive this shard's copies from the migrated primaries
+    // (placement bookkeeping, no extra traffic beyond the handovers
+    // above); under sync modes the stale copies are left in place and
+    // the recorded reconciliation below repairs exactly the keys whose
+    // holders changed.
+    if (!sync_mode) RebuildReplicasShard(shard);
   });
+  if (sync_mode) ReconcileReplicas(/*record_traffic=*/true);
   uint64_t total = 0;
   for (uint64_t m : migrated) total += m;
   return total;
@@ -510,6 +567,13 @@ DistributedGlobalIndex::DepartureBaseline DistributedGlobalIndex::
   baseline.departed = departing;
   assert(overlay_->num_peers() >= 2);
   assert(departing < overlay_->num_peers());
+  // Sync modes: the surviving holders keep their replica state through
+  // the replay (the replay's publishes defer replica pushes), so
+  // FinishDeparture can RECONCILE the kept copies against the rebuilt
+  // fragments — shipping only what the departure actually changed —
+  // instead of re-deriving every copy.
+  replica_defer_ =
+      res_.replication > 1 && res_.sync.mode != sync::SyncMode::kOff;
 
   // The departed peer's ledger share vanishes with it (in the real
   // network its data simply stops being re-served); surviving
@@ -542,7 +606,16 @@ DistributedGlobalIndex::DepartureBaseline DistributedGlobalIndex::
       }
     }
     shard.fragments.clear();
-    shard.replicas.clear();  // replay publishes re-derive the copies
+    if (replica_defer_) {
+      // Drop the departed holder's slot; ids above it renumber down by
+      // one, mirroring the overlay's renumbering. Entries stay attached
+      // to their physical peers.
+      if (departing < shard.replicas.size()) {
+        shard.replicas.erase(shard.replicas.begin() + departing);
+      }
+    } else {
+      shard.replicas.clear();  // replay publishes re-derive the copies
+    }
     for (auto& [key, ledger] : shard.ledger) {
       assert(key.size() >= 1 && key.size() <= s_max);
       for (Contribution& c : ledger.contributions) {
@@ -645,6 +718,11 @@ DistributedGlobalIndex::DepartureOutcome DistributedGlobalIndex::
   // dropped by the (old) owners without traffic.
   for (const auto& [key, entry] : baseline.published) {
     if (Peek(key) == nullptr) ++outcome.erased_keys;
+  }
+
+  if (replica_defer_) {
+    replica_defer_ = false;
+    outcome.replica_sync = ReconcileReplicas(/*record_traffic=*/true);
   }
   return outcome;
 }
@@ -754,6 +832,333 @@ void DistributedGlobalIndex::RebuildReplicas() {
   ParallelForEach(pool_, shards_.size(), [&](size_t i) {
     RebuildReplicasShard(*shards_[i]);
   });
+}
+
+sync::SyncStats DistributedGlobalIndex::ReconcileReplicas(
+    bool record_traffic) {
+  sync::SyncStats stats;
+  if (res_.replication <= 1 || overlay_->num_peers() < 2) return stats;
+  EnsureCapacity();
+  ++sync_epoch_;
+  sync::SyncConfig cfg = res_.sync;
+  // An explicit sweep on a kOff engine still reconciles — via the sketch
+  // protocol (this is what RunAntiEntropy on a default engine does).
+  if (cfg.mode == sync::SyncMode::kOff) cfg.mode = sync::SyncMode::kIbf;
+
+  const size_t num_peers = overlay_->num_peers();
+  // Holder-parallel workers write shard.replicas[h] without resizing.
+  for (auto& shard : shards_) {
+    if (shard->replicas.size() < num_peers) shard->replicas.resize(num_peers);
+  }
+
+  // One replica slot, seen from either side of a pair. The TermKey rides
+  // BY VALUE: applying a plan erases flat-map entries, which invalidates
+  // references into the maps.
+  struct Rec {
+    PeerId primary;
+    uint64_t key_hash;
+    uint64_t digest;
+    uint32_t shard;
+    uint64_t postings;
+    hdk::TermKey key;
+  };
+
+  // Phase 1 (shard-parallel): collect what each holder SHOULD store
+  // (desired: fragments x salted placement) and what it DOES store
+  // (actual: the replica maps).
+  struct Side {
+    std::vector<std::vector<Rec>> desired;  // per holder
+    std::vector<std::vector<Rec>> actual;
+  };
+  std::vector<Side> parts(shards_.size());
+  ParallelForEach(pool_, shards_.size(), [&](size_t s) {
+    Shard& shard = *shards_[s];
+    Side& part = parts[s];
+    part.desired.resize(num_peers);
+    part.actual.resize(num_peers);
+    for (PeerId owner = 0; owner < shard.fragments.size(); ++owner) {
+      const auto& fragment = shard.fragments[owner];
+      for (size_t pos = 0; pos < fragment.size(); ++pos) {
+        const auto& [key, entry] = fragment.entry(pos);
+        const uint64_t key_hash = fragment.hash_at(pos);
+        const std::vector<PeerId> holders = HoldersFor(key_hash);
+        for (size_t i = 1; i < holders.size(); ++i) {
+          part.desired[holders[i]].push_back(
+              Rec{holders[0], key_hash, EntryDigest(key_hash, entry),
+                  static_cast<uint32_t>(s), entry.postings.size(), key});
+        }
+      }
+    }
+    const size_t tracked = std::min<size_t>(shard.replicas.size(), num_peers);
+    for (PeerId holder = 0; holder < tracked; ++holder) {
+      const auto& replica = shard.replicas[holder];
+      for (size_t pos = 0; pos < replica.size(); ++pos) {
+        const auto& [key, entry] = replica.entry(pos);
+        const uint64_t key_hash = replica.hash_at(pos);
+        part.actual[holder].push_back(
+            Rec{overlay_->Responsible(key_hash), key_hash,
+                EntryDigest(key_hash, entry), static_cast<uint32_t>(s),
+                entry.postings.size(), key});
+      }
+    }
+  });
+
+  // Serial regroup per holder, then sort (primary, digest): the per-pair
+  // digest sets become contiguous runs, identical for every shard/thread
+  // count.
+  std::vector<std::vector<Rec>> desired(num_peers), actual(num_peers);
+  for (Side& part : parts) {
+    for (size_t h = 0; h < num_peers; ++h) {
+      std::move(part.desired[h].begin(), part.desired[h].end(),
+                std::back_inserter(desired[h]));
+      std::move(part.actual[h].begin(), part.actual[h].end(),
+                std::back_inserter(actual[h]));
+    }
+  }
+  auto by_pair = [](const Rec& a, const Rec& b) {
+    return std::tie(a.primary, a.digest, a.key_hash) <
+           std::tie(b.primary, b.digest, b.key_hash);
+  };
+
+  // Phase 2 (holder-parallel): reconcile each (primary, holder) pair.
+  // Worker h mutates only shard.replicas[h] (fragments are read-only),
+  // so workers never touch the same map; fault decisions are pure hashes
+  // salted by (epoch, pair, leg), so the outcome is thread-independent.
+  std::vector<sync::SyncStats> partials(num_peers);
+  ParallelForEach(pool_, num_peers, [&](size_t h) {
+    std::vector<Rec>& want = desired[h];
+    std::vector<Rec>& have = actual[h];
+    std::sort(want.begin(), want.end(), by_pair);
+    std::sort(have.begin(), have.end(), by_pair);
+    sync::SyncStats& part = partials[h];
+    net::Channel channel(traffic_, res_);
+    const PeerId holder = static_cast<PeerId>(h);
+
+    auto find_by_digest = [](const std::vector<Rec>& recs, size_t begin,
+                             size_t end, uint64_t digest) -> const Rec* {
+      for (size_t i = begin; i < end; ++i) {
+        if (recs[i].digest == digest) return &recs[i];
+      }
+      return nullptr;
+    };
+    auto erase_actual = [&](const Rec& rec) {
+      auto& replica = shards_[rec.shard]->replicas[holder];
+      auto it = replica.find_hashed(rec.key_hash, rec.key);
+      if (it != replica.end()) replica.erase(it);
+    };
+    auto ship_desired = [&](const Rec& rec) {
+      const auto& fragment = shards_[rec.shard]->fragments[rec.primary];
+      auto src = fragment.find_hashed(rec.key_hash, rec.key);
+      assert(src != fragment.end());
+      shards_[rec.shard]
+          ->replicas[holder]
+          .try_emplace_hashed(rec.key_hash, rec.key)
+          .first->second = src->second;
+    };
+
+    size_t wi = 0, ai = 0;
+    while (wi < want.size() || ai < have.size()) {
+      // Next pair = smallest primary present on either side.
+      PeerId primary;
+      if (wi < want.size() && ai < have.size()) {
+        primary = std::min(want[wi].primary, have[ai].primary);
+      } else if (wi < want.size()) {
+        primary = want[wi].primary;
+      } else {
+        primary = have[ai].primary;
+      }
+      const size_t wbegin = wi, abegin = ai;
+      while (wi < want.size() && want[wi].primary == primary) ++wi;
+      while (ai < have.size() && have[ai].primary == primary) ++ai;
+
+      ++part.pairs_checked;
+      if (res_.injector != nullptr && res_.injector->active() &&
+          (res_.injector->PeerDead(primary) ||
+           res_.injector->PeerDead(holder))) {
+        ++part.pairs_unreachable;
+        continue;
+      }
+
+      std::vector<uint64_t> want_digests, have_digests;
+      want_digests.reserve(wi - wbegin);
+      have_digests.reserve(ai - abegin);
+      uint64_t want_postings = 0;
+      for (size_t i = wbegin; i < wi; ++i) {
+        want_digests.push_back(want[i].digest);
+        want_postings += want[i].postings;
+      }
+      for (size_t i = abegin; i < ai; ++i) {
+        have_digests.push_back(have[i].digest);
+      }
+      const bool diverged = want_digests != have_digests;  // both sorted
+
+      const uint64_t pair_salt = Mix64(HashCombine(
+          HashCombine(0x53594e43ULL, sync_epoch_),
+          (static_cast<uint64_t>(primary) << 32) | holder));
+      // One leg of the exchange: reliable (retried), atomically gating
+      // the pair — if it stays undelivered the pair is skipped whole.
+      auto leg = [&](PeerId src, PeerId dst, net::MessageKind kind,
+                     uint64_t postings, uint64_t leg_idx,
+                     uint64_t extra_bytes) {
+        if (!record_traffic) return true;
+        const net::SendOutcome sent =
+            channel.SendReliable(src, dst, kind, postings, /*hops=*/1,
+                                 pair_salt + leg_idx, extra_bytes);
+        part.messages += 1 + sent.retries;
+        return sent.delivered;
+      };
+      auto full_sync = [&] {
+        if (!leg(primary, holder, net::MessageKind::kSyncFull, want_postings,
+                 /*leg_idx=*/9, /*extra_bytes=*/8 * want_digests.size())) {
+          ++part.pairs_unreachable;
+          return;
+        }
+        if (diverged) ++part.pairs_diverged;
+        ++part.full_syncs;
+        part.full_keys += want_digests.size();
+        part.full_postings += want_postings;
+        for (size_t i = abegin; i < ai; ++i) erase_actual(have[i]);
+        for (size_t i = wbegin; i < wi; ++i) ship_desired(want[i]);
+      };
+
+      if (cfg.mode == sync::SyncMode::kFull) {
+        full_sync();
+        continue;
+      }
+
+      // kIbf: the exchange is computed locally by the planner; the legs
+      // below bill exactly what would travel, and any lost leg aborts
+      // the pair with nothing applied.
+      const sync::PairPlan plan =
+          sync::PlanPairSync(want_digests, have_digests, cfg);
+      const uint64_t ibf_bytes =
+          static_cast<uint64_t>(plan.ibf_cells) * sync::Ibf::kCellBytes;
+      const uint64_t strata_bytes = plan.sketch_bytes - ibf_bytes;
+      part.estimated_diff += plan.estimated_diff;
+
+      // Leg 1: holder -> primary, the holder's strata estimator.
+      if (!leg(holder, primary, net::MessageKind::kSyncStrata, 0,
+               /*leg_idx=*/1, strata_bytes)) {
+        ++part.pairs_unreachable;
+        continue;
+      }
+      ++part.sketch_messages;
+      part.sketch_bytes += strata_bytes;
+
+      // Leg 2: primary -> holder, the difference IBF (skipped when the
+      // strata already proved the pair identical).
+      if (plan.ibf_cells > 0) {
+        if (!leg(primary, holder, net::MessageKind::kSyncIbf, 0,
+                 /*leg_idx=*/2, ibf_bytes)) {
+          ++part.pairs_unreachable;
+          continue;
+        }
+        ++part.sketch_messages;
+        part.sketch_bytes += ibf_bytes;
+      }
+
+      if (!plan.ok) {
+        full_sync();  // decode failed: deterministic degrade, no decode risk
+        continue;
+      }
+      part.decoded_diff += plan.ship.size() + plan.drop.size();
+      if (plan.ship.empty() && plan.drop.empty()) continue;  // in sync
+
+      ++part.pairs_diverged;
+      uint64_t ship_postings = 0;
+      std::vector<const Rec*> ship_recs, drop_recs;
+      ship_recs.reserve(plan.ship.size());
+      drop_recs.reserve(plan.drop.size());
+      bool resolved = true;
+      for (uint64_t digest : plan.ship) {
+        const Rec* rec = find_by_digest(want, wbegin, wi, digest);
+        if (rec == nullptr) { resolved = false; break; }
+        ship_recs.push_back(rec);
+        ship_postings += rec->postings;
+      }
+      for (uint64_t digest : plan.drop) {
+        const Rec* rec = find_by_digest(have, abegin, ai, digest);
+        if (rec == nullptr) { resolved = false; break; }
+        drop_recs.push_back(rec);
+      }
+      if (!resolved) {
+        // A decoded digest matching neither side should be impossible
+        // past the planner's checksum — degrade to full sync regardless.
+        full_sync();
+        continue;
+      }
+      // Leg 3: holder -> primary, the decoded want-list (key digests);
+      // leg 4: primary -> holder, the missing postings.
+      if (!plan.ship.empty()) {
+        if (!leg(holder, primary, net::MessageKind::kSyncDelta, 0,
+                 /*leg_idx=*/3, 8 * plan.ship.size()) ||
+            !leg(primary, holder, net::MessageKind::kSyncDelta, ship_postings,
+                 /*leg_idx=*/4, 0)) {
+          ++part.pairs_unreachable;
+          continue;
+        }
+      }
+      // Drops first: a stale-content key appears in both lists (old
+      // digest dropped, fresh digest shipped).
+      for (const Rec* rec : drop_recs) erase_actual(*rec);
+      for (const Rec* rec : ship_recs) ship_desired(*rec);
+      part.delta_keys += plan.ship.size();
+      part.delta_postings += ship_postings;
+      part.dropped_keys += plan.drop.size();
+    }
+  });
+
+  for (const sync::SyncStats& part : partials) stats.Add(part);
+  sync_stats_.Add(stats);
+  return stats;
+}
+
+uint64_t DistributedGlobalIndex::CountReplicaDivergence() const {
+  if (res_.replication <= 1) return 0;
+  // Symmetric difference between the (holder, key_hash, digest) slot set
+  // RebuildReplicas would derive and the one the replica maps hold: a
+  // missing or extra copy counts 1, a stale-content copy counts 2 (its
+  // old and new digests each differ).
+  std::vector<std::tuple<PeerId, uint64_t, uint64_t>> want, have;
+  for (const auto& shard : shards_) {
+    for (PeerId owner = 0; owner < shard->fragments.size(); ++owner) {
+      const auto& fragment = shard->fragments[owner];
+      for (size_t pos = 0; pos < fragment.size(); ++pos) {
+        const uint64_t key_hash = fragment.hash_at(pos);
+        const uint64_t digest =
+            EntryDigest(key_hash, fragment.entry(pos).second);
+        const std::vector<PeerId> holders = HoldersFor(key_hash);
+        for (size_t i = 1; i < holders.size(); ++i) {
+          want.emplace_back(holders[i], key_hash, digest);
+        }
+      }
+    }
+    for (PeerId holder = 0; holder < shard->replicas.size(); ++holder) {
+      const auto& replica = shard->replicas[holder];
+      for (size_t pos = 0; pos < replica.size(); ++pos) {
+        const uint64_t key_hash = replica.hash_at(pos);
+        have.emplace_back(holder, key_hash,
+                          EntryDigest(key_hash, replica.entry(pos).second));
+      }
+    }
+  }
+  std::sort(want.begin(), want.end());
+  std::sort(have.begin(), have.end());
+  uint64_t divergent = 0;
+  size_t wi = 0, ai = 0;
+  while (wi < want.size() || ai < have.size()) {
+    if (ai >= have.size() || (wi < want.size() && want[wi] < have[ai])) {
+      ++divergent;
+      ++wi;
+    } else if (wi >= want.size() || have[ai] < want[wi]) {
+      ++divergent;
+      ++ai;
+    } else {
+      ++wi;
+      ++ai;
+    }
+  }
+  return divergent;
 }
 
 const hdk::KeyEntry* DistributedGlobalIndex::Peek(

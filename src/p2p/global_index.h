@@ -62,6 +62,7 @@
 #include "index/posting.h"
 #include "net/fault.h"
 #include "net/traffic.h"
+#include "sync/sync.h"
 
 namespace hdk::p2p {
 
@@ -135,6 +136,10 @@ class DistributedGlobalIndex {
     uint64_t repaired_keys = 0;
     /// Postings carried by the recorded churn messages.
     uint64_t moved_postings = 0;
+    /// What the post-repair replica reconciliation shipped (sync modes
+    /// only; empty under SyncMode::kOff, where replicas are re-derived
+    /// silently by the replay publishes).
+    sync::SyncStats replica_sync;
   };
 
   /// \param overlay    peer placement/routing; must outlive the index.
@@ -308,6 +313,41 @@ class DistributedGlobalIndex {
   /// overlay restructuring; a no-op when replication == 1.
   void RebuildReplicas();
 
+  // -- anti-entropy replica sync (sync/) --------------------------------
+
+  /// Reconciles every (primary, holder) replica pair against the primary
+  /// fragments using the configured sync mode: kIbf exchanges a strata
+  /// estimator + invertible Bloom filter per pair and ships only the
+  /// decoded difference, falling back to a full bucket re-send when the
+  /// sketch fails to decode; kFull re-ships every pair's whole bucket
+  /// (the baseline). Called with mode kOff (an explicit sweep, e.g.
+  /// RunAntiEntropy on an otherwise silent engine) it reconciles via the
+  /// kIbf protocol. Pairs whose primary or holder is hard-dead, or whose
+  /// exchange loses a leg after retries, are skipped whole — a pair is
+  /// repaired atomically or not at all, so reconciliation can degrade
+  /// but never diverge. Runs holder-parallel on the pool; traffic,
+  /// repairs and stats are deterministic for every thread/shard count.
+  /// The returned per-call stats are also accumulated into sync_stats().
+  sync::SyncStats ReconcileReplicas(bool record_traffic);
+
+  /// Brute-force divergence count (test/diagnostic helper, no traffic):
+  /// the number of (holder, key) replica slots that differ from what
+  /// RebuildReplicas would derive — missing, extra, or stale-content.
+  uint64_t CountReplicaDivergence() const;
+
+  /// Cumulative reconciliation stats across all ReconcileReplicas calls.
+  const sync::SyncStats& sync_stats() const { return sync_stats_; }
+
+  /// Best-effort replica maintenance messages that were lost in flight
+  /// (sync modes under an active fault plan): the divergence
+  /// RunAntiEntropy is there to detect and heal.
+  uint64_t missed_replica_pushes() const {
+    return missed_replica_pushes_.load(std::memory_order_relaxed);
+  }
+  uint64_t missed_replica_forgets() const {
+    return missed_replica_forgets_.load(std::memory_order_relaxed);
+  }
+
   /// Indexing-side losses that became permanent: contributions /
   /// NDK notifications addressed to a hard-dead peer (dropped, the
   /// published index degrades until the peer is evicted and repaired).
@@ -465,6 +505,17 @@ class DistributedGlobalIndex {
   net::Resilience res_;
   std::atomic<uint64_t> lost_contributions_{0};
   std::atomic<uint64_t> lost_notifications_{0};
+  std::atomic<uint64_t> missed_replica_pushes_{0};
+  std::atomic<uint64_t> missed_replica_forgets_{0};
+  /// Set by BeginDeparture under sync modes: the replay's publishes leave
+  /// the surviving replica maps untouched so FinishDeparture can
+  /// RECONCILE them against the rebuilt fragments instead of re-shipping
+  /// everything. Serial sections only.
+  bool replica_defer_ = false;
+  /// Bumped per ReconcileReplicas call; salts the sync message fault
+  /// decisions so successive sweeps draw independent loss outcomes.
+  uint64_t sync_epoch_ = 0;
+  sync::SyncStats sync_stats_;
   /// unique_ptr: Shard holds a mutex and must not move when the vector is
   /// built. Fixed size after construction.
   std::vector<std::unique_ptr<Shard>> shards_;

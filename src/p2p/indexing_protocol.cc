@@ -378,6 +378,7 @@ Status HdkIndexingProtocol::Depart(
   stats_out.migrated_keys = outcome.migrated_keys;
   stats_out.repaired_keys = outcome.repaired_keys;
   stats_out.moved_postings = outcome.moved_postings;
+  stats_out.replica_sync = outcome.replica_sync;
 
   // Keep the published classification counts exact.
   for (uint32_t s = 1; s <= params_.s_max; ++s) {

@@ -135,6 +135,9 @@ struct DepartureStats {
   uint64_t repair_postings = 0;
   /// Survivors that ran targeted delta scans (re-admission only).
   uint64_t rescanned_peers = 0;
+  /// What the post-repair anti-entropy reconciliation shipped (sync
+  /// modes only — see sync/sync.h; all-zero under SyncMode::kOff).
+  sync::SyncStats replica_sync;
 };
 
 /// Runs the indexing protocol over a growing set of peers.

@@ -33,7 +33,11 @@
 namespace hdk::store {
 
 inline constexpr char kSnapshotMagic[4] = {'H', 'D', 'K', 'S'};
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+// Version history:
+//   1  initial format
+//   2  traffic section gained a self-describing message-kind count
+//      (the kind axis grew with the anti-entropy sync kinds)
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /// Section identifiers. Values are part of the wire format; never reuse
 /// a retired one.

@@ -1,0 +1,53 @@
+// Per-pair reconciliation planner.
+//
+// Given the element-digest sets of one replica pair — `desired` (what the
+// primary says the holder should store) and `actual` (what the holder
+// stores) — PlanPairSync runs the full sketch exchange locally and
+// returns either a verified delta plan (ship these, drop those) or
+// ok == false, which the transport layer turns into the full-sync
+// fallback. The plan is only ever correct-or-rejected:
+//
+//   1. strata estimate sizes the difference; an estimate whose IBF would
+//      exceed max_cells rejects immediately,
+//   2. the difference IBF is decoded; a stuck peel rejects,
+//   3. the decoded plan is checksum-verified against both sets
+//      (wrapping sum of mixed digests + element counts); any mismatch —
+//      i.e. the astronomically unlikely wrong decode — rejects.
+//
+// The planner never touches the transport; callers bill the exchange on
+// their own channels using sketch_bytes/ibf_cells from the plan.
+#ifndef HDKP2P_SYNC_RECONCILE_H_
+#define HDKP2P_SYNC_RECONCILE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sync/sync.h"
+
+namespace hdk::sync {
+
+/// Outcome of planning one replica pair.
+struct PairPlan {
+  /// False = IBF path rejected (oversized estimate, stuck decode, or
+  /// checksum mismatch); ship/drop are empty and the caller must full-sync.
+  bool ok = false;
+  uint64_t estimated_diff = 0;
+  /// Payload bytes of the sketches that travelled (strata + IBF).
+  uint64_t sketch_bytes = 0;
+  /// Cells of the difference IBF actually exchanged (0 when rejected
+  /// before the IBF leg).
+  uint32_t ibf_cells = 0;
+  std::vector<uint64_t> ship;  // digests in desired but not actual
+  std::vector<uint64_t> drop;  // digests in actual but not desired
+};
+
+/// Plans the IBF reconciliation of one pair. Digests must be unique
+/// within each span. Deterministic for fixed inputs and config.
+PairPlan PlanPairSync(std::span<const uint64_t> desired,
+                      std::span<const uint64_t> actual,
+                      const SyncConfig& config);
+
+}  // namespace hdk::sync
+
+#endif  // HDKP2P_SYNC_RECONCILE_H_

@@ -46,6 +46,29 @@ TEST(FaultPlanTest, FullSpecParsesAndRoundTrips) {
   EXPECT_EQ(*reparsed, *plan);
 }
 
+TEST(FaultPlanTest, SyncKindOverridesParseAndRoundTrip) {
+  // The replica-maintenance and anti-entropy message kinds are first-
+  // class grammar citizens: scripting their loss is how the sync tests
+  // manufacture divergence.
+  auto plan = FaultPlan::Parse(
+      "loss.ReplicaPush=0.4,loss.ReplicaForget=0.9,loss.SyncStrata=0.1,"
+      "loss.SyncIbf=0.1,loss.SyncDelta=0.1,loss.SyncFull=0.1");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->active());
+  EXPECT_DOUBLE_EQ(plan->LossFor(MessageKind::kReplicaPush), 0.4);
+  EXPECT_DOUBLE_EQ(plan->LossFor(MessageKind::kReplicaForget), 0.9);
+  EXPECT_DOUBLE_EQ(plan->LossFor(MessageKind::kSyncStrata), 0.1);
+  EXPECT_DOUBLE_EQ(plan->LossFor(MessageKind::kSyncIbf), 0.1);
+  EXPECT_DOUBLE_EQ(plan->LossFor(MessageKind::kSyncDelta), 0.1);
+  EXPECT_DOUBLE_EQ(plan->LossFor(MessageKind::kSyncFull), 0.1);
+  // Query/indexing kinds stay on the (zero) global default.
+  EXPECT_DOUBLE_EQ(plan->LossFor(MessageKind::kKeyProbe), 0.0);
+
+  auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok()) << plan->ToString();
+  EXPECT_EQ(*reparsed, *plan);
+}
+
 TEST(FaultPlanTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(FaultPlan::Parse("seed").ok());          // no '='
   EXPECT_FALSE(FaultPlan::Parse("seed=banana").ok());
@@ -204,7 +227,7 @@ TEST(ChannelTest, InactiveInjectorRecordsExactlyOneMessage) {
   FaultInjector injector;
   PeerHealth health;
   for (const Resilience& res :
-       {Resilience{}, Resilience{&injector, &health, {}, 1}}) {
+       {Resilience{}, Resilience{&injector, &health, {}, 1, {}}}) {
     TrafficRecorder fresh;
     fresh.EnsurePeers(4);
     Channel channel(&fresh, res);
@@ -229,7 +252,7 @@ TEST(ChannelTest, SendReliableRetriesThenFailsOverOrDegrades) {
   traffic.EnsurePeers(4);
   FaultInjector injector;
   PeerHealth health;
-  Resilience res{&injector, &health, RetryPolicy{4, 1}, 1};
+  Resilience res{&injector, &health, RetryPolicy{4, 1}, 1, {}};
   Channel channel(&traffic, res);
 
   // A hard-dead destination: the first attempt is recorded (bandwidth is
@@ -274,7 +297,7 @@ TEST(ChannelTest, SendAssuredChargesDeadPeersOneAttempt) {
   TrafficRecorder traffic;
   traffic.EnsurePeers(4);
   FaultInjector injector;
-  Resilience res{&injector, nullptr, RetryPolicy{3, 1}, 1};
+  Resilience res{&injector, nullptr, RetryPolicy{3, 1}, 1, {}};
   Channel channel(&traffic, res);
 
   injector.KillPeer(1);

@@ -2,13 +2,18 @@
 // shape of an engine snapshot file, without needing the config or corpus
 // it was built from.
 //
-//   snapshot_inspect <file.hdks>
+//   snapshot_inspect [-r N] <file.hdks>
 //
 // Everything printed comes from the file alone; the same checksum
 // validation a load performs runs first, so this doubles as an integrity
-// check (`snapshot_inspect file && echo ok`).
+// check (`snapshot_inspect file && echo ok`). With -r N (a replication
+// factor > 1 — runtime config, not persisted), the writer's overlay is
+// reconstructed and each peer's replica-holder load is recomputed from
+// the published key hashes, exactly as the engine derives its replicas.
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.h"
 #include "engine/engine_snapshot.h"
@@ -17,20 +22,33 @@ int main(int argc, char** argv) {
   using namespace hdk;
   SetLogLevel(LogLevel::kWarning);
 
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <snapshot.hdks>\n", argv[0]);
+  uint32_t replication = 1;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-r") == 0 && i + 1 < argc) {
+      replication = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (replication < 1) replication = 1;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s [-r N] <snapshot.hdks>\n", argv[0]);
     return 2;
   }
 
-  auto described = engine::DescribeEngineSnapshot(argv[1]);
+  auto described = engine::DescribeEngineSnapshot(path, replication);
   if (!described.ok()) {
-    std::fprintf(stderr, "%s: %s\n", argv[1],
+    std::fprintf(stderr, "%s: %s\n", path,
                  described.status().ToString().c_str());
     return 1;
   }
   const engine::SnapshotDescription& d = *described;
 
-  std::printf("snapshot %s\n", argv[1]);
+  std::printf("snapshot %s\n", path);
   std::printf("  format version %" PRIu32 " | %" PRIu64 " bytes\n",
               d.format_version, d.file_size);
   std::printf("  config hash %016" PRIx64 " | store hash %016" PRIx64 "\n",
@@ -67,5 +85,25 @@ int main(int argc, char** argv) {
   }
   std::printf("\ntotal: %" PRIu64 " keys | %" PRIu64 " ledger postings\n",
               keys, postings);
+
+  if (!d.replica_keys_per_peer.empty()) {
+    std::printf("\nreplica holders (replication %" PRIu32 "):\n",
+                d.replication);
+    std::printf("%6s %14s\n", "peer", "replica_keys");
+    uint64_t total_slots = 0, max_slots = 0;
+    for (size_t p = 0; p < d.replica_keys_per_peer.size(); ++p) {
+      std::printf("%6zu %14" PRIu64 "\n", p, d.replica_keys_per_peer[p]);
+      total_slots += d.replica_keys_per_peer[p];
+      if (d.replica_keys_per_peer[p] > max_slots) {
+        max_slots = d.replica_keys_per_peer[p];
+      }
+    }
+    const double mean =
+        static_cast<double>(total_slots) /
+        static_cast<double>(d.replica_keys_per_peer.size());
+    std::printf("total %" PRIu64 " replica slots | mean %.1f | max %" PRIu64
+                " per peer\n",
+                total_slots, mean, max_slots);
+  }
   return 0;
 }
