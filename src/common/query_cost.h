@@ -39,6 +39,19 @@ struct QueryCost {
   uint64_t failovers = 0;
   uint64_t keys_unreachable = 0;
   uint64_t latency_ticks = 0;
+  /// Tail-latency armor counters (all zero with the default knobs):
+  /// hedged replica reads fired after SearchOptions::hedge_delay_ticks
+  /// without a delivered primary response, hedges whose replica answer
+  /// won the race, fetch legs skipped because the holder's circuit
+  /// breaker was open (net::CircuitBreakerBank), queries whose
+  /// SearchOptions::deadline_ticks budget ran out (1 on such a query's
+  /// cost; the response is partial and explicitly degraded), and queries
+  /// shed by the batch admission gate (1; see SearchResponse::shed).
+  uint64_t hedges_fired = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t breaker_short_circuits = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t shed = 0;
 
   QueryCost& operator+=(const QueryCost& other) {
     keys_fetched += other.keys_fetched;
@@ -53,6 +66,11 @@ struct QueryCost {
     failovers += other.failovers;
     keys_unreachable += other.keys_unreachable;
     latency_ticks += other.latency_ticks;
+    hedges_fired += other.hedges_fired;
+    hedge_wins += other.hedge_wins;
+    breaker_short_circuits += other.breaker_short_circuits;
+    deadline_exceeded += other.deadline_exceeded;
+    shed += other.shed;
     return *this;
   }
 

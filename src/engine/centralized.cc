@@ -69,7 +69,9 @@ Status CentralizedBm25Engine::IndexRange(DocId first, DocId last) {
 }
 
 SearchResponse CentralizedBm25Engine::Search(std::span<const TermId> query,
-                                             size_t k, PeerId /*origin*/) {
+                                             size_t k,
+                                             const SearchOptions& /*options*/,
+                                             PeerId /*origin*/) {
   index::Bm25Searcher searcher(index_, params_);
   SearchResponse response;
   response.results = searcher.Search(query, k);

@@ -50,9 +50,12 @@ class CentralizedBm25Engine : public SearchEngine {
   std::string_view name() const override { return "centralized"; }
 
   /// Top-k BM25 retrieval (disjunctive). `origin` is ignored — there are
-  /// no peers.
+  /// no peers — and so are the overload options: with no network there is
+  /// no simulated clock to budget or hedge against.
   SearchResponse Search(std::span<const TermId> query, size_t k,
-                        PeerId origin = kInvalidPeer) override;
+                        const SearchOptions& options, PeerId origin) override;
+  using SearchEngine::Search;
+  using SearchEngine::SearchBatch;
 
   /// Joins index the new document ranges, departures drop the departed
   /// logical peer's range from the index: the centralized reference keeps

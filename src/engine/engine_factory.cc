@@ -186,6 +186,9 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
       hdk.retry = config.retry;
       hdk.replication = config.replication;
       hdk.sync = config.sync;
+      hdk.breaker = config.breaker;
+      hdk.admission = config.admission;
+      hdk.maintenance = config.maintenance;
       HDK_ASSIGN_OR_RETURN(
           std::unique_ptr<HdkSearchEngine> engine,
           HdkSearchEngine::Build(hdk, store, std::move(peer_ranges)));
@@ -198,6 +201,7 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
       st.num_threads = config.num_threads;
       st.faults = config.faults;
       st.retry = config.retry;
+      st.admission = config.admission;
       HDK_ASSIGN_OR_RETURN(
           std::unique_ptr<SingleTermEngine> engine,
           SingleTermEngine::Build(st, store, std::move(peer_ranges)));
@@ -273,6 +277,9 @@ Result<std::unique_ptr<SearchEngine>> MakeEngine(
   hdk.retry = config.retry;
   hdk.replication = config.replication;
   hdk.sync = config.sync;
+  hdk.breaker = config.breaker;
+  hdk.admission = config.admission;
+  hdk.maintenance = config.maintenance;
   HDK_ASSIGN_OR_RETURN(std::unique_ptr<HdkSearchEngine> engine,
                        LoadEngineSnapshot(hdk, store, snapshot.path));
   return ApplyEngineDecorators(spec, config,

@@ -30,9 +30,10 @@ Result<std::unique_ptr<HdkSearchEngine>> HdkSearchEngine::Build(
   // absorbed by the protocol's redelivery path, so the published index
   // is identical to a fault-free build whenever no peer dies for good.
   engine->injector_.Install(config.faults);
+  engine->breaker_.Configure(config.breaker);
   const net::Resilience resilience{&engine->injector_, &engine->health_,
-                                   config.retry, config.replication,
-                                   config.sync};
+                                   &engine->breaker_, config.retry,
+                                   config.replication, config.sync};
   engine->protocol_ = std::make_unique<p2p::HdkIndexingProtocol>(
       config.hdk, store, engine->overlay_.get(), engine->traffic_.get(),
       engine->pool_.get(), resilience);
@@ -102,6 +103,7 @@ Status HdkSearchEngine::ApplyDeparture(PeerId peer) {
         // a scripted death of peer 7 now concerns peer 6).
         injector_.OnPeerRemoved(peer);
         health_.OnPeerRemoved(peer);
+        breaker_.OnPeerRemoved(peer);
         return status;
       },
       &departure));
@@ -113,6 +115,18 @@ Status HdkSearchEngine::ApplyDeparture(PeerId peer) {
 Result<sync::SyncStats> HdkSearchEngine::RunAntiEntropy() {
   if (config_.replication <= 1) return sync::SyncStats{};
   return global_->ReconcileReplicas(/*record_traffic=*/true);
+}
+
+void HdkSearchEngine::NoteMaintenanceEvents(uint64_t n) {
+  if (config_.maintenance.sweep_every_events == 0) return;
+  maintenance_events_ += n;
+  if (maintenance_events_ < config_.maintenance.sweep_every_events) return;
+  maintenance_events_ = 0;
+  // An unreplicated engine has no replica pairs to reconcile; the
+  // cadence still resets so enabling replication later starts fresh.
+  if (config_.replication <= 1) return;
+  last_maintenance_sweep_ = global_->ReconcileReplicas(/*record_traffic=*/true);
+  ++maintenance_sweeps_;
 }
 
 Result<size_t> HdkSearchEngine::EvictDeadPeers(
@@ -161,15 +175,19 @@ Status HdkSearchEngine::ApplyMembership(
       stats_->average_document_length(), traffic_.get());
   // Keep the query-origin rotation inside the live peer set.
   next_origin_.Clamp(num_peers());
+  // Membership events drive the background maintenance cadence (off by
+  // default): after N of them the engine sweeps its replica pairs.
+  NoteMaintenanceEvents(events.size());
   return Status::OK();
 }
 
 SearchResponse HdkSearchEngine::Search(std::span<const TermId> query,
-                                       size_t k, PeerId origin) {
+                                       size_t k, const SearchOptions& options,
+                                       PeerId origin) {
   // With an explicit origin this mutates nothing — SearchBatch relies on
   // that to fan queries out across the pool.
   if (origin == kInvalidPeer) origin = AcquireOrigin();
-  return retriever_->Search(origin, query, k);
+  return retriever_->Search(origin, query, k, options);
 }
 
 double HdkSearchEngine::StoredPostingsPerPeer() const {

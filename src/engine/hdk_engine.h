@@ -27,6 +27,7 @@
 #include "engine/overlay_factory.h"
 #include "engine/partition.h"
 #include "engine/search_engine.h"
+#include "net/breaker.h"
 #include "net/fault.h"
 #include "net/traffic.h"
 #include "p2p/global_index.h"
@@ -77,6 +78,15 @@ struct HdkEngineConfig {
   /// snapshot config hash for the same reason as `faults`: sync modes
   /// perturb repair transport, never the published index.
   sync::SyncConfig sync;
+  /// Per-peer circuit breakers on the query fetch path (see
+  /// net/breaker.h); disabled by default.
+  net::BreakerConfig breaker;
+  /// Batch admission gate / load shedding (see AdmissionConfig in
+  /// engine/search_engine.h); off by default.
+  AdmissionConfig admission;
+  /// Event-driven anti-entropy cadence (see MaintenanceConfig); off by
+  /// default — sweeps stay explicit.
+  MaintenanceConfig maintenance;
 };
 
 /// The assembled HDK P2P retrieval engine.
@@ -93,10 +103,14 @@ class HdkSearchEngine : public SearchEngine {
 
   std::string_view name() const override { return "hdk"; }
 
-  /// Executes a query from `origin` (default: rotates across peers) and
-  /// returns the ranked top-k with cost accounting.
+  /// Executes a query from `origin` (kInvalidPeer rotates across peers)
+  /// and returns the ranked top-k with cost accounting. The options carry
+  /// the per-query deadline budget and hedge delay (see
+  /// common/search_options.h).
   SearchResponse Search(std::span<const TermId> query, size_t k,
-                        PeerId origin = kInvalidPeer) override;
+                        const SearchOptions& options, PeerId origin) override;
+  using SearchEngine::Search;
+  using SearchEngine::SearchBatch;
 
   /// Joins run the delta indexing protocol (new documents indexed,
   /// key-space handover, Ff purge, DFmax reclassification); departures
@@ -124,9 +138,11 @@ class HdkSearchEngine : public SearchEngine {
   }
 
   /// Installs (or replaces) the transport fault plan on the engine's
-  /// own injector — the "faulty:..." spec decorator routes here.
+  /// own injector — the "faulty:..." spec decorator routes here. Counts
+  /// as one maintenance event for the background sweep cadence.
   Status InstallFaultPlan(const net::FaultPlan& plan) override {
     injector_.Install(plan);
+    NoteMaintenanceEvents(1);
     return Status::OK();
   }
 
@@ -141,6 +157,11 @@ class HdkSearchEngine : public SearchEngine {
   /// DistributedGlobalIndex::ReconcileReplicas with recorded traffic; on
   /// a SyncMode::kOff engine the sweep reconciles via the kIbf protocol.
   Result<sync::SyncStats> RunAntiEntropy() override;
+
+  /// The configured batch admission gate (see AdmissionConfig).
+  AdmissionConfig admission_config() const override {
+    return config_.admission;
+  }
 
   // -- HDK-specific observability --------------------------------------
 
@@ -192,6 +213,18 @@ class HdkSearchEngine : public SearchEngine {
   const net::FaultInjector& fault_injector() const { return injector_; }
   const net::PeerHealth& peer_health() const { return health_; }
 
+  /// The per-peer circuit breaker bank (configured from
+  /// HdkEngineConfig::breaker; tests/benches inspect states here).
+  net::CircuitBreakerBank& circuit_breakers() { return breaker_; }
+  const net::CircuitBreakerBank& circuit_breakers() const { return breaker_; }
+
+  /// Background maintenance observability: sweeps the event cadence has
+  /// triggered so far, and what the latest one found/shipped.
+  uint64_t maintenance_sweeps() const { return maintenance_sweeps_; }
+  const sync::SyncStats& last_maintenance_sweep() const {
+    return last_maintenance_sweep_;
+  }
+
   /// Converts every hard-failed peer (the injector reports it dead)
   /// into a standard departure: evicted through ApplyMembership Leave
   /// events in descending peer-id order (so earlier removals don't
@@ -229,12 +262,22 @@ class HdkSearchEngine : public SearchEngine {
   Status ApplyJoinWave(const std::vector<DocRange>& new_ranges);
   Status ApplyDeparture(PeerId peer);
 
+  /// Counts `n` membership/fault events toward the maintenance cadence
+  /// and runs one anti-entropy sweep when the threshold is reached.
+  /// Serial sections only (same contract as RunAntiEntropy).
+  void NoteMaintenanceEvents(uint64_t n);
+
   HdkEngineConfig config_;
   /// Transport fault state, owned by the engine and handed to the
   /// protocol/index as a net::Resilience bundle. Inert (and free) until
   /// a plan is installed.
   net::FaultInjector injector_;
   net::PeerHealth health_;
+  net::CircuitBreakerBank breaker_;
+  /// Maintenance cadence state: events since the last triggered sweep.
+  uint64_t maintenance_events_ = 0;
+  uint64_t maintenance_sweeps_ = 0;
+  sync::SyncStats last_maintenance_sweep_;
   /// Set only on snapshot-restored engines: keeps the snapshot's mmap
   /// alive, because restored posting lists and published-doc lists
   /// borrow their elements straight from the mapped file until first

@@ -31,7 +31,9 @@ void ResultCacheEngine::InsertLocked(CacheKey key,
 }
 
 SearchResponse ResultCacheEngine::Search(std::span<const TermId> query,
-                                         size_t k, PeerId origin) {
+                                         size_t k,
+                                         const SearchOptions& options,
+                                         PeerId origin) {
   CacheKey key{std::vector<TermId>(query.begin(), query.end()), k};
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -45,11 +47,12 @@ SearchResponse ResultCacheEngine::Search(std::span<const TermId> query,
     }
     ++misses_;
   }
-  SearchResponse response = inner_->Search(query, k, origin);
+  SearchResponse response = inner_->Search(query, k, options, origin);
   response.cost.cache_misses = 1;
-  // Never cache a degraded response: its ranking is missing unreachable
-  // keys, and serving it as a hit would outlive the outage.
-  if (!response.degraded) {
+  // Never cache a degraded (or shed) response: its ranking is missing
+  // unreachable keys — or everything — and serving it as a hit would
+  // outlive the outage.
+  if (!response.degraded && !response.shed) {
     std::lock_guard<std::mutex> lock(mu_);
     InsertLocked(std::move(key), response);
   }
@@ -57,7 +60,8 @@ SearchResponse ResultCacheEngine::Search(std::span<const TermId> query,
 }
 
 BatchResponse ResultCacheEngine::SearchBatch(
-    std::span<const corpus::Query> queries, size_t k) {
+    std::span<const corpus::Query> queries, size_t k,
+    const SearchOptions& options) {
   BatchResponse batch;
   batch.responses.resize(queries.size());
   if (queries.empty()) return batch;
@@ -98,22 +102,23 @@ BatchResponse ResultCacheEngine::SearchBatch(
   }
 
   if (!miss_queries.empty()) {
-    BatchResponse inner_batch = inner_->SearchBatch(miss_queries, k);
+    BatchResponse inner_batch = inner_->SearchBatch(miss_queries, k, options);
     for (const auto& [position, miss] : duplicates) {
       batch.responses[position].results =
           inner_batch.responses[miss].results;
       batch.responses[position].cost.cache_hits = 1;
-      // A duplicate of a degraded miss shares its partial ranking —
-      // surface that honestly.
+      // A duplicate of a degraded (or shed) miss shares its partial (or
+      // empty) ranking — surface that honestly.
       batch.responses[position].degraded =
           inner_batch.responses[miss].degraded;
+      batch.responses[position].shed = inner_batch.responses[miss].shed;
     }
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t j = 0; j < miss_index.size(); ++j) {
       SearchResponse& response = inner_batch.responses[j];
       response.cost.cache_misses = 1;
-      // Never cache a degraded response (see Search).
-      if (!response.degraded) {
+      // Never cache a degraded or shed response (see Search).
+      if (!response.degraded && !response.shed) {
         CacheKey key{std::vector<TermId>(miss_queries[j].terms.begin(),
                                          miss_queries[j].terms.end()),
                      k};

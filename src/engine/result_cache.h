@@ -44,17 +44,21 @@ class ResultCacheEngine : public SearchEngine {
 
   /// Cache lookup on (query terms, k); `origin` only matters on a miss
   /// (results are origin-independent — origins shape routing cost, not
-  /// ranking).
+  /// ranking), and so do the overload options (hits never touch the
+  /// network). Degraded and shed responses are never cached.
   SearchResponse Search(std::span<const TermId> query, size_t k,
-                        PeerId origin = kInvalidPeer) override;
+                        const SearchOptions& options, PeerId origin) override;
+  using SearchEngine::Search;
 
   /// Fused batch: hits answer inline, in-batch duplicates of a miss
   /// piggyback on its one execution (they count as hits — nothing extra
   /// travels), the distinct misses run through the inner engine's own
   /// (parallel) SearchBatch, and responses are stitched back in query
-  /// order.
-  BatchResponse SearchBatch(std::span<const corpus::Query> queries,
-                            size_t k) override;
+  /// order. The inner engine's admission gate applies to the distinct
+  /// misses (the actual engine load) — cache hits are admitted for free.
+  BatchResponse SearchBatch(std::span<const corpus::Query> queries, size_t k,
+                            const SearchOptions& options) override;
+  using SearchEngine::SearchBatch;
 
   /// Delegates to the inner engine and invalidates the cache — any
   /// membership change alters the document set, so every cached ranking

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/query_cost.h"
+#include "common/search_options.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
@@ -61,6 +62,30 @@ using index::SearchResponse;
 struct BatchResponse {
   std::vector<SearchResponse> responses;
   QueryCost total;
+};
+
+/// Bounded per-batch admission gate (load shedding). With
+/// max_batch_queries == 0 (default) the gate is off and SearchBatch is
+/// byte-identical to the ungated engine. When a batch exceeds the bound,
+/// the excess queries are SHED before touching the engine: lowest
+/// QueryPriority class first, later batch positions first within a
+/// class (earlier submissions win ties). Shed queries come back with
+/// empty results, SearchResponse::shed set and QueryCost::shed == 1 —
+/// never silently dropped.
+struct AdmissionConfig {
+  uint32_t max_batch_queries = 0;
+
+  bool operator==(const AdmissionConfig&) const = default;
+};
+
+/// Event-driven background maintenance cadence: after every
+/// `sweep_every_events` membership / fault-plan events the engine runs
+/// one RunAntiEntropy() sweep on its own, so replica divergence heals
+/// without explicit calls. 0 = off (sweeps stay explicit, the default).
+struct MaintenanceConfig {
+  uint32_t sweep_every_events = 0;
+
+  bool operator==(const MaintenanceConfig&) const = default;
 };
 
 /// The query-origin rotation shared by the distributed backends. Atomic,
@@ -110,20 +135,41 @@ class SearchEngine {
   /// Executes one query from `origin` and returns the ranked top-k with
   /// unified cost accounting. kInvalidPeer lets the engine pick the origin
   /// (distributed backends rotate across peers; the centralized backend
-  /// has no notion of origin).
+  /// has no notion of origin). `options` carries the per-query overload
+  /// knobs — deadline budget and hedged reads, see
+  /// common/search_options.h; backends without a simulated network
+  /// ignore them. The default-constructed options reproduce the
+  /// pre-overload engine byte for byte.
   virtual SearchResponse Search(std::span<const TermId> query, size_t k,
-                                PeerId origin = kInvalidPeer) = 0;
+                                const SearchOptions& options,
+                                PeerId origin) = 0;
+
+  /// Convenience forms: default options, and options without an origin.
+  SearchResponse Search(std::span<const TermId> query, size_t k,
+                        PeerId origin = kInvalidPeer) {
+    return Search(query, k, SearchOptions{}, origin);
+  }
+  SearchResponse Search(std::span<const TermId> query, size_t k,
+                        const SearchOptions& options) {
+    return Search(query, k, options, kInvalidPeer);
+  }
 
   /// Executes a query workload and aggregates cost — the throughput entry
-  /// point the figure benches run. The default implementation fans the
-  /// queries out across the engine's thread pool (serial when the engine
-  /// was configured with num_threads = 1): origins are pre-assigned in
-  /// query order, each worker chunk accumulates its own QueryCost, and the
-  /// per-chunk costs are reduced in chunk order — so responses AND the
-  /// total are identical to a serial loop over Search(). Backends may
-  /// override with a fused path.
+  /// point the figure benches run. The default implementation first runs
+  /// the admission gate (see AdmissionConfig; off by default), then fans
+  /// the admitted queries out across the engine's thread pool (serial
+  /// when the engine was configured with num_threads = 1): origins are
+  /// pre-assigned in query order, each worker chunk accumulates its own
+  /// QueryCost, and the per-chunk costs are reduced in chunk order — so
+  /// responses AND the total are identical to a serial loop over
+  /// Search(). Backends may override with a fused path.
   virtual BatchResponse SearchBatch(std::span<const corpus::Query> queries,
-                                    size_t k);
+                                    size_t k, const SearchOptions& options);
+
+  BatchResponse SearchBatch(std::span<const corpus::Query> queries,
+                            size_t k) {
+    return SearchBatch(queries, k, SearchOptions{});
+  }
 
   /// Applies a sequence of membership events — the general lifecycle
   /// entry point. Joins index only the document delta (runs of
@@ -201,6 +247,10 @@ class SearchEngine {
     return Status::Unimplemented(
         "this engine backend does not support anti-entropy sync");
   }
+
+  /// The batch admission gate SearchBatch applies (see AdmissionConfig).
+  /// The default — gate off — keeps SearchBatch unbounded.
+  virtual AdmissionConfig admission_config() const { return {}; }
 
  protected:
   /// The shared ApplyMembership skeleton every backend dispatches

@@ -18,9 +18,11 @@ Result<std::unique_ptr<SingleTermEngine>> SingleTermEngine::Build(
       MakeOverlay(config.overlay, peer_ranges.size(), config.overlay_seed);
   engine->traffic_ = std::make_unique<net::TrafficRecorder>();
   engine->injector_.Install(config.faults);
+  engine->config_admission_ = config.admission;
   engine->engine_ = std::make_unique<p2p::SingleTermP2PEngine>(
       engine->overlay_.get(), engine->traffic_.get(),
-      net::Resilience{&engine->injector_, &engine->health_, config.retry,
+      net::Resilience{&engine->injector_, &engine->health_,
+                      /*breaker=*/nullptr, config.retry,
                       /*replication=*/1, /*sync=*/{}});
   HDK_RETURN_NOT_OK(engine->engine_->IndexPeers(
       /*first_peer=*/0, store, peer_ranges, engine->pool_.get()));
@@ -82,7 +84,9 @@ Status SingleTermEngine::ApplyMembership(
 }
 
 SearchResponse SingleTermEngine::Search(std::span<const TermId> query,
-                                        size_t k, PeerId origin) {
+                                        size_t k,
+                                        const SearchOptions& /*options*/,
+                                        PeerId origin) {
   // With an explicit origin this mutates nothing — SearchBatch relies on
   // that to fan queries out across the pool.
   if (origin == kInvalidPeer) origin = AcquireOrigin();

@@ -37,6 +37,9 @@ struct StEngineConfig {
   net::FaultPlan faults;
   /// Retry/backoff budget of failure-aware query messages.
   net::RetryPolicy retry;
+  /// Batch admission gate / load shedding (see AdmissionConfig in
+  /// engine/search_engine.h); off by default.
+  AdmissionConfig admission;
 };
 
 /// Distributed single-term indexing + BM25 retrieval baseline.
@@ -50,12 +53,22 @@ class SingleTermEngine : public SearchEngine {
 
   std::string_view name() const override { return "single-term"; }
 
+  /// Terms are single-homed here, so the hedge knob has nothing to race
+  /// against and is ignored; the deadline budget is likewise ignored (the
+  /// baseline keeps the paper's cost model undisturbed).
   SearchResponse Search(std::span<const TermId> query, size_t k,
-                        PeerId origin = kInvalidPeer) override;
+                        const SearchOptions& options, PeerId origin) override;
+  using SearchEngine::Search;
+  using SearchEngine::SearchBatch;
 
   Status ApplyMembership(const corpus::DocumentStore& store,
                          std::span<const MembershipEvent> events) override;
   using SearchEngine::ApplyMembership;
+
+  /// The configured batch admission gate (see AdmissionConfig).
+  AdmissionConfig admission_config() const override {
+    return config_admission_;
+  }
 
   size_t num_peers() const override { return overlay_->num_peers(); }
   uint64_t num_documents() const override {
@@ -110,6 +123,7 @@ class SingleTermEngine : public SearchEngine {
   /// installed.
   net::FaultInjector injector_;
   net::PeerHealth health_;
+  AdmissionConfig config_admission_;
   const corpus::DocumentStore* store_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;  // nullptr = serial
   std::unique_ptr<dht::Overlay> overlay_;

@@ -17,10 +17,18 @@ struct SearchResponse {
   std::vector<ScoredDoc> results;
   QueryCost cost;
   /// True when at least one lattice key (or query term) was unreachable
-  /// after retries and replica failover — the results cover only the
-  /// surviving keys (cost.keys_unreachable counts the missing ones).
-  /// Always false on a healthy network.
+  /// after retries and replica failover, or the query's deadline budget
+  /// ran out mid-retrieval — the results cover only the keys fetched in
+  /// time (cost.keys_unreachable counts the missing ones). Always false
+  /// on a healthy network with no deadline.
   bool degraded = false;
+  /// True when the batch admission gate rejected this query under
+  /// overload before it touched the engine: results are empty,
+  /// cost.shed == 1, and no network work was done. Shedding is always
+  /// explicit — a query is either answered or flagged, never silently
+  /// dropped. Distinct from `degraded`, which means the query RAN but
+  /// could not fetch everything.
+  bool shed = false;
 };
 
 }  // namespace hdk::index

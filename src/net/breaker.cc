@@ -1,0 +1,102 @@
+#include "net/breaker.h"
+
+namespace hdk::net {
+
+void CircuitBreakerBank::Configure(const BreakerConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  for (Breaker& b : breakers_) b = Breaker{};
+  short_circuits_.store(0, std::memory_order_release);
+  enabled_.store(config_.enabled, std::memory_order_release);
+}
+
+CircuitBreakerBank::Breaker& CircuitBreakerBank::At(PeerId peer) {
+  if (breakers_.size() <= peer) breakers_.resize(peer + 1);
+  return breakers_[peer];
+}
+
+void CircuitBreakerBank::Trip(Breaker& b) {
+  b.state = State::kOpen;
+  b.open_decisions = 0;
+  b.probe_successes = 0;
+}
+
+bool CircuitBreakerBank::ShouldShortCircuit(PeerId peer) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = At(peer);
+  if (b.state != State::kOpen) return false;
+  ++b.open_decisions;
+  const uint32_t cooldown = config_.open_cooldown == 0 ? 1 : config_.open_cooldown;
+  if (b.open_decisions >= cooldown) {
+    // Cadence reached: admit one probe.
+    b.state = State::kHalfOpen;
+    b.probe_successes = 0;
+    return false;
+  }
+  short_circuits_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+void CircuitBreakerBank::OnSuccess(PeerId peer, uint64_t latency_ticks) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = At(peer);
+  b.consecutive_failures = 0;
+  const double sample = static_cast<double>(latency_ticks);
+  b.ewma = b.ewma_valid
+               ? config_.latency_ewma_alpha * sample +
+                     (1.0 - config_.latency_ewma_alpha) * b.ewma
+               : sample;
+  b.ewma_valid = true;
+  if (b.state == State::kHalfOpen) {
+    if (++b.probe_successes >= config_.half_open_successes) {
+      b.state = State::kClosed;
+      b.probe_successes = 0;
+    }
+  }
+  // The latency trip applies in kClosed — including the success that just
+  // closed a half-open breaker, so a revived-but-slow peer re-trips
+  // immediately instead of absorbing a full window of slow traffic.
+  if (b.state == State::kClosed && config_.latency_trip_ticks > 0.0 &&
+      b.ewma > config_.latency_trip_ticks) {
+    Trip(b);
+  }
+}
+
+void CircuitBreakerBank::OnFailure(PeerId peer) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = At(peer);
+  ++b.consecutive_failures;
+  if (b.state == State::kHalfOpen) {
+    Trip(b);  // failed probe: back to open, cadence restarts
+  } else if (b.state == State::kClosed &&
+             b.consecutive_failures >= config_.failure_threshold) {
+    Trip(b);
+  }
+}
+
+CircuitBreakerBank::State CircuitBreakerBank::state(PeerId peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peer < breakers_.size() ? breakers_[peer].state : State::kClosed;
+}
+
+double CircuitBreakerBank::latency_ewma(PeerId peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peer < breakers_.size() ? breakers_[peer].ewma : 0.0;
+}
+
+void CircuitBreakerBank::OnPeerRemoved(PeerId peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (peer < breakers_.size()) {
+    breakers_.erase(breakers_.begin() + peer);
+  }
+}
+
+void CircuitBreakerBank::EnsurePeers(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (breakers_.size() < n) breakers_.resize(n);
+}
+
+}  // namespace hdk::net

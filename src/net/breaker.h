@@ -1,0 +1,126 @@
+// Per-peer circuit breakers for the query send path.
+//
+// A classic closed/open/half-open state machine, fed by the same signals
+// PeerHealth tracks (consecutive send failures) plus a latency EWMA of
+// successful round trips, so a peer that is slow-but-alive can be armored
+// against just like a dead one:
+//
+//   kClosed    normal operation. Trips to kOpen after
+//              `failure_threshold` consecutive failures, or — when
+//              `latency_trip_ticks` > 0 — when the success-latency EWMA
+//              exceeds that bound (the tail-latency trip).
+//   kOpen      legs to the peer are short-circuited straight to replica
+//              failover without recording any message. Every
+//              `open_cooldown`-th short-circuit decision instead lets one
+//              probe through (-> kHalfOpen): a deterministic cadence
+//              counted in decisions, not wall time, so the schedule is
+//              identical at every thread count under serial batches.
+//   kHalfOpen  probes flow normally. `half_open_successes` consecutive
+//              successes close the breaker; any failure re-opens it.
+//
+// The EWMA survives the open/half-open cycle on purpose: a revived but
+// still-slow peer re-trips on its first post-close success, keeping tail
+// latency bounded until the probes observe genuinely fast round trips
+// (the EWMA decays by `latency_ewma_alpha` per success).
+//
+// DETERMINISM: the bank is thread-safe (one mutex), but the half-open
+// cadence and EWMA are fed in call order, which is schedule-dependent
+// inside a parallel SearchBatch. Breakers therefore default to disabled;
+// deterministic tests and benches exercise them on serial batches. A
+// disabled bank never short-circuits and records nothing — byte-identical
+// traffic to the pre-breaker engine.
+#ifndef HDKP2P_NET_BREAKER_H_
+#define HDKP2P_NET_BREAKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hdk::net {
+
+/// Breaker tuning. The default-constructed config is DISABLED.
+struct BreakerConfig {
+  bool enabled = false;
+  /// Consecutive failures that trip kClosed -> kOpen.
+  uint32_t failure_threshold = 4;
+  /// Success-latency EWMA bound (ticks) that trips kClosed -> kOpen;
+  /// 0 = latency never trips (failures only).
+  double latency_trip_ticks = 0.0;
+  /// EWMA smoothing: ewma' = alpha * sample + (1 - alpha) * ewma.
+  double latency_ewma_alpha = 0.2;
+  /// While kOpen, every `open_cooldown`-th ShouldShortCircuit() decision
+  /// admits a half-open probe instead of short-circuiting.
+  uint32_t open_cooldown = 8;
+  /// Consecutive half-open probe successes that close the breaker.
+  uint32_t half_open_successes = 2;
+
+  bool operator==(const BreakerConfig&) const = default;
+};
+
+/// One breaker per peer, lazily grown. See file comment for semantics.
+class CircuitBreakerBank {
+ public:
+  enum class State : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  CircuitBreakerBank() = default;
+  explicit CircuitBreakerBank(const BreakerConfig& config) { Configure(config); }
+
+  /// Replaces the config and resets every breaker to kClosed. Serial
+  /// sections only (between parallel regions).
+  void Configure(const BreakerConfig& config);
+
+  const BreakerConfig& config() const { return config_; }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Decides whether a leg to `peer` should skip straight to failover.
+  /// Mutates the open-state cadence counter (each consult is one tick of
+  /// the deterministic half-open schedule). Always false when disabled.
+  bool ShouldShortCircuit(PeerId peer);
+
+  /// Feeds the outcome of one completed round trip against `peer`.
+  /// `latency_ticks` is the round trip's simulated time (success only).
+  void OnSuccess(PeerId peer, uint64_t latency_ticks);
+  void OnFailure(PeerId peer);
+
+  /// Observability (tests, benches).
+  State state(PeerId peer) const;
+  double latency_ewma(PeerId peer) const;
+  /// Total short-circuit decisions since Configure().
+  uint64_t short_circuits() const {
+    return short_circuits_.load(std::memory_order_acquire);
+  }
+
+  /// Overlay departure renumbering (see FaultInjector::OnPeerRemoved).
+  void OnPeerRemoved(PeerId peer);
+
+  void EnsurePeers(size_t n);
+
+ private:
+  struct Breaker {
+    State state = State::kClosed;
+    uint32_t consecutive_failures = 0;
+    /// kOpen: short-circuit decisions since the breaker opened.
+    uint32_t open_decisions = 0;
+    /// kHalfOpen: consecutive probe successes so far.
+    uint32_t probe_successes = 0;
+    bool ewma_valid = false;
+    double ewma = 0.0;
+  };
+
+  // Callers hold mu_.
+  Breaker& At(PeerId peer);
+  void Trip(Breaker& b);
+
+  BreakerConfig config_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> short_circuits_{0};
+  mutable std::mutex mu_;  // guards breakers_
+  std::vector<Breaker> breakers_;
+};
+
+}  // namespace hdk::net
+
+#endif  // HDKP2P_NET_BREAKER_H_

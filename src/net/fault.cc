@@ -108,6 +108,38 @@ Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
                                        std::string(value) + "'");
       }
       plan.max_latency_ticks = static_cast<uint32_t>(t);
+    } else if (key.starts_with("latency.")) {
+      MessageKind kind;
+      if (!KindFromName(key.substr(8), &kind)) {
+        return Status::InvalidArgument("FaultPlan: unknown message kind '" +
+                                       std::string(key.substr(8)) + "'");
+      }
+      uint64_t t = 0;
+      if (!ParseU64(value, &t) || t > UINT32_MAX) {
+        return Status::InvalidArgument("FaultPlan: bad latency '" +
+                                       std::string(value) + "'");
+      }
+      plan.kind_latency[static_cast<size_t>(kind)] = static_cast<int64_t>(t);
+    } else if (key.starts_with("latency@")) {
+      uint64_t peer = 0;
+      uint64_t t = 0;
+      if (!ParseU64(key.substr(8), &peer) || peer >= kInvalidPeer ||
+          !ParseU64(value, &t) || t > UINT32_MAX) {
+        return Status::InvalidArgument(
+            "FaultPlan: latency@ wants latency@<peer>=<ticks>, got '" +
+            std::string(key) + "=" + std::string(value) + "'");
+      }
+      // Last write wins so a spec can override an earlier entry.
+      PeerLatency entry{static_cast<PeerId>(peer), static_cast<uint32_t>(t)};
+      bool replaced = false;
+      for (PeerLatency& pl : plan.peer_latency) {
+        if (pl.peer == entry.peer) {
+          pl = entry;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) plan.peer_latency.push_back(entry);
     } else if (key == "kill") {
       const size_t at = value.find('@');
       ScriptedDeath death;
@@ -141,6 +173,17 @@ std::string FaultPlan::ToString() const {
   }
   if (max_latency_ticks > 0) {
     out += ",latency=" + std::to_string(max_latency_ticks);
+  }
+  for (size_t k = 0; k < kNumMessageKinds; ++k) {
+    if (kind_latency[k] >= 0) {
+      out += ",latency." +
+             std::string(MessageKindName(static_cast<MessageKind>(k))) + "=" +
+             std::to_string(kind_latency[k]);
+    }
+  }
+  for (const PeerLatency& pl : peer_latency) {
+    out += ",latency@" + std::to_string(pl.peer) + "=" +
+           std::to_string(pl.max_ticks);
   }
   for (const ScriptedDeath& d : deaths) {
     out += ",kill=" + std::to_string(d.peer) + "@" +
@@ -197,11 +240,11 @@ bool FaultInjector::Lost(MessageKind kind, PeerId src, PeerId dst,
 
 uint32_t FaultInjector::LatencyTicks(MessageKind kind, PeerId src, PeerId dst,
                                      uint64_t salt, uint32_t attempt) const {
-  if (plan_.max_latency_ticks == 0) return 0;
+  const uint32_t max = plan_.MaxLatencyFor(kind, dst);
+  if (max == 0) return 0;
   const uint64_t h =
       DecisionHash(kLatencyStream, kind, src, dst, salt, attempt);
-  return static_cast<uint32_t>(
-      h % (static_cast<uint64_t>(plan_.max_latency_ticks) + 1));
+  return static_cast<uint32_t>(h % (static_cast<uint64_t>(max) + 1));
 }
 
 bool FaultInjector::PeerDead(PeerId peer) const {
@@ -252,6 +295,15 @@ void FaultInjector::OnPeerRemoved(PeerId peer) {
     kept.push_back(d);
   }
   plan_.deaths = std::move(kept);
+  // Per-peer latency overrides address ids the same way.
+  std::vector<PeerLatency> kept_latency;
+  kept_latency.reserve(plan_.peer_latency.size());
+  for (PeerLatency pl : plan_.peer_latency) {
+    if (pl.peer == peer) continue;
+    if (pl.peer > peer) --pl.peer;
+    kept_latency.push_back(pl);
+  }
+  plan_.peer_latency = std::move(kept_latency);
 }
 
 void FaultInjector::EnsurePeers(size_t n) {
@@ -333,24 +385,39 @@ SendOutcome Channel::Send(PeerId src, PeerId dst, MessageKind kind,
 
 SendOutcome Channel::SendReliable(PeerId src, PeerId dst, MessageKind kind,
                                   uint64_t postings, uint64_t hops,
-                                  uint64_t salt, uint64_t extra_bytes) const {
+                                  uint64_t salt, uint64_t extra_bytes,
+                                  DeadlineBudget* budget) const {
   SendOutcome out;
   const uint32_t max_attempts = std::max<uint32_t>(1, res_.retry.max_attempts);
   for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
+      if (budget != nullptr && budget->exhausted()) {
+        // The clock ran out before this retry could fire: abandon the
+        // send — the caller returns a partial, explicitly-degraded
+        // answer instead of retrying past the deadline.
+        out.deadline_exhausted = true;
+        break;
+      }
       ++out.retries;
-      out.latency_ticks += static_cast<uint64_t>(res_.retry.backoff_base_ticks)
-                           << (attempt - 1);
+      const uint64_t backoff =
+          static_cast<uint64_t>(res_.retry.backoff_base_ticks)
+          << (attempt - 1);
+      out.latency_ticks += backoff;
+      if (budget != nullptr) budget->Charge(backoff);
     }
+    const uint64_t before = out.latency_ticks;
     if (Attempt(src, dst, kind, postings, hops, salt, attempt,
                 &out.latency_ticks, extra_bytes)) {
+      // The leg that crosses the deadline still completes (its answer is
+      // used); the budget saturates and everything AFTER it degrades.
+      if (budget != nullptr) budget->Charge(out.latency_ticks - before);
       out.delivered = true;
       break;
     }
     // A hard-dead destination fails every attempt; stop burning retries.
     if (PeerDead(dst)) break;
   }
-  if (res_.health != nullptr) {
+  if (res_.health != nullptr && !out.deadline_exhausted) {
     if (out.delivered) {
       res_.health->RecordSuccess(dst);
     } else {

@@ -43,12 +43,15 @@
 #include <string_view>
 #include <vector>
 
+#include "common/search_options.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "net/traffic.h"
 #include "sync/sync.h"
 
 namespace hdk::net {
+
+class CircuitBreakerBank;  // net/breaker.h
 
 /// "peer `peer` dies unannounced after receiving `after_messages`
 /// messages." after_messages == 0 means dead from the start.
@@ -59,20 +62,34 @@ struct ScriptedDeath {
   bool operator==(const ScriptedDeath&) const = default;
 };
 
+/// "every message delivered TO `peer` draws latency from [0, ticks]" —
+/// the per-peer override that scripts one slow holder.
+struct PeerLatency {
+  PeerId peer = kInvalidPeer;
+  uint32_t max_ticks = 0;
+
+  bool operator==(const PeerLatency&) const = default;
+};
+
 /// Declarative fault schedule. Parsed from / serialized to the spec
 /// grammar used by the `faulty:` engine decorator:
 ///
 ///   seed=7,loss=0.01,loss.KeyProbe=0.05,latency=3,kill=2@100
 ///
 /// comma-separated key=value pairs:
-///   seed=N          injector seed (default 0)
-///   loss=P          global loss probability, 0 <= P < 1
-///   loss.<Kind>=P   per-kind override (Kind = MessageKindName, e.g.
-///                   KeyProbe, InsertPostings); falls back to `loss`
-///   latency=T       max added latency ticks per delivered message
-///                   (actual ticks = hash-uniform in [0, T])
-///   kill=X@N        scripted death: peer X dies after receiving N
-///                   messages (repeatable)
+///   seed=N            injector seed (default 0)
+///   loss=P            global loss probability, 0 <= P < 1
+///   loss.<Kind>=P     per-kind override (Kind = MessageKindName, e.g.
+///                     KeyProbe, InsertPostings); falls back to `loss`
+///   latency=T         max added latency ticks per delivered message
+///                     (actual ticks = hash-uniform in [0, T])
+///   latency.<Kind>=T  per-kind max-latency override; falls back to
+///                     `latency`
+///   latency@X=T       per-destination-peer override: every message TO
+///                     peer X draws from [0, T] — the strongest
+///                     precedence, for scripting a single slow holder
+///   kill=X@N          scripted death: peer X dies after receiving N
+///                     messages (repeatable)
 struct FaultPlan {
   uint64_t seed = 0;
   double loss = 0.0;
@@ -83,6 +100,14 @@ struct FaultPlan {
     return a;
   }();
   uint32_t max_latency_ticks = 0;
+  /// Per-kind max-latency override; negative = inherit `latency`.
+  std::array<int64_t, kNumMessageKinds> kind_latency = [] {
+    std::array<int64_t, kNumMessageKinds> a;
+    a.fill(-1);
+    return a;
+  }();
+  /// Per-destination-peer max-latency override (strongest precedence).
+  std::vector<PeerLatency> peer_latency;
   std::vector<ScriptedDeath> deaths;
 
   /// True when this plan can actually perturb traffic.
@@ -91,6 +116,12 @@ struct FaultPlan {
     for (double p : kind_loss) {
       if (p > 0.0) return true;
     }
+    for (int64_t t : kind_latency) {
+      if (t > 0) return true;
+    }
+    for (const PeerLatency& pl : peer_latency) {
+      if (pl.max_ticks > 0) return true;
+    }
     return false;
   }
 
@@ -98,6 +129,16 @@ struct FaultPlan {
   double LossFor(MessageKind kind) const {
     const double p = kind_loss[static_cast<size_t>(kind)];
     return p < 0.0 ? loss : p;
+  }
+
+  /// Effective max latency of a message of `kind` delivered to `dst`:
+  /// per-peer override first, then per-kind, then the global `latency`.
+  uint32_t MaxLatencyFor(MessageKind kind, PeerId dst) const {
+    for (const PeerLatency& pl : peer_latency) {
+      if (pl.peer == dst) return pl.max_ticks;
+    }
+    const int64_t t = kind_latency[static_cast<size_t>(kind)];
+    return t >= 0 ? static_cast<uint32_t>(t) : max_latency_ticks;
   }
 
   /// Parses the spec grammar above. Empty input yields the inert plan.
@@ -218,6 +259,9 @@ class PeerHealth {
 struct Resilience {
   FaultInjector* injector = nullptr;
   PeerHealth* health = nullptr;
+  /// Per-peer circuit breakers consulted by the query fetch path (see
+  /// net/breaker.h); null or disabled = never short-circuit.
+  CircuitBreakerBank* breaker = nullptr;
   RetryPolicy retry;
   /// Number of fragment holders per key (primary + replication-1
   /// salted replicas). 1 = no replication (default).
@@ -234,6 +278,10 @@ struct SendOutcome {
   uint32_t retries = 0;
   /// Injected latency + backoff ticks accrued across attempts.
   uint64_t latency_ticks = 0;
+  /// True when a deadline budget ran out mid-send: the remaining retries
+  /// were abandoned (delivered stays false) and the caller must degrade
+  /// instead of failing over.
+  bool deadline_exhausted = false;
 };
 
 /// The choke point between the protocols and the TrafficRecorder. Cheap
@@ -252,10 +300,17 @@ class Channel {
                    uint64_t extra_bytes = 0) const;
 
   /// Bounded retry with exponential backoff; updates PeerHealth. Query
-  /// path: a round trip that exhausts the budget fails over or degrades.
+  /// path: a round trip that exhausts the retry budget fails over or
+  /// degrades. When `budget` is non-null every injected-latency and
+  /// backoff tick is charged against it, and a retry whose backoff
+  /// drains the budget is abandoned (deadline_exhausted set; PeerHealth
+  /// is NOT penalized — giving up is not evidence of peer failure). An
+  /// unlimited budget (or an inactive injector, which accrues zero
+  /// ticks) never binds.
   SendOutcome SendReliable(PeerId src, PeerId dst, MessageKind kind,
                            uint64_t postings, uint64_t hops, uint64_t salt,
-                           uint64_t extra_bytes = 0) const;
+                           uint64_t extra_bytes = 0,
+                           DeadlineBudget* budget = nullptr) const;
 
   /// Barrier-reliable: delivery is guaranteed unless `dst` is hard-dead
   /// (the level barrier stands in for an ack/timeout protocol), but only

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "common/hash.h"
+#include "net/breaker.h"
 #include "sync/reconcile.h"
 #include "sync/sketch.h"
 
@@ -733,14 +734,15 @@ const hdk::KeyEntry* DistributedGlobalIndex::FetchFrom(
 }
 
 DistributedGlobalIndex::FetchResult DistributedGlobalIndex::FetchFromResilient(
-    PeerId src, const hdk::TermKey& key) const {
+    PeerId src, const hdk::TermKey& key, const FetchOptions& options) const {
   FetchResult result;
   // One Hash64 serves routing, the responsible-peer lookup, the shard
   // choice and the fragment probe.
   const RingId ring_key = key.Hash64();
   if (!FaultsActive()) {
     // Perfect transport: the pre-fault fetch, message for message. (The
-    // primary always answers, so replication never enters the path.)
+    // primary always answers, so replication never enters the path. Zero
+    // simulated time passes, so the deadline and hedge knobs are inert.)
     const PeerId dst = overlay_->Responsible(ring_key);
     const size_t hops = overlay_->Route(src, ring_key);
     traffic_->Record(src, dst, net::MessageKind::kKeyProbe, /*postings=*/0,
@@ -767,32 +769,149 @@ DistributedGlobalIndex::FetchResult DistributedGlobalIndex::FetchFromResilient(
         holders.begin(), holders.end(),
         [&](PeerId p) { return !res_.health->Suspect(p); });
   }
-  bool attempted_any = false;
-  for (PeerId holder : holders) {
-    if (attempted_any) ++result.failovers;
-    attempted_any = true;
+  net::CircuitBreakerBank* breaker = res_.breaker;
+  const bool breakers_on = breaker != nullptr && breaker->enabled();
+
+  // One probe + response round trip against `holder`. The outcome's
+  // ticks are the round trip's simulated completion time; `budget` (when
+  // non-null) is charged leg by leg and aborts retries at exhaustion.
+  struct Leg {
+    bool delivered = false;
+    bool deadline_exhausted = false;
+    uint64_t ticks = 0;
+    const hdk::KeyEntry* entry = nullptr;
+  };
+  auto round_trip = [&](PeerId holder, DeadlineBudget* budget) {
+    Leg leg;
     // The probe routes through the overlay (replica probes are billed
     // the same route: the salted placement is resolved the same way).
     const size_t hops = overlay_->Route(src, ring_key);
-    const net::SendOutcome probe = channel.SendReliable(
-        src, holder, net::MessageKind::kKeyProbe, /*postings=*/0, hops,
-        ring_key);
+    const net::SendOutcome probe =
+        channel.SendReliable(src, holder, net::MessageKind::kKeyProbe,
+                             /*postings=*/0, hops, ring_key,
+                             /*extra_bytes=*/0, budget);
     result.retries += probe.retries;
-    result.latency_ticks += probe.latency_ticks;
-    if (!probe.delivered) continue;
+    leg.ticks += probe.latency_ticks;
+    leg.deadline_exhausted |= probe.deadline_exhausted;
+    if (!probe.delivered) {
+      if (breakers_on && !probe.deadline_exhausted) breaker->OnFailure(holder);
+      return leg;
+    }
     const hdk::KeyEntry* entry = holder == primary
                                      ? PeekHashed(ring_key, key)
                                      : PeekReplica(holder, ring_key, key);
     const net::SendOutcome response = channel.SendReliable(
         holder, src, net::MessageKind::kPostingsResponse,
-        entry != nullptr ? entry->postings.size() : 0, /*hops=*/1, ring_key);
+        entry != nullptr ? entry->postings.size() : 0, /*hops=*/1, ring_key,
+        /*extra_bytes=*/0, budget);
     result.retries += response.retries;
-    result.latency_ticks += response.latency_ticks;
-    if (!response.delivered) continue;
+    leg.ticks += response.latency_ticks;
+    leg.deadline_exhausted |= response.deadline_exhausted;
+    if (!response.delivered) {
+      if (breakers_on && !response.deadline_exhausted) {
+        breaker->OnFailure(holder);
+      }
+      return leg;
+    }
+    if (breakers_on) breaker->OnSuccess(holder, leg.ticks);
     // A delivered round trip is an authoritative answer — nullptr means
     // the key is ABSENT, not unreachable.
-    result.entry = entry;
-    return result;
+    leg.delivered = true;
+    leg.entry = entry;
+    return leg;
+  };
+
+  const uint32_t hedge_delay = options.hedge_delay_ticks;
+  bool attempted_any = false;
+  size_t i = 0;
+  while (i < holders.size()) {
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      result.deadline_exhausted = true;
+      break;
+    }
+    const PeerId holder = holders[i];
+    if (breakers_on && breaker->ShouldShortCircuit(holder)) {
+      // Open breaker: skip the leg entirely (no message, no ticks) and
+      // go straight to the next holder in failover order.
+      ++result.breaker_short_circuits;
+      ++i;
+      continue;
+    }
+    if (attempted_any) ++result.failovers;
+    attempted_any = true;
+
+    if (hedge_delay == 0) {
+      // Plain sequential failover: the leg charges the budget directly.
+      const Leg leg = round_trip(holder, options.budget);
+      result.latency_ticks += leg.ticks;
+      if (leg.deadline_exhausted) result.deadline_exhausted = true;
+      if (leg.delivered) {
+        result.entry = leg.entry;
+        return result;
+      }
+      if (result.deadline_exhausted) break;
+      ++i;
+      continue;
+    }
+
+    // Hedged fetch: run the primary leg on a detached clock; when its
+    // completion time exceeds the hedge delay, race the next available
+    // holder. The two legs overlap in simulated time, so they run
+    // budget-free and the WINNER's effective completion time is charged
+    // once — but both legs' messages and retries are real traffic.
+    const Leg primary_leg = round_trip(holder, nullptr);
+    if (primary_leg.delivered && primary_leg.ticks <= hedge_delay) {
+      result.latency_ticks += primary_leg.ticks;
+      if (options.budget != nullptr) options.budget->Charge(primary_leg.ticks);
+      result.entry = primary_leg.entry;
+      return result;
+    }
+    // Hedge target: the next holder in failover order whose breaker
+    // admits a leg.
+    size_t j = i + 1;
+    while (j < holders.size() && breakers_on &&
+           breaker->ShouldShortCircuit(holders[j])) {
+      ++result.breaker_short_circuits;
+      ++j;
+    }
+    if (j >= holders.size()) {
+      // No replica left to hedge against: the primary leg stands alone.
+      result.latency_ticks += primary_leg.ticks;
+      if (options.budget != nullptr) options.budget->Charge(primary_leg.ticks);
+      if (primary_leg.delivered) {
+        result.entry = primary_leg.entry;
+        return result;
+      }
+      i = j;
+      continue;
+    }
+    ++result.hedges_fired;
+    const Leg hedge_leg = round_trip(holders[j], nullptr);
+    // The hedge started hedge_delay ticks after the primary, so its
+    // effective completion is shifted; ties go to the primary.
+    const uint64_t hedge_effective = hedge_delay + hedge_leg.ticks;
+    if (primary_leg.delivered &&
+        (!hedge_leg.delivered || primary_leg.ticks <= hedge_effective)) {
+      result.latency_ticks += primary_leg.ticks;
+      if (options.budget != nullptr) options.budget->Charge(primary_leg.ticks);
+      result.entry = primary_leg.entry;
+      return result;
+    }
+    if (hedge_leg.delivered) {
+      ++result.hedge_wins;
+      result.latency_ticks += hedge_effective;
+      if (options.budget != nullptr) options.budget->Charge(hedge_effective);
+      result.entry = hedge_leg.entry;
+      return result;
+    }
+    // Both legs failed: the walk waited out the slower failure, and the
+    // hedge holder counts as one more failed-over attempt.
+    const uint64_t failed_ticks =
+        std::max<uint64_t>(primary_leg.ticks, hedge_effective);
+    result.latency_ticks += failed_ticks;
+    if (options.budget != nullptr) options.budget->Charge(failed_ticks);
+    ++result.failovers;
+    i = j + 1;
   }
   result.unreachable = true;
   return result;

@@ -293,14 +293,48 @@ class DistributedGlobalIndex {
     uint32_t retries = 0;
     uint32_t failovers = 0;
     uint64_t latency_ticks = 0;
+    /// Tail-latency armor accounting (see common/search_options.h and
+    /// net/breaker.h): hedged reads fired / won, holders skipped by an
+    /// open circuit breaker, and whether the deadline budget ran out
+    /// mid-fetch (the caller degrades the query).
+    uint32_t hedges_fired = 0;
+    uint32_t hedge_wins = 0;
+    uint32_t breaker_short_circuits = 0;
+    bool deadline_exhausted = false;
+  };
+
+  /// Per-fetch overload knobs threaded down from SearchOptions. The
+  /// defaults reproduce the plain failover walk tick for tick.
+  struct FetchOptions {
+    /// Hedge a fetch whose primary leg has not delivered within this
+    /// many simulated ticks (0 = hedging off; see SearchOptions).
+    uint32_t hedge_delay_ticks = 0;
+    /// Deadline budget charged by every leg; null = unlimited.
+    DeadlineBudget* budget = nullptr;
   };
 
   /// Failure-aware FetchFrom: probes the responsible peer with bounded
   /// retry + exponential backoff (the Resilience retry policy); when its
   /// round trip fails, fails over to the key's replica holders in
   /// health order (non-suspect holders first). With an inactive injector
-  /// this records exactly the two messages FetchFrom records.
-  FetchResult FetchFromResilient(PeerId src, const hdk::TermKey& key) const;
+  /// this records exactly the two messages FetchFrom records and ignores
+  /// `options` entirely (zero simulated time passes).
+  ///
+  /// Overload armor (all off by default; see FetchOptions):
+  ///   * circuit breakers (Resilience::breaker): holders whose breaker
+  ///     is open are skipped without any message — straight to failover;
+  ///   * hedged reads: when the primary leg's simulated completion time
+  ///     exceeds hedge_delay_ticks, the same probe also runs against the
+  ///     next available holder and the earlier (simulated-time) answer
+  ///     wins — both legs' traffic is recorded, but latency_ticks and
+  ///     the budget advance only by the winner's effective time;
+  ///   * deadline budget: legs charge the budget and stop retrying when
+  ///     it exhausts; an exhausted budget ends the failover walk.
+  FetchResult FetchFromResilient(PeerId src, const hdk::TermKey& key,
+                                 const FetchOptions& options) const;
+  FetchResult FetchFromResilient(PeerId src, const hdk::TermKey& key) const {
+    return FetchFromResilient(src, key, FetchOptions{});
+  }
 
   /// The key's fragment holders under the current overlay: the
   /// responsible peer first, then `replication - 1` distinct peers

@@ -14,21 +14,43 @@ HdkRetriever::HdkRetriever(const DistributedGlobalIndex* global,
 
 index::SearchResponse HdkRetriever::Search(PeerId origin,
                                            std::span<const TermId> query,
-                                           size_t k) const {
+                                           size_t k,
+                                           const SearchOptions& options) const {
   index::SearchResponse exec;
   // Tally only the traffic THIS thread records: queries of a parallel
   // batch run concurrently against the shared recorder.
   const net::ScopedTally tally(traffic_);
 
+  // The query-wide simulated-time budget every fetch leg charges.
+  // Unlimited (deadline_ticks == 0) never binds.
+  DeadlineBudget budget;
+  if (options.deadline_ticks > 0) budget.remaining = options.deadline_ticks;
+  DistributedGlobalIndex::FetchOptions fetch_options;
+  fetch_options.hedge_delay_ticks = options.hedge_delay_ticks;
+  fetch_options.budget = &budget;
+  bool deadline_hit = false;
+
   std::vector<hdk::FetchedKey> fetched;
   hdk::RetrievalPlan plan = hdk::PlanRetrieval(
       query, params_.s_max, [&](const hdk::TermKey& key)
           -> std::optional<hdk::ProbeOutcome> {
+        if (budget.exhausted()) {
+          // The deadline passed before this key could be probed: answer
+          // from what is already fetched — a partial, explicitly
+          // degraded top-k instead of retrying forever.
+          deadline_hit = true;
+          ++exec.cost.keys_unreachable;
+          return std::nullopt;
+        }
         const DistributedGlobalIndex::FetchResult fetch =
-            global_->FetchFromResilient(origin, key);
+            global_->FetchFromResilient(origin, key, fetch_options);
         exec.cost.retries += fetch.retries;
         exec.cost.failovers += fetch.failovers;
         exec.cost.latency_ticks += fetch.latency_ticks;
+        exec.cost.hedges_fired += fetch.hedges_fired;
+        exec.cost.hedge_wins += fetch.hedge_wins;
+        exec.cost.breaker_short_circuits += fetch.breaker_short_circuits;
+        if (fetch.deadline_exhausted) deadline_hit = true;
         if (fetch.unreachable) {
           // Every holder of the key failed: degrade — the query answers
           // from the surviving lattice keys. The planner treats the key
@@ -47,6 +69,10 @@ index::SearchResponse HdkRetriever::Search(PeerId origin,
         return hdk::ProbeOutcome{entry->is_hdk};
       });
 
+  if (deadline_hit) {
+    exec.degraded = true;
+    exec.cost.deadline_exceeded = 1;
+  }
   exec.cost.keys_fetched = plan.fetched.size();
   exec.cost.probes = plan.probes;
   exec.cost.pruned = plan.pruned;

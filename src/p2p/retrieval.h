@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/params.h"
+#include "common/search_options.h"
 #include "common/types.h"
 #include "hdk/query_lattice.h"
 #include "index/search_result.h"
@@ -32,8 +33,15 @@ class HdkRetriever {
 
   /// Runs the retrieval protocol for `query` from peer `origin` and
   /// returns the top `k` documents plus unified cost counters.
+  /// `options` carries the per-query overload knobs (deadline budget,
+  /// hedged reads — see common/search_options.h); the defaults reproduce
+  /// the plain protocol tick for tick. When the deadline budget runs out
+  /// mid-query the remaining lattice keys are skipped and the response
+  /// comes back partial with `degraded` set and
+  /// QueryCost::deadline_exceeded = 1.
   index::SearchResponse Search(PeerId origin, std::span<const TermId> query,
-                               size_t k) const;
+                               size_t k,
+                               const SearchOptions& options = {}) const;
 
  private:
   const DistributedGlobalIndex* global_;

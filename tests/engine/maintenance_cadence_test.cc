@@ -1,0 +1,152 @@
+// Event-driven anti-entropy cadence (MaintenanceConfig): with
+// sweep_every_events set, membership churn under a lossy replica-push
+// plan triggers RunAntiEntropy-equivalent sweeps automatically — the
+// engine ends churn with ZERO replica divergence without anyone calling
+// RunAntiEntropy() by hand. Off by default: the control engine ends the
+// same churn visibly diverged, and the default config stays byte-
+// identical to the cadence-free engine.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "corpus/synthetic.h"
+#include "engine/fingerprint.h"
+#include "engine/hdk_engine.h"
+#include "engine/membership.h"
+#include "engine/partition.h"
+#include "net/fault.h"
+#include "sync/sync.h"
+
+namespace hdk::engine {
+namespace {
+
+corpus::SyntheticCorpus CadenceCorpus() {
+  corpus::SyntheticConfig cfg;
+  cfg.seed = 4242;
+  cfg.vocabulary_size = 3000;
+  cfg.num_topics = 12;
+  cfg.topic_width = 35;
+  cfg.mean_doc_length = 50.0;
+  cfg.topic_share = 0.7;
+  return corpus::SyntheticCorpus(cfg);
+}
+
+HdkEngineConfig CadenceConfig(OverlayKind overlay, size_t num_threads) {
+  HdkEngineConfig config;
+  config.hdk.df_max = 8;
+  config.hdk.very_frequent_threshold = 450;
+  config.hdk.window = 8;
+  config.hdk.s_max = 3;
+  config.overlay = overlay;
+  config.num_threads = num_threads;
+  config.replication = 2;
+  config.sync.mode = sync::SyncMode::kIbf;
+  config.faults = *net::FaultPlan::Parse("seed=7,loss.ReplicaPush=0.4");
+  return config;
+}
+
+// Join/leave/join churn; every batch is one or more maintenance events.
+Status Churn(HdkSearchEngine& engine, const corpus::DocumentStore& store) {
+  HDK_RETURN_NOT_OK(engine.ApplyMembership(store, JoinWave(240, 2, 40)));
+  HDK_RETURN_NOT_OK(
+      engine.ApplyMembership(store, {MembershipEvent::Leave(1)}));
+  return engine.ApplyMembership(store, JoinWave(320, 2, 40));
+}
+
+class MaintenanceCadenceTest
+    : public ::testing::TestWithParam<OverlayKind> {};
+
+INSTANTIATE_TEST_SUITE_P(BothOverlays, MaintenanceCadenceTest,
+                         ::testing::Values(OverlayKind::kPGrid,
+                                           OverlayKind::kChord),
+                         [](const auto& info) {
+                           return info.param == OverlayKind::kPGrid
+                                      ? "pgrid"
+                                      : "chord";
+                         });
+
+TEST_P(MaintenanceCadenceTest, ChurnSelfHealsWithoutManualSweeps) {
+  corpus::SyntheticCorpus corpus = CadenceCorpus();
+  corpus::DocumentStore store;
+  corpus.FillStore(400, &store);
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+
+    // Control: cadence off. The lossy pushes leave divergence behind and
+    // nothing sweeps it up.
+    HdkEngineConfig off = CadenceConfig(GetParam(), threads);
+    auto control = HdkSearchEngine::Build(off, store, SplitEvenly(240, 8));
+    ASSERT_TRUE(control.ok()) << control.status().ToString();
+    ASSERT_TRUE(Churn(**control, store).ok());
+    EXPECT_EQ((*control)->maintenance_sweeps(), 0u);
+    EXPECT_GT((*control)->global_index().CountReplicaDivergence(), 0u);
+
+    // Cadence on: every churn batch counts toward the sweep trigger, and
+    // the engine ends churn fully reconciled with no manual sweep.
+    HdkEngineConfig on = CadenceConfig(GetParam(), threads);
+    on.maintenance.sweep_every_events = 1;
+    auto engine = HdkSearchEngine::Build(on, store, SplitEvenly(240, 8));
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    ASSERT_TRUE(Churn(**engine, store).ok());
+    EXPECT_GT((*engine)->maintenance_sweeps(), 0u);
+    EXPECT_GT((*engine)->last_maintenance_sweep().pairs_checked, 0u);
+    EXPECT_EQ((*engine)->global_index().CountReplicaDivergence(), 0u);
+
+    // Sweeps only heal replicas — the published primaries are identical
+    // to the cadence-free engine's, posting for posting.
+    EXPECT_EQ(
+        FingerprintContents((*engine)->global_index().ExportContents()),
+        FingerprintContents((*control)->global_index().ExportContents()));
+  }
+}
+
+TEST_P(MaintenanceCadenceTest, CoarseCadenceSweepsOnThresholdOnly) {
+  corpus::SyntheticCorpus corpus = CadenceCorpus();
+  corpus::DocumentStore store;
+  corpus.FillStore(400, &store);
+
+  // Threshold higher than any single batch: the first small batch must
+  // NOT sweep, the accumulated count across batches must.
+  HdkEngineConfig config = CadenceConfig(GetParam(), 1);
+  config.maintenance.sweep_every_events = 3;
+  auto built = HdkSearchEngine::Build(config, store, SplitEvenly(240, 8));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto engine = std::move(built).value();
+
+  ASSERT_TRUE(
+      engine->ApplyMembership(store, {MembershipEvent::Leave(1)}).ok());
+  EXPECT_EQ(engine->maintenance_sweeps(), 0u);  // 1 of 3 events
+
+  ASSERT_TRUE(engine->ApplyMembership(store, JoinWave(240, 2, 40)).ok());
+  EXPECT_EQ(engine->maintenance_sweeps(), 1u);  // 3 of 3: swept, reset
+
+  ASSERT_TRUE(
+      engine->ApplyMembership(store, {MembershipEvent::Leave(2)}).ok());
+  EXPECT_EQ(engine->maintenance_sweeps(), 1u);  // cadence restarted
+  EXPECT_GT(engine->last_maintenance_sweep().pairs_checked, 0u);
+}
+
+TEST_P(MaintenanceCadenceTest, UnreplicatedEngineCountsButNeverSweeps) {
+  corpus::SyntheticCorpus corpus = CadenceCorpus();
+  corpus::DocumentStore store;
+  corpus.FillStore(280, &store);
+
+  HdkEngineConfig config = CadenceConfig(GetParam(), 1);
+  config.replication = 1;  // nothing to reconcile
+  config.sync = {};
+  config.faults = {};
+  config.maintenance.sweep_every_events = 1;
+  auto built = HdkSearchEngine::Build(config, store, SplitEvenly(240, 8));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto engine = std::move(built).value();
+
+  ASSERT_TRUE(
+      engine->ApplyMembership(store, {MembershipEvent::Leave(1)}).ok());
+  EXPECT_EQ(engine->maintenance_sweeps(), 0u);
+}
+
+}  // namespace
+}  // namespace hdk::engine

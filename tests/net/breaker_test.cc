@@ -1,0 +1,174 @@
+// Per-peer circuit breakers (net/breaker.h): failure trip threshold, the
+// deterministic decision-counted half-open cadence, probe accounting,
+// the latency-EWMA tail trip, departure renumbering, and the disabled
+// bank's never-short-circuits contract.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "net/breaker.h"
+
+namespace hdk::net {
+namespace {
+
+using State = CircuitBreakerBank::State;
+
+BreakerConfig EnabledConfig() {
+  BreakerConfig config;
+  config.enabled = true;
+  config.failure_threshold = 3;
+  config.open_cooldown = 4;
+  config.half_open_successes = 2;
+  return config;
+}
+
+TEST(BreakerTest, DisabledBankNeverShortCircuits) {
+  CircuitBreakerBank bank;  // default config: disabled
+  EXPECT_FALSE(bank.enabled());
+  for (int i = 0; i < 20; ++i) {
+    bank.OnFailure(1);
+    EXPECT_FALSE(bank.ShouldShortCircuit(1));
+  }
+  EXPECT_EQ(bank.state(1), State::kClosed);
+  EXPECT_EQ(bank.short_circuits(), 0u);
+  // Disabled success feeding keeps no EWMA either.
+  bank.OnSuccess(1, 100);
+  EXPECT_EQ(bank.latency_ewma(1), 0.0);
+}
+
+TEST(BreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreakerBank bank(EnabledConfig());
+  bank.OnFailure(2);
+  bank.OnFailure(2);
+  EXPECT_EQ(bank.state(2), State::kClosed);
+  // A success resets the streak: two more failures stay below threshold.
+  bank.OnSuccess(2, 1);
+  bank.OnFailure(2);
+  bank.OnFailure(2);
+  EXPECT_EQ(bank.state(2), State::kClosed);
+  bank.OnFailure(2);
+  EXPECT_EQ(bank.state(2), State::kOpen);
+  // Other peers' breakers are independent.
+  EXPECT_EQ(bank.state(0), State::kClosed);
+  EXPECT_FALSE(bank.ShouldShortCircuit(0));
+}
+
+TEST(BreakerTest, OpenCadenceAdmitsEveryNthDecisionAsProbe) {
+  CircuitBreakerBank bank(EnabledConfig());  // open_cooldown = 4
+  for (int i = 0; i < 3; ++i) bank.OnFailure(1);
+  ASSERT_EQ(bank.state(1), State::kOpen);
+
+  // Decisions 1..3 short-circuit; decision 4 admits the half-open probe.
+  EXPECT_TRUE(bank.ShouldShortCircuit(1));
+  EXPECT_TRUE(bank.ShouldShortCircuit(1));
+  EXPECT_TRUE(bank.ShouldShortCircuit(1));
+  EXPECT_FALSE(bank.ShouldShortCircuit(1));
+  EXPECT_EQ(bank.state(1), State::kHalfOpen);
+  EXPECT_EQ(bank.short_circuits(), 3u);
+
+  // A failed probe re-opens and the cadence restarts from zero.
+  bank.OnFailure(1);
+  EXPECT_EQ(bank.state(1), State::kOpen);
+  EXPECT_TRUE(bank.ShouldShortCircuit(1));
+  EXPECT_TRUE(bank.ShouldShortCircuit(1));
+  EXPECT_TRUE(bank.ShouldShortCircuit(1));
+  EXPECT_FALSE(bank.ShouldShortCircuit(1));
+  EXPECT_EQ(bank.state(1), State::kHalfOpen);
+  EXPECT_EQ(bank.short_circuits(), 6u);
+}
+
+TEST(BreakerTest, HalfOpenClosesAfterConsecutiveProbeSuccesses) {
+  CircuitBreakerBank bank(EnabledConfig());  // half_open_successes = 2
+  for (int i = 0; i < 3; ++i) bank.OnFailure(0);
+  for (int i = 0; i < 4; ++i) bank.ShouldShortCircuit(0);
+  ASSERT_EQ(bank.state(0), State::kHalfOpen);
+
+  bank.OnSuccess(0, 1);
+  EXPECT_EQ(bank.state(0), State::kHalfOpen);  // one of two
+  bank.OnSuccess(0, 1);
+  EXPECT_EQ(bank.state(0), State::kClosed);
+  // Closed again: traffic flows and the failure streak starts fresh.
+  EXPECT_FALSE(bank.ShouldShortCircuit(0));
+  bank.OnFailure(0);
+  bank.OnFailure(0);
+  EXPECT_EQ(bank.state(0), State::kClosed);
+}
+
+TEST(BreakerTest, LatencyEwmaTripsSlowButAlivePeer) {
+  BreakerConfig config = EnabledConfig();
+  config.latency_trip_ticks = 10.0;
+  config.latency_ewma_alpha = 0.5;
+  CircuitBreakerBank bank(config);
+
+  // Fast peer: EWMA stays below the bound, breaker stays closed.
+  bank.OnSuccess(0, 4);
+  bank.OnSuccess(0, 6);
+  EXPECT_EQ(bank.state(0), State::kClosed);
+  EXPECT_NEAR(bank.latency_ewma(0), 5.0, 1e-9);
+
+  // Slow-but-alive peer: the first sample seeds the EWMA above the bound
+  // and trips immediately, without a single failure.
+  bank.OnSuccess(1, 40);
+  EXPECT_EQ(bank.state(1), State::kOpen);
+  EXPECT_TRUE(bank.ShouldShortCircuit(1));
+}
+
+TEST(BreakerTest, EwmaSurvivesReopenSoRevivedSlowPeerRetrips) {
+  BreakerConfig config = EnabledConfig();
+  config.latency_trip_ticks = 10.0;
+  config.latency_ewma_alpha = 0.2;
+  config.half_open_successes = 1;
+  CircuitBreakerBank bank(config);
+
+  bank.OnSuccess(0, 100);  // trips: ewma = 100
+  ASSERT_EQ(bank.state(0), State::kOpen);
+  for (int i = 0; i < 4; ++i) bank.ShouldShortCircuit(0);
+  ASSERT_EQ(bank.state(0), State::kHalfOpen);
+
+  // The probe succeeds fast — the breaker closes — but the decayed EWMA
+  // (0.2*2 + 0.8*100 = 80.4) is still over the bound: it re-trips on the
+  // very same success instead of absorbing a window of slow traffic.
+  bank.OnSuccess(0, 2);
+  EXPECT_EQ(bank.state(0), State::kOpen);
+  EXPECT_NEAR(bank.latency_ewma(0), 80.4, 1e-9);
+
+  // Repeated probe rounds eventually decay the EWMA under the bound and
+  // the breaker genuinely closes.
+  for (int round = 0; round < 64 && bank.state(0) != State::kClosed;
+       ++round) {
+    for (int i = 0; i < 4; ++i) bank.ShouldShortCircuit(0);
+    bank.OnSuccess(0, 2);
+  }
+  EXPECT_EQ(bank.state(0), State::kClosed);
+  EXPECT_LT(bank.latency_ewma(0), 10.0);
+}
+
+TEST(BreakerTest, OnPeerRemovedRenumbersLikeTheOverlay) {
+  CircuitBreakerBank bank(EnabledConfig());
+  bank.EnsurePeers(4);
+  for (int i = 0; i < 3; ++i) bank.OnFailure(2);
+  ASSERT_EQ(bank.state(2), State::kOpen);
+
+  bank.OnPeerRemoved(1);  // 2 renumbers to 1
+  EXPECT_EQ(bank.state(1), State::kOpen);
+  EXPECT_EQ(bank.state(2), State::kClosed);
+
+  bank.OnPeerRemoved(1);  // the tripped peer itself departs
+  EXPECT_EQ(bank.state(1), State::kClosed);
+}
+
+TEST(BreakerTest, ConfigureResetsEveryBreaker) {
+  CircuitBreakerBank bank(EnabledConfig());
+  for (int i = 0; i < 3; ++i) bank.OnFailure(0);
+  bank.ShouldShortCircuit(0);
+  ASSERT_GT(bank.short_circuits(), 0u);
+
+  bank.Configure(BreakerConfig{});  // back to the disabled default
+  EXPECT_FALSE(bank.enabled());
+  EXPECT_EQ(bank.state(0), State::kClosed);
+  EXPECT_EQ(bank.short_circuits(), 0u);
+  EXPECT_FALSE(bank.ShouldShortCircuit(0));
+}
+
+}  // namespace
+}  // namespace hdk::net

@@ -69,6 +69,62 @@ TEST(FaultPlanTest, SyncKindOverridesParseAndRoundTrip) {
   EXPECT_EQ(*reparsed, *plan);
 }
 
+TEST(FaultPlanTest, LatencyOverridesParseAndRoundTrip) {
+  // Per-kind and per-peer latency shaping: query probes crawl a little
+  // everywhere, peer 3 is a straggler for EVERY kind addressed to it.
+  auto plan = FaultPlan::Parse(
+      "seed=9,latency=2,latency.KeyProbe=5,latency.PostingsResponse=7,"
+      "latency@3=64,latency@1=0");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->active());
+  // Precedence: per-peer destination beats per-kind beats global.
+  EXPECT_EQ(plan->MaxLatencyFor(MessageKind::kKeyProbe, 3), 64u);
+  EXPECT_EQ(plan->MaxLatencyFor(MessageKind::kKeyProbe, 2), 5u);
+  EXPECT_EQ(plan->MaxLatencyFor(MessageKind::kPostingsResponse, 2), 7u);
+  EXPECT_EQ(plan->MaxLatencyFor(MessageKind::kInsertPostings, 2), 2u);
+  // An explicit latency@peer=0 pins that destination to zero ticks even
+  // when kind/global overrides exist.
+  EXPECT_EQ(plan->MaxLatencyFor(MessageKind::kKeyProbe, 1), 0u);
+
+  auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok()) << plan->ToString();
+  EXPECT_EQ(*reparsed, *plan);
+}
+
+TEST(FaultPlanTest, KindLatencyAloneActivatesThePlan) {
+  // A plan that ONLY shapes latency of one kind must count as active —
+  // otherwise the injector would skip its draws entirely.
+  auto plan = FaultPlan::Parse("latency.KeyProbe=4");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->active());
+  EXPECT_EQ(plan->max_latency_ticks, 0u);
+
+  auto peer_only = FaultPlan::Parse("latency@2=6");
+  ASSERT_TRUE(peer_only.ok());
+  EXPECT_TRUE(peer_only->active());
+
+  // Zero-tick overrides alone stay inert.
+  auto zeros = FaultPlan::Parse("latency.KeyProbe=0,latency@2=0");
+  ASSERT_TRUE(zeros.ok());
+  EXPECT_FALSE(zeros->active());
+}
+
+TEST(FaultPlanTest, PeerLatencyLastWriteWinsAndRenumbers) {
+  auto plan = FaultPlan::Parse("latency@4=8,latency@4=16,latency@6=32");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->peer_latency.size(), 2u);
+  EXPECT_EQ(plan->MaxLatencyFor(MessageKind::kKeyProbe, 4), 16u);
+
+  // Departures renumber per-peer latency ids exactly like deaths.
+  FaultInjector injector;
+  injector.Install(*plan);
+  injector.OnPeerRemoved(5);  // 6 renumbers to 5
+  EXPECT_EQ(injector.plan().MaxLatencyFor(MessageKind::kKeyProbe, 5), 32u);
+  injector.OnPeerRemoved(4);  // the overridden peer itself departs
+  // Its entry is dropped and the straggler renumbers once more.
+  EXPECT_EQ(injector.plan().MaxLatencyFor(MessageKind::kKeyProbe, 4), 32u);
+}
+
 TEST(FaultPlanTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(FaultPlan::Parse("seed").ok());          // no '='
   EXPECT_FALSE(FaultPlan::Parse("seed=banana").ok());
@@ -80,6 +136,11 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(FaultPlan::Parse("kill=2").ok());        // wants X@N
   EXPECT_FALSE(FaultPlan::Parse("kill=@5").ok());
   EXPECT_FALSE(FaultPlan::Parse("warp=1").ok());        // unknown key
+  EXPECT_FALSE(FaultPlan::Parse("latency.WarpDrive=3").ok());
+  EXPECT_FALSE(FaultPlan::Parse("latency.KeyProbe=oops").ok());
+  EXPECT_FALSE(FaultPlan::Parse("latency@=3").ok());    // wants a peer id
+  EXPECT_FALSE(FaultPlan::Parse("latency@2=banana").ok());
+  EXPECT_FALSE(FaultPlan::Parse("latency@2=99999999999999").ok());
   // Valid per-kind probabilities for every kind name.
   for (size_t k = 0; k < kNumMessageKinds; ++k) {
     const std::string spec =
@@ -227,7 +288,7 @@ TEST(ChannelTest, InactiveInjectorRecordsExactlyOneMessage) {
   FaultInjector injector;
   PeerHealth health;
   for (const Resilience& res :
-       {Resilience{}, Resilience{&injector, &health, {}, 1, {}}}) {
+       {Resilience{}, Resilience{&injector, &health, nullptr, {}, 1, {}}}) {
     TrafficRecorder fresh;
     fresh.EnsurePeers(4);
     Channel channel(&fresh, res);
@@ -252,7 +313,7 @@ TEST(ChannelTest, SendReliableRetriesThenFailsOverOrDegrades) {
   traffic.EnsurePeers(4);
   FaultInjector injector;
   PeerHealth health;
-  Resilience res{&injector, &health, RetryPolicy{4, 1}, 1, {}};
+  Resilience res{&injector, &health, nullptr, RetryPolicy{4, 1}, 1, {}};
   Channel channel(&traffic, res);
 
   // A hard-dead destination: the first attempt is recorded (bandwidth is
@@ -297,7 +358,7 @@ TEST(ChannelTest, SendAssuredChargesDeadPeersOneAttempt) {
   TrafficRecorder traffic;
   traffic.EnsurePeers(4);
   FaultInjector injector;
-  Resilience res{&injector, nullptr, RetryPolicy{3, 1}, 1, {}};
+  Resilience res{&injector, nullptr, nullptr, RetryPolicy{3, 1}, 1, {}};
   Channel channel(&traffic, res);
 
   injector.KillPeer(1);
